@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows/series it produced (run pytest with ``-s`` to see them).  Serving-based
+figures (7, 8, 9) run the discrete-event simulator at reduced durations so
+the whole harness completes in a few minutes; set ``REPRO_BENCH_FULL=1`` for
+longer, tighter-percentile runs.
+"""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+import pytest
+
+
+def full_fidelity() -> bool:
+    """True when the harness should run the long, high-fidelity versions."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture
+def report():
+    """Print a titled block so harness output reads like the paper's tables."""
+
+    def _report(title: str, body: str) -> None:
+        print(f"\n=== {title} ===\n{body}")
+
+    return _report

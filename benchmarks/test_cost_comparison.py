@@ -1,0 +1,34 @@
+"""Section 6.2 — dollar cost of the cloudlet versus renting a c5.9xlarge."""
+
+from repro.analysis.report import format_table
+from repro.cluster.peripherals import PeripheralSet, USB_CHARGING_HUB, WIFI_ACCESS_POINT
+from repro.devices.catalog import C5_9XLARGE, PIXEL_3A
+from repro.economics.cost import (
+    CloudRentalCostModel,
+    FleetCostModel,
+    cloudlet_vs_cloud_cost,
+)
+
+
+def _compare():
+    accessories = PeripheralSet(items=((WIFI_ACCESS_POINT, 1), (USB_CHARGING_HUB, 2)))
+    fleet = FleetCostModel(device=PIXEL_3A, n_devices=10, peripherals=accessories)
+    rental = CloudRentalCostModel(instance=C5_9XLARGE)
+    return cloudlet_vs_cloud_cost(fleet, rental, lifetime_months=36.0)
+
+
+def test_cost_comparison(benchmark, report):
+    comparison = benchmark(_compare)
+    rows = [
+        ["Phones (purchase)", f"${comparison.fleet.purchase_usd:,.0f}"],
+        ["Accessories", f"${comparison.fleet.peripherals_usd:,.0f}"],
+        ["Electricity (3 y, CA)", f"${comparison.fleet.energy_usd:,.0f}"],
+        ["Cloudlet total", f"${comparison.fleet.total_usd:,.0f}"],
+        ["c5.9xlarge on-demand (3 y)", f"${comparison.cloud_usd:,.0f}"],
+        ["Ratio", f"{comparison.cost_ratio:.0f}x"],
+    ]
+    report("Section 6.2: three-year cost comparison", format_table(["Item", "USD"], rows))
+    # Paper: $1,027.60 for the cloudlet versus $40,404 for the instance.
+    assert 800 < comparison.fleet.total_usd < 1_300
+    assert 39_000 < comparison.cloud_usd < 41_500
+    assert comparison.cost_ratio > 25

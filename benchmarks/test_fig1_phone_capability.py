@@ -1,0 +1,32 @@
+"""Figure 1 — smartphone capability versus AWS T4g instances."""
+
+from repro.analysis.figures import fig1_phone_capability
+from repro.analysis.report import format_table
+
+
+def test_fig1_phone_capability(benchmark, report):
+    data = benchmark(fig1_phone_capability)
+    rows = [
+        [
+            int(year),
+            f"{perf:.2f}",
+            f"{cores:.1f}",
+            f"{mem_min:.1f}",
+            f"{mem_max:.1f}",
+        ]
+        for year, perf, cores, mem_min, mem_max in zip(
+            data.performance.years,
+            data.performance.mean,
+            data.cores.mean,
+            data.memory_min.mean,
+            data.memory_max.mean,
+        )
+    ]
+    report(
+        "Figure 1: flagship phone capability by year (mean)",
+        format_table(["Year", "GB norm", "Cores", "Mem min", "Mem max"], rows),
+    )
+    # Recent phones meet or exceed the mid-size T4g reference lines.
+    assert data.first_year_phones_reach("t4g.medium") <= 2019
+    assert data.performance.mean[-1] >= 2.0
+    assert data.cores.mean[-1] >= 8.0

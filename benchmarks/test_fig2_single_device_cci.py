@@ -1,0 +1,23 @@
+"""Figure 2 — single-device CCI versus lifetime (California mix, reused devices)."""
+
+from repro.analysis.figures import fig2_single_device_cci
+from repro.analysis.report import render_lifetime_sweep
+
+
+def test_fig2_single_device_cci(benchmark, report):
+    sweeps = benchmark(fig2_single_device_cci)
+    for name, sweep in sweeps.items():
+        report(f"Figure 2 ({name}): single-device CCI", render_lifetime_sweep(sweep))
+
+    dijkstra = sweeps["Dijkstra"]
+    pdf = sweeps["PDF Render"]
+    sgemm = sweeps["SGEMM"]
+    # Phones have the lowest CCI for the Dijkstra and PDF benchmarks ...
+    assert dijkstra.best_at(36.0)[0] in ("Pixel 3A", "Nexus 4")
+    assert pdf.best_at(36.0)[0] in ("Pixel 3A", "Nexus 4")
+    # ... and the reused old server is the worst performer throughout.
+    for sweep in (sgemm, pdf, dijkstra):
+        worst = max(sweep.labels(), key=lambda label: sweep.at(label, 36.0))
+        assert worst == "HP ProLiant DL380 G6"
+    # The laptop is competitive on SGEMM thanks to its vector units.
+    assert sgemm.at("ThinkPad X1 Carbon G3", 36.0) < sgemm.at("HP ProLiant DL380 G6", 36.0)

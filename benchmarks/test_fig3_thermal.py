@@ -1,0 +1,41 @@
+"""Figure 3 — thermal stress test of phones sealed in a Styrofoam box."""
+
+from repro.analysis.figures import fig3_thermal
+from repro.analysis.report import format_table
+from repro.thermal.experiment import estimate_thermal_power
+
+
+def test_fig3_thermal(benchmark, report):
+    data = benchmark.pedantic(fig3_thermal, rounds=1, iterations=1)
+
+    def summarise(result, label):
+        rows = []
+        for phone in result.phones:
+            shutdown = (
+                f"{phone.shutdown_time_s / 60:.0f} min"
+                if phone.shutdown_time_s is not None
+                else "survived"
+            )
+            rows.append(
+                [phone.device_name, f"{float(phone.temperature_c.max()):.1f}", shutdown]
+            )
+        estimate = estimate_thermal_power(result)
+        body = format_table(["Phone", "Peak temp (C)", "Shutdown"], rows)
+        body += f"\nEq. 9 thermal power: {estimate.total_w:.1f} W total, {estimate.per_phone_w:.2f} W/phone"
+        report(f"Figure 3 ({label})", body)
+        return estimate
+
+    full = summarise(data.full_load, "100% load")
+    light = summarise(data.light_medium, "light-medium")
+
+    # Under full load the Nexus 4s shut themselves off, the Nexus 5 survives.
+    nexus4_shutdowns = [
+        p.shutdown_time_s for p in data.full_load.phones if "Nexus 4" in p.device_name
+    ]
+    assert all(t is not None for t in nexus4_shutdowns)
+    assert data.full_load.shutdown_times()["Nexus 5 #4"] is None
+    # Thermal power is ~2-3 W/device at full load and roughly half of that at
+    # light-medium (paper: 2.6 W and 1.2 W respectively).
+    assert full.per_phone_w > light.per_phone_w
+    assert 1.5 < full.per_phone_w < 3.5
+    assert 0.7 < light.per_phone_w < 1.8

@@ -1,0 +1,42 @@
+"""Figure 5 — cluster-level CCI for the five comparison systems."""
+
+import numpy as np
+
+from repro.analysis.figures import fig5_cluster_cci
+from repro.analysis.report import render_lifetime_sweep
+from repro.core.lifetime import crossover_month, default_lifetimes
+
+
+def test_fig5_cluster_cci(benchmark, report):
+    panels = benchmark(fig5_cluster_cci)
+    for (benchmark_name, regime), sweep in panels.items():
+        report(
+            f"Figure 5 ({benchmark_name}, {regime} regime)",
+            render_lifetime_sweep(sweep),
+        )
+
+    months = default_lifetimes()
+    sgemm_ca = panels[("SGEMM", "california")]
+
+    # The repurposed Pixel cluster beats the new server at every lifetime.
+    assert np.all(
+        np.asarray(sgemm_ca.series["Pixel 3A"]) < np.asarray(sgemm_ca.series["PowerEdge R740"])
+    )
+    # The Nexus 4 cluster, despite drawing more power than the server, wins
+    # for shorter lifetimes and crosses over somewhere near the paper's
+    # ~45-month figure.
+    crossover = crossover_month(
+        months, sgemm_ca.series["Nexus 4"], sgemm_ca.series["PowerEdge R740"]
+    )
+    assert crossover is not None and 30 <= crossover <= 60
+    # The reused old server is the overall loser on the non-SGEMM panels.
+    for name in ("PDF Render", "Dijkstra"):
+        panel = panels[(name, "california")]
+        assert panel.at("ProLiant", 36.0) == max(panel.at(l, 36.0) for l in panel.labels())
+    # Under 100 % solar, embodied carbon dominates and the gap to the new
+    # server widens for every reused design.
+    for name in ("Pixel 3A", "ThinkPad", "Nexus 4"):
+        ca_ratio = sgemm_ca.at("PowerEdge R740", 36.0) / sgemm_ca.at(name, 36.0)
+        solar_panel = panels[("SGEMM", "solar")]
+        solar_ratio = solar_panel.at("PowerEdge R740", 36.0) / solar_panel.at(name, 36.0)
+        assert solar_ratio > ca_ratio

@@ -1,0 +1,29 @@
+"""Figure 6 — the impact of the energy mix on CCI."""
+
+from repro.analysis.figures import fig6_energy_mix
+from repro.analysis.report import render_lifetime_sweep
+
+
+def test_fig6_energy_mix(benchmark, report):
+    sweep = benchmark(fig6_energy_mix)
+    report("Figure 6: energy mix vs CCI (SGEMM)", render_lifetime_sweep(sweep))
+
+    # Cleaner grids monotonically lower CCI for both systems.
+    assert (
+        sweep.at("[Pixel] zero carbon", 36.0)
+        <= sweep.at("[Pixel] 24/7 solar", 36.0)
+        <= sweep.at("[Pixel] California", 36.0)
+    )
+    assert (
+        sweep.at("[Server] zero carbon", 36.0)
+        <= sweep.at("[Server] 24/7 solar", 36.0)
+        <= sweep.at("[Server] California", 36.0)
+    )
+    # With a zero-carbon supply the reused phone's CCI collapses to zero while
+    # the new server still pays its manufacturing carbon — the paper's point
+    # that embodied carbon dominates as operation trends to zero.
+    assert sweep.at("[Pixel] zero carbon", 36.0) == 0.0
+    assert sweep.at("[Server] zero carbon", 36.0) > 0.0
+    # The phone beats the server under every mix.
+    for mix in ("California", "24/7 solar", "zero carbon"):
+        assert sweep.at(f"[Pixel] {mix}", 36.0) < sweep.at(f"[Server] {mix}", 36.0)

@@ -1,0 +1,89 @@
+"""Figure 7 — DeathStarBench latency versus throughput, cloudlet vs EC2.
+
+By default the sweep covers the phone cloudlet and the c5.9xlarge at a
+handful of offered loads with short simulated windows; set
+``REPRO_BENCH_FULL=1`` to also sweep the c5.4xlarge and c5.12xlarge with
+longer windows (closer to the paper's full figure, at the cost of several
+more minutes of runtime).
+"""
+
+from conftest import full_fidelity
+
+from repro.analysis.figures import fig7_deathstarbench
+from repro.analysis.report import format_table
+from repro.devices.catalog import C5_4XLARGE, C5_9XLARGE, C5_12XLARGE
+from repro.microservices.cluster import ec2_instance, pixel_cloudlet
+
+
+def _clusters():
+    clusters = [pixel_cloudlet(), ec2_instance(C5_9XLARGE)]
+    if full_fidelity():
+        clusters += [ec2_instance(C5_4XLARGE), ec2_instance(C5_12XLARGE)]
+    return clusters
+
+
+def _qps_grid():
+    if full_fidelity():
+        return {
+            "SocialNetwork-Write": (500, 1000, 1500, 2000, 2500, 3000, 3500),
+            "SocialNetwork-Read": (500, 1500, 2500, 3500, 4000, 4500, 5000),
+            "HotelReservation": (500, 1500, 2500, 3500, 4000, 4500, 5000),
+        }
+    return {
+        "SocialNetwork-Write": (500, 1500, 2500, 3000),
+        "SocialNetwork-Read": (1000, 2500, 3500, 4500),
+        "HotelReservation": (1000, 2500, 3500, 4500),
+    }
+
+
+def test_fig7_deathstarbench_latency(benchmark, report):
+    duration = 3.0 if full_fidelity() else 1.5
+    warmup = 0.5 if full_fidelity() else 0.3
+
+    results = benchmark.pedantic(
+        fig7_deathstarbench,
+        kwargs={
+            "clusters": _clusters(),
+            "qps_grid": _qps_grid(),
+            "duration_s": duration,
+            "warmup_s": warmup,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    saturation = {}
+    for (workload, cluster_name), sweep in results.items():
+        rows = [
+            [
+                f"{point.offered_qps:.0f}",
+                f"{point.median_ms:.1f}",
+                f"{point.tail_ms:.1f}",
+                f"{point.completion_ratio:.2f}",
+            ]
+            for point in sweep.points
+        ]
+        report(
+            f"Figure 7: {workload} on {cluster_name}",
+            format_table(["Offered QPS", "Median ms", "p90 ms", "Completion"], rows),
+        )
+        saturation[(workload, cluster_name)] = sweep.saturation_qps()
+
+    phones = "pixel-cloudlet"
+    ec2 = "c5.9xlarge"
+    # Shape checks against the paper's Section 6 findings:
+    # the cloudlet sustains thousands of requests per second on every workload;
+    assert saturation[("HotelReservation", phones)] >= 2_500
+    assert saturation[("SocialNetwork-Write", phones)] >= 2_000
+    assert saturation[("SocialNetwork-Read", phones)] >= 2_500
+    # the phones beat the big instance on the write-heavy workload;
+    assert saturation[("SocialNetwork-Write", phones)] > saturation[("SocialNetwork-Write", ec2)]
+    # the instance wins the read-heavy workload;
+    assert saturation[("SocialNetwork-Read", ec2)] > saturation[("SocialNetwork-Read", phones)]
+    # and the mixed hotel workload lands in the same ballpark for both.
+    hotel_ratio = saturation[("HotelReservation", phones)] / saturation[("HotelReservation", ec2)]
+    assert 0.6 < hotel_ratio < 1.7
+    # Median latency of the cloudlet is higher at low load (WiFi hops).
+    low_load_phone = results[("HotelReservation", phones)].points[0].median_ms
+    low_load_ec2 = results[("HotelReservation", ec2)].points[0].median_ms
+    assert low_load_phone > low_load_ec2

@@ -1,0 +1,44 @@
+"""Figure 8 — per-phone CPU utilisation while serving SocialNetwork."""
+
+from conftest import full_fidelity
+
+from repro.analysis.figures import fig8_cpu_utilization
+from repro.analysis.report import format_table
+
+
+def test_fig8_cpu_utilization(benchmark, report):
+    duration = 4.0 if full_fidelity() else 2.0
+
+    data = benchmark.pedantic(
+        fig8_cpu_utilization,
+        kwargs={"duration_s": duration, "warmup_s": 0.4},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for node in sorted(data.read_utilization):
+        services = ", ".join(data.placement[node][:3])
+        rows.append(
+            [
+                node,
+                f"{100 * data.read_utilization[node]:.0f}%",
+                f"{100 * data.write_utilization[node]:.0f}%",
+                services,
+            ]
+        )
+    report(
+        f"Figure 8: per-phone CPU utilisation (read @{data.read_qps:.0f} QPS, "
+        f"write @{data.write_qps:.0f} QPS)",
+        format_table(["Phone", "Read util", "Write util", "Hosts (first 3)"], rows),
+    )
+
+    read = list(data.read_utilization.values())
+    write = list(data.write_utilization.values())
+    # The cloudlet as a whole is not CPU-bound ...
+    assert sum(read) / len(read) < 0.6
+    assert sum(write) / len(write) < 0.6
+    # ... utilisation varies widely with the services each phone hosts ...
+    assert max(read) > 3 * (min(read) + 1e-6)
+    # ... and a large share of the phones make little use of their CPUs
+    # (paper: 6/10 devices lightly used).
+    assert data.lightly_used_fraction(threshold=0.35) >= 0.4

@@ -1,0 +1,27 @@
+"""Figure 9 — carbon per served request: phone cloudlet versus c5.9xlarge."""
+
+import pytest
+
+from repro.analysis.figures import fig9_request_cci
+from repro.analysis.report import format_table, render_lifetime_sweep
+
+
+def test_fig9_request_cci(benchmark, report):
+    data = benchmark(fig9_request_cci)
+    rows = []
+    for workload, sweep in data.sweeps.items():
+        report(f"Figure 9: CCI per request — {workload}", render_lifetime_sweep(sweep))
+        rows.append([workload, f"{data.improvement_at(workload, 36.0):.1f}x"])
+    report(
+        "Figure 9 summary: cloudlet carbon advantage after 3 years",
+        format_table(["Workload", "Phones vs c5.9xlarge"], rows),
+    )
+
+    write = data.improvement_at("SocialNetwork-Write", 36.0)
+    read = data.improvement_at("SocialNetwork-Read", 36.0)
+    hotel = data.improvement_at("HotelReservation", 36.0)
+    # Paper: 18.9x (write), 9.8x (read), 12.6x (hotel) at three years.
+    assert write == pytest.approx(18.9, rel=0.25)
+    assert read == pytest.approx(9.8, rel=0.25)
+    assert hotel == pytest.approx(12.6, rel=0.25)
+    assert write > hotel > read

@@ -1,0 +1,14 @@
+"""Table 1 — Geekbench scores and server-equivalence counts."""
+
+from repro.analysis.report import render_table1
+from repro.analysis.tables import table1_geekbench
+
+
+def test_table1_geekbench(benchmark, report):
+    rows = benchmark(table1_geekbench)
+    report("Table 1: Geekbench performance and N", render_table1(rows))
+    by_device = {row.device: row for row in rows}
+    # Key paper facts: 54 Pixel 3As or ~256 Nexus 4s match a PowerEdge on SGEMM.
+    assert by_device["Pixel 3A"].devices_needed["SGEMM"] == 54
+    assert by_device["Nexus 4"].devices_needed["SGEMM"] in (255, 256)
+    assert by_device["PowerEdge R740"].devices_needed["SGEMM"] == 1

@@ -1,0 +1,17 @@
+"""Table 2 — power draw versus CPU load."""
+
+import pytest
+
+from repro.analysis.report import render_table2
+from repro.analysis.tables import table2_power
+
+
+def test_table2_power(benchmark, report):
+    rows = benchmark(table2_power)
+    report("Table 2: Power (W) vs CPU usage", render_table2(rows))
+    averages = {row.device: row.p_avg for row in rows}
+    assert averages["PowerEdge R740"] == pytest.approx(308.7, abs=0.1)
+    assert averages["HP ProLiant DL380 G6"] == pytest.approx(199.1, abs=0.5)
+    assert averages["ThinkPad X1 Carbon G3"] == pytest.approx(11.47, abs=0.1)
+    assert averages["Pixel 3A"] == pytest.approx(1.54, abs=0.02)
+    assert averages["Nexus 4"] == pytest.approx(1.78, abs=0.02)

@@ -1,0 +1,16 @@
+"""Table 3 — Nexus 4 component carbon breakdown and the reuse factor."""
+
+import pytest
+
+from repro.analysis.report import render_table3
+from repro.analysis.tables import table3_components
+
+
+def test_table3_reuse_factor(benchmark, report):
+    data = benchmark(table3_components)
+    report("Table 3: component embodied carbon", render_table3(data))
+    assert data.cloudlet_reuse_factor == pytest.approx(0.85)
+    assert data.components["compute"]["kg_co2e"] == pytest.approx(12.5)
+    assert data.components["network"]["kg_co2e"] == pytest.approx(7.5)
+    assert data.components["battery"]["kg_co2e"] == pytest.approx(7.5)
+    assert data.components["display"]["kg_co2e"] == pytest.approx(5.0)

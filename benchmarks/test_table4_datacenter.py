@@ -1,0 +1,23 @@
+"""Table 4 — datacenter-scale CCI projections and PUE."""
+
+import pytest
+
+from repro.analysis.report import render_table4
+from repro.analysis.tables import table4_datacenter
+
+
+def test_table4_datacenter(benchmark, report):
+    projections = benchmark(table4_datacenter)
+    report("Table 4: 3-year datacenter-scale CCI", render_table4(projections))
+    server = projections["PowerEdge R740 datacenter"]
+    phones = projections["Pixel 3A cluster datacenter"]
+    # PUE is nearly identical (paper: 1.31 vs 1.32) ...
+    assert server["PUE"] == pytest.approx(1.31, abs=0.03)
+    assert phones["PUE"] == pytest.approx(1.32, abs=0.03)
+    assert phones["PUE"] > server["PUE"]
+    # ... while the phone-based design wins CCI on every benchmark, by the
+    # smallest margin on SGEMM (paper: ~2x) and much more on the others.
+    ratios = {name: server[name] / phones[name] for name in ("SGEMM", "PDF Render", "Dijkstra")}
+    assert 1.5 < ratios["SGEMM"] < 6
+    assert ratios["PDF Render"] > ratios["SGEMM"]
+    assert ratios["Dijkstra"] > ratios["SGEMM"]

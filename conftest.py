@@ -1,0 +1,8 @@
+"""Pytest configuration: make the src/ layout importable without installation."""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

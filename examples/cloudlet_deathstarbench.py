@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Serve DeathStarBench-style applications on a simulated phone cloudlet.
+
+Reproduces the Section 6 experiment end to end at small scale: a ten-Pixel-3A
+cloudlet and a c5.9xlarge serve the SocialNetwork and HotelReservation
+applications, latency curves are swept, saturation points are extracted, and
+the carbon-per-request comparison of Figure 9 is computed from the results.
+
+Run with ``python examples/cloudlet_deathstarbench.py`` (takes a minute or
+two — it simulates tens of thousands of requests).
+"""
+
+from repro.analysis.figures import fig9_request_cci
+from repro.analysis.report import format_table
+from repro.microservices import (
+    COMPOSE_POST,
+    HOTEL_MIXED_WORKLOAD,
+    READ_USER_TIMELINE,
+    ec2_instance,
+    hotel_reservation,
+    latency_throughput_sweep,
+    pixel_cloudlet,
+    social_network,
+)
+
+WORKLOADS = {
+    "SocialNetwork-Write": (social_network(), {COMPOSE_POST: 1.0}, (500, 1500, 2500, 3000)),
+    "SocialNetwork-Read": (social_network(), {READ_USER_TIMELINE: 1.0}, (1000, 2500, 3500)),
+    "HotelReservation": (hotel_reservation(), dict(HOTEL_MIXED_WORKLOAD), (1000, 2500, 3500)),
+}
+
+
+def show_placement(cluster, app) -> None:
+    placement = cluster.default_placement(app)
+    rows = [
+        [node, ", ".join(placement.services_on(node)[:4])]
+        for node in cluster.node_names
+    ]
+    print(f"Swarm placement of {app.name} on {cluster.name}:")
+    print(format_table(["Node", "Services (first 4)"], rows))
+    print()
+
+
+def sweep_workloads() -> dict:
+    phones = pixel_cloudlet()
+    ec2 = ec2_instance()
+    show_placement(phones, social_network())
+
+    saturation = {}
+    for workload_name, (app, mix, qps_values) in WORKLOADS.items():
+        for cluster in (phones, ec2):
+            sweep = latency_throughput_sweep(
+                cluster,
+                app,
+                mix,
+                qps_values=qps_values,
+                workload_name=workload_name,
+                duration_s=1.5,
+                warmup_s=0.3,
+            )
+            rows = [
+                [
+                    f"{point.offered_qps:.0f}",
+                    f"{point.median_ms:.1f}",
+                    f"{point.tail_ms:.1f}",
+                    f"{point.completion_ratio:.2f}",
+                ]
+                for point in sweep.points
+            ]
+            print(f"{workload_name} on {cluster.name}:")
+            print(format_table(["Offered QPS", "Median ms", "p90 ms", "Completion"], rows))
+            saturation[(workload_name, cluster.name)] = sweep.saturation_qps()
+            print()
+    return saturation
+
+
+def carbon_per_request() -> None:
+    data = fig9_request_cci(months=[12.0, 36.0, 60.0])
+    rows = [
+        [workload, f"{data.improvement_at(workload, 36.0):.1f}x"]
+        for workload in data.sweeps
+    ]
+    print("Carbon-per-request advantage of the cloudlet after 3 years (Figure 9):")
+    print(format_table(["Workload", "Phones vs c5.9xlarge"], rows))
+
+
+def main() -> None:
+    saturation = sweep_workloads()
+    print("Measured saturation throughputs (requests/second):")
+    rows = [[f"{w} @ {c}", f"{qps:.0f}"] for (w, c), qps in saturation.items()]
+    print(format_table(["Deployment", "Usable QPS"], rows))
+    print()
+    carbon_per_request()
+
+
+if __name__ == "__main__":
+    main()

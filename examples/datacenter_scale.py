@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Datacenter-scale analysis: PUE and CCI of a 50 MW phone-based facility.
+
+Reproduces Section 5.3: provision a 50 MW datacenter either with new
+PowerEdge R740 servers or with repurposed 54-phone Pixel 3A clusters, compute
+each design's PUE from floor space and cooling overheads, and compare their
+three-year Computational Carbon Intensity (Table 4).  Also sweeps the IT
+power budget and the grid mix to show when the phone design's advantage
+narrows.
+
+Run with ``python examples/datacenter_scale.py``.
+"""
+
+from repro.analysis.report import format_table, render_table4
+from repro.cluster import (
+    DatacenterDesign,
+    pixel_cloudlet_design,
+    poweredge_baseline,
+    poweredge_datacenter,
+    smartphone_datacenter,
+)
+from repro.devices import SGEMM
+from repro.grid import solar_24_7
+
+
+def headline_comparison() -> None:
+    server_dc = poweredge_datacenter()
+    phone_dc = smartphone_datacenter()
+    rows = [
+        [
+            design.name,
+            f"{design.n_units:,}",
+            f"{design.unit_power_w:.0f} W",
+            f"{design.floor_area_m2:,.0f} m2",
+            f"{design.pue():.2f}",
+        ]
+        for design in (server_dc, phone_dc)
+    ]
+    print("50 MW datacenter provisioning:")
+    print(format_table(["Design", "Units", "Power/unit", "Floor area", "PUE"], rows))
+    print()
+    print(render_table4())
+    print()
+
+
+def solar_sensitivity() -> None:
+    solar_unit_server = poweredge_baseline(solar_24_7())
+    solar_unit_phones = pixel_cloudlet_design(SGEMM, solar_24_7(), smart_charging=False)
+    server_dc = DatacenterDesign(
+        name="PowerEdge (24/7 solar)", unit=solar_unit_server, rack_units_per_unit=2.0
+    )
+    phone_dc = DatacenterDesign(
+        name="Pixel clusters (24/7 solar)", unit=solar_unit_phones, rack_units_per_unit=2.0
+    )
+    rows = [
+        [dc.name, f"{1e3 * dc.cci(SGEMM, 36.0):.3g} mgCO2e/Gflop"]
+        for dc in (server_dc, phone_dc)
+    ]
+    print("Three-year CCI under a 24/7 solar supply (embodied carbon dominates):")
+    print(format_table(["Design", "CCI"], rows))
+    ratio = server_dc.cci(SGEMM, 36.0) / phone_dc.cci(SGEMM, 36.0)
+    print(f"\nPhone-cluster advantage under 24/7 solar: {ratio:.1f}x")
+
+
+def main() -> None:
+    headline_comparison()
+    solar_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

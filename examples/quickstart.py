@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: is a junk-drawer phone worth more carbon-wise than a new server?
+
+This example walks through the paper's core question with the public API:
+
+1. build carbon models for a reused Pixel 3A and a brand-new PowerEdge R740;
+2. compare their Computational Carbon Intensity (CCI) over a five-year
+   service lifetime on three Geekbench workloads;
+3. size a phone cluster that matches the server's throughput and report the
+   cluster-level comparison including peripherals and battery replacements.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    DeviceCarbonModel,
+    PIXEL_3A,
+    POWEREDGE_R740,
+    SGEMM,
+    default_lifetimes,
+)
+from repro.analysis.report import format_table, render_lifetime_sweep
+from repro.cluster import paper_cloudlets
+from repro.core import LifetimeSweep
+from repro.devices import DIJKSTRA, PDF_RENDER
+
+
+def single_device_comparison() -> None:
+    """Compare one reused phone against one new server, per unit of work."""
+    phone = DeviceCarbonModel(PIXEL_3A, reused=True, include_battery_replacement=True)
+    server = DeviceCarbonModel(POWEREDGE_R740, reused=False)
+
+    rows = []
+    for benchmark in (SGEMM, PDF_RENDER, DIJKSTRA):
+        phone_cci = phone.cci(benchmark, 36.0)
+        server_cci = server.cci(benchmark, 36.0)
+        rows.append(
+            [
+                benchmark.name,
+                f"{phone_cci:.3e}",
+                f"{server_cci:.3e}",
+                f"{server_cci / phone_cci:.1f}x",
+            ]
+        )
+    print("Single device, 3-year lifetime (gCO2e per unit of work):")
+    print(
+        format_table(
+            ["Benchmark", "Reused Pixel 3A", "New PowerEdge R740", "Phone advantage"],
+            rows,
+        )
+    )
+    print()
+
+
+def cluster_comparison() -> None:
+    """Compare performance-equivalent clusters (the paper's Figure 5 setting)."""
+    months = default_lifetimes()
+    designs = paper_cloudlets(SGEMM, regime="california")
+    sweep = LifetimeSweep(
+        months=months,
+        series={name: design.cci_series(SGEMM, months) for name, design in designs.items()},
+        metric_unit="gCO2e/Gflop",
+    )
+    print("Cluster-level CCI for PowerEdge-equivalent systems (SGEMM):")
+    print(render_lifetime_sweep(sweep))
+    best, value = sweep.best_at(36.0)
+    print(f"\nMost carbon-efficient system after 3 years: {best} ({value:.3e} gCO2e/Gflop)")
+    print()
+
+
+def main() -> None:
+    print(PIXEL_3A.describe())
+    print(POWEREDGE_R740.describe())
+    print()
+    single_device_comparison()
+    cluster_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Thermal design of a phone enclosure (the paper's Section 4.1 experiment).
+
+Simulates four Nexus 4s and a Nexus 5 sealed in a Styrofoam box under a CPU
+stress test and under the light-medium workload, reports shutdowns and
+Equation-9 thermal power, and then sizes fan cooling for the paper's
+cloudlet-scale clusters.
+
+Run with ``python examples/thermal_enclosure.py``.
+"""
+
+from repro.analysis.report import format_table
+from repro.devices import NEXUS_4, PIXEL_3A
+from repro.thermal import (
+    estimate_thermal_power,
+    plan_cooling,
+    run_light_medium_test,
+    run_stress_test,
+)
+
+
+def report_scenario(result, label: str) -> None:
+    rows = []
+    for phone in result.phones:
+        shutdown = (
+            f"{phone.shutdown_time_s / 60:.0f} min"
+            if phone.shutdown_time_s is not None
+            else "survived"
+        )
+        rows.append(
+            [
+                phone.device_name,
+                f"{float(phone.temperature_c.max()):.1f} C",
+                shutdown,
+            ]
+        )
+    print(f"{label}:")
+    print(format_table(["Phone", "Peak internal temp", "Shutdown"], rows))
+    estimate = estimate_thermal_power(result)
+    print(
+        f"Box air peaked at {float(result.air_temperature_c.max()):.1f} C; "
+        f"thermal power {estimate.total_w:.1f} W total "
+        f"({estimate.per_phone_w:.2f} W per phone)\n"
+    )
+
+
+def cooling_plans() -> None:
+    rows = []
+    for device, count in ((PIXEL_3A, 54), (NEXUS_4, 256)):
+        plan = plan_cooling(device, count)
+        rows.append(
+            [
+                f"{count}x {device.name}",
+                f"{plan.thermal_power_w:.0f} W",
+                plan.fans,
+                f"{plan.total_fan_power_w:.0f} W",
+                f"{plan.total_fan_embodied_kg:.1f} kg",
+            ]
+        )
+    print("Cloudlet cooling plans (100% load worst case):")
+    print(
+        format_table(
+            ["Cluster", "Thermal power", "Fans", "Fan power", "Fan embodied CO2e"], rows
+        )
+    )
+
+
+def main() -> None:
+    report_scenario(run_stress_test(), "Scenario A: 100% CPU load in a sealed box")
+    report_scenario(run_light_medium_test(), "Scenario B: light-medium workload")
+    cooling_plans()
+
+
+if __name__ == "__main__":
+    main()

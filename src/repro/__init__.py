@@ -1,0 +1,100 @@
+"""repro — a reproduction of "Junkyard Computing" (ASPLOS 2023).
+
+The library models the full pipeline the paper builds:
+
+* :mod:`repro.core` — the Computational Carbon Intensity (CCI) metric, carbon
+  accounting (embodied / operational / networking), the reuse factor, and
+  lifetime/crossover analysis;
+* :mod:`repro.devices` — the device catalog (servers, laptops, phones, EC2
+  instances) with measured power curves, Geekbench scores, batteries and
+  embodied carbon;
+* :mod:`repro.grid` — energy sources, a synthetic CAISO-like carbon-intensity
+  trace generator, and energy-mix scenarios;
+* :mod:`repro.charging` — carbon-aware ("smart") charging policies and
+  battery-level simulation;
+* :mod:`repro.thermal` — the phones-in-a-box thermal experiment and cloudlet
+  cooling sizing;
+* :mod:`repro.simulation` / :mod:`repro.microservices` — a discrete-event
+  microservice serving simulator with DeathStarBench-style applications,
+  Docker-Swarm-like placement, and the phone-cloudlet / EC2 deployments;
+* :mod:`repro.cluster` — cloudlet and datacenter-scale carbon designs
+  (sizing, peripherals, topologies, PUE);
+* :mod:`repro.economics` — ownership-versus-cloud-rental cost models;
+* :mod:`repro.analysis` — per-figure and per-table data builders plus text
+  reports.
+
+Quick start::
+
+    from repro import DeviceCarbonModel, PIXEL_3A, POWEREDGE_R740, SGEMM
+
+    phone = DeviceCarbonModel(PIXEL_3A, reused=True)
+    server = DeviceCarbonModel(POWEREDGE_R740, reused=False)
+    print(phone.cci(SGEMM, 36), server.cci(SGEMM, 36))
+"""
+
+from repro.core import (
+    CarbonComponents,
+    CarbonLedger,
+    DeviceCarbonModel,
+    LifetimeSweep,
+    WorkRate,
+    computational_carbon_intensity,
+    crossover_month,
+    default_lifetimes,
+    device_reuse_factor,
+    reuse_factor,
+    second_life_cci,
+)
+from repro.devices import (
+    DIJKSTRA,
+    LIGHT_MEDIUM,
+    MEMORY_COPY,
+    NEXUS_4,
+    PDF_RENDER,
+    PIXEL_3A,
+    POWEREDGE_R740,
+    PROLIANT_DL380_G6,
+    SGEMM,
+    THINKPAD_X1_CARBON_G3,
+    DeviceSpec,
+    get_device,
+)
+from repro.grid import CaisoLikeTraceGenerator, EnergyMix, GridTrace, california, solar_24_7, zero_carbon
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "computational_carbon_intensity",
+    "DeviceCarbonModel",
+    "WorkRate",
+    "CarbonComponents",
+    "CarbonLedger",
+    "LifetimeSweep",
+    "default_lifetimes",
+    "crossover_month",
+    "reuse_factor",
+    "device_reuse_factor",
+    "second_life_cci",
+    # devices
+    "DeviceSpec",
+    "get_device",
+    "POWEREDGE_R740",
+    "PROLIANT_DL380_G6",
+    "THINKPAD_X1_CARBON_G3",
+    "PIXEL_3A",
+    "NEXUS_4",
+    "SGEMM",
+    "PDF_RENDER",
+    "DIJKSTRA",
+    "MEMORY_COPY",
+    "LIGHT_MEDIUM",
+    # grid
+    "GridTrace",
+    "CaisoLikeTraceGenerator",
+    "EnergyMix",
+    "california",
+    "solar_24_7",
+    "zero_carbon",
+]

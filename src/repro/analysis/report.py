@@ -1,0 +1,103 @@
+"""Plain-text rendering of tables and figure summaries.
+
+The benchmark harness and the examples use these helpers to print the rows
+and series the paper reports, so a terminal run of the harness reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.tables import (
+    Table1Row,
+    Table2Row,
+    Table3Data,
+    table1_geekbench,
+    table2_power,
+    table3_components,
+    table4_datacenter,
+)
+from repro.core.lifetime import LifetimeSweep
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    header_line = line(list(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(line(row) for row in materialised)
+    return "\n".join([header_line, separator, body])
+
+
+def render_table1(rows: Sequence[Table1Row] = None) -> str:
+    """Render Table 1 (Geekbench scores and equivalence counts)."""
+    rows = rows if rows is not None else table1_geekbench()
+    headers = ["Device", "Year"]
+    benchmark_names = list(rows[0].scores)
+    for name in benchmark_names:
+        headers.extend([f"{name} single", f"{name} multi", f"{name} N"])
+    table_rows = []
+    for row in rows:
+        cells = [row.device, row.year]
+        for name in benchmark_names:
+            single, multi = row.scores[name]
+            cells.extend([f"{single:g}", f"{multi:g}", row.devices_needed[name]])
+        table_rows.append(cells)
+    return format_table(headers, table_rows)
+
+
+def render_table2(rows: Sequence[Table2Row] = None) -> str:
+    """Render Table 2 (power versus CPU load)."""
+    rows = rows if rows is not None else table2_power()
+    headers = ["Device", "P100 (W)", "P50 (W)", "P10 (W)", "Pidle (W)", "Pavg (W)"]
+    table_rows = [
+        [r.device, f"{r.p_100:g}", f"{r.p_50:g}", f"{r.p_10:g}", f"{r.p_idle:g}", f"{r.p_avg:.2f}"]
+        for r in rows
+    ]
+    return format_table(headers, table_rows)
+
+
+def render_table3(data: Table3Data = None) -> str:
+    """Render Table 3 (component carbon breakdown and reuse factor)."""
+    data = data if data is not None else table3_components()
+    headers = ["Component", "Fraction", "kg CO2e"]
+    rows = [
+        [name, f"{info['fraction']:.0%}", f"{info['kg_co2e']:.1f}"]
+        for name, info in data.components.items()
+    ]
+    table = format_table(headers, rows)
+    return (
+        f"{data.device} component embodied carbon\n{table}\n"
+        f"Cloudlet reuse factor: {data.cloudlet_reuse_factor:.2f}"
+    )
+
+
+def render_table4(projections: Mapping[str, Mapping[str, float]] = None) -> str:
+    """Render Table 4 (datacenter-scale CCI projections and PUE)."""
+    projections = projections if projections is not None else table4_datacenter()
+    first = next(iter(projections.values()))
+    metric_names = [name for name in first if name != "PUE"]
+    headers = ["Design", "PUE"] + [f"{name} (mgCO2e/unit)" for name in metric_names]
+    rows = []
+    for design, values in projections.items():
+        rows.append(
+            [design, f"{values['PUE']:.2f}"]
+            + [f"{values[name]:.3g}" for name in metric_names]
+        )
+    return format_table(headers, rows)
+
+
+def render_lifetime_sweep(sweep: LifetimeSweep, months: Sequence[float] = (12, 36, 60)) -> str:
+    """Summarise a lifetime sweep at a few representative lifetimes."""
+    headers = ["System"] + [f"{int(m)} mo" for m in months]
+    rows = []
+    for label in sweep.labels():
+        rows.append([label] + [f"{sweep.at(label, m):.4g}" for m in months])
+    return f"(units: {sweep.metric_unit})\n" + format_table(headers, rows)

@@ -1,0 +1,107 @@
+"""Table data builders: one function per table of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.cluster.datacenter import table4_projections
+from repro.cluster.sizing import devices_needed
+from repro.core.reuse import CLOUDLET_SCENARIO, component_carbon_table
+from repro.devices.benchmarks import TABLE1_BENCHMARKS, MicroBenchmark
+from repro.devices.catalog import NEXUS_4, POWEREDGE_R740, TABLE1_DEVICES
+from repro.devices.power import LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One device row of Table 1."""
+
+    device: str
+    year: int
+    scores: Mapping[str, Tuple[float, float]]
+    devices_needed: Mapping[str, int]
+
+
+def table1_geekbench(
+    devices: Sequence[DeviceSpec] = TABLE1_DEVICES,
+    baseline: DeviceSpec = POWEREDGE_R740,
+    benchmarks: Sequence[MicroBenchmark] = TABLE1_BENCHMARKS,
+) -> Tuple[Table1Row, ...]:
+    """Reproduce Table 1: per-device benchmark scores and server-equivalence N."""
+    rows = []
+    for device in devices:
+        if device.benchmark_suite is None:
+            raise ValueError(f"{device.name} has no benchmark suite")
+        scores = {}
+        needed = {}
+        for benchmark in benchmarks:
+            score = device.benchmark_suite.score(benchmark)
+            scores[benchmark.name] = (score.single_core, score.multi_core)
+            needed[benchmark.name] = devices_needed(device, benchmark, baseline)
+        rows.append(
+            Table1Row(
+                device=device.name,
+                year=device.release_year,
+                scores=scores,
+                devices_needed=needed,
+            )
+        )
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One device row of Table 2 (power versus CPU load)."""
+
+    device: str
+    p_100: float
+    p_50: float
+    p_10: float
+    p_idle: float
+    p_avg: float
+
+
+def table2_power(
+    devices: Sequence[DeviceSpec] = TABLE1_DEVICES,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+) -> Tuple[Table2Row, ...]:
+    """Reproduce Table 2: measured power points and the light-medium average."""
+    rows = []
+    for device in devices:
+        model = device.power_model
+        rows.append(
+            Table2Row(
+                device=device.name,
+                p_100=model.power_at(1.0),
+                p_50=model.power_at(0.5),
+                p_10=model.power_at(0.1),
+                p_idle=model.power_at(0.0),
+                p_avg=model.average_power(load_profile),
+            )
+        )
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class Table3Data:
+    """Component carbon breakdown and the cloudlet reuse factor (Table 3)."""
+
+    device: str
+    components: Mapping[str, Mapping[str, float]]
+    cloudlet_reuse_factor: float
+
+
+def table3_components(device: DeviceSpec = NEXUS_4) -> Table3Data:
+    """Reproduce Table 3 and the Section 3.4 reuse-factor example."""
+    return Table3Data(
+        device=device.name,
+        components=component_carbon_table(device),
+        cloudlet_reuse_factor=CLOUDLET_SCENARIO.factor(device),
+    )
+
+
+def table4_datacenter(lifetime_months: float = 36.0) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table 4: datacenter-scale CCI projections plus PUE."""
+    return table4_projections(lifetime_months)

@@ -1,0 +1,253 @@
+"""Battery-level simulation of charging policies against a grid trace.
+
+:class:`ChargingSimulator` steps a battery-backed device through a
+carbon-intensity trace interval by interval: when the active policy says
+"plugged", the device runs from the wall and tops up its battery; otherwise
+it runs from its battery (falling back to the wall only if the battery runs
+completely flat, which the 25 % floor normally prevents).  Wall energy is
+multiplied by the instantaneous grid carbon intensity to get operational
+carbon, and the per-day savings relative to the always-plugged baseline are
+reported — the quantity the paper summarises as "the Pixel 3A sees a median
+carbon reduction of 7.22 %" for April 2021.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.charging.smart_charging import (
+    AlwaysPlugged,
+    ChargingDecisionContext,
+    ChargingPolicy,
+    SmartChargingPolicy,
+)
+from repro.devices.battery import BatteryState
+from repro.devices.power import LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+from repro.grid.traces import GridTrace
+
+
+@dataclass(frozen=True)
+class DayResult:
+    """Outcome of simulating one day under one policy."""
+
+    day_index: int
+    carbon_g: float
+    baseline_carbon_g: float
+    wall_energy_kwh: float
+    charging_time_fraction: float
+    minimum_state_of_charge: float
+    threshold_g_per_kwh: Optional[float]
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fractional carbon saved versus the always-plugged baseline."""
+        if self.baseline_carbon_g == 0:
+            return 0.0
+        return 1.0 - self.carbon_g / self.baseline_carbon_g
+
+
+@dataclass(frozen=True)
+class ChargingStudyResult:
+    """Aggregate of a multi-day charging simulation."""
+
+    device_name: str
+    policy_name: str
+    days: Tuple[DayResult, ...]
+
+    @property
+    def daily_savings(self) -> np.ndarray:
+        """Per-day fractional savings."""
+        return np.array([day.savings_fraction for day in self.days])
+
+    @property
+    def median_savings(self) -> float:
+        """Median daily savings fraction (the paper's headline statistic)."""
+        return float(np.median(self.daily_savings))
+
+    @property
+    def mean_savings(self) -> float:
+        """Mean daily savings fraction."""
+        return float(np.mean(self.daily_savings))
+
+    @property
+    def savings_std(self) -> float:
+        """Standard deviation of the daily savings fraction."""
+        return float(np.std(self.daily_savings))
+
+    @property
+    def total_carbon_g(self) -> float:
+        """Total operational carbon over the study period."""
+        return float(sum(day.carbon_g for day in self.days))
+
+    @property
+    def total_baseline_carbon_g(self) -> float:
+        """Total baseline carbon over the study period."""
+        return float(sum(day.baseline_carbon_g for day in self.days))
+
+    @property
+    def overall_savings(self) -> float:
+        """Savings computed on study-period totals rather than per-day medians."""
+        if self.total_baseline_carbon_g == 0:
+            return 0.0
+        return 1.0 - self.total_carbon_g / self.total_baseline_carbon_g
+
+
+@dataclass
+class ChargingSimulator:
+    """Simulates a device + battery + policy against a carbon-intensity trace.
+
+    Parameters
+    ----------
+    device:
+        Must have a battery spec.
+    load_profile:
+        Used only to derive the device's average power draw; within a day the
+        draw is treated as constant (the paper does the same — the charging
+        study is about *when* energy is drawn, not how it fluctuates).
+    policy:
+        The charging policy to evaluate; defaults to the paper's
+        :class:`SmartChargingPolicy`.
+    """
+
+    device: DeviceSpec
+    load_profile: LoadProfile = LIGHT_MEDIUM
+    policy: ChargingPolicy = field(default_factory=SmartChargingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.device.battery is None:
+            raise ValueError(
+                f"{self.device.name} has no battery; charging simulation is not applicable"
+            )
+
+    @property
+    def average_draw_w(self) -> float:
+        """Average device power draw under the configured load profile."""
+        return self.device.average_power_w(self.load_profile)
+
+    # ------------------------------------------------------------------
+    # Single-day simulation
+    # ------------------------------------------------------------------
+
+    def simulate_day(
+        self,
+        day: GridTrace,
+        previous_day: Optional[GridTrace],
+        battery_state: Optional[BatteryState] = None,
+        day_index: int = 0,
+    ) -> Tuple[DayResult, BatteryState]:
+        """Simulate one day; returns the day's result and the end-of-day battery state."""
+        battery_spec = self.device.battery
+        state = battery_state or BatteryState(spec=battery_spec)
+        draw_w = self.average_draw_w
+
+        self.policy.prepare_day(previous_day, battery_spec, draw_w)
+        threshold = getattr(self.policy, "threshold_g_per_kwh", None)
+
+        interval = day.interval_s
+        wall_energy_j = 0.0
+        carbon_g = 0.0
+        baseline_carbon_g = 0.0
+        charging_intervals = 0
+        min_soc = state.state_of_charge
+
+        for i in range(len(day)):
+            intensity = float(day.intensity_g_per_kwh[i])
+            baseline_carbon_g += (
+                units.joules_to_kwh(draw_w * interval) * intensity
+            )
+            context = ChargingDecisionContext(
+                time_s=float(day.times_s[i]),
+                intensity_g_per_kwh=intensity,
+                state_of_charge=state.state_of_charge,
+                threshold_g_per_kwh=threshold,
+            )
+            if self.policy.should_charge(context):
+                charging_intervals += 1
+                charge_energy = state.charge(interval)
+                interval_wall_j = draw_w * interval + charge_energy
+            else:
+                supplied = state.discharge(draw_w, interval)
+                shortfall = draw_w * interval - supplied
+                interval_wall_j = shortfall  # forced wall draw if battery empties
+            wall_energy_j += interval_wall_j
+            carbon_g += units.joules_to_kwh(interval_wall_j) * intensity
+            min_soc = min(min_soc, state.state_of_charge)
+
+        result = DayResult(
+            day_index=day_index,
+            carbon_g=carbon_g,
+            baseline_carbon_g=baseline_carbon_g,
+            wall_energy_kwh=units.joules_to_kwh(wall_energy_j),
+            charging_time_fraction=charging_intervals / len(day),
+            minimum_state_of_charge=min_soc,
+            threshold_g_per_kwh=threshold,
+        )
+        return result, state
+
+    # ------------------------------------------------------------------
+    # Multi-day study
+    # ------------------------------------------------------------------
+
+    def run(self, trace: GridTrace, skip_first_day: bool = True) -> ChargingStudyResult:
+        """Simulate every day of ``trace`` and aggregate the per-day savings.
+
+        The first day has no "previous day" to derive a threshold from, so the
+        smart policy behaves like an always-plugged device; by default that
+        warm-up day is excluded from the aggregate statistics (pass
+        ``skip_first_day=False`` to keep it).
+        """
+        days = trace.days()
+        if len(days) < 2:
+            raise ValueError("a charging study needs a trace of at least two days")
+        results: List[DayResult] = []
+        state: Optional[BatteryState] = None
+        previous: Optional[GridTrace] = None
+        for index, day in enumerate(days):
+            result, state = self.simulate_day(
+                day, previous_day=previous, battery_state=state, day_index=index
+            )
+            results.append(result)
+            previous = day
+        if skip_first_day:
+            results = results[1:]
+        return ChargingStudyResult(
+            device_name=self.device.name,
+            policy_name=self.policy.name,
+            days=tuple(results),
+        )
+
+
+def compare_policies(
+    device: DeviceSpec,
+    trace: GridTrace,
+    policies: Sequence[ChargingPolicy],
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+) -> List[ChargingStudyResult]:
+    """Run several charging policies over the same trace for one device."""
+    results = []
+    for policy in policies:
+        simulator = ChargingSimulator(
+            device=device, load_profile=load_profile, policy=policy
+        )
+        results.append(simulator.run(trace))
+    return results
+
+
+def smart_charging_savings(
+    device: DeviceSpec,
+    trace: GridTrace,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+    min_state_of_charge: float = 0.25,
+) -> ChargingStudyResult:
+    """Convenience wrapper: run the paper's smart-charging policy for a device."""
+    simulator = ChargingSimulator(
+        device=device,
+        load_profile=load_profile,
+        policy=SmartChargingPolicy(min_state_of_charge=min_state_of_charge),
+    )
+    return simulator.run(trace)

@@ -1,0 +1,180 @@
+"""Carbon-aware ("smart") charging policies (paper Section 4.3).
+
+A smart-charging policy decides, for every trace interval, whether a
+battery-backed device should draw from the wall (and top up its battery) or
+run from its battery.  The paper's heuristic for the Californian grid:
+
+* compute the *charge-time fraction* P — the percentage of the day the device
+  must spend charging to cover its average power draw at its rated charge
+  power;
+* set the carbon-intensity threshold to the P-th percentile of the *previous
+  day's* instantaneous carbon intensities;
+* charge whenever the current grid intensity is at or below the threshold;
+* charge unconditionally whenever the battery drops below a 25 % floor (the
+  battery doubles as backup power, so it is never allowed to run flat).
+
+:class:`SmartChargingPolicy` implements that heuristic; :class:`AlwaysPlugged`
+and :class:`NaiveCharging` provide the baselines the savings are measured
+against.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.devices.battery import BatterySpec
+from repro.grid.traces import GridTrace
+
+
+@dataclass(frozen=True)
+class ChargingDecisionContext:
+    """Everything a policy may consult when deciding whether to charge now."""
+
+    time_s: float
+    intensity_g_per_kwh: float
+    state_of_charge: float
+    threshold_g_per_kwh: Optional[float]
+
+
+class ChargingPolicy(abc.ABC):
+    """Decides whether the device should be plugged in during an interval."""
+
+    @abc.abstractmethod
+    def prepare_day(self, previous_day: Optional[GridTrace], battery: BatterySpec,
+                    average_draw_w: float) -> None:
+        """Called at the start of each simulated day with the previous day's trace."""
+
+    @abc.abstractmethod
+    def should_charge(self, context: ChargingDecisionContext) -> bool:
+        """True if the device should draw wall power during this interval."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class AlwaysPlugged(ChargingPolicy):
+    """The do-nothing baseline: the device is permanently wall powered.
+
+    This is how the paper's operational-carbon baseline behaves — the battery
+    stays full and every joule is drawn at whatever the instantaneous grid
+    intensity happens to be.
+    """
+
+    def prepare_day(self, previous_day, battery, average_draw_w) -> None:  # noqa: D102
+        return None
+
+    def should_charge(self, context: ChargingDecisionContext) -> bool:  # noqa: D102
+        return True
+
+
+@dataclass
+class NaiveCharging(ChargingPolicy):
+    """Charge whenever the battery falls below a threshold, ignore the grid.
+
+    Models a device left on a charger with a conventional "charge when low"
+    controller; used as an ablation baseline to separate the benefit of
+    having a battery from the benefit of carbon-aware scheduling.
+    """
+
+    low_watermark: float = 0.25
+    high_watermark: float = 0.95
+    _charging: bool = False
+
+    def prepare_day(self, previous_day, battery, average_draw_w) -> None:  # noqa: D102
+        return None
+
+    def should_charge(self, context: ChargingDecisionContext) -> bool:  # noqa: D102
+        if context.state_of_charge <= self.low_watermark:
+            self._charging = True
+        elif context.state_of_charge >= self.high_watermark:
+            self._charging = False
+        return self._charging
+
+
+@dataclass
+class SmartChargingPolicy(ChargingPolicy):
+    """The paper's percentile-threshold carbon-aware charging heuristic.
+
+    Parameters
+    ----------
+    min_state_of_charge:
+        Floor below which charging is forced regardless of grid conditions
+        (0.25 in the paper; raise it for more backup-power margin, lower it
+        to prioritise carbon savings).
+    percentile_margin:
+        Added to the computed charge-time percentile before taking the
+        threshold.  The raw charge-time fraction is the theoretical minimum
+        plugged-in time; a small margin (default 5 percentage points) keeps
+        the device from skating along the SoC floor when consecutive days
+        differ.
+    fixed_percentile:
+        When given, overrides the device-derived percentile entirely (useful
+        for sensitivity sweeps).
+    """
+
+    min_state_of_charge: float = 0.25
+    percentile_margin: float = 5.0
+    fixed_percentile: Optional[float] = None
+    _threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_state_of_charge < 1.0:
+            raise ValueError("min state of charge must be within [0, 1)")
+        if self.percentile_margin < 0:
+            raise ValueError("percentile margin must be non-negative")
+        if self.fixed_percentile is not None and not 0.0 <= self.fixed_percentile <= 100.0:
+            raise ValueError("fixed percentile must be within [0, 100]")
+
+    @staticmethod
+    def charge_time_percentile(battery: BatterySpec, average_draw_w: float) -> float:
+        """Percentage of the day the device must spend charging (the paper's P).
+
+        The device consumes ``average_draw_w`` around the clock and recharges
+        at the battery's rated charge power, so the minimum plugged-in
+        fraction is ``average_draw_w / charge_rate_w``.
+        """
+        if average_draw_w < 0:
+            raise ValueError("average draw must be non-negative")
+        fraction = min(1.0, average_draw_w / battery.charge_rate_w)
+        return 100.0 * fraction
+
+    def prepare_day(
+        self,
+        previous_day: Optional[GridTrace],
+        battery: BatterySpec,
+        average_draw_w: float,
+    ) -> None:
+        """Set today's carbon-intensity threshold from yesterday's trace."""
+        if previous_day is None:
+            self._threshold = None
+            return
+        if self.fixed_percentile is not None:
+            percentile = self.fixed_percentile
+        else:
+            percentile = min(
+                100.0,
+                self.charge_time_percentile(battery, average_draw_w)
+                + self.percentile_margin,
+            )
+        self._threshold = previous_day.percentile(percentile)
+
+    @property
+    def threshold_g_per_kwh(self) -> Optional[float]:
+        """Today's carbon-intensity threshold (None before the first prepare_day)."""
+        return self._threshold
+
+    def should_charge(self, context: ChargingDecisionContext) -> bool:
+        """Charge below the threshold, or unconditionally below the SoC floor."""
+        if context.state_of_charge < self.min_state_of_charge:
+            return True
+        if context.state_of_charge >= 1.0:
+            return False
+        threshold = self._threshold
+        if threshold is None:
+            # First day: no history yet, behave like a plugged device.
+            return True
+        return context.intensity_g_per_kwh <= threshold

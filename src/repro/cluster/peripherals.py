@@ -1,0 +1,122 @@
+"""Peripherals added to junkyard cloudlets: fans and smart plugs.
+
+A repurposed-device cloudlet is not free of new manufacturing: cooling fans
+and per-device smart plugs (needed for the smart-charging scheme) must be
+bought new, so their embodied carbon and power draw are charged to the
+cluster's C_M and C_C terms (Equations 12 and 13).  The fan numbers come from
+the paper (a 500 W-rated server fan drawing 4 W with ~9.3 kgCO2e embodied);
+the smart-plug numbers are documented estimates since the paper does not
+state them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.thermal.cooling import FAN_EMBODIED_KG, FAN_POWER_W, FAN_RATED_W
+
+
+@dataclass(frozen=True)
+class Peripheral:
+    """A new-bought accessory attached to a cloudlet."""
+
+    name: str
+    embodied_carbon_kgco2e: float
+    power_w: float
+    unit_cost_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.embodied_carbon_kgco2e < 0:
+            raise ValueError("embodied carbon must be non-negative")
+        if self.power_w < 0:
+            raise ValueError("power must be non-negative")
+        if self.unit_cost_usd < 0:
+            raise ValueError("cost must be non-negative")
+
+
+#: Commodity 500 W-rated server fan (paper Section 4.1).
+SERVER_FAN = Peripheral(
+    name="server fan (500 W rated)",
+    embodied_carbon_kgco2e=FAN_EMBODIED_KG,
+    power_w=FAN_POWER_W,
+    unit_cost_usd=60.0,
+)
+
+#: Per-device smart plug enabling carbon-aware charging.  Embodied carbon and
+#: standby power are estimates for a small WiFi-connected relay plug.
+SMART_PLUG = Peripheral(
+    name="smart plug",
+    embodied_carbon_kgco2e=1.5,
+    power_w=0.1,
+    unit_cost_usd=10.0,
+)
+
+#: A consumer WiFi access point for the cloudlet's local network.
+WIFI_ACCESS_POINT = Peripheral(
+    name="WiFi access point",
+    embodied_carbon_kgco2e=15.0,
+    power_w=6.0,
+    unit_cost_usd=80.0,
+)
+
+#: USB charging hub powering five phones (one per tree-topology group).
+USB_CHARGING_HUB = Peripheral(
+    name="USB charging hub",
+    embodied_carbon_kgco2e=4.0,
+    power_w=0.5,
+    unit_cost_usd=25.0,
+)
+
+
+@dataclass(frozen=True)
+class PeripheralSet:
+    """A bill of peripherals (peripheral, count) attached to a cloudlet."""
+
+    items: Tuple[Tuple[Peripheral, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for peripheral, count in self.items:
+            if count < 0:
+                raise ValueError(f"negative count for {peripheral.name}")
+
+    @property
+    def total_embodied_kg(self) -> float:
+        """Aggregate embodied carbon of all peripherals."""
+        return sum(p.embodied_carbon_kgco2e * count for p, count in self.items)
+
+    @property
+    def total_power_w(self) -> float:
+        """Aggregate power draw of all peripherals."""
+        return sum(p.power_w * count for p, count in self.items)
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Aggregate purchase cost of all peripherals."""
+        return sum(p.unit_cost_usd * count for p, count in self.items)
+
+    def with_item(self, peripheral: Peripheral, count: int) -> "PeripheralSet":
+        """Return a new set with an additional line item."""
+        return PeripheralSet(items=self.items + ((peripheral, count),))
+
+    @classmethod
+    def empty(cls) -> "PeripheralSet":
+        """A peripheral set with nothing in it (the wired-server baselines)."""
+        return cls(items=())
+
+    @classmethod
+    def for_smartphone_cloudlet(
+        cls, n_devices: int, n_fans: int, include_smart_plugs: bool = True
+    ) -> "PeripheralSet":
+        """The paper's smartphone-cloudlet bill: fans + per-device smart plugs."""
+        items = [(SERVER_FAN, n_fans)]
+        if include_smart_plugs:
+            items.append((SMART_PLUG, n_devices))
+        return cls(items=tuple(items))
+
+    @classmethod
+    def for_laptop_cloudlet(cls, n_devices: int, include_smart_plugs: bool = True) -> "PeripheralSet":
+        """The laptop-cloudlet bill: per-device smart plugs only."""
+        if not include_smart_plugs:
+            return cls.empty()
+        return cls(items=((SMART_PLUG, n_devices),))

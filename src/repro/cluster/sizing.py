@@ -1,0 +1,84 @@
+"""Server-equivalent cluster sizing (Table 1's *N* column).
+
+To compare a junkyard cluster against a modern server on equal footing, the
+paper asks how many reused devices are needed to match the multi-core
+throughput of a PowerEdge R740 on a given benchmark: N = ceil(baseline
+multi-core score / device multi-core score).  The answer depends strongly on
+the benchmark — 54 Pixel 3As match the server on SGEMM but only 6 are needed
+for Memory Copy — which is itself one of the paper's points about workload
+fit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+from repro.devices.benchmarks import MicroBenchmark, TABLE1_BENCHMARKS
+from repro.devices.catalog import POWEREDGE_R740
+from repro.devices.specs import DeviceSpec
+
+
+def devices_needed(
+    device: DeviceSpec,
+    benchmark: Union[MicroBenchmark, str],
+    baseline: DeviceSpec = POWEREDGE_R740,
+) -> int:
+    """Number of ``device`` units needed to match ``baseline`` on ``benchmark``."""
+    if device.benchmark_suite is None:
+        raise ValueError(f"{device.name} has no benchmark scores")
+    if baseline.benchmark_suite is None:
+        raise ValueError(f"{baseline.name} has no benchmark scores")
+    baseline_throughput = baseline.benchmark_suite.throughput(benchmark)
+    device_throughput = device.benchmark_suite.throughput(benchmark)
+    return max(1, int(math.ceil(baseline_throughput / device_throughput)))
+
+
+@dataclass(frozen=True)
+class EquivalenceRow:
+    """One device's equivalence against the baseline across all benchmarks."""
+
+    device: DeviceSpec
+    devices_needed: Dict[str, int]
+
+    def worst_case(self) -> int:
+        """The largest N across benchmarks (the sizing a general cluster needs)."""
+        return max(self.devices_needed.values())
+
+    def best_case(self) -> int:
+        """The smallest N across benchmarks."""
+        return min(self.devices_needed.values())
+
+
+def equivalence_table(
+    devices: Sequence[DeviceSpec],
+    baseline: DeviceSpec = POWEREDGE_R740,
+    benchmarks: Sequence[MicroBenchmark] = TABLE1_BENCHMARKS,
+) -> Dict[str, EquivalenceRow]:
+    """Reproduce Table 1's N columns for a set of devices."""
+    table = {}
+    for device in devices:
+        table[device.name] = EquivalenceRow(
+            device=device,
+            devices_needed={
+                benchmark.name: devices_needed(device, benchmark, baseline)
+                for benchmark in benchmarks
+            },
+        )
+    return table
+
+
+def cluster_throughput(
+    device: DeviceSpec, n_devices: int, benchmark: Union[MicroBenchmark, str]
+) -> float:
+    """Aggregate multi-core throughput of ``n_devices`` of ``device``.
+
+    Assumes the workload is embarrassingly distributable across devices (the
+    paper makes the same assumption when sizing clusters from Table 1).
+    """
+    if n_devices <= 0:
+        raise ValueError("device count must be positive")
+    if device.benchmark_suite is None:
+        raise ValueError(f"{device.name} has no benchmark scores")
+    return n_devices * device.benchmark_suite.throughput(benchmark)

@@ -1,0 +1,146 @@
+"""Cluster networking topologies (paper Section 4.2).
+
+Two deployment situations are modelled:
+
+* **In-situ / edge** — the cluster has no infrastructure beyond the phones
+  themselves.  Phones are organised into groups of five; one phone per group
+  enables its LTE hotspot and backhauls the group, the other four associate
+  to its WiFi network.  WiFi is the limiting link: with 150 Mbit/s of WiFi
+  capacity shared by a group plus the hotspot's own traffic, each device ends
+  up with roughly 18.5 Mbit/s of usable uplink and downlink.
+* **Existing infrastructure** — the cluster is plugged into a building's
+  wired network (the assumption used for the server and laptop baselines, and
+  the realistic choice at datacenter scale, since co-located WiFi does not
+  scale past a few dozen devices).
+
+A topology carries the energy intensity of its technology (J/byte), which
+feeds the C_N networking-carbon term, plus the fraction of devices dedicated
+to networking/management duties.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.carbon import (
+    LTE_ENERGY_INTENSITY_J_PER_BYTE,
+    WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+    WIRED_ENERGY_INTENSITY_J_PER_BYTE,
+)
+
+#: WiFi link rate of the Nexus 4 / Nexus 5 class radios (802.11n, Mbit/s).
+PHONE_WIFI_LINK_MBIT_S = 150.0
+#: Devices per hotspot group in the tree topology.
+TREE_GROUP_SIZE = 5
+#: Usable per-device bandwidth the paper derives for the tree topology (Mbit/s).
+TREE_PER_DEVICE_MBIT_S = 18.5
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """A cluster networking design."""
+
+    name: str
+    energy_intensity_j_per_byte: float
+    per_device_bandwidth_bytes_per_s: float
+    management_fraction: float = 0.0
+    requires_infrastructure: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.energy_intensity_j_per_byte < 0:
+            raise ValueError("energy intensity must be non-negative")
+        if self.per_device_bandwidth_bytes_per_s <= 0:
+            raise ValueError("per-device bandwidth must be positive")
+        if not 0.0 <= self.management_fraction < 1.0:
+            raise ValueError("management fraction must be within [0, 1)")
+
+    def hotspot_devices(self, n_devices: int) -> int:
+        """Devices acting as hotspot/gateway nodes for ``n_devices`` total."""
+        if n_devices <= 0:
+            raise ValueError("device count must be positive")
+        if self.management_fraction == 0.0:
+            return 0
+        return int(math.ceil(n_devices * self.management_fraction))
+
+    def aggregate_bandwidth_bytes_per_s(self, n_devices: int) -> float:
+        """Total usable cluster bandwidth."""
+        if n_devices <= 0:
+            raise ValueError("device count must be positive")
+        return self.per_device_bandwidth_bytes_per_s * n_devices
+
+    def supports(self, n_devices: int) -> bool:
+        """Whether this topology is considered viable at the given scale.
+
+        Co-located WiFi becomes intractable beyond roughly 30 devices per
+        collision domain (Na et al.); the tree topology works around that by
+        splitting devices into hotspot groups, and wired networks scale
+        arbitrarily.
+        """
+        if self.requires_infrastructure:
+            return True
+        return n_devices <= 30 or self.management_fraction > 0.0
+
+
+def wifi_tree_topology(management_fraction: float = 0.20) -> NetworkTopology:
+    """The paper's in-situ tree: groups of five phones behind LTE hotspots.
+
+    The default 20 % management fraction matches the paper's cloudlet designs
+    ("20 % designated as networking and management nodes").  The per-device
+    bandwidth is the paper's 18.5 Mbit/s figure.
+    """
+    return NetworkTopology(
+        name="WiFi tree (LTE backhaul)",
+        energy_intensity_j_per_byte=WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+        per_device_bandwidth_bytes_per_s=units.mbit_per_s_to_bytes_per_s(
+            TREE_PER_DEVICE_MBIT_S
+        ),
+        management_fraction=management_fraction,
+        requires_infrastructure=False,
+        description=(
+            "Phones grouped in fives; one hotspotted device per group reaches the "
+            "outside world over LTE while the rest associate to its WiFi."
+        ),
+    )
+
+
+def lte_uplink_topology() -> NetworkTopology:
+    """Every device on its own LTE uplink (small in-situ deployments only)."""
+    return NetworkTopology(
+        name="LTE per-device uplink",
+        energy_intensity_j_per_byte=LTE_ENERGY_INTENSITY_J_PER_BYTE,
+        per_device_bandwidth_bytes_per_s=units.mbit_per_s_to_bytes_per_s(20.0),
+        management_fraction=0.0,
+        requires_infrastructure=False,
+        description="Each phone uses its own cellular modem for backhaul.",
+    )
+
+
+def shared_wifi_topology() -> NetworkTopology:
+    """A single local WiFi network (the ten-phone prototype of Section 6)."""
+    return NetworkTopology(
+        name="shared local WiFi",
+        energy_intensity_j_per_byte=WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+        per_device_bandwidth_bytes_per_s=units.mbit_per_s_to_bytes_per_s(
+            PHONE_WIFI_LINK_MBIT_S / TREE_GROUP_SIZE
+        ),
+        management_fraction=0.0,
+        requires_infrastructure=True,
+        description="All devices associate to one access point on existing infrastructure.",
+    )
+
+
+def wired_topology(per_device_gbit_s: float = 1.0) -> NetworkTopology:
+    """Wired switching on existing infrastructure (servers, laptops, datacenter)."""
+    return NetworkTopology(
+        name="wired Ethernet",
+        energy_intensity_j_per_byte=WIRED_ENERGY_INTENSITY_J_PER_BYTE,
+        per_device_bandwidth_bytes_per_s=units.gbit_per_s_to_bytes_per_s(
+            per_device_gbit_s
+        ),
+        management_fraction=0.0,
+        requires_infrastructure=True,
+        description="Devices plugged into an existing switched network.",
+    )

@@ -1,0 +1,212 @@
+"""Carbon accounting primitives: embodied, operational, and networking carbon.
+
+These functions and the :class:`CarbonLedger` accumulator implement the three
+numerator terms of the paper's CCI definition (Equation 2):
+
+* **C_M** — embodied (manufacturing) carbon, a one-off cost charged at the
+  start of a device's (second) life.  For reused devices the paper's
+  convention sets the original device's C_M to zero, but replacement
+  batteries and added peripherals still contribute (Equations 10 and 12).
+* **C_C** — operational ("compute") carbon: energy drawn from the wall times
+  the grid's carbon intensity (Equations 3, 4, 11, 13).
+* **C_N** — networking carbon: data moved times the energy intensity of the
+  network technology times the grid's carbon intensity (Equation 5).
+
+All quantities are tracked in grams of CO2e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro import units
+
+#: Energy intensity of WiFi data transfer (J per byte), from the paper's
+#: Section 5.2 (5 microjoules per byte).
+WIFI_ENERGY_INTENSITY_J_PER_BYTE = 5e-6
+#: Energy intensity of LTE data transfer (J per byte) — 11 microjoules/byte.
+LTE_ENERGY_INTENSITY_J_PER_BYTE = 11e-6
+#: Energy intensity of wired Ethernet, roughly an order of magnitude below
+#: WiFi; used for the wired baselines (the paper treats their networking as
+#: part of existing infrastructure).
+WIRED_ENERGY_INTENSITY_J_PER_BYTE = 0.5e-6
+
+
+def operational_carbon_g(
+    average_power_w: float,
+    duration_s: float,
+    intensity_g_per_kwh: float,
+) -> float:
+    """Operational carbon (g CO2e) of drawing ``average_power_w`` for ``duration_s``.
+
+    Implements C_C = CI_grid * E (Equation 3) with the energy term expressed
+    through an average power and a duration.
+    """
+    if average_power_w < 0:
+        raise ValueError("average power must be non-negative")
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    if intensity_g_per_kwh < 0:
+        raise ValueError("carbon intensity must be non-negative")
+    energy_kwh = units.joules_to_kwh(average_power_w * duration_s)
+    return energy_kwh * intensity_g_per_kwh
+
+
+def networking_carbon_g(
+    data_rate_bytes_per_s: float,
+    energy_intensity_j_per_byte: float,
+    duration_s: float,
+    intensity_g_per_kwh: float,
+) -> float:
+    """Networking carbon (g CO2e) per the paper's Equation 5.
+
+    ``data_rate_bytes_per_s`` is the sustained rate at which data is sent and
+    received (f_net) and ``energy_intensity_j_per_byte`` the energy intensity
+    of the network technology (EI_net).
+    """
+    if data_rate_bytes_per_s < 0:
+        raise ValueError("data rate must be non-negative")
+    if energy_intensity_j_per_byte < 0:
+        raise ValueError("energy intensity must be non-negative")
+    if duration_s < 0:
+        raise ValueError("duration must be non-negative")
+    if intensity_g_per_kwh < 0:
+        raise ValueError("carbon intensity must be non-negative")
+    energy_j = data_rate_bytes_per_s * energy_intensity_j_per_byte * duration_s
+    return units.joules_to_kwh(energy_j) * intensity_g_per_kwh
+
+
+@dataclass(frozen=True)
+class CarbonComponents:
+    """The three CCI numerator terms, in grams of CO2e."""
+
+    embodied_g: float = 0.0
+    operational_g: float = 0.0
+    networking_g: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("embodied", self.embodied_g),
+            ("operational", self.operational_g),
+            ("networking", self.networking_g),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} carbon must be non-negative, got {value}")
+
+    @property
+    def total_g(self) -> float:
+        """Total carbon in grams."""
+        return self.embodied_g + self.operational_g + self.networking_g
+
+    @property
+    def total_kg(self) -> float:
+        """Total carbon in kilograms."""
+        return units.grams_to_kg(self.total_g)
+
+    def __add__(self, other: "CarbonComponents") -> "CarbonComponents":
+        return CarbonComponents(
+            embodied_g=self.embodied_g + other.embodied_g,
+            operational_g=self.operational_g + other.operational_g,
+            networking_g=self.networking_g + other.networking_g,
+        )
+
+    def scaled(self, factor: float) -> "CarbonComponents":
+        """Scale every component by ``factor`` (e.g. a device count or a PUE)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return CarbonComponents(
+            embodied_g=self.embodied_g * factor,
+            operational_g=self.operational_g * factor,
+            networking_g=self.networking_g * factor,
+        )
+
+    def with_pue(self, pue: float) -> "CarbonComponents":
+        """Apply a datacenter PUE to the *operational* terms only (Equation 15).
+
+        PUE inflates the energy drawn from the grid (cooling and lighting)
+        but does not change embodied carbon.
+        """
+        if pue < 1.0:
+            raise ValueError(f"PUE must be >= 1.0, got {pue}")
+        return CarbonComponents(
+            embodied_g=self.embodied_g,
+            operational_g=self.operational_g * pue,
+            networking_g=self.networking_g * pue,
+        )
+
+
+@dataclass
+class CarbonLedger:
+    """A labelled accumulator of carbon contributions.
+
+    The ledger keeps every contribution as a ``(label, kind, grams)`` entry so
+    reports can show where the carbon of a cloudlet design comes from
+    (devices, battery replacements, fans, smart plugs, networking, ...).
+    """
+
+    entries: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    def add_embodied(self, label: str, kg_co2e: float, count: float = 1.0) -> None:
+        """Add an embodied-carbon contribution of ``count`` items at ``kg_co2e`` each."""
+        if kg_co2e < 0 or count < 0:
+            raise ValueError("embodied carbon and count must be non-negative")
+        self.entries.append((label, "embodied", units.kg_to_grams(kg_co2e * count)))
+
+    def add_operational(
+        self,
+        label: str,
+        average_power_w: float,
+        duration_s: float,
+        intensity_g_per_kwh: float,
+    ) -> None:
+        """Add operational carbon for a constant average power draw."""
+        grams = operational_carbon_g(average_power_w, duration_s, intensity_g_per_kwh)
+        self.entries.append((label, "operational", grams))
+
+    def add_operational_grams(self, label: str, grams: float) -> None:
+        """Add pre-computed operational carbon (e.g. from a trace integration)."""
+        if grams < 0:
+            raise ValueError("operational carbon must be non-negative")
+        self.entries.append((label, "operational", grams))
+
+    def add_networking(
+        self,
+        label: str,
+        data_rate_bytes_per_s: float,
+        energy_intensity_j_per_byte: float,
+        duration_s: float,
+        intensity_g_per_kwh: float,
+    ) -> None:
+        """Add networking carbon per Equation 5."""
+        grams = networking_carbon_g(
+            data_rate_bytes_per_s,
+            energy_intensity_j_per_byte,
+            duration_s,
+            intensity_g_per_kwh,
+        )
+        self.entries.append((label, "networking", grams))
+
+    def components(self) -> CarbonComponents:
+        """Collapse the ledger into :class:`CarbonComponents`."""
+        embodied = sum(g for _, kind, g in self.entries if kind == "embodied")
+        operational = sum(g for _, kind, g in self.entries if kind == "operational")
+        networking = sum(g for _, kind, g in self.entries if kind == "networking")
+        return CarbonComponents(
+            embodied_g=embodied, operational_g=operational, networking_g=networking
+        )
+
+    def total_g(self) -> float:
+        """Total carbon across all entries, in grams."""
+        return self.components().total_g
+
+    def by_label(self) -> Dict[str, float]:
+        """Total grams per label, for breakdown reporting."""
+        totals: Dict[str, float] = {}
+        for label, _, grams in self.entries:
+            totals[label] = totals.get(label, 0.0) + grams
+        return totals
+
+    def merged(self, other: "CarbonLedger") -> "CarbonLedger":
+        """Return a new ledger containing the entries of both ledgers."""
+        return CarbonLedger(entries=list(self.entries) + list(other.entries))

@@ -1,0 +1,303 @@
+"""Computational Carbon Intensity (CCI) — the paper's primary contribution.
+
+CCI is the CO2-equivalent released per unit of useful computational work,
+amortised over the full service lifetime of a device or system
+(Equations 1-2):
+
+.. math::
+
+    \\mathrm{CCI} = \\frac{C_M + C_C + C_N}{\\sum_{\\mathrm{lifetime}} \\mathrm{ops}}
+
+The metric rewards operational efficiency (through C_C), manufacturing
+efficiency (through C_M), and the reuse of already-manufactured devices
+(reused hardware has its C_M zeroed), while expressing everything per unit of
+work so that devices of very different scales can be compared.
+
+This module provides:
+
+* :func:`computational_carbon_intensity` — the bare Equation 1 ratio;
+* :class:`DeviceCarbonModel` — lifetime carbon and work for a single device
+  under a load profile and an energy mix, including battery replacements and
+  attached peripherals, with :meth:`~DeviceCarbonModel.cci` /
+  :meth:`~DeviceCarbonModel.cci_series` producing the Figure 2/6-style
+  lifetime curves;
+* :func:`second_life_cci` — the alternate two-life formulation of
+  Equation 7, which charges the original manufacturing carbon but also
+  credits the work performed during the device's first life.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro import units
+from repro.core.carbon import (
+    WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+    CarbonComponents,
+    networking_carbon_g,
+    operational_carbon_g,
+)
+from repro.devices.battery import replacement_carbon_kg
+from repro.devices.benchmarks import MicroBenchmark
+from repro.devices.power import LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+from repro.grid.mix import EnergyMix, california
+
+
+def computational_carbon_intensity(total_carbon_g: float, total_work: float) -> float:
+    """CCI = total carbon / total useful work (Equation 1).
+
+    ``total_work`` is in whatever unit of work the caller chose (Gflop,
+    Mpixel, requests, ...); the result is grams of CO2e per that unit.
+    """
+    if total_carbon_g < 0:
+        raise ValueError("total carbon must be non-negative")
+    if total_work <= 0:
+        raise ValueError("total work must be positive")
+    return total_carbon_g / total_work
+
+
+@dataclass(frozen=True)
+class WorkRate:
+    """Useful work performed per second at 100 % utilisation.
+
+    This generalises the micro-benchmark throughputs of Table 1 (Gflop/s,
+    Mpixel/s, ...) to arbitrary work units such as served requests, so the
+    same CCI machinery covers both Figure 2 and Figure 9.
+    """
+
+    unit: str
+    per_second_at_full_load: float
+
+    def __post_init__(self) -> None:
+        if self.per_second_at_full_load <= 0:
+            raise ValueError("work rate must be positive")
+
+    @classmethod
+    def from_benchmark(cls, device: DeviceSpec, benchmark: Union[MicroBenchmark, str]) -> "WorkRate":
+        """Derive the work rate from a device's multi-core benchmark score."""
+        if device.benchmark_suite is None:
+            raise ValueError(f"{device.name} has no benchmark suite")
+        score = device.benchmark_suite.score(benchmark)
+        return cls(
+            unit=score.benchmark.work_unit,
+            per_second_at_full_load=score.throughput,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceCarbonModel:
+    """Lifetime carbon and work model for a single device.
+
+    Parameters
+    ----------
+    device:
+        The device spec being operated.
+    load_profile:
+        Time-in-mode distribution; defaults to the paper's light-medium
+        regime.
+    energy_mix:
+        Grid scenario supplying the device (defaults to the Californian mean).
+    reused:
+        When True (the junkyard case) the device's own embodied carbon is
+        treated as already paid and contributes zero to C_M.
+    smart_charging:
+        Apply the energy mix's smart-charging discount to operational carbon.
+        Only meaningful for battery-backed devices; requesting it for a
+        device without a battery raises.
+    include_battery_replacement:
+        Charge the embodied carbon of replacement battery packs per
+        Equation 10 (requires a battery spec).
+    network_rate_bytes_per_s / network_energy_intensity_j_per_byte:
+        Sustained networking rate and technology energy intensity for the
+        C_N term; both default to zero / WiFi so single-device analyses can
+        simply omit networking as the paper does in Section 3.4.
+    extra_embodied_kg:
+        Additional one-off embodied carbon attributed to this device (e.g.
+        its share of a shared fan or a per-device smart plug).
+    extra_power_w:
+        Additional constant power draw attributed to this device (e.g. its
+        share of fan power).
+    """
+
+    device: DeviceSpec
+    load_profile: LoadProfile = LIGHT_MEDIUM
+    energy_mix: EnergyMix = field(default_factory=california)
+    reused: bool = True
+    smart_charging: bool = False
+    include_battery_replacement: bool = False
+    network_rate_bytes_per_s: float = 0.0
+    network_energy_intensity_j_per_byte: float = WIFI_ENERGY_INTENSITY_J_PER_BYTE
+    extra_embodied_kg: float = 0.0
+    extra_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_embodied_kg < 0:
+            raise ValueError("extra embodied carbon must be non-negative")
+        if self.extra_power_w < 0:
+            raise ValueError("extra power must be non-negative")
+        if self.network_rate_bytes_per_s < 0:
+            raise ValueError("network rate must be non-negative")
+        if self.smart_charging and self.device.battery is None:
+            raise ValueError(
+                f"{self.device.name} has no battery; smart charging is not applicable"
+            )
+        if self.include_battery_replacement and self.device.battery is None:
+            raise ValueError(
+                f"{self.device.name} has no battery; cannot include battery replacement"
+            )
+
+    # ------------------------------------------------------------------
+    # Power and energy
+    # ------------------------------------------------------------------
+
+    @property
+    def average_power_w(self) -> float:
+        """Average wall power of the device (plus attributed extras)."""
+        return self.device.average_power_w(self.load_profile) + self.extra_power_w
+
+    def energy_kwh(self, lifetime_months: float) -> float:
+        """Wall energy drawn over the lifetime, in kWh."""
+        duration_s = units.months_to_seconds(lifetime_months)
+        return units.joules_to_kwh(self.average_power_w * duration_s)
+
+    # ------------------------------------------------------------------
+    # Carbon
+    # ------------------------------------------------------------------
+
+    def embodied_carbon_g(self, lifetime_months: float) -> float:
+        """C_M: device embodied carbon (if new) + batteries + extras, in grams."""
+        kg = 0.0 if self.reused else self.device.embodied_carbon_kgco2e
+        kg += self.extra_embodied_kg
+        if self.include_battery_replacement and self.device.battery is not None:
+            kg += replacement_carbon_kg(
+                self.device.battery, self.average_power_w, lifetime_months
+            )
+        return units.kg_to_grams(kg)
+
+    def operational_carbon_g(self, lifetime_months: float) -> float:
+        """C_C: operational carbon over the lifetime, in grams."""
+        intensity = self.energy_mix.effective_intensity_g_per_kwh(
+            smart_charging=self.smart_charging
+        )
+        duration_s = units.months_to_seconds(lifetime_months)
+        return operational_carbon_g(self.average_power_w, duration_s, intensity)
+
+    def networking_carbon_g(self, lifetime_months: float) -> float:
+        """C_N: networking carbon over the lifetime, in grams."""
+        if self.network_rate_bytes_per_s == 0.0:
+            return 0.0
+        intensity = self.energy_mix.effective_intensity_g_per_kwh(
+            smart_charging=self.smart_charging
+        )
+        duration_s = units.months_to_seconds(lifetime_months)
+        return networking_carbon_g(
+            self.network_rate_bytes_per_s,
+            self.network_energy_intensity_j_per_byte,
+            duration_s,
+            intensity,
+        )
+
+    def carbon_components(self, lifetime_months: float) -> CarbonComponents:
+        """All three CCI numerator terms for the given lifetime."""
+        if lifetime_months <= 0:
+            raise ValueError("lifetime must be positive")
+        return CarbonComponents(
+            embodied_g=self.embodied_carbon_g(lifetime_months),
+            operational_g=self.operational_carbon_g(lifetime_months),
+            networking_g=self.networking_carbon_g(lifetime_months),
+        )
+
+    # ------------------------------------------------------------------
+    # Work and CCI
+    # ------------------------------------------------------------------
+
+    def work_rate(self, benchmark: Union[MicroBenchmark, str, WorkRate]) -> WorkRate:
+        """Resolve a benchmark name/object or explicit :class:`WorkRate`."""
+        if isinstance(benchmark, WorkRate):
+            return benchmark
+        return WorkRate.from_benchmark(self.device, benchmark)
+
+    def total_work(
+        self, benchmark: Union[MicroBenchmark, str, WorkRate], lifetime_months: float
+    ) -> float:
+        """Useful work over the lifetime (Equation 6's average throughput x time)."""
+        if lifetime_months <= 0:
+            raise ValueError("lifetime must be positive")
+        rate = self.work_rate(benchmark)
+        average_per_second = self.load_profile.average_throughput(
+            rate.per_second_at_full_load
+        )
+        return average_per_second * units.months_to_seconds(lifetime_months)
+
+    def cci(
+        self, benchmark: Union[MicroBenchmark, str, WorkRate], lifetime_months: float
+    ) -> float:
+        """CCI (g CO2e per unit of work) at the given lifetime."""
+        components = self.carbon_components(lifetime_months)
+        work = self.total_work(benchmark, lifetime_months)
+        return computational_carbon_intensity(components.total_g, work)
+
+    def cci_series(
+        self,
+        benchmark: Union[MicroBenchmark, str, WorkRate],
+        lifetime_months: Sequence[float],
+    ) -> np.ndarray:
+        """CCI evaluated at each lifetime in ``lifetime_months`` (Figure 2/6 curves)."""
+        months = np.asarray(list(lifetime_months), dtype=float)
+        if np.any(months <= 0):
+            raise ValueError("all lifetimes must be positive")
+        return np.array([self.cci(benchmark, m) for m in months])
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+
+    def as_new(self) -> "DeviceCarbonModel":
+        """Return a copy that charges the device's own embodied carbon (not reused)."""
+        return DeviceCarbonModel(
+            device=self.device,
+            load_profile=self.load_profile,
+            energy_mix=self.energy_mix,
+            reused=False,
+            smart_charging=self.smart_charging,
+            include_battery_replacement=self.include_battery_replacement,
+            network_rate_bytes_per_s=self.network_rate_bytes_per_s,
+            network_energy_intensity_j_per_byte=self.network_energy_intensity_j_per_byte,
+            extra_embodied_kg=self.extra_embodied_kg,
+            extra_power_w=self.extra_power_w,
+        )
+
+
+def second_life_cci(
+    first_life: DeviceCarbonModel,
+    second_life: DeviceCarbonModel,
+    benchmark: Union[MicroBenchmark, str, WorkRate],
+    first_life_months: float,
+    second_life_months: float,
+) -> float:
+    """The alternate CCI of Equation 7, spanning a device's first and second lives.
+
+    The first life charges the original manufacturing carbon (the model is
+    forced to its "new" variant) and both lives contribute operational and
+    networking carbon as well as useful work.  The paper notes this form is
+    hard to use in practice because first-life telemetry is unavailable for
+    junk-drawer devices; it is provided for completeness and for ablation
+    benches.
+    """
+    if first_life.device.name != second_life.device.name:
+        raise ValueError(
+            "first and second life models must describe the same device "
+            f"({first_life.device.name!r} vs {second_life.device.name!r})"
+        )
+    first = first_life.as_new()
+    first_components = first.carbon_components(first_life_months)
+    second_components = second_life.carbon_components(second_life_months)
+    total_carbon = first_components.total_g + second_components.total_g
+    total_work = first.total_work(benchmark, first_life_months) + second_life.total_work(
+        benchmark, second_life_months
+    )
+    return computational_carbon_intensity(total_carbon, total_work)

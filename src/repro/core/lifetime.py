@@ -1,0 +1,145 @@
+"""Lifetime sweeps and crossover analysis for CCI curves.
+
+The paper repeatedly asks questions of the form "for which service lifetimes
+is option A more carbon efficient than option B?" (e.g. the Nexus 4 cluster
+beats a new PowerEdge for SGEMM only for server lifetimes below ~45 months).
+This module provides the sweep and crossover helpers used to answer them, and
+a small :class:`LifetimeSweep` container that the figure builders and benches
+share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The lifetime grid (months) used by the paper's figures: 1 to 60 months.
+DEFAULT_LIFETIME_MONTHS: Tuple[float, ...] = tuple(float(m) for m in range(1, 61))
+
+
+def default_lifetimes(max_months: int = 60, step: int = 1) -> np.ndarray:
+    """A 1..``max_months`` lifetime grid in months."""
+    if max_months < 1 or step < 1:
+        raise ValueError("max_months and step must be at least 1")
+    return np.arange(1, max_months + 1, step, dtype=float)
+
+
+@dataclass(frozen=True)
+class LifetimeSweep:
+    """CCI (or any per-lifetime metric) series for a set of labelled systems."""
+
+    months: np.ndarray
+    series: Mapping[str, np.ndarray]
+    metric_unit: str = "gCO2e/op"
+
+    def __post_init__(self) -> None:
+        months = np.asarray(self.months, dtype=float)
+        if months.ndim != 1 or len(months) < 1:
+            raise ValueError("months must be a non-empty 1-D array")
+        for label, values in self.series.items():
+            if len(values) != len(months):
+                raise ValueError(
+                    f"series {label!r} has {len(values)} values for {len(months)} months"
+                )
+        object.__setattr__(self, "months", months)
+
+    def labels(self) -> Tuple[str, ...]:
+        """The labels of every swept system."""
+        return tuple(self.series)
+
+    def at(self, label: str, month: float) -> float:
+        """Value of ``label``'s series at ``month`` (linear interpolation)."""
+        return float(np.interp(month, self.months, np.asarray(self.series[label])))
+
+    def best_at(self, month: float) -> Tuple[str, float]:
+        """The (label, value) with the lowest metric at ``month``."""
+        values = {label: self.at(label, month) for label in self.series}
+        best = min(values, key=values.get)
+        return best, values[best]
+
+    def ratio(self, numerator: str, denominator: str, month: float) -> float:
+        """Ratio of two series at a given month (e.g. server CCI / phone CCI)."""
+        return self.at(numerator, month) / self.at(denominator, month)
+
+
+def sweep(
+    metric: Callable[[float], float], months: Sequence[float]
+) -> np.ndarray:
+    """Evaluate ``metric`` at every lifetime in ``months``."""
+    grid = np.asarray(list(months), dtype=float)
+    if np.any(grid <= 0):
+        raise ValueError("lifetimes must be positive")
+    return np.array([metric(m) for m in grid])
+
+
+def crossover_month(
+    months: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> Optional[float]:
+    """First lifetime at which ``series_a`` stops being strictly better than ``series_b``.
+
+    "Better" means a lower metric value (CCI is lower-is-better).  Returns the
+    interpolated month at which the curves cross, or ``None`` if ``series_a``
+    remains below ``series_b`` across the whole grid.  If ``series_a`` is never
+    better, returns the first month of the grid.
+    """
+    months_arr = np.asarray(list(months), dtype=float)
+    a = np.asarray(list(series_a), dtype=float)
+    b = np.asarray(list(series_b), dtype=float)
+    if not (len(months_arr) == len(a) == len(b)):
+        raise ValueError("months and series must all have the same length")
+    diff = a - b
+    if diff[0] >= 0:
+        return float(months_arr[0])
+    above = np.nonzero(diff >= 0)[0]
+    if len(above) == 0:
+        return None
+    idx = int(above[0])
+    # Linear interpolation between the bracketing grid points.
+    m0, m1 = months_arr[idx - 1], months_arr[idx]
+    d0, d1 = diff[idx - 1], diff[idx]
+    if d1 == d0:
+        return float(m1)
+    return float(m0 + (0.0 - d0) / (d1 - d0) * (m1 - m0))
+
+
+def amortization_month(
+    months: Sequence[float], series: Sequence[float], target: float
+) -> Optional[float]:
+    """First lifetime at which a monotonically-decreasing series drops below ``target``.
+
+    Used to answer "how long must this system run before its CCI beats a
+    given budget?".  Returns ``None`` if the series never reaches the target
+    within the grid.
+    """
+    months_arr = np.asarray(list(months), dtype=float)
+    values = np.asarray(list(series), dtype=float)
+    if len(months_arr) != len(values):
+        raise ValueError("months and series must have the same length")
+    below = np.nonzero(values <= target)[0]
+    if len(below) == 0:
+        return None
+    idx = int(below[0])
+    if idx == 0:
+        return float(months_arr[0])
+    m0, m1 = months_arr[idx - 1], months_arr[idx]
+    v0, v1 = values[idx - 1], values[idx]
+    if v1 == v0:
+        return float(m1)
+    return float(m0 + (target - v0) / (v1 - v0) * (m1 - m0))
+
+
+def improvement_factor(
+    baseline: Sequence[float], candidate: Sequence[float]
+) -> np.ndarray:
+    """Element-wise baseline/candidate ratio (how many times lower the candidate is)."""
+    baseline_arr = np.asarray(list(baseline), dtype=float)
+    candidate_arr = np.asarray(list(candidate), dtype=float)
+    if baseline_arr.shape != candidate_arr.shape:
+        raise ValueError("series must have the same shape")
+    if np.any(candidate_arr <= 0):
+        raise ValueError("candidate series must be strictly positive")
+    return baseline_arr / candidate_arr

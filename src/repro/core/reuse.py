@@ -1,0 +1,131 @@
+"""Reuse Factor (paper Equation 8 and Table 3).
+
+The Reuse Factor weighs each device subcomponent by its share of the device's
+embodied carbon and sums the shares of the components a repurposing scenario
+actually exercises.  The paper's cloudlet example reuses the compute,
+networking, battery, and storage (plus the PCB/chassis "other" category that
+necessarily comes along) but not the display or sensors, giving RF = 0.85 for
+a Nexus 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.devices.specs import ComponentBreakdown, DeviceSpec
+
+#: Components exercised when a phone serves as a headless compute node in a
+#: cloudlet (the paper's canonical scenario; yields RF = 0.85 for Table 3).
+CLOUDLET_REUSED_COMPONENTS: Tuple[str, ...] = (
+    "compute",
+    "network",
+    "battery",
+    "storage",
+    "other",
+)
+
+#: Components exercised when a phone is reused purely as networked storage
+#: (the Gupta et al. SSD-array scenario the paper cites as related work).
+STORAGE_NODE_REUSED_COMPONENTS: Tuple[str, ...] = (
+    "network",
+    "storage",
+    "other",
+)
+
+#: Components exercised when a phone is redeployed as an IoT sensor node.
+SENSOR_NODE_REUSED_COMPONENTS: Tuple[str, ...] = (
+    "compute",
+    "network",
+    "battery",
+    "sensors",
+    "other",
+)
+
+
+def reuse_factor(
+    breakdown: ComponentBreakdown, reused_components: Iterable[str]
+) -> float:
+    """Reuse factor for the given component breakdown and reused-component set.
+
+    Unknown component names are ignored (they contribute zero), mirroring the
+    "sum over reused components" form of Equation 8.  The result is clamped
+    to ``[0, 1]`` only by construction: a valid breakdown sums to 1 and each
+    component is counted at most once.
+    """
+    reused = set(reused_components)
+    return sum(breakdown.fraction_of(component) for component in reused)
+
+
+def device_reuse_factor(
+    device: DeviceSpec, reused_components: Iterable[str]
+) -> float:
+    """Reuse factor for a catalog device.
+
+    Raises :class:`ValueError` if the device has no component breakdown.
+    """
+    if device.components is None:
+        raise ValueError(
+            f"{device.name} has no component breakdown; cannot compute a reuse factor"
+        )
+    return reuse_factor(device.components, reused_components)
+
+
+@dataclass(frozen=True)
+class ReuseScenario:
+    """A named repurposing scenario with its set of exercised components."""
+
+    name: str
+    reused_components: Tuple[str, ...]
+    description: str = ""
+
+    def factor(self, device: DeviceSpec) -> float:
+        """Reuse factor of ``device`` under this scenario."""
+        return device_reuse_factor(device, self.reused_components)
+
+    def reused_embodied_kg(self, device: DeviceSpec) -> float:
+        """Embodied carbon (kg) of the components this scenario actually reuses."""
+        return self.factor(device) * device.embodied_carbon_kgco2e
+
+    def wasted_embodied_kg(self, device: DeviceSpec) -> float:
+        """Embodied carbon (kg) of the components left idle by this scenario."""
+        return (1.0 - self.factor(device)) * device.embodied_carbon_kgco2e
+
+
+CLOUDLET_SCENARIO = ReuseScenario(
+    name="cloudlet compute node",
+    reused_components=CLOUDLET_REUSED_COMPONENTS,
+    description=(
+        "Network-connected headless compute node: CPU, networking, battery-as-UPS "
+        "and on-device storage are reused; display and sensors are not."
+    ),
+)
+
+STORAGE_SCENARIO = ReuseScenario(
+    name="storage node",
+    reused_components=STORAGE_NODE_REUSED_COMPONENTS,
+    description="Phone reused as a networked flash-storage brick.",
+)
+
+SENSOR_SCENARIO = ReuseScenario(
+    name="sensor node",
+    reused_components=SENSOR_NODE_REUSED_COMPONENTS,
+    description="Phone redeployed as an IoT sensing endpoint.",
+)
+
+
+def component_carbon_table(device: DeviceSpec) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table 3 for ``device``: per-component fraction and absolute kg.
+
+    Returns a mapping ``component -> {"fraction": f, "kg_co2e": kg}``.
+    """
+    if device.components is None:
+        raise ValueError(f"{device.name} has no component breakdown")
+    absolute = device.components.absolute_kg(device.embodied_carbon_kgco2e)
+    return {
+        component: {
+            "fraction": device.components.fraction_of(component),
+            "kg_co2e": absolute[component],
+        }
+        for component in device.components.components()
+    }

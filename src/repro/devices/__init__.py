@@ -1,0 +1,102 @@
+"""Device models: specs, power curves, batteries, benchmarks, and the catalog.
+
+This subpackage is the substrate every higher-level model builds on.  It
+captures each device the paper studies as a :class:`DeviceSpec` carrying its
+measured power curve (Table 2), Geekbench-style benchmark scores (Table 1),
+battery parameters (Section 4.3), and embodied-carbon data (Table 3 and the
+cited LCAs).
+"""
+
+from repro.devices.battery import (
+    BatterySpec,
+    BatteryState,
+    replacement_carbon_kg,
+    replacement_interval_days,
+    replacements_over_lifetime,
+)
+from repro.devices.benchmarks import (
+    DIJKSTRA,
+    MEMORY_COPY,
+    PDF_RENDER,
+    SGEMM,
+    TABLE1_BENCHMARKS,
+    BenchmarkScore,
+    BenchmarkSuite,
+    MicroBenchmark,
+    benchmark_by_name,
+)
+from repro.devices.catalog import (
+    C5_4XLARGE,
+    C5_9XLARGE,
+    C5_12XLARGE,
+    NEXUS_4,
+    NEXUS_5,
+    PIXEL_3A,
+    POWEREDGE_R740,
+    PROLIANT_DL380_G6,
+    TABLE1_DEVICES,
+    THINKPAD_X1_CARBON_G3,
+    PhoneCapability,
+    T4gInstance,
+    all_devices,
+    flagship_years,
+    get_device,
+    register_device,
+    t4g_instances,
+    yearly_flagship_phones,
+)
+from repro.devices.power import (
+    FULL_LOAD,
+    IDLE,
+    LIGHT_MEDIUM,
+    ConstantPowerModel,
+    LoadProfile,
+    PiecewiseLinearPowerModel,
+    PowerModel,
+)
+from repro.devices.specs import ComponentBreakdown, DeviceClass, DeviceSpec
+
+__all__ = [
+    "BatterySpec",
+    "BatteryState",
+    "replacement_carbon_kg",
+    "replacement_interval_days",
+    "replacements_over_lifetime",
+    "BenchmarkScore",
+    "BenchmarkSuite",
+    "MicroBenchmark",
+    "benchmark_by_name",
+    "SGEMM",
+    "PDF_RENDER",
+    "DIJKSTRA",
+    "MEMORY_COPY",
+    "TABLE1_BENCHMARKS",
+    "PowerModel",
+    "PiecewiseLinearPowerModel",
+    "ConstantPowerModel",
+    "LoadProfile",
+    "LIGHT_MEDIUM",
+    "FULL_LOAD",
+    "IDLE",
+    "DeviceSpec",
+    "DeviceClass",
+    "ComponentBreakdown",
+    "POWEREDGE_R740",
+    "PROLIANT_DL380_G6",
+    "THINKPAD_X1_CARBON_G3",
+    "PIXEL_3A",
+    "NEXUS_4",
+    "NEXUS_5",
+    "C5_4XLARGE",
+    "C5_9XLARGE",
+    "C5_12XLARGE",
+    "TABLE1_DEVICES",
+    "get_device",
+    "all_devices",
+    "register_device",
+    "PhoneCapability",
+    "T4gInstance",
+    "yearly_flagship_phones",
+    "flagship_years",
+    "t4g_instances",
+]

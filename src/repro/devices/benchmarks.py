@@ -1,0 +1,199 @@
+"""Geekbench-style micro-benchmark scores for devices (paper Table 1).
+
+The paper characterises raw device performance with four Geekbench 4
+micro-benchmarks, each measured in its own natural unit of work:
+
+========== ==================== ==========================================
+Benchmark  Throughput unit      Unit of work used for CCI denominators
+========== ==================== ==========================================
+SGEMM      Gflops (Gflop/s)     Gflop
+PDF Render Mpixels/s            Mpixel
+Dijkstra   MTE/s (mega transfer Mte (million Dijkstra pair computations)
+           edges per second)
+Mem. Copy  GB/s                 GB copied
+========== ==================== ==========================================
+
+Multi-core throughput is treated as the total computational capability of the
+device (the paper's convention), and the single-core figure is retained for
+reporting.  :class:`BenchmarkSuite` is attached to a
+:class:`~repro.devices.specs.DeviceSpec` and queried by the CCI model, the
+cluster-sizing logic (Table 1's *N* column), and the serving simulator's
+speed calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """Metadata describing one micro-benchmark.
+
+    ``throughput_unit`` is the unit in which scores are expressed (per
+    second), and ``work_unit`` the corresponding unit of work accumulated
+    over a lifetime (used as the CCI denominator, e.g. ``mgCO2e / Gflop``).
+    """
+
+    name: str
+    throughput_unit: str
+    work_unit: str
+    description: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+SGEMM = MicroBenchmark(
+    name="SGEMM",
+    throughput_unit="Gflops",
+    work_unit="Gflop",
+    description="Single-precision dense matrix multiply",
+)
+PDF_RENDER = MicroBenchmark(
+    name="PDF Render",
+    throughput_unit="Mpixels/sec",
+    work_unit="Mpixel",
+    description="PDF rasterisation throughput",
+)
+DIJKSTRA = MicroBenchmark(
+    name="Dijkstra",
+    throughput_unit="MTE/sec",
+    work_unit="MTE",
+    description="Shortest-path pair computations",
+)
+MEMORY_COPY = MicroBenchmark(
+    name="Memory Copy",
+    throughput_unit="GB/sec",
+    work_unit="GB",
+    description="Large memory copy bandwidth",
+)
+
+#: The four Table 1 benchmarks in the order the paper reports them.
+TABLE1_BENCHMARKS: Tuple[MicroBenchmark, ...] = (
+    SGEMM,
+    PDF_RENDER,
+    DIJKSTRA,
+    MEMORY_COPY,
+)
+
+_BENCHMARKS_BY_NAME: Dict[str, MicroBenchmark] = {
+    bench.name: bench for bench in TABLE1_BENCHMARKS
+}
+
+
+def benchmark_by_name(name: str) -> MicroBenchmark:
+    """Look up one of the Table 1 benchmarks by its paper name."""
+    try:
+        return _BENCHMARKS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BENCHMARKS_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known benchmarks: {known}") from None
+
+
+@dataclass(frozen=True)
+class BenchmarkScore:
+    """Single- and multi-core throughput of one device on one benchmark."""
+
+    benchmark: MicroBenchmark
+    single_core: float
+    multi_core: float
+
+    def __post_init__(self) -> None:
+        if self.single_core <= 0 or self.multi_core <= 0:
+            raise ValueError(
+                f"{self.benchmark.name}: scores must be positive "
+                f"(single={self.single_core}, multi={self.multi_core})"
+            )
+        if self.multi_core < self.single_core:
+            raise ValueError(
+                f"{self.benchmark.name}: multi-core score {self.multi_core} is "
+                f"lower than single-core score {self.single_core}"
+            )
+
+    @property
+    def throughput(self) -> float:
+        """Total device throughput (multi-core), in the benchmark's unit/s."""
+        return self.multi_core
+
+    def speedup_over(self, other: "BenchmarkScore") -> float:
+        """Multi-core throughput ratio of this device over ``other``."""
+        if self.benchmark.name != other.benchmark.name:
+            raise ValueError(
+                f"cannot compare {self.benchmark.name} with {other.benchmark.name}"
+            )
+        return self.multi_core / other.multi_core
+
+
+@dataclass(frozen=True)
+class BenchmarkSuite:
+    """The set of benchmark scores measured for one device."""
+
+    scores: Mapping[str, BenchmarkScore]
+
+    def __post_init__(self) -> None:
+        for key, score in self.scores.items():
+            if key != score.benchmark.name:
+                raise ValueError(
+                    f"suite key {key!r} does not match benchmark name "
+                    f"{score.benchmark.name!r}"
+                )
+
+    @classmethod
+    def from_table1_row(
+        cls,
+        sgemm: Tuple[float, float],
+        pdf_render: Tuple[float, float],
+        dijkstra: Tuple[float, float],
+        memory_copy: Tuple[float, float],
+    ) -> "BenchmarkSuite":
+        """Build a suite from the four ``(single, multi)`` pairs of a Table 1 row."""
+        entries = {
+            SGEMM.name: BenchmarkScore(SGEMM, *sgemm),
+            PDF_RENDER.name: BenchmarkScore(PDF_RENDER, *pdf_render),
+            DIJKSTRA.name: BenchmarkScore(DIJKSTRA, *dijkstra),
+            MEMORY_COPY.name: BenchmarkScore(MEMORY_COPY, *memory_copy),
+        }
+        return cls(scores=entries)
+
+    def score(self, benchmark: "MicroBenchmark | str") -> BenchmarkScore:
+        """Return the score for ``benchmark`` (by object or name)."""
+        name = benchmark if isinstance(benchmark, str) else benchmark.name
+        try:
+            return self.scores[name]
+        except KeyError:
+            known = ", ".join(sorted(self.scores))
+            raise KeyError(
+                f"device has no score for {name!r}; available: {known}"
+            ) from None
+
+    def throughput(self, benchmark: "MicroBenchmark | str") -> float:
+        """Multi-core throughput for ``benchmark`` in its natural unit per second."""
+        return self.score(benchmark).throughput
+
+    def benchmarks(self) -> Iterable[MicroBenchmark]:
+        """Iterate over the benchmarks present in this suite."""
+        return tuple(score.benchmark for score in self.scores.values())
+
+    def has(self, benchmark: "MicroBenchmark | str") -> bool:
+        """True if the suite includes a score for ``benchmark``."""
+        name = benchmark if isinstance(benchmark, str) else benchmark.name
+        return name in self.scores
+
+    def relative_performance(
+        self, other: "BenchmarkSuite", benchmark: Optional["MicroBenchmark | str"] = None
+    ) -> Dict[str, float]:
+        """Per-benchmark multi-core throughput ratios of this suite over ``other``.
+
+        When ``benchmark`` is given, only that benchmark is compared and a
+        single-entry mapping is returned.
+        """
+        names: Iterable[str]
+        if benchmark is None:
+            names = [name for name in self.scores if other.has(name)]
+        else:
+            names = [benchmark if isinstance(benchmark, str) else benchmark.name]
+        return {
+            name: self.score(name).speedup_over(other.score(name)) for name in names
+        }

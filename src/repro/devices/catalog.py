@@ -1,0 +1,457 @@
+"""Catalog of the concrete devices studied by the paper.
+
+Every number in this module is traceable either to the paper itself (Tables
+1-3, Section 4.3, Section 6) or to the public sources the paper cites (Dell's
+PowerEdge R740 LCA, the Teads cloud-instance power/embodied-carbon estimates,
+Apple/Ercan smartphone LCAs).  Where the paper does not state a value that a
+downstream model needs (for example the idle power of a c5.9xlarge), a
+documented estimate is used and flagged in the ``notes`` field of the spec.
+
+The catalog exposes:
+
+* module-level :class:`~repro.devices.specs.DeviceSpec` constants for the five
+  measured devices (``POWEREDGE_R740``, ``PROLIANT_DL380_G6``,
+  ``THINKPAD_X1_CARBON_G3``, ``PIXEL_3A``, ``NEXUS_4``) plus the ``NEXUS_5``
+  used in the thermal experiment and the AWS EC2 instances used as serving
+  baselines;
+* :func:`get_device` / :func:`all_devices` registry helpers;
+* :func:`yearly_flagship_phones` and :func:`t4g_instances` — the data behind
+  Figure 1's smartphone-capability-versus-cloud-instance comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.devices.battery import BatterySpec
+from repro.devices.benchmarks import BenchmarkSuite
+from repro.devices.power import PiecewiseLinearPowerModel
+from repro.devices.specs import ComponentBreakdown, DeviceClass, DeviceSpec
+
+# ---------------------------------------------------------------------------
+# Component breakdown (paper Table 3, measured for the Nexus 4 and used as the
+# working estimate for smartphones generally).
+# ---------------------------------------------------------------------------
+
+SMARTPHONE_COMPONENT_BREAKDOWN = ComponentBreakdown(
+    fractions={
+        "compute": 0.25,
+        "network": 0.15,
+        "battery": 0.15,
+        "display": 0.10,
+        "storage": 0.10,
+        "sensors": 0.05,
+        "other": 0.20,
+    }
+)
+
+#: Component split assumed for laptops: display-heavier than a phone, no
+#: cellular modem.  Used only for reuse-factor style analyses.
+LAPTOP_COMPONENT_BREAKDOWN = ComponentBreakdown(
+    fractions={
+        "compute": 0.30,
+        "network": 0.05,
+        "battery": 0.10,
+        "display": 0.25,
+        "storage": 0.10,
+        "sensors": 0.02,
+        "other": 0.18,
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Measured devices (Tables 1 and 2).
+# ---------------------------------------------------------------------------
+
+POWEREDGE_R740 = DeviceSpec(
+    name="PowerEdge R740",
+    device_class=DeviceClass.SERVER,
+    release_year=2017,
+    cores=32,
+    memory_gib=128.0,
+    # Manufacturing share of Dell's published R740 LCA (a few tonnes CO2e for
+    # a typically-configured unit); the paper's baseline "new server" is the
+    # only device whose embodied carbon is charged.
+    embodied_carbon_kgco2e=3_000.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=510.0, p_50=369.0, p_10=261.0, p_idle=201.0
+    ),
+    benchmark_suite=BenchmarkSuite.from_table1_row(
+        sgemm=(77.2, 2_070.0),
+        pdf_render=(109.1, 3_140.0),
+        dijkstra=(3.58, 80.2),
+        memory_copy=(6.33, 19.5),
+    ),
+    purchase_price_usd=7_000.0,
+    notes="Baseline new server; embodied carbon from Dell R740 LCA manufacturing share.",
+)
+
+PROLIANT_DL380_G6 = DeviceSpec(
+    name="HP ProLiant DL380 G6",
+    device_class=DeviceClass.SERVER,
+    release_year=2007,
+    cores=8,
+    memory_gib=32.0,
+    embodied_carbon_kgco2e=900.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=280.0, p_50=213.0, p_10=181.0, p_idle=169.0
+    ),
+    benchmark_suite=BenchmarkSuite.from_table1_row(
+        sgemm=(14.2, 104.2),
+        pdf_render=(74.2, 528.4),
+        dijkstra=(2.43, 16.9),
+        memory_copy=(6.52, 11.3),
+    ),
+    purchase_price_usd=150.0,
+    notes="15-year-old reused server; embodied carbon zeroed when reused.",
+)
+
+THINKPAD_X1_CARBON_G3 = DeviceSpec(
+    name="ThinkPad X1 Carbon G3",
+    device_class=DeviceClass.LAPTOP,
+    release_year=2015,
+    cores=4,
+    memory_gib=8.0,
+    embodied_carbon_kgco2e=250.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=24.0, p_50=16.2, p_10=8.5, p_idle=3.4
+    ),
+    benchmark_suite=BenchmarkSuite.from_table1_row(
+        sgemm=(72.1, 123.7),
+        pdf_render=(123.2, 225.1),
+        dijkstra=(3.08, 7.45),
+        memory_copy=(11.0, 13.1),
+    ),
+    battery=BatterySpec(
+        capacity_wh=50.0,
+        charge_rate_w=45.0,
+        cycle_life=1_000.0,
+        embodied_carbon_kgco2e=5.0,
+        replacement_labor_minutes=20.0,
+    ),
+    components=LAPTOP_COMPONENT_BREAKDOWN,
+    purchase_price_usd=180.0,
+    geekbench_score=1.0,
+    notes="8-year-old reused laptop; Lenovo PCF manufacturing share estimate.",
+)
+
+PIXEL_3A = DeviceSpec(
+    name="Pixel 3A",
+    device_class=DeviceClass.SMARTPHONE,
+    release_year=2019,
+    cores=8,
+    memory_gib=4.0,
+    embodied_carbon_kgco2e=45.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=2.5, p_50=1.9, p_10=1.4, p_idle=0.8
+    ),
+    benchmark_suite=BenchmarkSuite.from_table1_row(
+        sgemm=(8.84, 39.0),
+        pdf_render=(38.9, 147.0),
+        dijkstra=(1.08, 4.44),
+        memory_copy=(4.00, 5.45),
+    ),
+    battery=BatterySpec(
+        # 3 Ah pack the paper equates to ~45 kJ (12.5 Wh); 18 W charging.
+        capacity_wh=12.5,
+        charge_rate_w=18.0,
+        cycle_life=2_500.0,
+        embodied_carbon_kgco2e=2.00,
+        replacement_labor_minutes=10.0,
+    ),
+    components=SMARTPHONE_COMPONENT_BREAKDOWN,
+    purchase_price_usd=70.0,
+    geekbench_score=0.85,
+    notes="3-year-old reused smartphone, purchased on eBay for ~$65-70.",
+)
+
+NEXUS_4 = DeviceSpec(
+    name="Nexus 4",
+    device_class=DeviceClass.SMARTPHONE,
+    release_year=2012,
+    cores=4,
+    memory_gib=2.0,
+    # Table 3's component masses sum to ~50 kgCO2e for the whole handset.
+    embodied_carbon_kgco2e=50.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=3.6, p_50=2.7, p_10=1.0, p_idle=0.7
+    ),
+    benchmark_suite=BenchmarkSuite.from_table1_row(
+        sgemm=(1.95, 8.12),
+        pdf_render=(14.1, 40.8),
+        dijkstra=(0.654, 2.21),
+        memory_copy=(2.35, 3.22),
+    ),
+    battery=BatterySpec(
+        # 2.1 Ah pack; capacity chosen so the paper's 1.23-year battery
+        # lifetime at 1.78 W average draw is reproduced.
+        capacity_wh=7.75,
+        charge_rate_w=9.0,
+        cycle_life=2_500.0,
+        embodied_carbon_kgco2e=1.11,
+        replacement_labor_minutes=10.0,
+    ),
+    components=SMARTPHONE_COMPONENT_BREAKDOWN,
+    purchase_price_usd=25.0,
+    geekbench_score=0.25,
+    notes="Decade-old reused smartphone.",
+)
+
+NEXUS_5 = DeviceSpec(
+    name="Nexus 5",
+    device_class=DeviceClass.SMARTPHONE,
+    release_year=2013,
+    cores=4,
+    memory_gib=2.0,
+    embodied_carbon_kgco2e=52.0,
+    power_model=PiecewiseLinearPowerModel.from_table2(
+        p_100=4.0, p_50=2.9, p_10=1.2, p_idle=0.7
+    ),
+    battery=BatterySpec(
+        capacity_wh=8.7,
+        charge_rate_w=10.0,
+        cycle_life=2_500.0,
+        embodied_carbon_kgco2e=1.2,
+        replacement_labor_minutes=10.0,
+    ),
+    components=SMARTPHONE_COMPONENT_BREAKDOWN,
+    purchase_price_usd=30.0,
+    geekbench_score=0.35,
+    notes="Used only in the thermal-enclosure experiment (Figure 3).",
+)
+
+
+# ---------------------------------------------------------------------------
+# AWS EC2 instances (Section 6 baselines).  Power and embodied carbon come
+# from the public estimate dataset the paper cites (Teads); the 10 %/50 %
+# operating points for the c5.9xlarge are quoted directly in Section 6.3.
+# ---------------------------------------------------------------------------
+
+
+def _c5_power_model(scale: float) -> PiecewiseLinearPowerModel:
+    """Power model for a C5 instance scaled from the c5.9xlarge estimates."""
+    return PiecewiseLinearPowerModel(
+        anchors={
+            0.0: 110.0 * scale,
+            0.10: 140.7 * scale,
+            0.50: 239.0 * scale,
+            1.0: 330.0 * scale,
+        }
+    )
+
+
+C5_9XLARGE = DeviceSpec(
+    name="c5.9xlarge",
+    device_class=DeviceClass.CLOUD_INSTANCE,
+    release_year=2017,
+    cores=36,
+    memory_gib=72.0,
+    embodied_carbon_kgco2e=1_344.0,
+    power_model=_c5_power_model(1.0),
+    purchase_price_usd=0.0,
+    extra={"on_demand_usd_per_hour": 1.53},
+    notes="Paper-quoted 140.7 W at 10% and 239 W at 50% utilisation; 1344 kgCO2e embodied.",
+)
+
+C5_4XLARGE = DeviceSpec(
+    name="c5.4xlarge",
+    device_class=DeviceClass.CLOUD_INSTANCE,
+    release_year=2017,
+    cores=16,
+    memory_gib=32.0,
+    embodied_carbon_kgco2e=1_344.0 * 16 / 36,
+    power_model=_c5_power_model(16 / 36),
+    purchase_price_usd=0.0,
+    extra={"on_demand_usd_per_hour": 0.68},
+    notes="Scaled from c5.9xlarge estimates by vCPU count.",
+)
+
+C5_12XLARGE = DeviceSpec(
+    name="c5.12xlarge",
+    device_class=DeviceClass.CLOUD_INSTANCE,
+    release_year=2017,
+    cores=48,
+    memory_gib=96.0,
+    embodied_carbon_kgco2e=1_344.0 * 48 / 36,
+    power_model=_c5_power_model(48 / 36),
+    purchase_price_usd=0.0,
+    extra={"on_demand_usd_per_hour": 2.04},
+    notes="Scaled from c5.9xlarge estimates by vCPU count.",
+)
+
+
+# ---------------------------------------------------------------------------
+# Registry.
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        POWEREDGE_R740,
+        PROLIANT_DL380_G6,
+        THINKPAD_X1_CARBON_G3,
+        PIXEL_3A,
+        NEXUS_4,
+        NEXUS_5,
+        C5_4XLARGE,
+        C5_9XLARGE,
+        C5_12XLARGE,
+    )
+}
+
+#: The five devices that appear in Tables 1 and 2, in paper order.
+TABLE1_DEVICES: Tuple[DeviceSpec, ...] = (
+    POWEREDGE_R740,
+    PROLIANT_DL380_G6,
+    THINKPAD_X1_CARBON_G3,
+    PIXEL_3A,
+    NEXUS_4,
+)
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a catalog device by its exact name.
+
+    Raises :class:`KeyError` with the list of known devices if ``name`` is not
+    in the catalog.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def all_devices() -> Tuple[DeviceSpec, ...]:
+    """Return every device in the catalog."""
+    return tuple(_REGISTRY.values())
+
+
+def register_device(spec: DeviceSpec, overwrite: bool = False) -> None:
+    """Add a user-defined device to the registry.
+
+    Library users modelling their own junk-drawer hardware register it here so
+    that name-based APIs (CLIs, experiment configs) can refer to it.
+    """
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"device {spec.name!r} already registered; pass overwrite=True to replace it"
+        )
+    _REGISTRY[spec.name] = spec
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 data: yearly flagship smartphones versus AWS T4g instances.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhoneCapability:
+    """Capability snapshot of one popular Android handset for Figure 1.
+
+    ``geekbench_norm`` is the paper's normalised Geekbench score where 1.0
+    corresponds to an Intel Core i3.  ``memory_min_gib`` / ``memory_max_gib``
+    are the minimum and maximum memory configurations sold to consumers.
+    """
+
+    name: str
+    year: int
+    geekbench_norm: float
+    cores: int
+    memory_min_gib: float
+    memory_max_gib: float
+
+
+@dataclass(frozen=True)
+class T4gInstance:
+    """An AWS EC2 T4g instance size used as a reference line in Figure 1."""
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    geekbench_norm: float
+
+
+#: Approximate capability data for the five most popular Android handsets
+#: released each year 2013-2021.  Values are representative of public
+#: Geekbench listings (normalised to Core i3 = 1.0) and retail spec sheets;
+#: the Figure 1 reproduction only relies on the trend, not individual phones.
+YEARLY_FLAGSHIPS: Tuple[PhoneCapability, ...] = (
+    PhoneCapability("Galaxy S4", 2013, 0.34, 4, 2.0, 2.0),
+    PhoneCapability("HTC One", 2013, 0.33, 4, 2.0, 2.0),
+    PhoneCapability("LG G2", 2013, 0.38, 4, 2.0, 2.0),
+    PhoneCapability("Nexus 5", 2013, 0.36, 4, 2.0, 2.0),
+    PhoneCapability("Xperia Z1", 2013, 0.35, 4, 2.0, 2.0),
+    PhoneCapability("Galaxy S5", 2014, 0.44, 4, 2.0, 2.0),
+    PhoneCapability("Nexus 6", 2014, 0.50, 4, 3.0, 3.0),
+    PhoneCapability("OnePlus One", 2014, 0.48, 4, 3.0, 3.0),
+    PhoneCapability("LG G3", 2014, 0.43, 4, 2.0, 3.0),
+    PhoneCapability("Xperia Z3", 2014, 0.45, 4, 3.0, 3.0),
+    PhoneCapability("Galaxy S6", 2015, 0.68, 8, 3.0, 3.0),
+    PhoneCapability("Nexus 6P", 2015, 0.62, 8, 3.0, 3.0),
+    PhoneCapability("LG G4", 2015, 0.55, 6, 3.0, 3.0),
+    PhoneCapability("OnePlus 2", 2015, 0.60, 8, 3.0, 4.0),
+    PhoneCapability("Moto X Pure", 2015, 0.56, 6, 3.0, 3.0),
+    PhoneCapability("Galaxy S7", 2016, 0.82, 8, 4.0, 4.0),
+    PhoneCapability("Pixel", 2016, 0.86, 4, 4.0, 4.0),
+    PhoneCapability("OnePlus 3", 2016, 0.85, 4, 6.0, 6.0),
+    PhoneCapability("LG G5", 2016, 0.80, 4, 4.0, 4.0),
+    PhoneCapability("HTC 10", 2016, 0.81, 4, 4.0, 4.0),
+    PhoneCapability("Galaxy S8", 2017, 1.02, 8, 4.0, 4.0),
+    PhoneCapability("Pixel 2", 2017, 1.05, 8, 4.0, 4.0),
+    PhoneCapability("OnePlus 5", 2017, 1.10, 8, 6.0, 8.0),
+    PhoneCapability("LG G6", 2017, 0.88, 4, 4.0, 4.0),
+    PhoneCapability("Xperia XZ1", 2017, 1.03, 8, 4.0, 4.0),
+    PhoneCapability("Galaxy S9", 2018, 1.28, 8, 4.0, 4.0),
+    PhoneCapability("Pixel 3", 2018, 1.22, 8, 4.0, 4.0),
+    PhoneCapability("OnePlus 6", 2018, 1.35, 8, 6.0, 8.0),
+    PhoneCapability("LG G7", 2018, 1.26, 8, 4.0, 6.0),
+    PhoneCapability("Xperia XZ2", 2018, 1.27, 8, 4.0, 6.0),
+    PhoneCapability("Galaxy S10", 2019, 1.60, 8, 8.0, 8.0),
+    PhoneCapability("Pixel 4", 2019, 1.50, 8, 6.0, 6.0),
+    PhoneCapability("OnePlus 7 Pro", 2019, 1.65, 8, 6.0, 12.0),
+    PhoneCapability("Galaxy Note 10", 2019, 1.62, 8, 8.0, 12.0),
+    PhoneCapability("Xperia 1", 2019, 1.58, 8, 6.0, 6.0),
+    PhoneCapability("Galaxy S20", 2020, 1.92, 8, 8.0, 12.0),
+    PhoneCapability("Pixel 5", 2020, 1.42, 8, 8.0, 8.0),
+    PhoneCapability("OnePlus 8", 2020, 2.00, 8, 8.0, 12.0),
+    PhoneCapability("Galaxy Note 20", 2020, 1.95, 8, 8.0, 12.0),
+    PhoneCapability("Xperia 5 II", 2020, 1.98, 8, 8.0, 8.0),
+    PhoneCapability("Galaxy S21", 2021, 2.30, 8, 8.0, 8.0),
+    PhoneCapability("Pixel 6", 2021, 2.20, 8, 8.0, 8.0),
+    PhoneCapability("OnePlus 9", 2021, 2.40, 8, 8.0, 12.0),
+    PhoneCapability("Xiaomi Mi 11", 2021, 2.45, 8, 8.0, 12.0),
+    PhoneCapability("Xperia 1 III", 2021, 2.35, 8, 12.0, 12.0),
+)
+
+#: AWS EC2 T4g sizes (August 2021) used as reference lines in Figure 1.
+T4G_INSTANCES: Tuple[T4gInstance, ...] = (
+    T4gInstance("t4g.small", 2, 2.0, 1.05),
+    T4gInstance("t4g.medium", 2, 4.0, 1.10),
+    T4gInstance("t4g.large", 2, 8.0, 1.15),
+    T4gInstance("t4g.xlarge", 4, 16.0, 2.40),
+    T4gInstance("t4g.2xlarge", 8, 32.0, 4.60),
+)
+
+
+def yearly_flagship_phones(year: int = None) -> Tuple[PhoneCapability, ...]:
+    """Return flagship-phone capability records, optionally for one year."""
+    if year is None:
+        return YEARLY_FLAGSHIPS
+    matches = tuple(phone for phone in YEARLY_FLAGSHIPS if phone.year == year)
+    if not matches:
+        years = sorted({phone.year for phone in YEARLY_FLAGSHIPS})
+        raise KeyError(f"no flagship data for {year}; available years: {years}")
+    return matches
+
+
+def flagship_years() -> Tuple[int, ...]:
+    """Return the years covered by the Figure 1 flagship data."""
+    return tuple(sorted({phone.year for phone in YEARLY_FLAGSHIPS}))
+
+
+def t4g_instances() -> Tuple[T4gInstance, ...]:
+    """Return the AWS T4g instance reference points used in Figure 1."""
+    return T4G_INSTANCES

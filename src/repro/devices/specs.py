@@ -1,0 +1,178 @@
+"""Device specification data model.
+
+A :class:`DeviceSpec` bundles everything the carbon, charging, thermal, and
+serving models need to know about a physical device: its class (smartphone,
+laptop, server, or cloud instance), compute resources, embodied carbon, the
+per-component embodied-carbon breakdown used by the reuse factor, its battery
+(if any), and its measured power curve and benchmark scores.
+
+The concrete devices studied by the paper (PowerEdge R740, ProLiant DL380 G6,
+ThinkPad X1 Carbon G3, Pixel 3A, Nexus 4, Nexus 5, and the AWS EC2 instances
+used as baselines) are instantiated in :mod:`repro.devices.catalog`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.devices.battery import BatterySpec
+from repro.devices.benchmarks import BenchmarkSuite
+from repro.devices.power import PowerModel
+
+
+class DeviceClass(enum.Enum):
+    """Broad category of a device; used to pick defaults and for reporting."""
+
+    SMARTPHONE = "smartphone"
+    LAPTOP = "laptop"
+    SERVER = "server"
+    CLOUD_INSTANCE = "cloud_instance"
+
+
+@dataclass(frozen=True)
+class ComponentBreakdown:
+    """Fractional embodied-carbon contribution of device subcomponents.
+
+    The fractions mirror Table 3 of the paper: each entry maps a component
+    category (``"compute"``, ``"network"``, ``"battery"``, ``"display"``,
+    ``"storage"``, ``"sensors"``, ``"other"``) to the fraction of the device's
+    total embodied carbon attributable to it.  Fractions should sum to 1.0
+    (a tolerance is applied in :meth:`validate`).
+    """
+
+    fractions: Mapping[str, float]
+
+    def validate(self, tolerance: float = 1e-6) -> None:
+        """Raise :class:`ValueError` if fractions are negative or do not sum to 1."""
+        total = 0.0
+        for name, fraction in self.fractions.items():
+            if fraction < 0:
+                raise ValueError(f"component {name!r} has negative fraction {fraction}")
+            total += fraction
+        if abs(total - 1.0) > tolerance:
+            raise ValueError(f"component fractions sum to {total}, expected 1.0")
+
+    def fraction_of(self, component: str) -> float:
+        """Return the fraction for ``component`` (0.0 if absent)."""
+        return float(self.fractions.get(component, 0.0))
+
+    def components(self) -> tuple:
+        """Return the component names in insertion order."""
+        return tuple(self.fractions)
+
+    def absolute_kg(self, total_embodied_kg: float) -> Dict[str, float]:
+        """Split ``total_embodied_kg`` across components proportionally."""
+        return {
+            name: fraction * total_embodied_kg
+            for name, fraction in self.fractions.items()
+        }
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device used throughout the library.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name, e.g. ``"Pixel 3A"``.
+    device_class:
+        One of :class:`DeviceClass`.
+    release_year:
+        Year the device was first released; used by lifetime narratives and
+        the Figure 1 capability analysis.
+    cores:
+        Number of CPU cores (vCPUs for cloud instances).
+    memory_gib:
+        Installed memory in GiB.
+    embodied_carbon_kgco2e:
+        Manufacturing ("embodied") carbon from the device's life-cycle
+        assessment, in kg CO2e.  For a *reused* device the CCI model zeroes
+        this out (the manufacturing carbon is treated as already paid), but
+        the figure is still needed for the reuse factor and for first-life
+        analyses.
+    power_model:
+        Measured or estimated power draw as a function of CPU utilisation.
+    benchmark_suite:
+        Geekbench-style scores (Table 1) for the device, if known.
+    battery:
+        Battery specification for devices that have one.
+    components:
+        Per-component embodied-carbon breakdown (Table 3 style); optional.
+    purchase_price_usd:
+        Second-hand or list purchase price used by the economics model.
+    geekbench_score:
+        Normalised Geekbench score where 1.0 corresponds to an Intel Core i3
+        (used for the Figure 1 capability comparison).
+    notes:
+        Free-form provenance notes (where the numbers came from).
+    """
+
+    name: str
+    device_class: DeviceClass
+    release_year: int
+    cores: int
+    memory_gib: float
+    embodied_carbon_kgco2e: float
+    power_model: PowerModel
+    benchmark_suite: Optional[BenchmarkSuite] = None
+    battery: Optional[BatterySpec] = None
+    components: Optional[ComponentBreakdown] = None
+    purchase_price_usd: float = 0.0
+    geekbench_score: Optional[float] = None
+    notes: str = ""
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"{self.name}: cores must be positive, got {self.cores}")
+        if self.memory_gib <= 0:
+            raise ValueError(
+                f"{self.name}: memory_gib must be positive, got {self.memory_gib}"
+            )
+        if self.embodied_carbon_kgco2e < 0:
+            raise ValueError(
+                f"{self.name}: embodied carbon must be non-negative, got "
+                f"{self.embodied_carbon_kgco2e}"
+            )
+        if self.components is not None:
+            self.components.validate(tolerance=1e-3)
+
+    @property
+    def has_battery(self) -> bool:
+        """True if this device carries a usable battery."""
+        return self.battery is not None
+
+    @property
+    def is_reusable(self) -> bool:
+        """True for device classes the paper considers repurposing.
+
+        Cloud instances cannot be "reused" in the junkyard sense because the
+        hardware is owned and refreshed by the cloud provider.
+        """
+        return self.device_class is not DeviceClass.CLOUD_INSTANCE
+
+    def average_power_w(self, load_profile) -> float:
+        """Average power draw under ``load_profile`` (see :mod:`repro.devices.power`)."""
+        return self.power_model.average_power(load_profile)
+
+    def with_overrides(self, **changes) -> "DeviceSpec":
+        """Return a copy of this spec with ``changes`` applied.
+
+        Useful for sensitivity analyses, e.g. replacing the power model with
+        a hypothetical more efficient one, or zeroing the embodied carbon.
+        """
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Return a one-line human readable description of the device."""
+        battery = (
+            f", battery {self.battery.capacity_wh:.1f} Wh" if self.battery else ""
+        )
+        return (
+            f"{self.name} ({self.device_class.value}, {self.release_year}): "
+            f"{self.cores} cores, {self.memory_gib:g} GiB, "
+            f"{self.embodied_carbon_kgco2e:g} kgCO2e embodied{battery}"
+        )

@@ -1,0 +1,19 @@
+"""Economic (total-cost-of-ownership) models complementing the carbon analyses."""
+
+from repro.economics.cost import (
+    CALIFORNIA_ELECTRICITY_USD_PER_KWH,
+    CloudRentalCostModel,
+    CostComparison,
+    FleetCostModel,
+    OwnershipCost,
+    cloudlet_vs_cloud_cost,
+)
+
+__all__ = [
+    "CALIFORNIA_ELECTRICITY_USD_PER_KWH",
+    "OwnershipCost",
+    "FleetCostModel",
+    "CloudRentalCostModel",
+    "CostComparison",
+    "cloudlet_vs_cloud_cost",
+]

@@ -1,0 +1,161 @@
+"""Dollar-cost comparison of the junkyard cloudlet versus cloud rental.
+
+Section 6.2 of the paper notes that the ten-phone cloudlet costs about
+$1,027.60 over a three-year deployment (eBay phones plus Californian
+electricity) while renting the c5.9xlarge it performs like costs roughly
+$40,404 on-demand over the same period.  This module reproduces that
+arithmetic and generalises it to arbitrary device fleets and tariffs so the
+economics can be swept alongside the carbon analyses (TCO and carbon are not
+always aligned — one of the paper's observations about existing metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import units
+from repro.cluster.peripherals import PeripheralSet
+from repro.devices.power import LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+
+#: Average Californian retail electricity price the cost model defaults to
+#: ($ per kWh).
+CALIFORNIA_ELECTRICITY_USD_PER_KWH = 0.22
+
+
+@dataclass(frozen=True)
+class OwnershipCost:
+    """Cost breakdown of owning and operating a device fleet."""
+
+    purchase_usd: float
+    peripherals_usd: float
+    energy_usd: float
+    maintenance_usd: float = 0.0
+
+    @property
+    def total_usd(self) -> float:
+        """Total cost of ownership."""
+        return self.purchase_usd + self.peripherals_usd + self.energy_usd + self.maintenance_usd
+
+
+@dataclass(frozen=True)
+class FleetCostModel:
+    """Purchase + electricity cost model for a fleet of owned devices."""
+
+    device: DeviceSpec
+    n_devices: int
+    peripherals: PeripheralSet = field(default_factory=PeripheralSet.empty)
+    load_profile: LoadProfile = LIGHT_MEDIUM
+    electricity_usd_per_kwh: float = CALIFORNIA_ELECTRICITY_USD_PER_KWH
+    battery_replacement_usd: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ValueError("device count must be positive")
+        if self.electricity_usd_per_kwh < 0:
+            raise ValueError("electricity price must be non-negative")
+        if self.battery_replacement_usd < 0:
+            raise ValueError("battery replacement cost must be non-negative")
+
+    def average_power_w(self) -> float:
+        """Average fleet power including peripherals."""
+        return (
+            self.n_devices * self.device.average_power_w(self.load_profile)
+            + self.peripherals.total_power_w
+        )
+
+    def energy_cost_usd(self, lifetime_months: float) -> float:
+        """Electricity cost over the deployment."""
+        if lifetime_months <= 0:
+            raise ValueError("lifetime must be positive")
+        kwh = units.joules_to_kwh(
+            self.average_power_w() * units.months_to_seconds(lifetime_months)
+        )
+        return kwh * self.electricity_usd_per_kwh
+
+    def maintenance_cost_usd(self, lifetime_months: float) -> float:
+        """Battery-replacement parts cost over the deployment (labour excluded)."""
+        if self.device.battery is None:
+            return 0.0
+        from repro.devices.battery import replacements_over_lifetime
+
+        packs = replacements_over_lifetime(
+            self.device.battery,
+            self.device.average_power_w(self.load_profile),
+            lifetime_months,
+        )
+        replacements = max(0, packs - 1)
+        return replacements * self.n_devices * self.battery_replacement_usd
+
+    def cost(self, lifetime_months: float, include_maintenance: bool = False) -> OwnershipCost:
+        """Full ownership cost over the deployment."""
+        return OwnershipCost(
+            purchase_usd=self.n_devices * self.device.purchase_price_usd,
+            peripherals_usd=self.peripherals.total_cost_usd,
+            energy_usd=self.energy_cost_usd(lifetime_months),
+            maintenance_usd=(
+                self.maintenance_cost_usd(lifetime_months) if include_maintenance else 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CloudRentalCostModel:
+    """On-demand rental cost of a cloud instance."""
+
+    instance: DeviceSpec
+    usd_per_hour: Optional[float] = None
+
+    def hourly_rate(self) -> float:
+        """Hourly price, from the instance's catalog metadata unless overridden."""
+        if self.usd_per_hour is not None:
+            return self.usd_per_hour
+        rate = self.instance.extra.get("on_demand_usd_per_hour")
+        if rate is None:
+            raise ValueError(
+                f"{self.instance.name} has no on-demand price; pass usd_per_hour explicitly"
+            )
+        return float(rate)
+
+    def cost_usd(self, lifetime_months: float) -> float:
+        """Total rental cost over the deployment."""
+        if lifetime_months <= 0:
+            raise ValueError("lifetime must be positive")
+        hours = units.months_to_hours(lifetime_months)
+        return hours * self.hourly_rate()
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Side-by-side cost of an owned fleet versus a rented instance."""
+
+    fleet: OwnershipCost
+    cloud_usd: float
+    lifetime_months: float
+
+    @property
+    def savings_usd(self) -> float:
+        """Dollars saved by the owned fleet."""
+        return self.cloud_usd - self.fleet.total_usd
+
+    @property
+    def cost_ratio(self) -> float:
+        """Cloud cost divided by fleet cost (how many times cheaper the fleet is)."""
+        if self.fleet.total_usd == 0:
+            return float("inf")
+        return self.cloud_usd / self.fleet.total_usd
+
+
+def cloudlet_vs_cloud_cost(
+    fleet: FleetCostModel,
+    cloud: CloudRentalCostModel,
+    lifetime_months: float = 36.0,
+    include_maintenance: bool = False,
+) -> CostComparison:
+    """Compare a device fleet against renting a cloud instance for the same period."""
+    return CostComparison(
+        fleet=fleet.cost(lifetime_months, include_maintenance=include_maintenance),
+        cloud_usd=cloud.cost_usd(lifetime_months),
+        lifetime_months=lifetime_months,
+    )

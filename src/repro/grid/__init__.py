@@ -1,0 +1,55 @@
+"""Grid energy sources, carbon-intensity traces, and energy-mix scenarios."""
+
+from repro.grid.mix import (
+    EnergyMix,
+    california,
+    constant_mix,
+    solar_24_7,
+    zero_carbon,
+)
+from repro.grid.sources import (
+    CALIFORNIA_MEAN_INTENSITY_G_PER_KWH,
+    COAL,
+    GAS,
+    GEOTHERMAL,
+    HYDRO,
+    IMPORTS,
+    NUCLEAR,
+    SOLAR,
+    WIND,
+    ZERO_CARBON,
+    EnergySource,
+    all_sources,
+    blended_intensity,
+    source_by_name,
+)
+from repro.grid.traces import (
+    DEFAULT_INTERVAL_S,
+    CaisoLikeTraceGenerator,
+    GridTrace,
+)
+
+__all__ = [
+    "EnergySource",
+    "SOLAR",
+    "WIND",
+    "HYDRO",
+    "NUCLEAR",
+    "GAS",
+    "COAL",
+    "IMPORTS",
+    "GEOTHERMAL",
+    "ZERO_CARBON",
+    "CALIFORNIA_MEAN_INTENSITY_G_PER_KWH",
+    "source_by_name",
+    "all_sources",
+    "blended_intensity",
+    "GridTrace",
+    "CaisoLikeTraceGenerator",
+    "DEFAULT_INTERVAL_S",
+    "EnergyMix",
+    "california",
+    "solar_24_7",
+    "zero_carbon",
+    "constant_mix",
+]

@@ -1,0 +1,77 @@
+"""Microservice serving layer: applications, placement, and cluster simulation."""
+
+from repro.microservices.apps import (
+    COMPOSE_POST,
+    COMPOSE_REVIEW,
+    HOTEL_MIXED_WORKLOAD,
+    READ_HOME_TIMELINE,
+    READ_MOVIE_REVIEWS,
+    READ_USER_TIMELINE,
+    RECOMMEND,
+    RESERVE,
+    SEARCH_HOTEL,
+    USER_LOGIN,
+    hotel_reservation,
+    media_reviewing,
+    social_network,
+)
+from repro.microservices.cluster import (
+    EXTERNAL_CLIENT,
+    NodeSpec,
+    RunResult,
+    ServingCluster,
+    ec2_instance,
+    pixel_cloudlet,
+)
+from repro.microservices.placement import (
+    Placement,
+    round_robin_placement,
+    single_node_placement,
+    swarm_placement,
+)
+from repro.microservices.service_graph import (
+    Application,
+    CallNode,
+    Microservice,
+    RequestType,
+)
+from repro.microservices.sweep import (
+    SweepPoint,
+    SweepResult,
+    latency_throughput_sweep,
+    saturation_qps,
+)
+
+__all__ = [
+    "Application",
+    "Microservice",
+    "CallNode",
+    "RequestType",
+    "social_network",
+    "hotel_reservation",
+    "media_reviewing",
+    "COMPOSE_POST",
+    "READ_USER_TIMELINE",
+    "READ_HOME_TIMELINE",
+    "SEARCH_HOTEL",
+    "RECOMMEND",
+    "RESERVE",
+    "USER_LOGIN",
+    "COMPOSE_REVIEW",
+    "READ_MOVIE_REVIEWS",
+    "HOTEL_MIXED_WORKLOAD",
+    "Placement",
+    "swarm_placement",
+    "single_node_placement",
+    "round_robin_placement",
+    "NodeSpec",
+    "ServingCluster",
+    "RunResult",
+    "pixel_cloudlet",
+    "ec2_instance",
+    "EXTERNAL_CLIENT",
+    "SweepPoint",
+    "SweepResult",
+    "latency_throughput_sweep",
+    "saturation_qps",
+]

@@ -1,0 +1,857 @@
+"""DeathStarBench-style application models.
+
+Three end-to-end applications are modelled after the DeathStarBench suite the
+paper deploys (Gan et al., ASPLOS'19):
+
+* :func:`social_network` — unidirectional-follow social network with
+  ComposePost (write) and ReadUserTimeline / ReadHomeTimeline (read) request
+  types, ~30 services including per-shard MongoDB/Redis/Memcached instances
+  and the Jaeger tracing pipeline.
+* :func:`hotel_reservation` — Go/gRPC hotel search, recommendation and
+  reservation service with its mixed workload.
+* :func:`media_reviewing` — the movie-review application; the paper attempted
+  it and found it scales poorly with device count (a property of the
+  benchmark, not the platform), so it is provided for completeness and used
+  only in ablation examples.
+
+CPU costs per call node are in reference-core milliseconds (see
+:mod:`repro.microservices.calibration` for how they were calibrated); payload
+sizes are representative of the Thrift/gRPC messages the applications
+exchange.  The ``placement_groups`` of the social network mirror the per-phone
+service groupings shown in the paper's Figure 8 (panels A-K).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.microservices import calibration as cal
+from repro.microservices.service_graph import (
+    Application,
+    CallNode,
+    Microservice,
+    RequestType,
+)
+
+# ---------------------------------------------------------------------------
+# SocialNetwork
+# ---------------------------------------------------------------------------
+
+#: Workload names for the social network (the two generators the paper runs).
+COMPOSE_POST = "compose_post"
+READ_USER_TIMELINE = "read_user_timeline"
+READ_HOME_TIMELINE = "read_home_timeline"
+
+
+def _social_network_services() -> Dict[str, Microservice]:
+    def svc(name: str, memory_mb: float = 64.0, io_ms: float = 0.0,
+            io_concurrency: int = 1, description: str = "") -> Microservice:
+        return Microservice(
+            name=name,
+            memory_mb=memory_mb,
+            io_ms=io_ms,
+            io_concurrency=io_concurrency,
+            description=description,
+        )
+
+    services = [
+        svc("nginx-web-server", 128, description="HTTP front end and Lua glue"),
+        svc("compose-post-service", 96, description="Orchestrates post creation"),
+        svc("unique-id-service", 32),
+        svc("text-service", 48),
+        svc("user-mention-service", 48),
+        svc("url-shorten-service", 48),
+        svc("url-shorten-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("url-shorten-memcached", 64, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("media-service", 48),
+        svc("media-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("media-frontend", 64),
+        svc("user-service", 64),
+        svc("user-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("user-memcached", 64, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc(
+            "post-storage-service",
+            96,
+            description="Read and write path for post documents",
+        ),
+        svc(
+            "post-storage-mongo",
+            256,
+            io_ms=cal.MONGO_COMMIT_IO_MS,
+            io_concurrency=1,
+            description="Document store; its serialised commit bounds write throughput",
+        ),
+        svc("post-storage-memcached", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("user-timeline-service", 96),
+        svc("user-timeline-mongo", 256, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("user-timeline-redis", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("home-timeline-service", 96),
+        svc("home-timeline-redis", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("social-graph-service", 64),
+        svc("social-graph-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("social-graph-redis", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("cassandra", 384, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("cassandra-schema", 32),
+        svc("memcached", 64, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("jaeger-agent", 48, description="Tracing sidecar"),
+        svc("jaeger-collector", 96),
+        svc("jaeger-query", 64),
+    ]
+    return {service.name: service for service in services}
+
+
+def _compose_post_tree() -> CallNode:
+    """Execution plan of one ComposePost request.
+
+    Stage 1 resolves the post contents in parallel (unique id, media, user
+    credentials, and the text service which itself shortens URLs and resolves
+    user mentions).  Stage 2 persists the post and fans it out to the
+    author's timeline, followers' home timelines, and the social graph.
+    Tracing spans are shipped to the Jaeger agent asynchronously alongside
+    stage 2.
+    """
+    text = CallNode(
+        service="text-service",
+        cpu_ms=0.40,
+        request_bytes=600,
+        response_bytes=500,
+        stages=(
+            (
+                CallNode(
+                    service="url-shorten-service",
+                    cpu_ms=0.30,
+                    request_bytes=300,
+                    response_bytes=200,
+                    stages=(
+                        (
+                            CallNode(
+                                service="url-shorten-mongo",
+                                cpu_ms=0.15,
+                                request_bytes=250,
+                                response_bytes=150,
+                            ),
+                        ),
+                    ),
+                ),
+                CallNode(
+                    service="user-mention-service",
+                    cpu_ms=0.25,
+                    request_bytes=300,
+                    response_bytes=250,
+                ),
+            ),
+        ),
+    )
+    post_storage = CallNode(
+        service="post-storage-service",
+        cpu_ms=0.50,
+        request_bytes=900,
+        response_bytes=200,
+        stages=(
+            (
+                CallNode(
+                    service="post-storage-mongo",
+                    cpu_ms=0.30,
+                    request_bytes=900,
+                    response_bytes=100,
+                    io_ms=cal.MONGO_COMMIT_IO_MS,
+                ),
+            ),
+        ),
+    )
+    user_timeline = CallNode(
+        service="user-timeline-service",
+        cpu_ms=0.30,
+        request_bytes=400,
+        response_bytes=150,
+        stages=(
+            (
+                CallNode(
+                    service="user-timeline-redis",
+                    cpu_ms=0.10,
+                    request_bytes=300,
+                    response_bytes=100,
+                ),
+                CallNode(
+                    service="user-timeline-mongo",
+                    cpu_ms=0.25,
+                    request_bytes=400,
+                    response_bytes=100,
+                ),
+            ),
+        ),
+    )
+    home_timeline = CallNode(
+        service="home-timeline-service",
+        cpu_ms=0.30,
+        request_bytes=400,
+        response_bytes=150,
+        stages=(
+            (
+                CallNode(
+                    service="home-timeline-redis",
+                    cpu_ms=0.10,
+                    request_bytes=300,
+                    response_bytes=100,
+                ),
+                CallNode(
+                    service="social-graph-service",
+                    cpu_ms=0.20,
+                    request_bytes=250,
+                    response_bytes=300,
+                    stages=(
+                        (
+                            CallNode(
+                                service="social-graph-redis",
+                                cpu_ms=0.05,
+                                request_bytes=200,
+                                response_bytes=250,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    tracing = CallNode(
+        service="jaeger-agent",
+        cpu_ms=0.10,
+        request_bytes=700,
+        response_bytes=64,
+        stages=(
+            (
+                CallNode(
+                    service="jaeger-collector",
+                    cpu_ms=0.10,
+                    request_bytes=700,
+                    response_bytes=64,
+                ),
+            ),
+        ),
+    )
+    compose = CallNode(
+        service="compose-post-service",
+        cpu_ms=0.90,
+        request_bytes=800,
+        response_bytes=300,
+        stages=(
+            (
+                CallNode("unique-id-service", cpu_ms=0.15, request_bytes=200, response_bytes=100),
+                CallNode("media-service", cpu_ms=0.20, request_bytes=400, response_bytes=200),
+                CallNode("user-service", cpu_ms=0.25, request_bytes=300, response_bytes=200),
+                text,
+            ),
+            (post_storage, user_timeline, home_timeline, tracing),
+        ),
+    )
+    return CallNode(
+        service="nginx-web-server",
+        cpu_ms=0.70,
+        request_bytes=900,
+        response_bytes=300,
+        stages=((compose,),),
+    )
+
+
+def _read_user_timeline_tree() -> CallNode:
+    """Execution plan of one ReadUserTimeline request.
+
+    The timeline service pulls the post-id list from Redis/Mongo, then the
+    post-storage service materialises the posts (memcached first, Mongo on
+    miss); the full timeline — the largest payload in the application — is
+    returned through the front end to the client.
+    """
+    post_storage = CallNode(
+        service="post-storage-service",
+        cpu_ms=1.30,
+        request_bytes=700,
+        response_bytes=2_500,
+        stages=(
+            (
+                CallNode(
+                    service="post-storage-memcached",
+                    cpu_ms=0.60,
+                    request_bytes=500,
+                    response_bytes=1_200,
+                    io_ms=cal.CACHE_IO_MS,
+                ),
+                CallNode(
+                    service="post-storage-mongo",
+                    cpu_ms=1.10,
+                    request_bytes=500,
+                    response_bytes=1_000,
+                    io_ms=cal.CACHE_IO_MS,
+                ),
+            ),
+        ),
+    )
+    timeline = CallNode(
+        service="user-timeline-service",
+        cpu_ms=0.85,
+        request_bytes=350,
+        response_bytes=4_000,
+        stages=(
+            (
+                CallNode(
+                    service="user-timeline-redis",
+                    cpu_ms=0.25,
+                    request_bytes=250,
+                    response_bytes=700,
+                ),
+                CallNode(
+                    service="user-timeline-mongo",
+                    cpu_ms=0.70,
+                    request_bytes=300,
+                    response_bytes=900,
+                ),
+            ),
+            (post_storage,),
+            (
+                CallNode(
+                    service="social-graph-service",
+                    cpu_ms=0.25,
+                    request_bytes=250,
+                    response_bytes=300,
+                    stages=(
+                        (
+                            CallNode(
+                                service="social-graph-redis",
+                                cpu_ms=0.05,
+                                request_bytes=200,
+                                response_bytes=250,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    media = CallNode(
+        service="media-frontend",
+        cpu_ms=0.30,
+        request_bytes=300,
+        response_bytes=800,
+    )
+    return CallNode(
+        service="nginx-web-server",
+        cpu_ms=0.75,
+        request_bytes=300,
+        response_bytes=5_000,
+        stages=((timeline,), (media,)),
+    )
+
+
+def _read_home_timeline_tree() -> CallNode:
+    """Execution plan of one ReadHomeTimeline request (the third generator)."""
+    post_storage = CallNode(
+        service="post-storage-service",
+        cpu_ms=1.20,
+        request_bytes=700,
+        response_bytes=2_600,
+        stages=(
+            (
+                CallNode(
+                    service="post-storage-memcached",
+                    cpu_ms=0.55,
+                    request_bytes=500,
+                    response_bytes=1_600,
+                    io_ms=cal.CACHE_IO_MS,
+                ),
+                CallNode(
+                    service="post-storage-mongo",
+                    cpu_ms=0.90,
+                    request_bytes=500,
+                    response_bytes=1_200,
+                    io_ms=cal.CACHE_IO_MS,
+                ),
+            ),
+        ),
+    )
+    home = CallNode(
+        service="home-timeline-service",
+        cpu_ms=0.90,
+        request_bytes=350,
+        response_bytes=3_500,
+        stages=(
+            (
+                CallNode(
+                    service="home-timeline-redis",
+                    cpu_ms=0.30,
+                    request_bytes=250,
+                    response_bytes=800,
+                ),
+            ),
+            (post_storage,),
+        ),
+    )
+    return CallNode(
+        service="nginx-web-server",
+        cpu_ms=0.80,
+        request_bytes=300,
+        response_bytes=5_000,
+        stages=((home,),),
+    )
+
+
+#: Per-phone service groupings of the paper's Figure 8 (panels A through K).
+SOCIAL_NETWORK_PLACEMENT_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("cassandra", "post-storage-mongo", "url-shorten-mongo", "url-shorten-service"),
+    ("compose-post-service", "media-mongo", "user-service"),
+    ("memcached", "user-timeline-service", "nginx-web-server", "media-service"),
+    ("jaeger-collector", "jaeger-query", "user-mongo"),
+    ("jaeger-agent", "social-graph-mongo"),
+    ("post-storage-service", "text-service", "social-graph-service"),
+    ("home-timeline-service", "media-frontend", "user-timeline-mongo"),
+    ("home-timeline-redis", "user-mention-service", "user-timeline-redis"),
+    ("social-graph-redis", "url-shorten-memcached", "user-memcached"),
+    ("cassandra-schema", "unique-id-service", "post-storage-memcached"),
+)
+
+
+def social_network() -> Application:
+    """Build the SocialNetwork application model."""
+    request_types = {
+        COMPOSE_POST: RequestType(
+            name=COMPOSE_POST,
+            root=_compose_post_tree(),
+            client_cpu_ms=cal.CLIENT_COMPOSE_CPU_MS,
+            client_request_bytes=900,
+            client_response_bytes=300,
+        ),
+        READ_USER_TIMELINE: RequestType(
+            name=READ_USER_TIMELINE,
+            root=_read_user_timeline_tree(),
+            client_cpu_ms=cal.CLIENT_READ_CPU_MS,
+            client_request_bytes=300,
+            client_response_bytes=5_000,
+        ),
+        READ_HOME_TIMELINE: RequestType(
+            name=READ_HOME_TIMELINE,
+            root=_read_home_timeline_tree(),
+            client_cpu_ms=cal.CLIENT_READ_CPU_MS,
+            client_request_bytes=300,
+            client_response_bytes=5_000,
+        ),
+    }
+    return Application(
+        name="SocialNetwork",
+        services=_social_network_services(),
+        request_types=request_types,
+        placement_groups=SOCIAL_NETWORK_PLACEMENT_GROUPS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# HotelReservation
+# ---------------------------------------------------------------------------
+
+SEARCH_HOTEL = "search_hotel"
+RECOMMEND = "recommend"
+RESERVE = "reserve"
+USER_LOGIN = "user_login"
+
+#: The DeathStarBench mixed workload for HotelReservation: mostly searches,
+#: many recommendations, occasional reservations and logins.
+HOTEL_MIXED_WORKLOAD: Dict[str, float] = {
+    SEARCH_HOTEL: 0.60,
+    RECOMMEND: 0.38,
+    RESERVE: 0.01,
+    USER_LOGIN: 0.01,
+}
+
+
+def _hotel_services() -> Dict[str, Microservice]:
+    def svc(name: str, memory_mb: float = 64.0, io_ms: float = 0.0,
+            io_concurrency: int = 1) -> Microservice:
+        return Microservice(name, memory_mb=memory_mb, io_ms=io_ms, io_concurrency=io_concurrency)
+
+    services = [
+        svc("frontend", 128),
+        svc("search", 96),
+        svc("geo", 64),
+        svc("rate", 64),
+        svc("profile", 96),
+        svc("recommendation", 64),
+        svc("reservation", 64),
+        svc("user", 48),
+        svc("memcached-profile", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("memcached-rate", 64, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("memcached-reserve", 64, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("mongodb-profile", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("mongodb-rate", 128, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("mongodb-geo", 128, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("mongodb-recommendation", 128, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("mongodb-reservation", 128, io_ms=cal.MONGO_COMMIT_IO_MS, io_concurrency=2),
+        svc("mongodb-user", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("consul", 48),
+        svc("jaeger", 96),
+    ]
+    return {service.name: service for service in services}
+
+
+def _search_hotel_tree() -> CallNode:
+    search = CallNode(
+        service="search",
+        cpu_ms=1.30,
+        request_bytes=350,
+        response_bytes=900,
+        stages=(
+            (
+                CallNode(
+                    service="geo",
+                    cpu_ms=0.80,
+                    request_bytes=250,
+                    response_bytes=500,
+                    stages=(
+                        (CallNode("mongodb-geo", cpu_ms=0.30, request_bytes=250, response_bytes=400),),
+                    ),
+                ),
+                CallNode(
+                    service="rate",
+                    cpu_ms=0.90,
+                    request_bytes=300,
+                    response_bytes=700,
+                    stages=(
+                        (
+                            CallNode("memcached-rate", cpu_ms=0.25, request_bytes=250, response_bytes=500),
+                            CallNode("mongodb-rate", cpu_ms=0.35, request_bytes=250, response_bytes=500),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    profile = CallNode(
+        service="profile",
+        cpu_ms=1.20,
+        request_bytes=400,
+        response_bytes=2_200,
+        stages=(
+            (
+                CallNode("memcached-profile", cpu_ms=0.35, request_bytes=300, response_bytes=1_500),
+                CallNode("mongodb-profile", cpu_ms=0.45, request_bytes=300, response_bytes=1_200),
+            ),
+        ),
+    )
+    return CallNode(
+        service="frontend",
+        cpu_ms=1.30,
+        request_bytes=400,
+        response_bytes=2_800,
+        stages=((search,), (profile,), ((CallNode("jaeger", cpu_ms=0.10, request_bytes=400, response_bytes=64)),)),
+    )
+
+
+def _recommend_tree() -> CallNode:
+    recommendation = CallNode(
+        service="recommendation",
+        cpu_ms=1.10,
+        request_bytes=300,
+        response_bytes=700,
+        stages=(
+            (CallNode("mongodb-recommendation", cpu_ms=0.45, request_bytes=250, response_bytes=600),),
+        ),
+    )
+    profile = CallNode(
+        service="profile",
+        cpu_ms=1.00,
+        request_bytes=400,
+        response_bytes=1_800,
+        stages=(
+            (
+                CallNode("memcached-profile", cpu_ms=0.30, request_bytes=300, response_bytes=1_200),
+                CallNode("mongodb-profile", cpu_ms=0.40, request_bytes=300, response_bytes=1_000),
+            ),
+        ),
+    )
+    return CallNode(
+        service="frontend",
+        cpu_ms=1.20,
+        request_bytes=350,
+        response_bytes=2_200,
+        stages=((recommendation,), (profile,)),
+    )
+
+
+def _reserve_tree() -> CallNode:
+    reservation = CallNode(
+        service="reservation",
+        cpu_ms=1.00,
+        request_bytes=500,
+        response_bytes=400,
+        stages=(
+            (
+                CallNode("memcached-reserve", cpu_ms=0.25, request_bytes=300, response_bytes=200),
+                CallNode(
+                    "mongodb-reservation",
+                    cpu_ms=0.50,
+                    request_bytes=500,
+                    response_bytes=200,
+                    io_ms=cal.MONGO_COMMIT_IO_MS,
+                ),
+            ),
+        ),
+    )
+    user = CallNode(
+        service="user",
+        cpu_ms=0.40,
+        request_bytes=300,
+        response_bytes=200,
+        stages=(
+            (CallNode("mongodb-user", cpu_ms=0.25, request_bytes=250, response_bytes=200),),
+        ),
+    )
+    return CallNode(
+        service="frontend",
+        cpu_ms=1.20,
+        request_bytes=600,
+        response_bytes=500,
+        stages=((user,), (reservation,)),
+    )
+
+
+def _user_login_tree() -> CallNode:
+    user = CallNode(
+        service="user",
+        cpu_ms=0.80,
+        request_bytes=300,
+        response_bytes=250,
+        stages=(
+            (CallNode("mongodb-user", cpu_ms=0.30, request_bytes=250, response_bytes=200),),
+        ),
+    )
+    return CallNode(
+        service="frontend",
+        cpu_ms=0.90,
+        request_bytes=350,
+        response_bytes=300,
+        stages=((user,),),
+    )
+
+
+HOTEL_PLACEMENT_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("frontend", "consul"),
+    ("search", "mongodb-geo"),
+    ("geo", "rate"),
+    ("profile",),
+    ("memcached-profile", "mongodb-profile"),
+    ("recommendation", "mongodb-recommendation"),
+    ("reservation", "memcached-reserve", "mongodb-reservation"),
+    ("user", "mongodb-user"),
+    ("memcached-rate", "mongodb-rate"),
+    ("jaeger",),
+)
+
+
+def hotel_reservation() -> Application:
+    """Build the HotelReservation application model."""
+    request_types = {
+        SEARCH_HOTEL: RequestType(
+            name=SEARCH_HOTEL,
+            root=_search_hotel_tree(),
+            client_cpu_ms=cal.CLIENT_HOTEL_CPU_MS,
+            client_request_bytes=400,
+            client_response_bytes=2_800,
+        ),
+        RECOMMEND: RequestType(
+            name=RECOMMEND,
+            root=_recommend_tree(),
+            client_cpu_ms=cal.CLIENT_HOTEL_CPU_MS,
+            client_request_bytes=350,
+            client_response_bytes=2_200,
+        ),
+        RESERVE: RequestType(
+            name=RESERVE,
+            root=_reserve_tree(),
+            client_cpu_ms=cal.CLIENT_HOTEL_CPU_MS,
+            client_request_bytes=600,
+            client_response_bytes=500,
+        ),
+        USER_LOGIN: RequestType(
+            name=USER_LOGIN,
+            root=_user_login_tree(),
+            client_cpu_ms=cal.CLIENT_HOTEL_CPU_MS,
+            client_request_bytes=350,
+            client_response_bytes=300,
+        ),
+    }
+    return Application(
+        name="HotelReservation",
+        services=_hotel_services(),
+        request_types=request_types,
+        placement_groups=HOTEL_PLACEMENT_GROUPS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# MediaReviewing (MovieReviewing)
+# ---------------------------------------------------------------------------
+
+COMPOSE_REVIEW = "compose_review"
+READ_MOVIE_REVIEWS = "read_movie_reviews"
+
+
+def _media_services() -> Dict[str, Microservice]:
+    def svc(name: str, memory_mb: float = 64.0, io_ms: float = 0.0,
+            io_concurrency: int = 1) -> Microservice:
+        return Microservice(name, memory_mb=memory_mb, io_ms=io_ms, io_concurrency=io_concurrency)
+
+    services = [
+        svc("nginx", 128),
+        svc("compose-review-service", 96),
+        svc("unique-id-service", 32),
+        svc("movie-id-service", 48),
+        svc("text-service", 48),
+        svc("rating-service", 48),
+        svc("user-service", 64),
+        svc("review-storage-service", 96),
+        svc("review-storage-mongo", 256, io_ms=cal.MONGO_COMMIT_IO_MS, io_concurrency=1),
+        svc("movie-review-service", 96),
+        svc("movie-review-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("movie-review-redis", 96, io_ms=cal.CACHE_IO_MS, io_concurrency=16),
+        svc("user-review-service", 96),
+        svc("user-review-mongo", 192, io_ms=cal.CACHE_IO_MS, io_concurrency=8),
+        svc("cast-info-service", 64),
+        svc("plot-service", 64),
+        svc("jaeger", 96),
+    ]
+    return {service.name: service for service in services}
+
+
+def _compose_review_tree() -> CallNode:
+    compose = CallNode(
+        service="compose-review-service",
+        cpu_ms=1.00,
+        request_bytes=800,
+        response_bytes=300,
+        stages=(
+            (
+                CallNode("unique-id-service", cpu_ms=0.15, request_bytes=200, response_bytes=100),
+                CallNode("movie-id-service", cpu_ms=0.30, request_bytes=300, response_bytes=200),
+                CallNode("text-service", cpu_ms=0.40, request_bytes=600, response_bytes=400),
+                CallNode("rating-service", cpu_ms=0.25, request_bytes=250, response_bytes=150),
+                CallNode("user-service", cpu_ms=0.30, request_bytes=300, response_bytes=200),
+            ),
+            (
+                CallNode(
+                    service="review-storage-service",
+                    cpu_ms=0.60,
+                    request_bytes=900,
+                    response_bytes=200,
+                    stages=(
+                        (
+                            CallNode(
+                                "review-storage-mongo",
+                                cpu_ms=0.35,
+                                request_bytes=900,
+                                response_bytes=100,
+                                io_ms=cal.MONGO_COMMIT_IO_MS,
+                            ),
+                        ),
+                    ),
+                ),
+                CallNode(
+                    service="movie-review-service",
+                    cpu_ms=0.40,
+                    request_bytes=400,
+                    response_bytes=150,
+                    stages=(
+                        (CallNode("movie-review-redis", cpu_ms=0.10, request_bytes=300, response_bytes=100),),
+                    ),
+                ),
+                CallNode(
+                    service="user-review-service",
+                    cpu_ms=0.40,
+                    request_bytes=400,
+                    response_bytes=150,
+                    stages=(
+                        (CallNode("user-review-mongo", cpu_ms=0.25, request_bytes=400, response_bytes=100),),
+                    ),
+                ),
+            ),
+        ),
+    )
+    return CallNode(
+        service="nginx",
+        cpu_ms=0.70,
+        request_bytes=900,
+        response_bytes=300,
+        stages=((compose,),),
+    )
+
+
+def _read_movie_reviews_tree() -> CallNode:
+    movie_review = CallNode(
+        service="movie-review-service",
+        cpu_ms=1.00,
+        request_bytes=350,
+        response_bytes=3_500,
+        stages=(
+            (
+                CallNode("movie-review-redis", cpu_ms=0.25, request_bytes=250, response_bytes=800),
+                CallNode("movie-review-mongo", cpu_ms=0.70, request_bytes=300, response_bytes=1_200),
+            ),
+            (
+                CallNode(
+                    service="review-storage-service",
+                    cpu_ms=1.20,
+                    request_bytes=700,
+                    response_bytes=2_800,
+                    stages=(
+                        (CallNode("review-storage-mongo", cpu_ms=0.80, request_bytes=500, response_bytes=1_500),),
+                    ),
+                ),
+            ),
+        ),
+    )
+    extras = (
+        CallNode("cast-info-service", cpu_ms=0.40, request_bytes=300, response_bytes=900),
+        CallNode("plot-service", cpu_ms=0.35, request_bytes=300, response_bytes=1_100),
+    )
+    return CallNode(
+        service="nginx",
+        cpu_ms=0.80,
+        request_bytes=300,
+        response_bytes=5_500,
+        stages=((movie_review,), extras),
+    )
+
+
+MEDIA_PLACEMENT_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("nginx",),
+    ("compose-review-service", "unique-id-service"),
+    ("movie-id-service", "text-service", "rating-service"),
+    ("user-service", "cast-info-service", "plot-service"),
+    ("review-storage-service",),
+    ("review-storage-mongo",),
+    ("movie-review-service", "movie-review-redis"),
+    ("movie-review-mongo",),
+    ("user-review-service", "user-review-mongo"),
+    ("jaeger",),
+)
+
+
+def media_reviewing() -> Application:
+    """Build the MediaReviewing (movie review) application model."""
+    request_types = {
+        COMPOSE_REVIEW: RequestType(
+            name=COMPOSE_REVIEW,
+            root=_compose_review_tree(),
+            client_cpu_ms=cal.CLIENT_COMPOSE_CPU_MS,
+            client_request_bytes=900,
+            client_response_bytes=300,
+        ),
+        READ_MOVIE_REVIEWS: RequestType(
+            name=READ_MOVIE_REVIEWS,
+            root=_read_movie_reviews_tree(),
+            client_cpu_ms=cal.CLIENT_READ_CPU_MS,
+            client_request_bytes=300,
+            client_response_bytes=5_500,
+        ),
+    }
+    return Application(
+        name="MediaReviewing",
+        services=_media_services(),
+        request_types=request_types,
+        placement_groups=MEDIA_PLACEMENT_GROUPS,
+    )

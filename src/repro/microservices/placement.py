@@ -1,0 +1,104 @@
+"""Service placement: mapping microservices onto cluster nodes.
+
+The paper deploys DeathStarBench with Docker Swarm, which spreads the service
+containers across the ten phones according to the compose file's constraints;
+Figure 8 shows the resulting per-phone service groups.  The placements here
+reproduce that behaviour:
+
+* :func:`swarm_placement` — honour the application's ``placement_groups``
+  (one group per node, wrapping round if there are fewer nodes than groups)
+  and spread any ungrouped services round-robin across the remaining
+  capacity, balancing by memory footprint.
+* :func:`single_node_placement` — everything on one node, the EC2 baseline.
+* :func:`round_robin_placement` — a group-agnostic spread used by ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.microservices.service_graph import Application
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable mapping from service name to node name."""
+
+    assignment: Mapping[str, str]
+
+    def node_for(self, service: str) -> str:
+        """Node hosting ``service``."""
+        try:
+            return self.assignment[service]
+        except KeyError:
+            known = ", ".join(sorted(self.assignment))
+            raise KeyError(f"service {service!r} is not placed; placed services: {known}") from None
+
+    def services_on(self, node: str) -> Tuple[str, ...]:
+        """Services hosted by ``node``, sorted."""
+        return tuple(sorted(s for s, n in self.assignment.items() if n == node))
+
+    def nodes_used(self) -> Tuple[str, ...]:
+        """Every node that hosts at least one service, sorted."""
+        return tuple(sorted(set(self.assignment.values())))
+
+    def memory_by_node(self, app: Application) -> Dict[str, float]:
+        """Total service memory footprint per node (MB)."""
+        totals: Dict[str, float] = {}
+        for service, node in self.assignment.items():
+            totals[node] = totals.get(node, 0.0) + app.service(service).memory_mb
+        return totals
+
+    def validate_against(self, app: Application) -> None:
+        """Raise if any application service is missing from the placement."""
+        missing = set(app.services) - set(self.assignment)
+        if missing:
+            raise ValueError(f"placement is missing services: {sorted(missing)}")
+
+
+def single_node_placement(app: Application, node_name: str) -> Placement:
+    """Place every service of ``app`` on one node (the EC2 methodology)."""
+    return Placement(assignment={service: node_name for service in app.services})
+
+
+def round_robin_placement(app: Application, node_names: Sequence[str]) -> Placement:
+    """Spread services across nodes round-robin in sorted-name order."""
+    if not node_names:
+        raise ValueError("at least one node is required")
+    assignment = {
+        service: node_names[index % len(node_names)]
+        for index, service in enumerate(app.service_names())
+    }
+    return Placement(assignment=assignment)
+
+
+def swarm_placement(app: Application, node_names: Sequence[str]) -> Placement:
+    """Docker-Swarm-like placement honouring the application's groups.
+
+    Placement groups are assigned to nodes in order (wrapping if the cluster
+    is smaller than the group count, splitting evenly if it is larger in the
+    sense that leftover nodes receive ungrouped services first).  Ungrouped
+    services are then spread one at a time onto the node with the least
+    assigned memory, which is how Swarm's default spreading strategy behaves.
+    """
+    if not node_names:
+        raise ValueError("at least one node is required")
+    assignment: Dict[str, str] = {}
+    for index, group in enumerate(app.placement_groups):
+        node = node_names[index % len(node_names)]
+        for service in group:
+            assignment[service] = node
+
+    memory_load: Dict[str, float] = {name: 0.0 for name in node_names}
+    for service, node in assignment.items():
+        memory_load[node] += app.service(service).memory_mb
+
+    for service in app.ungrouped_services():
+        target = min(sorted(memory_load), key=lambda name: memory_load[name])
+        assignment[service] = target
+        memory_load[target] += app.service(service).memory_mb
+
+    placement = Placement(assignment=assignment)
+    placement.validate_against(app)
+    return placement

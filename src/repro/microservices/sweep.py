@@ -1,0 +1,147 @@
+"""Throughput sweeps and saturation detection (the Figure 7 methodology).
+
+The paper plots median and 90th-percentile latency against offered throughput
+for each deployment and identifies each platform's usable throughput as "the
+point at which throughput is at its max before the latencies shoot up".
+:func:`latency_throughput_sweep` produces those curves and
+:func:`saturation_qps` applies that rule: the highest offered load at which
+the cluster still completes (nearly) everything it is offered and the median
+latency has not exploded relative to the unloaded baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.microservices import calibration as cal
+from repro.microservices.cluster import RunResult, ServingCluster
+from repro.microservices.service_graph import Application
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One offered-load point of a latency/throughput sweep."""
+
+    offered_qps: float
+    result: RunResult
+
+    @property
+    def median_ms(self) -> float:
+        """Worst median latency across the request types in the mix."""
+        return self.result.median_ms()
+
+    @property
+    def tail_ms(self) -> float:
+        """Worst 90th-percentile latency across the request types in the mix."""
+        return self.result.tail_ms()
+
+    @property
+    def achieved_qps(self) -> float:
+        """Requests completed per second."""
+        return self.result.achieved_qps
+
+    @property
+    def completion_ratio(self) -> float:
+        """Completed / offered during the measurement window."""
+        return self.result.completion_ratio
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full latency-versus-throughput curve for one cluster and workload."""
+
+    cluster_name: str
+    application: str
+    workload_name: str
+    points: Tuple[SweepPoint, ...]
+
+    def offered_qps(self) -> np.ndarray:
+        """Offered load of every point."""
+        return np.array([point.offered_qps for point in self.points])
+
+    def median_ms(self) -> np.ndarray:
+        """Median latency of every point."""
+        return np.array([point.median_ms for point in self.points])
+
+    def tail_ms(self) -> np.ndarray:
+        """Tail (p90) latency of every point."""
+        return np.array([point.tail_ms for point in self.points])
+
+    def achieved_qps(self) -> np.ndarray:
+        """Achieved throughput of every point."""
+        return np.array([point.achieved_qps for point in self.points])
+
+    def saturation_qps(
+        self,
+        completion_threshold: float = cal.SATURATION_COMPLETION_THRESHOLD,
+        median_blowup: float = 4.0,
+    ) -> float:
+        """Usable throughput: see :func:`saturation_qps`."""
+        return saturation_qps(
+            self.points,
+            completion_threshold=completion_threshold,
+            median_blowup=median_blowup,
+        )
+
+
+def latency_throughput_sweep(
+    cluster: ServingCluster,
+    app: Application,
+    workload_mix: Mapping[str, float],
+    qps_values: Sequence[float],
+    workload_name: Optional[str] = None,
+    duration_s: float = cal.DEFAULT_RUN_DURATION_S,
+    warmup_s: float = cal.DEFAULT_WARMUP_S,
+    seed: int = 1,
+) -> SweepResult:
+    """Run the cluster at each offered load and collect the latency curve."""
+    if not qps_values:
+        raise ValueError("at least one offered-load point is required")
+    points = []
+    for index, qps in enumerate(sorted(qps_values)):
+        result = cluster.run(
+            app,
+            workload_mix,
+            qps=qps,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed + index,
+        )
+        points.append(SweepPoint(offered_qps=qps, result=result))
+    return SweepResult(
+        cluster_name=cluster.name,
+        application=app.name,
+        workload_name=workload_name or "+".join(sorted(workload_mix)),
+        points=tuple(points),
+    )
+
+
+def saturation_qps(
+    points: Sequence[SweepPoint],
+    completion_threshold: float = cal.SATURATION_COMPLETION_THRESHOLD,
+    median_blowup: float = 4.0,
+) -> float:
+    """Highest offered load the cluster sustains before latencies shoot up.
+
+    A point counts as sustained when (a) at least ``completion_threshold`` of
+    offered requests complete within the run and (b) the median latency is no
+    more than ``median_blowup`` times the median at the lowest offered load.
+    Returns the highest sustained offered QPS (0.0 if even the lowest point
+    is saturated).
+    """
+    if not points:
+        raise ValueError("no sweep points given")
+    ordered = sorted(points, key=lambda p: p.offered_qps)
+    baseline_median = ordered[0].median_ms
+    sustained = 0.0
+    for point in ordered:
+        ok_completion = point.completion_ratio >= completion_threshold
+        ok_latency = point.median_ms <= median_blowup * max(baseline_median, 1e-9)
+        if ok_completion and ok_latency:
+            sustained = point.offered_qps
+        else:
+            break
+    return sustained

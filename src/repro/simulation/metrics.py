@@ -1,0 +1,114 @@
+"""Metric collection for serving simulations: latencies and utilisation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-request-type end-to-end latencies."""
+
+    samples: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+    dropped: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, request_type: str, latency_s: float) -> None:
+        """Record a completed request's latency in seconds."""
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.samples[request_type].append(latency_s)
+
+    def record_dropped(self, request_type: str) -> None:
+        """Record a request that did not complete within the measurement window."""
+        self.dropped[request_type] += 1
+
+    def count(self, request_type: Optional[str] = None) -> int:
+        """Completed request count, for one type or all types."""
+        if request_type is not None:
+            return len(self.samples.get(request_type, []))
+        return sum(len(values) for values in self.samples.values())
+
+    def percentile_ms(self, request_type: str, percentile: float) -> float:
+        """Latency percentile in milliseconds for one request type."""
+        values = self.samples.get(request_type)
+        if not values:
+            raise ValueError(f"no samples recorded for {request_type!r}")
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        return float(np.percentile(np.asarray(values), percentile) * 1_000.0)
+
+    def median_ms(self, request_type: str) -> float:
+        """Median latency in milliseconds."""
+        return self.percentile_ms(request_type, 50.0)
+
+    def tail_ms(self, request_type: str, percentile: float = 90.0) -> float:
+        """Tail latency in milliseconds (90th percentile, matching Figure 7)."""
+        return self.percentile_ms(request_type, percentile)
+
+    def request_types(self) -> Tuple[str, ...]:
+        """Request types with at least one sample."""
+        return tuple(sorted(self.samples))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics for one request type in one run."""
+
+    request_type: str
+    completed: int
+    offered: int
+    median_ms: float
+    p90_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of offered requests that completed within the run."""
+        if self.offered == 0:
+            return 0.0
+        return self.completed / self.offered
+
+
+def summarize(
+    recorder: LatencyRecorder, offered: Dict[str, int]
+) -> Dict[str, LatencySummary]:
+    """Build :class:`LatencySummary` objects for every recorded request type."""
+    summaries = {}
+    for request_type in recorder.request_types():
+        values = np.asarray(recorder.samples[request_type]) * 1_000.0
+        summaries[request_type] = LatencySummary(
+            request_type=request_type,
+            completed=len(values),
+            offered=offered.get(request_type, len(values)),
+            median_ms=float(np.percentile(values, 50)),
+            p90_ms=float(np.percentile(values, 90)),
+            p99_ms=float(np.percentile(values, 99)),
+            mean_ms=float(np.mean(values)),
+        )
+    return summaries
+
+
+@dataclass(frozen=True)
+class UtilizationTimeline:
+    """Windowed CPU-utilisation series for one node."""
+
+    node_name: str
+    times_s: np.ndarray
+    utilization: np.ndarray
+
+    def mean(self) -> float:
+        """Average utilisation over the timeline."""
+        if len(self.utilization) == 0:
+            return 0.0
+        return float(np.mean(self.utilization))
+
+    def peak(self) -> float:
+        """Maximum windowed utilisation."""
+        if len(self.utilization) == 0:
+            return 0.0
+        return float(np.max(self.utilization))

@@ -1,0 +1,220 @@
+"""Queueing resources: CPUs and network media.
+
+Two resource types cover the serving experiments:
+
+* :class:`CpuResource` — a multi-core processor with a relative speed factor.
+  Work is expressed in *reference-core milliseconds*; a task occupying a core
+  for ``work_ms`` reference-milliseconds holds it for ``work_ms / speed``
+  wall-clock milliseconds on this CPU.  FIFO queueing across cores produces
+  the latency growth near saturation that Figure 7 shows.
+* :class:`NetworkMedium` — a shared transmission medium (the cloudlet's WiFi
+  channel, or a practically-infinite local loopback for single-node
+  deployments).  Transfers serialise through the medium at its bandwidth and
+  then incur a propagation/stack latency that is not subject to queueing.
+
+Both resources record their busy time as step-wise occupancy series so the
+cluster runner can report per-node CPU-utilisation timelines (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulation.engine import Process, Simulator, Timeout, Waitable
+
+
+class _AcquireRequest(Waitable):
+    """Internal waitable representing one pending acquisition of a resource."""
+
+    def __init__(self, resource: "Resource") -> None:
+        self._resource = resource
+
+    def subscribe(self, process: Process, simulator: Simulator) -> None:
+        self._resource._enqueue(process)
+
+
+class Resource:
+    """A counting resource with FIFO admission."""
+
+    def __init__(self, simulator: Simulator, capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.simulator = simulator
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: List[Process] = []
+        #: (time, in_use) change points for occupancy post-processing.
+        self.occupancy_events: List[Tuple[float, int]] = [(0.0, 0)]
+        self._total_acquisitions = 0
+
+    # -- acquisition protocol ---------------------------------------------
+
+    def acquire(self) -> _AcquireRequest:
+        """Return a waitable that resumes the caller once a unit is granted."""
+        return _AcquireRequest(self)
+
+    def release(self) -> None:
+        """Return one unit to the pool and admit the next waiter, if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"resource {self.name!r} released more than acquired")
+        self.in_use -= 1
+        self._record()
+        if self._queue:
+            process = self._queue.pop(0)
+            self._grant(process)
+
+    def _enqueue(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self._grant(process)
+        else:
+            self._queue.append(process)
+
+    def _grant(self, process: Process) -> None:
+        self.in_use += 1
+        self._total_acquisitions += 1
+        self._record()
+        self.simulator.schedule(0.0, process.resume, self)
+
+    def _record(self) -> None:
+        self.occupancy_events.append((self.simulator.now, self.in_use))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a unit."""
+        return len(self._queue)
+
+    @property
+    def total_acquisitions(self) -> int:
+        """How many acquisitions have been granted so far."""
+        return self._total_acquisitions
+
+    def busy_time(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Integrated unit-seconds of occupancy over ``[start, end]``."""
+        end_time = self.simulator.now if end is None else end
+        if end_time < start:
+            raise ValueError("end must not precede start")
+        total = 0.0
+        events = self.occupancy_events + [(end_time, self.in_use)]
+        for (t0, occupancy), (t1, _) in zip(events, events[1:]):
+            lo = max(t0, start)
+            hi = min(t1, end_time)
+            if hi > lo:
+                total += occupancy * (hi - lo)
+        return total
+
+    def utilization(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean fraction of capacity in use over ``[start, end]``."""
+        end_time = self.simulator.now if end is None else end
+        duration = end_time - start
+        if duration <= 0:
+            return 0.0
+        return self.busy_time(start, end_time) / (self.capacity * duration)
+
+    def utilization_timeline(
+        self, window_s: float, end: Optional[float] = None, start: float = 0.0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Windowed utilisation series (window centre times, utilisation fractions)."""
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        end_time = self.simulator.now if end is None else end
+        edges = np.arange(start, end_time + window_s, window_s)
+        if len(edges) < 2:
+            return np.array([]), np.array([])
+        centres = (edges[:-1] + edges[1:]) / 2.0
+        values = np.array(
+            [
+                self.busy_time(lo, hi) / (self.capacity * (hi - lo))
+                for lo, hi in zip(edges[:-1], edges[1:])
+            ]
+        )
+        return centres, values
+
+
+class CpuResource(Resource):
+    """A node's CPU: ``cores`` servers running at ``speed`` reference-cores each."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cores: int,
+        speed: float,
+        name: str = "cpu",
+    ) -> None:
+        super().__init__(simulator, capacity=cores, name=name)
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = speed
+
+    def service_time_s(self, work_ms: float) -> float:
+        """Wall-clock seconds one core needs for ``work_ms`` of reference work."""
+        if work_ms < 0:
+            raise ValueError("work must be non-negative")
+        return work_ms / 1_000.0 / self.speed
+
+    def execute(self, work_ms: float) -> Generator:
+        """Process fragment: occupy one core for the duration of ``work_ms``."""
+        if work_ms <= 0:
+            return
+        yield self.acquire()
+        try:
+            yield Timeout(self.service_time_s(work_ms))
+        finally:
+            self.release()
+
+
+class NetworkMedium(Resource):
+    """A shared transmission medium with finite bandwidth plus fixed latency."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_bytes_per_s: float,
+        latency_s: float = 0.0,
+        name: str = "network",
+        channels: int = 1,
+    ) -> None:
+        super().__init__(simulator, capacity=channels, name=name)
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.latency_s = latency_s
+        self.bytes_transferred = 0.0
+
+    def transmission_time_s(self, n_bytes: float) -> float:
+        """Serialisation delay for ``n_bytes`` at the medium's bandwidth."""
+        if n_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return n_bytes / (self.bandwidth_bytes_per_s / self.capacity)
+
+    def transfer(self, n_bytes: float) -> Generator:
+        """Process fragment: serialise ``n_bytes`` through the medium, then wait latency."""
+        if n_bytes > 0:
+            yield self.acquire()
+            try:
+                yield Timeout(self.transmission_time_s(n_bytes))
+            finally:
+                self.release()
+            self.bytes_transferred += n_bytes
+        if self.latency_s > 0:
+            yield Timeout(self.latency_s)
+
+
+class LocalLoopback(NetworkMedium):
+    """An effectively-free network used for calls between services on one node."""
+
+    def __init__(self, simulator: Simulator, latency_s: float = 30e-6) -> None:
+        super().__init__(
+            simulator,
+            bandwidth_bytes_per_s=40e9 / 8.0,
+            latency_s=latency_s,
+            name="loopback",
+            channels=16,
+        )

@@ -1,0 +1,55 @@
+"""Thermal modelling: enclosure simulation, throttling, and cooling sizing."""
+
+from repro.thermal.cooling import (
+    FAN_EMBODIED_KG,
+    FAN_POWER_W,
+    FAN_RATED_W,
+    CoolingPlan,
+    device_thermal_power_w,
+    fans_needed,
+    plan_cooling,
+    plan_cooling_light_medium,
+)
+from repro.thermal.experiment import (
+    NEXUS_4_POLICY,
+    NEXUS_5_POLICY,
+    ThermalPowerEstimate,
+    build_box_experiment,
+    estimate_thermal_power,
+    run_custom_scenario,
+    run_light_medium_test,
+    run_stress_test,
+)
+from repro.thermal.model import (
+    Enclosure,
+    PhoneThermalProperties,
+    PhoneTimeSeries,
+    ThermalSimulation,
+    ThermalSimulationResult,
+    ThrottlingPolicy,
+)
+
+__all__ = [
+    "ThrottlingPolicy",
+    "PhoneThermalProperties",
+    "PhoneTimeSeries",
+    "Enclosure",
+    "ThermalSimulation",
+    "ThermalSimulationResult",
+    "NEXUS_4_POLICY",
+    "NEXUS_5_POLICY",
+    "build_box_experiment",
+    "run_stress_test",
+    "run_light_medium_test",
+    "run_custom_scenario",
+    "estimate_thermal_power",
+    "ThermalPowerEstimate",
+    "CoolingPlan",
+    "device_thermal_power_w",
+    "fans_needed",
+    "plan_cooling",
+    "plan_cooling_light_medium",
+    "FAN_RATED_W",
+    "FAN_POWER_W",
+    "FAN_EMBODIED_KG",
+]

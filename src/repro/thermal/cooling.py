@@ -1,0 +1,91 @@
+"""Cloudlet-scale cooling provisioning (Section 4.1, "Scaling Further").
+
+The paper sizes cooling for phone cloudlets from the measured per-phone
+thermal power: 256 Nexus 4s at 100 % load dissipate roughly 666 W, which fits
+within two commodity 500 W-rated server fans, each adding ~4 W of draw and
+~9.3 kgCO2e of embodied carbon.  These helpers reproduce that arithmetic and
+are consumed by :mod:`repro.cluster.cloudlet` when it attaches peripherals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.power import FULL_LOAD, LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+
+#: Rated heat-removal capacity of one commodity server fan (W).
+FAN_RATED_W = 500.0
+#: Electrical draw of one fan (W).
+FAN_POWER_W = 4.0
+#: Embodied carbon of one fan, estimated from its weight and a world energy
+#: mix during production (paper Section 4.1).
+FAN_EMBODIED_KG = 9.3
+
+
+@dataclass(frozen=True)
+class CoolingPlan:
+    """How many fans a cloudlet needs and what they cost."""
+
+    thermal_power_w: float
+    fans: int
+    fan_power_w: float
+    fan_embodied_kg: float
+
+    @property
+    def total_fan_power_w(self) -> float:
+        """Aggregate electrical draw of all fans."""
+        return self.fans * self.fan_power_w
+
+    @property
+    def total_fan_embodied_kg(self) -> float:
+        """Aggregate embodied carbon of all fans."""
+        return self.fans * self.fan_embodied_kg
+
+
+def device_thermal_power_w(
+    device: DeviceSpec, load_profile: LoadProfile = FULL_LOAD
+) -> float:
+    """Thermal power of one device: electrical power at the profile's utilisation.
+
+    In steady state every electrical watt becomes heat, so the worst-case
+    thermal design load of a cloudlet is the sum of its devices' power draws
+    at the provisioning load profile.
+    """
+    return device.power_model.power_at(load_profile.average_utilization())
+
+
+def fans_needed(thermal_power_w: float, fan_rated_w: float = FAN_RATED_W) -> int:
+    """Number of fans required to remove ``thermal_power_w`` (at least one)."""
+    if thermal_power_w < 0:
+        raise ValueError("thermal power must be non-negative")
+    if fan_rated_w <= 0:
+        raise ValueError("fan rating must be positive")
+    return max(1, int(math.ceil(thermal_power_w / fan_rated_w)))
+
+
+def plan_cooling(
+    device: DeviceSpec,
+    n_devices: int,
+    load_profile: LoadProfile = FULL_LOAD,
+    fan_rated_w: float = FAN_RATED_W,
+    fan_power_w: float = FAN_POWER_W,
+    fan_embodied_kg: float = FAN_EMBODIED_KG,
+) -> CoolingPlan:
+    """Size the fan complement for ``n_devices`` of ``device`` at a given load."""
+    if n_devices <= 0:
+        raise ValueError("device count must be positive")
+    thermal = n_devices * device_thermal_power_w(device, load_profile)
+    fans = fans_needed(thermal, fan_rated_w)
+    return CoolingPlan(
+        thermal_power_w=thermal,
+        fans=fans,
+        fan_power_w=fan_power_w,
+        fan_embodied_kg=fan_embodied_kg,
+    )
+
+
+def plan_cooling_light_medium(device: DeviceSpec, n_devices: int) -> CoolingPlan:
+    """Cooling plan for the light-medium operating regime."""
+    return plan_cooling(device, n_devices, load_profile=LIGHT_MEDIUM)

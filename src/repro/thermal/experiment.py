@@ -1,0 +1,187 @@
+"""The Figure 3 thermal stress-test experiment and thermal-power estimation.
+
+:func:`build_box_experiment` assembles the paper's enclosure — four Nexus 4s
+plus one Nexus 5 in a sealed Styrofoam box — and :func:`run_stress_test` /
+:func:`run_light_medium_test` run the two scenarios of Figure 3.
+:func:`estimate_thermal_power` implements the paper's Equation 9 estimate of
+the aggregate thermal power from the temperature time series (sensible heat
+absorbed by the air plus by the phones per unit time), evaluated before any
+device shuts down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.catalog import NEXUS_4, NEXUS_5
+from repro.devices.power import FULL_LOAD, LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+from repro.thermal.model import (
+    SPECIFIC_HEAT_AIR_J_PER_KG_K,
+    SPECIFIC_HEAT_SILICON_J_PER_KG_K,
+    Enclosure,
+    PhoneThermalProperties,
+    ThermalSimulation,
+    ThermalSimulationResult,
+    ThrottlingPolicy,
+)
+
+#: Throttling/shutdown behaviour fitted to the paper's Nexus 4 observations:
+#: shutdown at 75-80 C internal, reached at roughly 40 C box air temperature
+#: under the 100 % load scenario.
+NEXUS_4_POLICY = ThrottlingPolicy(
+    throttle_onset_c=45.0,
+    throttle_full_c=70.0,
+    min_performance=0.40,
+    shutdown_c=77.0,
+)
+
+#: The Nexus 5 has a larger chassis and better heat spreading and "did not
+#: overheat in either scenario"; modelled with a higher conductance and a
+#: higher shutdown point.
+NEXUS_5_POLICY = ThrottlingPolicy(
+    throttle_onset_c=48.0,
+    throttle_full_c=75.0,
+    min_performance=0.45,
+    shutdown_c=90.0,
+)
+
+
+def build_box_experiment(
+    n_nexus4: int = 4,
+    include_nexus5: bool = True,
+    ambient_temp_c: float = 25.0,
+) -> Tuple[Enclosure, Tuple[PhoneThermalProperties, ...]]:
+    """Assemble the paper's Styrofoam-box experiment (Section 4.1)."""
+    if n_nexus4 < 0:
+        raise ValueError("number of Nexus 4 phones must be non-negative")
+    enclosure = Enclosure(ambient_temp_c=ambient_temp_c)
+    phones = [
+        PhoneThermalProperties(
+            device=NEXUS_4,
+            mass_kg=0.120,
+            conductance_to_air_w_per_k=0.075,
+            policy=NEXUS_4_POLICY,
+        )
+        for _ in range(n_nexus4)
+    ]
+    if include_nexus5:
+        phones.append(
+            PhoneThermalProperties(
+                device=NEXUS_5,
+                mass_kg=0.130,
+                conductance_to_air_w_per_k=0.110,
+                policy=NEXUS_5_POLICY,
+            )
+        )
+    if not phones:
+        raise ValueError("the experiment needs at least one phone")
+    return enclosure, tuple(phones)
+
+
+def run_stress_test(
+    duration_s: float = 45 * 60.0,
+    n_nexus4: int = 4,
+    include_nexus5: bool = True,
+    ambient_temp_c: float = 25.0,
+) -> ThermalSimulationResult:
+    """Run the 100 %-load scenario of Figure 3a."""
+    enclosure, phones = build_box_experiment(n_nexus4, include_nexus5, ambient_temp_c)
+    sim = ThermalSimulation(enclosure=enclosure, phones=phones, load_profile=FULL_LOAD)
+    return sim.run(duration_s)
+
+
+def run_light_medium_test(
+    duration_s: float = 45 * 60.0,
+    n_nexus4: int = 4,
+    include_nexus5: bool = True,
+    ambient_temp_c: float = 25.0,
+) -> ThermalSimulationResult:
+    """Run the simulated light-medium scenario of Figure 3b."""
+    enclosure, phones = build_box_experiment(n_nexus4, include_nexus5, ambient_temp_c)
+    sim = ThermalSimulation(
+        enclosure=enclosure, phones=phones, load_profile=LIGHT_MEDIUM
+    )
+    return sim.run(duration_s)
+
+
+def run_custom_scenario(
+    devices: Sequence[DeviceSpec],
+    load_profile: LoadProfile,
+    duration_s: float = 45 * 60.0,
+    ambient_temp_c: float = 25.0,
+    conductance_to_air_w_per_k: float = 0.075,
+) -> ThermalSimulationResult:
+    """Run an arbitrary set of devices in the standard box (ablation helper)."""
+    enclosure = Enclosure(ambient_temp_c=ambient_temp_c)
+    phones = tuple(
+        PhoneThermalProperties(
+            device=device,
+            conductance_to_air_w_per_k=conductance_to_air_w_per_k,
+        )
+        for device in devices
+    )
+    sim = ThermalSimulation(enclosure=enclosure, phones=phones, load_profile=load_profile)
+    return sim.run(duration_s)
+
+
+@dataclass(frozen=True)
+class ThermalPowerEstimate:
+    """Equation 9 estimate of aggregate thermal power."""
+
+    total_w: float
+    per_phone_w: float
+    air_term_w: float
+    phone_term_w: float
+    window_s: float
+
+
+def estimate_thermal_power(
+    result: ThermalSimulationResult,
+    enclosure: Optional[Enclosure] = None,
+    phone_mass_kg: float = 0.139,
+    end_time_s: Optional[float] = None,
+) -> ThermalPowerEstimate:
+    """Estimate the thermal power of the box contents from temperature rise.
+
+    Implements the paper's Equation 9: the sensible heat absorbed by the air
+    plus the sensible heat absorbed by the phones, per unit time, computed
+    over the window from the start of the run to ``end_time_s`` (default: the
+    first shutdown, or the full run if no phone shut down).  Heat lost through
+    the box walls is neglected, exactly as in the paper.
+    """
+    box = enclosure or Enclosure()
+    if end_time_s is None:
+        shutdowns = [
+            p.shutdown_time_s for p in result.phones if p.shutdown_time_s is not None
+        ]
+        end_time_s = min(shutdowns) if shutdowns else float(result.times_s[-1])
+    if end_time_s <= 0:
+        raise ValueError("estimation window must be positive")
+    end_index = int(np.searchsorted(result.times_s, end_time_s))
+    end_index = max(1, min(end_index, len(result.times_s) - 1))
+    window = float(result.times_s[end_index] - result.times_s[0])
+
+    air_delta = float(result.air_temperature_c[end_index] - result.air_temperature_c[0])
+    air_term = (
+        SPECIFIC_HEAT_AIR_J_PER_KG_K * box.air_mass_kg * air_delta / window
+    )
+
+    phone_term = 0.0
+    for phone in result.phones:
+        delta = float(phone.temperature_c[end_index] - phone.temperature_c[0])
+        phone_term += (
+            SPECIFIC_HEAT_SILICON_J_PER_KG_K * phone_mass_kg * delta / window
+        )
+
+    total = air_term + phone_term
+    return ThermalPowerEstimate(
+        total_w=total,
+        per_phone_w=total / len(result.phones),
+        air_term_w=air_term,
+        phone_term_w=phone_term,
+        window_s=window,
+    )

@@ -1,0 +1,316 @@
+"""Lumped-capacitance thermal model of phones packed into an enclosure.
+
+Section 4.1 of the paper asks whether many phones in a confined space cook
+themselves, and answers it with a physical experiment: four Nexus 4s and one
+Nexus 5 sealed in a Styrofoam box, running either a CPU stress test or the
+light-medium workload, while logging internal temperatures, air temperature,
+and job latency (Figure 3).
+
+This module reproduces that experiment with a two-node lumped-capacitance
+model per phone plus a shared air node:
+
+* each phone is modelled (as the paper does for its thermal-power estimate)
+  as a block of silicon with heat capacity ``m * c_p(Si)``, generating heat
+  equal to its electrical power draw and exchanging heat with the box air
+  through a constant conductance;
+* the box air exchanges heat with the outside ambient through the Styrofoam
+  walls;
+* each phone applies its own **thermal throttling policy** — performance (and
+  therefore power) ramps down above a throttle-onset temperature, and the
+  phone shuts itself off at its shutdown temperature, exactly the behaviours
+  the paper observes (throttling from ~40-50 °C, shutdown at 75-80 °C
+  internal / ~40 °C air for the Nexus 4s, with the Nexus 5 surviving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.power import FULL_LOAD, LoadProfile
+from repro.devices.specs import DeviceSpec
+
+#: Specific heat of silicon (J / kg K) — the paper's simplifying assumption is
+#: that a phone can be treated as a block of silicon.
+SPECIFIC_HEAT_SILICON_J_PER_KG_K = 700.0
+#: Specific heat of air at constant pressure (J / kg K).
+SPECIFIC_HEAT_AIR_J_PER_KG_K = 1_005.0
+#: Density of air at ~25 C (kg / m^3).
+AIR_DENSITY_KG_PER_M3 = 1.184
+INCHES_TO_METERS = 0.0254
+
+
+@dataclass(frozen=True)
+class ThrottlingPolicy:
+    """Thermal management behaviour of one phone.
+
+    Performance is full below ``throttle_onset_c``, ramps linearly down to
+    ``min_performance`` at ``throttle_full_c``, and the device powers off
+    above ``shutdown_c``.  Power draw scales with the performance factor
+    between idle and the commanded load power, reflecting DVFS.
+    """
+
+    throttle_onset_c: float = 45.0
+    throttle_full_c: float = 70.0
+    min_performance: float = 0.35
+    shutdown_c: float = 77.0
+    #: How strongly power tracks the performance factor.  DVFS reduces clock
+    #: (and therefore throughput) faster than it reduces power because static
+    #: leakage and the uncore remain; 1.0 means power scales proportionally
+    #: with performance, 0.0 means throttling saves no power at all.
+    power_performance_coupling: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (self.throttle_onset_c < self.throttle_full_c <= self.shutdown_c):
+            raise ValueError(
+                "expected throttle_onset < throttle_full <= shutdown, got "
+                f"{self.throttle_onset_c}, {self.throttle_full_c}, {self.shutdown_c}"
+            )
+        if not 0.0 < self.min_performance <= 1.0:
+            raise ValueError("min_performance must be within (0, 1]")
+        if not 0.0 <= self.power_performance_coupling <= 1.0:
+            raise ValueError("power_performance_coupling must be within [0, 1]")
+
+    def power_factor(self, performance: float) -> float:
+        """Fraction of dynamic power drawn when running at ``performance``."""
+        if not 0.0 <= performance <= 1.0:
+            raise ValueError("performance must be within [0, 1]")
+        return 1.0 - self.power_performance_coupling * (1.0 - performance)
+
+    def performance_factor(self, internal_temp_c: float) -> float:
+        """Fraction of nominal performance available at the given temperature."""
+        if internal_temp_c >= self.shutdown_c:
+            return 0.0
+        if internal_temp_c <= self.throttle_onset_c:
+            return 1.0
+        if internal_temp_c >= self.throttle_full_c:
+            return self.min_performance
+        span = self.throttle_full_c - self.throttle_onset_c
+        progress = (internal_temp_c - self.throttle_onset_c) / span
+        return 1.0 - progress * (1.0 - self.min_performance)
+
+    def is_shutdown(self, internal_temp_c: float) -> bool:
+        """True if the device would power itself off at this temperature."""
+        return internal_temp_c >= self.shutdown_c
+
+
+@dataclass(frozen=True)
+class PhoneThermalProperties:
+    """Thermal parameters of one phone in the enclosure."""
+
+    device: DeviceSpec
+    mass_kg: float = 0.14
+    conductance_to_air_w_per_k: float = 0.075
+    policy: ThrottlingPolicy = field(default_factory=ThrottlingPolicy)
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError("phone mass must be positive")
+        if self.conductance_to_air_w_per_k <= 0:
+            raise ValueError("conductance must be positive")
+
+    @property
+    def heat_capacity_j_per_k(self) -> float:
+        """Lumped heat capacity of the phone (silicon-block assumption)."""
+        return self.mass_kg * SPECIFIC_HEAT_SILICON_J_PER_KG_K
+
+
+@dataclass(frozen=True)
+class Enclosure:
+    """The sealed box the phones sit in.
+
+    The paper's box is 5 x 15 x 10.5 inches of Styrofoam.  ``wall_conductance``
+    is the total heat loss to the outside per kelvin of air-to-ambient
+    temperature difference.
+    """
+
+    width_m: float = 15 * INCHES_TO_METERS
+    depth_m: float = 10.5 * INCHES_TO_METERS
+    height_m: float = 5 * INCHES_TO_METERS
+    wall_conductance_w_per_k: float = 0.35
+    ambient_temp_c: float = 25.0
+
+    def __post_init__(self) -> None:
+        if min(self.width_m, self.depth_m, self.height_m) <= 0:
+            raise ValueError("enclosure dimensions must be positive")
+        if self.wall_conductance_w_per_k < 0:
+            raise ValueError("wall conductance must be non-negative")
+
+    @property
+    def air_volume_m3(self) -> float:
+        """Interior air volume."""
+        return self.width_m * self.depth_m * self.height_m
+
+    @property
+    def air_mass_kg(self) -> float:
+        """Mass of the enclosed air."""
+        return self.air_volume_m3 * AIR_DENSITY_KG_PER_M3
+
+    @property
+    def air_heat_capacity_j_per_k(self) -> float:
+        """Heat capacity of the enclosed air.
+
+        The bare air capacity of such a small box is only ~20 J/K, which would
+        respond almost instantaneously; in practice the inner wall surface and
+        fixturing thermalise with the air, so an effective multiplier of the
+        box surface material is included to reproduce the tens-of-minutes time
+        constants seen in Figure 3.
+        """
+        return self.air_mass_kg * SPECIFIC_HEAT_AIR_J_PER_KG_K + 150.0
+
+
+@dataclass(frozen=True)
+class PhoneTimeSeries:
+    """Per-phone output of a thermal simulation."""
+
+    device_name: str
+    temperature_c: np.ndarray
+    performance_factor: np.ndarray
+    power_w: np.ndarray
+    shutdown_time_s: Optional[float]
+    job_latency_s: np.ndarray
+
+
+@dataclass(frozen=True)
+class ThermalSimulationResult:
+    """Output of :meth:`ThermalSimulation.run`."""
+
+    times_s: np.ndarray
+    air_temperature_c: np.ndarray
+    phones: Tuple[PhoneTimeSeries, ...]
+    timestep_s: float
+
+    @property
+    def any_shutdown(self) -> bool:
+        """True if any phone shut itself off during the run."""
+        return any(phone.shutdown_time_s is not None for phone in self.phones)
+
+    def shutdown_times(self) -> Dict[str, Optional[float]]:
+        """Mapping of phone name to its shutdown time (None if it survived)."""
+        return {phone.device_name: phone.shutdown_time_s for phone in self.phones}
+
+    def air_temperature_at_first_shutdown(self) -> Optional[float]:
+        """Box air temperature when the first phone shut down (None if none did)."""
+        times = [p.shutdown_time_s for p in self.phones if p.shutdown_time_s is not None]
+        if not times:
+            return None
+        first = min(times)
+        index = int(np.searchsorted(self.times_s, first))
+        index = min(index, len(self.air_temperature_c) - 1)
+        return float(self.air_temperature_c[index])
+
+    def total_power_series_w(self) -> np.ndarray:
+        """Aggregate electrical power of all phones over time."""
+        return np.sum([phone.power_w for phone in self.phones], axis=0)
+
+
+@dataclass
+class ThermalSimulation:
+    """Explicit-Euler simulation of phones + air in an enclosure.
+
+    Parameters
+    ----------
+    enclosure:
+        The box geometry and wall conductance.
+    phones:
+        Thermal properties (device, mass, conductance, throttling policy) of
+        each phone in the box.
+    load_profile:
+        The commanded workload; ``FULL_LOAD`` for the stress test, the
+        light-medium profile for the second scenario.  The commanded CPU
+        utilisation is the profile's average utilisation (the paper's stress
+        test runs a constant >90 % job; light-medium averages ~30 %).
+    base_job_latency_s:
+        Latency of the periodic test job at full performance; reported
+        latency is this divided by the instantaneous performance factor
+        (infinite — represented as NaN — once a phone has shut down).
+    """
+
+    enclosure: Enclosure
+    phones: Sequence[PhoneThermalProperties]
+    load_profile: LoadProfile = FULL_LOAD
+    base_job_latency_s: float = 5.0
+    timestep_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.phones:
+            raise ValueError("at least one phone is required")
+        if self.timestep_s <= 0:
+            raise ValueError("timestep must be positive")
+        if self.base_job_latency_s <= 0:
+            raise ValueError("base job latency must be positive")
+
+    def _commanded_power(self, phone: PhoneThermalProperties, performance: float) -> float:
+        """Electrical power draw given the commanded load and throttle state."""
+        utilization = self.load_profile.average_utilization()
+        full = phone.device.power_model.power_at(utilization)
+        idle = phone.device.power_model.idle_power_w
+        return idle + phone.policy.power_factor(performance) * (full - idle)
+
+    def run(self, duration_s: float = 45 * 60.0) -> ThermalSimulationResult:
+        """Simulate ``duration_s`` seconds and return the full time series."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n_steps = int(np.ceil(duration_s / self.timestep_s)) + 1
+        times = np.arange(n_steps) * self.timestep_s
+
+        air_temp = np.empty(n_steps)
+        air_temp[0] = self.enclosure.ambient_temp_c
+
+        n_phones = len(self.phones)
+        phone_temp = np.empty((n_phones, n_steps))
+        phone_perf = np.ones((n_phones, n_steps))
+        phone_power = np.zeros((n_phones, n_steps))
+        latency = np.full((n_phones, n_steps), np.nan)
+        shutdown_time: List[Optional[float]] = [None] * n_phones
+        phone_temp[:, 0] = self.enclosure.ambient_temp_c
+
+        for step in range(1, n_steps):
+            heat_into_air = 0.0
+            for i, phone in enumerate(self.phones):
+                temp = phone_temp[i, step - 1]
+                if shutdown_time[i] is not None:
+                    performance = 0.0
+                    power = 0.0
+                else:
+                    performance = phone.policy.performance_factor(temp)
+                    if phone.policy.is_shutdown(temp):
+                        shutdown_time[i] = float(times[step - 1])
+                        performance = 0.0
+                        power = 0.0
+                    else:
+                        power = self._commanded_power(phone, performance)
+                to_air = phone.conductance_to_air_w_per_k * (temp - air_temp[step - 1])
+                heat_into_air += to_air
+                d_temp = (power - to_air) / phone.heat_capacity_j_per_k
+                phone_temp[i, step] = temp + d_temp * self.timestep_s
+                phone_perf[i, step] = performance
+                phone_power[i, step] = power
+                if performance > 0:
+                    latency[i, step] = self.base_job_latency_s / performance
+
+            loss = self.enclosure.wall_conductance_w_per_k * (
+                air_temp[step - 1] - self.enclosure.ambient_temp_c
+            )
+            d_air = (heat_into_air - loss) / self.enclosure.air_heat_capacity_j_per_k
+            air_temp[step] = air_temp[step - 1] + d_air * self.timestep_s
+
+        phone_series = tuple(
+            PhoneTimeSeries(
+                device_name=f"{phone.device.name} #{i}",
+                temperature_c=phone_temp[i],
+                performance_factor=phone_perf[i],
+                power_w=phone_power[i],
+                shutdown_time_s=shutdown_time[i],
+                job_latency_s=latency[i],
+            )
+            for i, phone in enumerate(self.phones)
+        )
+        return ThermalSimulationResult(
+            times_s=times,
+            air_temperature_c=air_temp,
+            phones=phone_series,
+            timestep_s=self.timestep_s,
+        )

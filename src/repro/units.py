@@ -1,0 +1,141 @@
+"""Unit conversion helpers and physical constants shared across the library.
+
+All public models in :mod:`repro` follow a small set of unit conventions so
+that numbers can flow between the carbon, power, and simulation subsystems
+without ad-hoc conversion factors scattered through the code:
+
+* **Power** is expressed in watts (W).
+* **Energy** is expressed in joules (J) internally; kilowatt-hours (kWh) are
+  accepted and produced at API boundaries because grid carbon intensities are
+  conventionally quoted per kWh.
+* **Carbon** is expressed in grams of CO2-equivalent (gCO2e); embodied-carbon
+  figures from life-cycle assessments are normally quoted in kilograms and the
+  helpers below convert them.
+* **Time** is expressed in seconds internally.  Lifetimes are quoted in months
+  at API boundaries because the paper plots CCI against lifetime in months.
+* **Data** is expressed in bytes; network rates in bytes per second.
+
+The module intentionally contains only pure functions and constants so it can
+be used from every other subpackage without import cycles.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+#: Average number of days per month used throughout the paper-style lifetime
+#: sweeps (365.25 / 12).
+DAYS_PER_MONTH = 30.4375
+SECONDS_PER_MONTH = SECONDS_PER_DAY * DAYS_PER_MONTH
+SECONDS_PER_YEAR = SECONDS_PER_DAY * 365.25
+HOURS_PER_MONTH = SECONDS_PER_MONTH / SECONDS_PER_HOUR
+HOURS_PER_YEAR = SECONDS_PER_YEAR / SECONDS_PER_HOUR
+
+JOULES_PER_KWH = 3_600_000.0
+JOULES_PER_WH = 3_600.0
+
+GRAMS_PER_KILOGRAM = 1_000.0
+MILLIGRAMS_PER_GRAM = 1_000.0
+
+BITS_PER_BYTE = 8.0
+BYTES_PER_KB = 1_000.0
+BYTES_PER_MB = 1_000_000.0
+BYTES_PER_GB = 1_000_000_000.0
+BYTES_PER_GIB = 2.0**30
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules."""
+    return wh * JOULES_PER_WH
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    return joules / JOULES_PER_WH
+
+
+def watts_for_duration_joules(power_w: float, duration_s: float) -> float:
+    """Energy in joules consumed by drawing ``power_w`` for ``duration_s``."""
+    return power_w * duration_s
+
+
+def watts_for_duration_kwh(power_w: float, duration_s: float) -> float:
+    """Energy in kWh consumed by drawing ``power_w`` for ``duration_s``."""
+    return joules_to_kwh(power_w * duration_s)
+
+
+def months_to_seconds(months: float) -> float:
+    """Convert a lifetime expressed in months to seconds."""
+    return months * SECONDS_PER_MONTH
+
+
+def seconds_to_months(seconds: float) -> float:
+    """Convert a duration in seconds to months."""
+    return seconds / SECONDS_PER_MONTH
+
+
+def months_to_hours(months: float) -> float:
+    """Convert a lifetime expressed in months to hours."""
+    return months * HOURS_PER_MONTH
+
+
+def years_to_months(years: float) -> float:
+    """Convert years to months."""
+    return years * 12.0
+
+
+def kg_to_grams(kg: float) -> float:
+    """Convert kilograms to grams."""
+    return kg * GRAMS_PER_KILOGRAM
+
+
+def grams_to_kg(grams: float) -> float:
+    """Convert grams to kilograms."""
+    return grams / GRAMS_PER_KILOGRAM
+
+
+def grams_to_milligrams(grams: float) -> float:
+    """Convert grams to milligrams."""
+    return grams * MILLIGRAMS_PER_GRAM
+
+
+def mbit_per_s_to_bytes_per_s(mbit_per_s: float) -> float:
+    """Convert a megabit-per-second rate into bytes per second."""
+    return mbit_per_s * BYTES_PER_MB / BITS_PER_BYTE
+
+
+def gbit_per_s_to_bytes_per_s(gbit_per_s: float) -> float:
+    """Convert a gigabit-per-second rate into bytes per second."""
+    return gbit_per_s * BYTES_PER_GB / BITS_PER_BYTE
+
+
+def ah_to_wh(amp_hours: float, nominal_voltage_v: float) -> float:
+    """Convert a battery capacity in amp-hours to watt-hours.
+
+    Smartphone batteries are usually quoted in milliamp-hours at a nominal
+    cell voltage of ~3.85 V; the paper quotes the Pixel 3A battery as 3 Ah
+    and equates it to roughly 45 kJ, which corresponds to a nominal voltage
+    of about 4.1 V.  Callers pick the voltage appropriate to their device.
+    """
+    return amp_hours * nominal_voltage_v
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return kelvin - 273.15

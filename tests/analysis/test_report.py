@@ -1,0 +1,57 @@
+"""Plain-text rendering."""
+
+import numpy as np
+
+from repro.analysis.report import (
+    format_table,
+    render_lifetime_sweep,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.lifetime import LifetimeSweep
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [[1, 2], ["xyz", 3]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "long header" in lines[0]
+
+
+def test_render_table1_mentions_every_device():
+    text = render_table1()
+    for device in ("PowerEdge R740", "Pixel 3A", "Nexus 4"):
+        assert device in text
+    assert "SGEMM" in text
+
+
+def test_render_table2_contains_averages():
+    text = render_table2()
+    assert "Pavg (W)" in text
+    assert "308.70" in text
+
+
+def test_render_table3_contains_reuse_factor():
+    text = render_table3()
+    assert "reuse factor" in text.lower()
+    assert "0.85" in text
+
+
+def test_render_table4_contains_pue():
+    text = render_table4()
+    assert "PUE" in text
+    assert "Pixel 3A cluster datacenter" in text
+
+
+def test_render_lifetime_sweep():
+    sweep = LifetimeSweep(
+        months=np.array([12.0, 36.0, 60.0]),
+        series={"phone": np.array([1.0, 0.5, 0.4]), "server": np.array([2.0, 1.0, 0.8])},
+        metric_unit="gCO2e/op",
+    )
+    text = render_lifetime_sweep(sweep)
+    assert "phone" in text and "server" in text
+    assert "gCO2e/op" in text

@@ -1,0 +1,44 @@
+"""Table builders."""
+
+import pytest
+
+from repro.analysis.tables import (
+    table1_geekbench,
+    table2_power,
+    table3_components,
+    table4_datacenter,
+)
+
+
+def test_table1_rows_and_values():
+    rows = table1_geekbench()
+    assert len(rows) == 5
+    by_device = {row.device: row for row in rows}
+    pixel = by_device["Pixel 3A"]
+    assert pixel.scores["SGEMM"] == (8.84, 39.0)
+    assert pixel.devices_needed["SGEMM"] == 54
+    assert by_device["PowerEdge R740"].devices_needed["Memory Copy"] == 1
+
+
+def test_table2_rows_match_paper_averages():
+    rows = {row.device: row for row in table2_power()}
+    assert rows["PowerEdge R740"].p_avg == pytest.approx(308.7, abs=0.1)
+    assert rows["Nexus 4"].p_avg == pytest.approx(1.78, abs=0.05)
+    assert rows["Pixel 3A"].p_100 == pytest.approx(2.5)
+
+
+def test_table3_breakdown_and_reuse_factor():
+    data = table3_components()
+    assert data.device == "Nexus 4"
+    assert data.cloudlet_reuse_factor == pytest.approx(0.85)
+    assert data.components["compute"]["kg_co2e"] == pytest.approx(12.5)
+
+
+def test_table4_contains_both_designs():
+    projections = table4_datacenter()
+    assert set(projections) == {
+        "PowerEdge R740 datacenter",
+        "Pixel 3A cluster datacenter",
+    }
+    for row in projections.values():
+        assert {"PUE", "SGEMM", "PDF Render", "Dijkstra"} <= set(row)

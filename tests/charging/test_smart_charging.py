@@ -1,0 +1,96 @@
+"""Charging policies."""
+
+import pytest
+
+from repro.charging.smart_charging import (
+    AlwaysPlugged,
+    ChargingDecisionContext,
+    NaiveCharging,
+    SmartChargingPolicy,
+)
+from repro.devices.catalog import PIXEL_3A, THINKPAD_X1_CARBON_G3
+from repro.grid.traces import GridTrace
+
+
+def _context(intensity, soc, threshold=None, time_s=0.0):
+    return ChargingDecisionContext(
+        time_s=time_s,
+        intensity_g_per_kwh=intensity,
+        state_of_charge=soc,
+        threshold_g_per_kwh=threshold,
+    )
+
+
+def test_always_plugged_always_charges():
+    policy = AlwaysPlugged()
+    policy.prepare_day(None, PIXEL_3A.battery, 1.54)
+    assert policy.should_charge(_context(999.0, 1.0))
+    assert policy.should_charge(_context(1.0, 0.0))
+
+
+class TestNaiveCharging:
+    def test_hysteresis(self):
+        policy = NaiveCharging(low_watermark=0.25, high_watermark=0.9)
+        policy.prepare_day(None, PIXEL_3A.battery, 1.54)
+        assert not policy.should_charge(_context(100.0, 0.5))
+        assert policy.should_charge(_context(100.0, 0.2))       # dropped below low
+        assert policy.should_charge(_context(100.0, 0.5))       # keeps charging
+        assert not policy.should_charge(_context(100.0, 0.95))  # reached high
+
+
+class TestSmartChargingPolicy:
+    def test_charge_time_percentile(self):
+        # Pixel 3A: 1.54 W draw against an 18 W charger -> ~8.6 % of the day.
+        p = SmartChargingPolicy.charge_time_percentile(PIXEL_3A.battery, 1.54)
+        assert p == pytest.approx(8.6, abs=0.2)
+        # ThinkPad: 11.47 W against a 45 W charger -> ~25 %.
+        p_laptop = SmartChargingPolicy.charge_time_percentile(
+            THINKPAD_X1_CARBON_G3.battery, 11.47
+        )
+        assert p_laptop == pytest.approx(25.5, abs=1.0)
+
+    def test_threshold_from_previous_day_percentile(self):
+        policy = SmartChargingPolicy(percentile_margin=0.0)
+        previous = GridTrace.from_series([100, 200, 300, 400] * 72, interval_s=300)
+        policy.prepare_day(previous, PIXEL_3A.battery, 1.54)
+        assert policy.threshold_g_per_kwh is not None
+        assert policy.threshold_g_per_kwh <= previous.percentile(10)
+
+    def test_charges_below_threshold_only(self):
+        policy = SmartChargingPolicy()
+        previous = GridTrace.from_series([100, 200, 300, 400] * 72, interval_s=300)
+        policy.prepare_day(previous, PIXEL_3A.battery, 1.54)
+        threshold = policy.threshold_g_per_kwh
+        assert policy.should_charge(_context(threshold - 1, 0.8, threshold))
+        assert not policy.should_charge(_context(threshold + 50, 0.8, threshold))
+
+    def test_forced_charge_below_soc_floor(self):
+        policy = SmartChargingPolicy(min_state_of_charge=0.25)
+        previous = GridTrace.from_series([100, 200, 300, 400] * 72, interval_s=300)
+        policy.prepare_day(previous, PIXEL_3A.battery, 1.54)
+        assert policy.should_charge(_context(10_000.0, 0.10))
+
+    def test_never_charges_when_full(self):
+        policy = SmartChargingPolicy()
+        previous = GridTrace.from_series([100, 200, 300, 400] * 72, interval_s=300)
+        policy.prepare_day(previous, PIXEL_3A.battery, 1.54)
+        assert not policy.should_charge(_context(1.0, 1.0))
+
+    def test_first_day_behaves_like_plugged(self):
+        policy = SmartChargingPolicy()
+        policy.prepare_day(None, PIXEL_3A.battery, 1.54)
+        assert policy.should_charge(_context(500.0, 0.9))
+
+    def test_fixed_percentile_override(self):
+        policy = SmartChargingPolicy(fixed_percentile=50.0)
+        previous = GridTrace.from_series([100, 200, 300, 400] * 72, interval_s=300)
+        policy.prepare_day(previous, PIXEL_3A.battery, 1.54)
+        assert policy.threshold_g_per_kwh == pytest.approx(previous.percentile(50.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartChargingPolicy(min_state_of_charge=1.5)
+        with pytest.raises(ValueError):
+            SmartChargingPolicy(percentile_margin=-1.0)
+        with pytest.raises(ValueError):
+            SmartChargingPolicy(fixed_percentile=150.0)

@@ -1,0 +1,166 @@
+"""Cloudlet-scale carbon designs (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cloudlet import (
+    CloudletDesign,
+    nexus4_cloudlet_design,
+    paper_cloudlets,
+    pixel_cloudlet_design,
+    poweredge_baseline,
+    proliant_cloudlet,
+    thinkpad_cloudlet,
+)
+from repro.cluster.peripherals import PeripheralSet
+from repro.cluster.topology import wired_topology
+from repro.core.lifetime import crossover_month, default_lifetimes
+from repro.devices.benchmarks import DIJKSTRA, PDF_RENDER, SGEMM
+from repro.devices.catalog import PIXEL_3A, POWEREDGE_R740
+from repro.grid.mix import california, solar_24_7, zero_carbon
+
+
+@pytest.fixture(scope="module")
+def california_designs():
+    return paper_cloudlets(SGEMM, regime="california")
+
+
+class TestDesignConstruction:
+    def test_paper_cloudlet_sizes_for_sgemm(self, california_designs):
+        assert california_designs["PowerEdge R740"].n_devices == 1
+        assert california_designs["ProLiant"].n_devices == 20
+        assert california_designs["ThinkPad"].n_devices == 17
+        assert california_designs["Pixel 3A"].n_devices == 54
+        assert california_designs["Nexus 4"].n_devices in (255, 256)
+
+    def test_nexus_cloudlet_consumes_more_power_than_poweredge(self, california_designs):
+        # Paper: the Nexus 4 cluster draws ~456 W of device power, more than
+        # the 309 W PowerEdge, yet still wins on carbon for short lifetimes.
+        nexus = california_designs["Nexus 4"]
+        server = california_designs["PowerEdge R740"]
+        assert nexus.n_devices * nexus.device_average_power_w > server.total_average_power_w
+
+    def test_pixel_cloudlet_device_power_near_84w(self, california_designs):
+        pixel = california_designs["Pixel 3A"]
+        assert pixel.n_devices * pixel.device_average_power_w == pytest.approx(83, abs=2)
+
+    def test_smartphone_designs_have_fans_and_plugs(self, california_designs):
+        pixel = california_designs["Pixel 3A"]
+        assert pixel.peripherals.total_embodied_kg > 0
+        assert pixel.smart_charging
+        assert pixel.include_battery_replacement
+
+    def test_solar_regime_drops_plugs_and_batteries(self):
+        designs = paper_cloudlets(SGEMM, regime="solar")
+        pixel = designs["Pixel 3A"]
+        assert not pixel.smart_charging
+        assert not pixel.include_battery_replacement
+        # Only the cooling fan remains.
+        assert pixel.peripherals.total_embodied_kg == pytest.approx(9.3)
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(ValueError):
+            paper_cloudlets(SGEMM, regime="mars")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudletDesign(
+                name="bad",
+                device=PIXEL_3A,
+                n_devices=0,
+                energy_mix=california(),
+                topology=wired_topology(),
+            )
+        with pytest.raises(ValueError):
+            CloudletDesign(
+                name="bad",
+                device=POWEREDGE_R740,
+                n_devices=1,
+                energy_mix=california(),
+                topology=wired_topology(),
+                smart_charging=True,
+            )
+
+
+class TestCarbonBehaviour:
+    def test_reused_designs_have_no_device_embodied_carbon(self, california_designs):
+        proliant = california_designs["ProLiant"]
+        assert proliant.embodied_carbon_g(36.0) == 0.0
+
+    def test_new_server_pays_embodied(self, california_designs):
+        server = california_designs["PowerEdge R740"]
+        assert server.carbon_components(36.0).embodied_g == pytest.approx(3.0e6)
+
+    def test_battery_replacement_grows_stepwise(self, california_designs):
+        pixel = california_designs["Pixel 3A"]
+        early = pixel.embodied_carbon_g(12.0)
+        late = pixel.embodied_carbon_g(40.0)
+        assert late > early
+
+    def test_networking_term_positive_and_small(self, california_designs):
+        pixel = california_designs["Pixel 3A"]
+        components = pixel.carbon_components(36.0)
+        assert 0 < components.networking_g < components.operational_g
+
+    def test_throughput_matches_or_exceeds_baseline(self, california_designs):
+        server = california_designs["PowerEdge R740"]
+        for name in ("Pixel 3A", "ThinkPad", "ProLiant"):
+            assert california_designs[name].throughput(SGEMM) >= server.throughput(SGEMM)
+
+    def test_with_energy_mix_returns_copy(self, california_designs):
+        pixel = california_designs["Pixel 3A"]
+        solar = pixel.with_energy_mix(solar_24_7())
+        assert solar.energy_mix.name == "24/7 solar"
+        assert pixel.energy_mix.name == "California"
+
+
+class TestFigure5Shape:
+    def test_pixel_always_beats_new_server(self, california_designs):
+        months = default_lifetimes()
+        pixel = california_designs["Pixel 3A"].cci_series(SGEMM, months)
+        server = california_designs["PowerEdge R740"].cci_series(SGEMM, months)
+        assert np.all(pixel < server)
+
+    def test_nexus_crossover_in_paper_range(self, california_designs):
+        # Paper: the Nexus 4 cluster is more carbon-efficient than a new
+        # PowerEdge for SGEMM only for lifetimes below ~45 months.
+        months = default_lifetimes()
+        nexus = california_designs["Nexus 4"].cci_series(SGEMM, months)
+        server = california_designs["PowerEdge R740"].cci_series(SGEMM, months)
+        crossover = crossover_month(months, nexus, server)
+        assert crossover is not None
+        assert 30 <= crossover <= 60
+
+    def test_old_server_is_worst_for_pdf_render(self):
+        designs = paper_cloudlets(PDF_RENDER, regime="california")
+        at_36 = {name: design.cci(PDF_RENDER, 36.0) for name, design in designs.items()}
+        assert at_36["ProLiant"] == max(at_36.values())
+
+    def test_pixel_best_for_dijkstra(self):
+        designs = paper_cloudlets(DIJKSTRA, regime="california")
+        at_36 = {name: design.cci(DIJKSTRA, 36.0) for name, design in designs.items()}
+        assert min(at_36, key=at_36.get) == "Pixel 3A"
+
+    def test_solar_regime_lowers_cci_for_everyone(self):
+        ca = paper_cloudlets(SGEMM, regime="california")
+        solar = paper_cloudlets(SGEMM, regime="solar")
+        for name in ca:
+            assert solar[name].cci(SGEMM, 36.0) < ca[name].cci(SGEMM, 36.0)
+
+    def test_zero_carbon_leaves_only_embodied_for_new_server(self):
+        server = poweredge_baseline(zero_carbon())
+        components = server.carbon_components(36.0)
+        assert components.operational_g == 0.0
+        assert components.total_g == components.embodied_g
+
+
+class TestIndividualFactories:
+    def test_factories_return_sensible_designs(self):
+        assert proliant_cloudlet(SGEMM).n_devices == 20
+        assert thinkpad_cloudlet(SGEMM).n_devices == 17
+        assert pixel_cloudlet_design(PDF_RENDER).n_devices == 22
+        assert nexus4_cloudlet_design(DIJKSTRA).n_devices == 37
+
+    def test_thinkpad_without_smart_charging_has_no_plugs(self):
+        design = thinkpad_cloudlet(SGEMM, smart_charging=False)
+        assert design.peripherals.total_embodied_kg == 0.0

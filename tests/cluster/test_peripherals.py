@@ -1,0 +1,53 @@
+"""Peripherals and peripheral sets."""
+
+import pytest
+
+from repro.cluster.peripherals import (
+    SERVER_FAN,
+    SMART_PLUG,
+    Peripheral,
+    PeripheralSet,
+)
+
+
+def test_fan_matches_paper_numbers():
+    assert SERVER_FAN.embodied_carbon_kgco2e == pytest.approx(9.3)
+    assert SERVER_FAN.power_w == pytest.approx(4.0)
+
+
+def test_peripheral_validation():
+    with pytest.raises(ValueError):
+        Peripheral("bad", embodied_carbon_kgco2e=-1.0, power_w=0.0)
+    with pytest.raises(ValueError):
+        Peripheral("bad", embodied_carbon_kgco2e=1.0, power_w=-0.1)
+
+
+def test_empty_set_is_zero():
+    empty = PeripheralSet.empty()
+    assert empty.total_embodied_kg == 0.0
+    assert empty.total_power_w == 0.0
+    assert empty.total_cost_usd == 0.0
+
+
+def test_smartphone_cloudlet_bill():
+    bill = PeripheralSet.for_smartphone_cloudlet(n_devices=54, n_fans=1)
+    assert bill.total_embodied_kg == pytest.approx(9.3 + 54 * SMART_PLUG.embodied_carbon_kgco2e)
+    assert bill.total_power_w == pytest.approx(4.0 + 54 * SMART_PLUG.power_w)
+
+
+def test_smartphone_cloudlet_without_plugs():
+    bill = PeripheralSet.for_smartphone_cloudlet(n_devices=54, n_fans=2, include_smart_plugs=False)
+    assert bill.total_embodied_kg == pytest.approx(2 * 9.3)
+
+
+def test_laptop_cloudlet_bill():
+    bill = PeripheralSet.for_laptop_cloudlet(17)
+    assert bill.total_embodied_kg == pytest.approx(17 * SMART_PLUG.embodied_carbon_kgco2e)
+    assert PeripheralSet.for_laptop_cloudlet(17, include_smart_plugs=False).total_power_w == 0.0
+
+
+def test_with_item_appends():
+    bill = PeripheralSet.empty().with_item(SERVER_FAN, 2)
+    assert bill.total_power_w == pytest.approx(8.0)
+    with pytest.raises(ValueError):
+        PeripheralSet(items=((SERVER_FAN, -1),))

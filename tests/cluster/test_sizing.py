@@ -1,0 +1,73 @@
+"""Server-equivalent sizing (Table 1's N column)."""
+
+import pytest
+
+from repro.cluster.sizing import cluster_throughput, devices_needed, equivalence_table
+from repro.devices.benchmarks import DIJKSTRA, MEMORY_COPY, PDF_RENDER, SGEMM
+from repro.devices.catalog import (
+    NEXUS_4,
+    NEXUS_5,
+    PIXEL_3A,
+    POWEREDGE_R740,
+    PROLIANT_DL380_G6,
+    TABLE1_DEVICES,
+    THINKPAD_X1_CARBON_G3,
+)
+
+
+def test_paper_table1_n_values():
+    expected = {
+        ("HP ProLiant DL380 G6", "SGEMM"): 20,
+        ("HP ProLiant DL380 G6", "PDF Render"): 6,
+        ("HP ProLiant DL380 G6", "Dijkstra"): 5,
+        ("HP ProLiant DL380 G6", "Memory Copy"): 2,
+        ("ThinkPad X1 Carbon G3", "SGEMM"): 17,
+        ("ThinkPad X1 Carbon G3", "PDF Render"): 14,
+        ("ThinkPad X1 Carbon G3", "Dijkstra"): 11,
+        ("ThinkPad X1 Carbon G3", "Memory Copy"): 2,
+        ("Pixel 3A", "SGEMM"): 54,
+        ("Pixel 3A", "PDF Render"): 22,
+        ("Pixel 3A", "Dijkstra"): 19,
+        # The paper prints 6 here, but 19.5 / 5.45 rounds up to 4; we follow
+        # the arithmetic of the published scores.
+        ("Pixel 3A", "Memory Copy"): 4,
+        ("Nexus 4", "SGEMM"): 255,
+        ("Nexus 4", "PDF Render"): 77,
+        ("Nexus 4", "Dijkstra"): 37,
+        ("Nexus 4", "Memory Copy"): 7,
+    }
+    devices = {d.name: d for d in TABLE1_DEVICES}
+    benchmarks = {b.name: b for b in (SGEMM, PDF_RENDER, DIJKSTRA, MEMORY_COPY)}
+    for (device_name, benchmark_name), n in expected.items():
+        computed = devices_needed(devices[device_name], benchmarks[benchmark_name])
+        # The paper rounds 2070/8.12 to 256; ceil gives 255.  Allow one unit.
+        assert abs(computed - n) <= 1, (device_name, benchmark_name, computed, n)
+
+
+def test_baseline_needs_exactly_one_of_itself():
+    for benchmark in (SGEMM, PDF_RENDER, DIJKSTRA, MEMORY_COPY):
+        assert devices_needed(POWEREDGE_R740, benchmark) == 1
+
+
+def test_devices_needed_requires_benchmark_scores():
+    with pytest.raises(ValueError):
+        devices_needed(NEXUS_5, SGEMM)
+    with pytest.raises(ValueError):
+        devices_needed(PIXEL_3A, SGEMM, baseline=NEXUS_5)
+
+
+def test_equivalence_table_shape():
+    table = equivalence_table([PIXEL_3A, NEXUS_4])
+    assert set(table) == {"Pixel 3A", "Nexus 4"}
+    row = table["Pixel 3A"]
+    assert row.worst_case() == 54
+    assert row.best_case() == 4
+
+
+def test_cluster_throughput_scales_linearly():
+    single = cluster_throughput(PIXEL_3A, 1, SGEMM)
+    many = cluster_throughput(PIXEL_3A, 54, SGEMM)
+    assert many == pytest.approx(54 * single)
+    assert many >= POWEREDGE_R740.benchmark_suite.throughput(SGEMM)
+    with pytest.raises(ValueError):
+        cluster_throughput(PIXEL_3A, 0, SGEMM)

@@ -1,0 +1,75 @@
+"""Networking topologies."""
+
+import pytest
+
+from repro import units
+from repro.cluster.topology import (
+    NetworkTopology,
+    lte_uplink_topology,
+    shared_wifi_topology,
+    wifi_tree_topology,
+    wired_topology,
+)
+from repro.core.carbon import (
+    LTE_ENERGY_INTENSITY_J_PER_BYTE,
+    WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+)
+
+
+def test_tree_topology_matches_paper_parameters():
+    tree = wifi_tree_topology()
+    assert tree.management_fraction == pytest.approx(0.20)
+    assert tree.per_device_bandwidth_bytes_per_s == pytest.approx(
+        units.mbit_per_s_to_bytes_per_s(18.5)
+    )
+    assert tree.energy_intensity_j_per_byte == pytest.approx(WIFI_ENERGY_INTENSITY_J_PER_BYTE)
+    assert not tree.requires_infrastructure
+
+
+def test_tree_hotspot_count():
+    tree = wifi_tree_topology()
+    assert tree.hotspot_devices(54) == 11
+    assert tree.hotspot_devices(256) == 52
+    with pytest.raises(ValueError):
+        tree.hotspot_devices(0)
+
+
+def test_wired_topology_uses_lower_energy_intensity():
+    wired = wired_topology()
+    assert wired.energy_intensity_j_per_byte < WIFI_ENERGY_INTENSITY_J_PER_BYTE
+    assert wired.requires_infrastructure
+    assert wired.hotspot_devices(100) == 0
+
+
+def test_lte_topology_energy_intensity():
+    assert lte_uplink_topology().energy_intensity_j_per_byte == pytest.approx(
+        LTE_ENERGY_INTENSITY_J_PER_BYTE
+    )
+
+
+def test_shared_wifi_supports_only_small_clusters():
+    shared = shared_wifi_topology()
+    assert shared.supports(10)
+    tree = wifi_tree_topology()
+    assert tree.supports(256)
+
+
+def test_aggregate_bandwidth_scales_with_devices():
+    tree = wifi_tree_topology()
+    assert tree.aggregate_bandwidth_bytes_per_s(10) == pytest.approx(
+        10 * tree.per_device_bandwidth_bytes_per_s
+    )
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        NetworkTopology("bad", energy_intensity_j_per_byte=-1.0, per_device_bandwidth_bytes_per_s=1.0)
+    with pytest.raises(ValueError):
+        NetworkTopology("bad", energy_intensity_j_per_byte=1.0, per_device_bandwidth_bytes_per_s=0.0)
+    with pytest.raises(ValueError):
+        NetworkTopology(
+            "bad",
+            energy_intensity_j_per_byte=1.0,
+            per_device_bandwidth_bytes_per_s=1.0,
+            management_fraction=1.0,
+        )

@@ -1,0 +1,126 @@
+"""Carbon accounting primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.carbon import (
+    CarbonComponents,
+    CarbonLedger,
+    LTE_ENERGY_INTENSITY_J_PER_BYTE,
+    WIFI_ENERGY_INTENSITY_J_PER_BYTE,
+    networking_carbon_g,
+    operational_carbon_g,
+)
+
+
+class TestOperationalCarbon:
+    def test_one_kw_for_one_hour(self):
+        grams = operational_carbon_g(1_000.0, 3_600.0, 257.0)
+        assert grams == pytest.approx(257.0)
+
+    def test_zero_power_or_duration(self):
+        assert operational_carbon_g(0.0, 3_600.0, 257.0) == 0.0
+        assert operational_carbon_g(100.0, 0.0, 257.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            operational_carbon_g(-1.0, 10.0, 257.0)
+        with pytest.raises(ValueError):
+            operational_carbon_g(1.0, -10.0, 257.0)
+        with pytest.raises(ValueError):
+            operational_carbon_g(1.0, 10.0, -257.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e8),
+        st.floats(min_value=0.0, max_value=1_000.0),
+    )
+    def test_linear_in_intensity(self, power, duration, intensity):
+        single = operational_carbon_g(power, duration, intensity)
+        double = operational_carbon_g(power, duration, 2 * intensity)
+        assert double == pytest.approx(2 * single, rel=1e-9, abs=1e-9)
+
+
+class TestNetworkingCarbon:
+    def test_wifi_vs_lte_energy_intensity(self):
+        wifi = networking_carbon_g(1e6, WIFI_ENERGY_INTENSITY_J_PER_BYTE, 3_600.0, 257.0)
+        lte = networking_carbon_g(1e6, LTE_ENERGY_INTENSITY_J_PER_BYTE, 3_600.0, 257.0)
+        assert lte == pytest.approx(wifi * 11.0 / 5.0)
+
+    def test_magnitude(self):
+        # 0.1 Gbps over WiFi for a year at the California mean.
+        rate = 0.1e9 / 8
+        grams = networking_carbon_g(rate, 5e-6, 365 * 86_400.0, 257.0)
+        assert grams == pytest.approx(140_700, rel=0.05)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            networking_carbon_g(-1.0, 5e-6, 10.0, 257.0)
+
+
+class TestCarbonComponents:
+    def test_totals(self):
+        components = CarbonComponents(embodied_g=1_000.0, operational_g=500.0, networking_g=50.0)
+        assert components.total_g == pytest.approx(1_550.0)
+        assert components.total_kg == pytest.approx(1.55)
+
+    def test_addition_and_scaling(self):
+        a = CarbonComponents(100.0, 200.0, 10.0)
+        b = CarbonComponents(1.0, 2.0, 3.0)
+        combined = a + b
+        assert combined.embodied_g == 101.0
+        assert combined.networking_g == 13.0
+        scaled = a.scaled(3.0)
+        assert scaled.operational_g == pytest.approx(600.0)
+
+    def test_pue_applies_to_operational_terms_only(self):
+        components = CarbonComponents(100.0, 200.0, 10.0)
+        adjusted = components.with_pue(1.5)
+        assert adjusted.embodied_g == 100.0
+        assert adjusted.operational_g == pytest.approx(300.0)
+        assert adjusted.networking_g == pytest.approx(15.0)
+        with pytest.raises(ValueError):
+            components.with_pue(0.9)
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(ValueError):
+            CarbonComponents(embodied_g=-1.0)
+
+
+class TestCarbonLedger:
+    def test_embodied_entries_in_kg(self):
+        ledger = CarbonLedger()
+        ledger.add_embodied("batteries", 2.0, count=10)
+        assert ledger.total_g() == pytest.approx(20_000.0)
+
+    def test_operational_and_networking_entries(self):
+        ledger = CarbonLedger()
+        ledger.add_operational("device", 1_000.0, 3_600.0, 257.0)
+        ledger.add_networking("uplink", 1e6, 5e-6, 3_600.0, 257.0)
+        components = ledger.components()
+        assert components.operational_g == pytest.approx(257.0)
+        assert components.networking_g > 0
+        assert components.embodied_g == 0.0
+
+    def test_by_label_groups_entries(self):
+        ledger = CarbonLedger()
+        ledger.add_embodied("fan", 9.3)
+        ledger.add_embodied("fan", 9.3)
+        ledger.add_operational_grams("fan", 100.0)
+        assert ledger.by_label()["fan"] == pytest.approx(18_700.0)
+
+    def test_merged(self):
+        a = CarbonLedger()
+        a.add_embodied("x", 1.0)
+        b = CarbonLedger()
+        b.add_operational_grams("y", 5.0)
+        merged = a.merged(b)
+        assert merged.total_g() == pytest.approx(1_005.0)
+        assert len(merged.entries) == 2
+
+    def test_invalid_inputs(self):
+        ledger = CarbonLedger()
+        with pytest.raises(ValueError):
+            ledger.add_embodied("x", -1.0)
+        with pytest.raises(ValueError):
+            ledger.add_operational_grams("x", -1.0)

@@ -1,0 +1,103 @@
+"""Lifetime sweeps, crossovers, and amortisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifetime import (
+    LifetimeSweep,
+    amortization_month,
+    crossover_month,
+    default_lifetimes,
+    improvement_factor,
+    sweep,
+)
+
+
+def test_default_lifetimes_grid():
+    months = default_lifetimes()
+    assert months[0] == 1.0
+    assert months[-1] == 60.0
+    assert len(months) == 60
+    with pytest.raises(ValueError):
+        default_lifetimes(0)
+
+
+def test_sweep_applies_metric():
+    months = [1.0, 2.0, 4.0]
+    values = sweep(lambda m: 10.0 / m, months)
+    np.testing.assert_allclose(values, [10.0, 5.0, 2.5])
+    with pytest.raises(ValueError):
+        sweep(lambda m: m, [0.0, 1.0])
+
+
+class TestCrossover:
+    def test_crossing_series(self):
+        months = np.arange(1, 11, dtype=float)
+        a = 10.0 / months          # decreasing, starts better? a(1)=10
+        b = np.full(10, 2.0)
+        # a is worse than b until 10/m < 2 => m > 5, so a is never "better then worse".
+        # Use reversed roles: a starts better and degrades.
+        rising = 0.5 * months      # starts at 0.5, exceeds 2.0 after month 4
+        cross = crossover_month(months, rising, b)
+        assert cross == pytest.approx(4.0)
+
+    def test_never_crossing_returns_none(self):
+        months = [1.0, 2.0, 3.0]
+        assert crossover_month(months, [1, 1, 1], [2, 2, 2]) is None
+
+    def test_immediately_worse_returns_first_month(self):
+        months = [1.0, 2.0, 3.0]
+        assert crossover_month(months, [3, 3, 3], [2, 2, 2]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_month([1, 2], [1], [1, 2])
+
+
+class TestAmortization:
+    def test_finds_interpolated_month(self):
+        months = [1.0, 2.0, 3.0, 4.0]
+        series = [8.0, 4.0, 2.0, 1.0]
+        assert amortization_month(months, series, 3.0) == pytest.approx(2.5)
+
+    def test_target_never_reached(self):
+        assert amortization_month([1, 2], [5, 4], 1.0) is None
+
+    def test_already_below_target(self):
+        assert amortization_month([1, 2], [0.5, 0.4], 1.0) == 1.0
+
+
+def test_improvement_factor():
+    factors = improvement_factor([10.0, 9.0], [5.0, 3.0])
+    np.testing.assert_allclose(factors, [2.0, 3.0])
+    with pytest.raises(ValueError):
+        improvement_factor([1.0], [0.0])
+    with pytest.raises(ValueError):
+        improvement_factor([1.0, 2.0], [1.0])
+
+
+class TestLifetimeSweep:
+    def _sweep(self):
+        months = np.array([12.0, 24.0, 36.0])
+        return LifetimeSweep(
+            months=months,
+            series={"phone": np.array([1.0, 0.8, 0.6]), "server": np.array([3.0, 2.0, 1.5])},
+            metric_unit="gCO2e/op",
+        )
+
+    def test_labels_and_at(self):
+        sweep_data = self._sweep()
+        assert set(sweep_data.labels()) == {"phone", "server"}
+        assert sweep_data.at("phone", 24.0) == pytest.approx(0.8)
+        assert sweep_data.at("phone", 18.0) == pytest.approx(0.9)
+
+    def test_best_at_and_ratio(self):
+        sweep_data = self._sweep()
+        label, value = sweep_data.best_at(36.0)
+        assert label == "phone"
+        assert value == pytest.approx(0.6)
+        assert sweep_data.ratio("server", "phone", 36.0) == pytest.approx(2.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LifetimeSweep(months=np.array([1.0, 2.0]), series={"x": np.array([1.0])})

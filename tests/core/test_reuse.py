@@ -1,0 +1,90 @@
+"""Reuse factor (Table 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reuse import (
+    CLOUDLET_SCENARIO,
+    SENSOR_SCENARIO,
+    STORAGE_SCENARIO,
+    ReuseScenario,
+    component_carbon_table,
+    device_reuse_factor,
+    reuse_factor,
+)
+from repro.devices.catalog import NEXUS_4, PIXEL_3A, POWEREDGE_R740
+from repro.devices.specs import ComponentBreakdown
+
+
+def test_cloudlet_reuse_factor_is_085():
+    # Paper Section 3.4: compute + networking + battery + storage reused,
+    # display and sensors not -> RF = 0.85 for the Nexus 4.
+    assert CLOUDLET_SCENARIO.factor(NEXUS_4) == pytest.approx(0.85)
+
+
+def test_reuse_factor_ignores_unknown_components():
+    breakdown = ComponentBreakdown({"compute": 0.6, "other": 0.4})
+    assert reuse_factor(breakdown, ["compute", "warp-drive"]) == pytest.approx(0.6)
+
+
+def test_full_reuse_is_one():
+    breakdown = NEXUS_4.components
+    assert reuse_factor(breakdown, breakdown.components()) == pytest.approx(1.0)
+
+
+def test_no_reuse_is_zero():
+    assert reuse_factor(NEXUS_4.components, []) == 0.0
+
+
+def test_device_without_breakdown_raises():
+    with pytest.raises(ValueError):
+        device_reuse_factor(POWEREDGE_R740, ["compute"])
+
+
+def test_scenario_embodied_split():
+    reused = CLOUDLET_SCENARIO.reused_embodied_kg(NEXUS_4)
+    wasted = CLOUDLET_SCENARIO.wasted_embodied_kg(NEXUS_4)
+    assert reused + wasted == pytest.approx(NEXUS_4.embodied_carbon_kgco2e)
+    assert reused == pytest.approx(0.85 * 50.0)
+
+
+def test_storage_scenario_smaller_than_cloudlet():
+    assert STORAGE_SCENARIO.factor(NEXUS_4) < CLOUDLET_SCENARIO.factor(NEXUS_4)
+
+
+def test_sensor_scenario_includes_sensors():
+    assert SENSOR_SCENARIO.factor(NEXUS_4) == pytest.approx(0.80)
+
+
+def test_component_carbon_table_matches_table3():
+    table = component_carbon_table(NEXUS_4)
+    assert table["compute"]["fraction"] == pytest.approx(0.25)
+    assert table["compute"]["kg_co2e"] == pytest.approx(12.5)
+    assert sum(entry["kg_co2e"] for entry in table.values()) == pytest.approx(50.0)
+
+
+def test_component_carbon_table_requires_breakdown():
+    with pytest.raises(ValueError):
+        component_carbon_table(POWEREDGE_R740)
+
+
+@given(
+    st.sets(
+        st.sampled_from(
+            ["compute", "network", "battery", "display", "storage", "sensors", "other"]
+        )
+    )
+)
+def test_reuse_factor_always_within_unit_interval(components):
+    factor = reuse_factor(PIXEL_3A.components, components)
+    assert 0.0 <= factor <= 1.0 + 1e-9
+
+
+@given(
+    st.sets(st.sampled_from(["compute", "network", "battery", "display"])),
+    st.sets(st.sampled_from(["storage", "sensors", "other"])),
+)
+def test_reuse_factor_monotone_in_component_set(base, extra):
+    smaller = reuse_factor(NEXUS_4.components, base)
+    larger = reuse_factor(NEXUS_4.components, base | extra)
+    assert larger >= smaller - 1e-12

@@ -1,0 +1,148 @@
+"""Battery specs, wear, and replacement arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.devices.battery import (
+    BatterySpec,
+    BatteryState,
+    replacement_carbon_kg,
+    replacement_interval_days,
+    replacements_over_lifetime,
+)
+from repro.devices.catalog import NEXUS_4, PIXEL_3A
+
+
+class TestBatterySpec:
+    def test_capacity_joules(self):
+        spec = BatterySpec(capacity_wh=12.5, charge_rate_w=18.0)
+        assert spec.capacity_joules == pytest.approx(45_000.0)
+
+    def test_from_amp_hours(self):
+        spec = BatterySpec.from_amp_hours(3.0, 4.17, charge_rate_w=18.0)
+        assert spec.capacity_wh == pytest.approx(12.51)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatterySpec(capacity_wh=0.0, charge_rate_w=18.0)
+        with pytest.raises(ValueError):
+            BatterySpec(capacity_wh=10.0, charge_rate_w=0.0)
+        with pytest.raises(ValueError):
+            BatterySpec(capacity_wh=10.0, charge_rate_w=5.0, cycle_life=0.0)
+
+    def test_full_charge_duration(self):
+        spec = BatterySpec(capacity_wh=18.0, charge_rate_w=18.0)
+        assert spec.full_charge_duration_s() == pytest.approx(3_600.0)
+
+    def test_runtime_25_percent_charge_matches_paper(self):
+        # Paper: a 25% charge on the Pixel 3A lasts slightly under 2 hours at
+        # the light-medium draw of ~1.54 W.
+        runtime = PIXEL_3A.battery.runtime_s(1.54, depth_of_discharge=0.25)
+        assert 1.8 * 3_600 < runtime < 2.1 * 3_600
+
+    def test_daily_cycles_pixel_matches_paper(self):
+        # Paper: ~133 kJ/day against a 45 kJ battery is three full charges.
+        cycles = PIXEL_3A.battery.daily_cycles(1.54)
+        assert cycles == pytest.approx(3.0, abs=0.1)
+
+
+class TestReplacementSchedule:
+    def test_pixel_battery_lifetime_roughly_2_3_years(self):
+        days = replacement_interval_days(PIXEL_3A.battery, 1.54)
+        assert days == pytest.approx(833, rel=0.05)
+
+    def test_nexus4_battery_lifetime_roughly_1_2_years(self):
+        days = replacement_interval_days(NEXUS_4.battery, 1.78)
+        assert days == pytest.approx(1.23 * 365, rel=0.1)
+
+    def test_zero_draw_never_wears_out(self):
+        assert math.isinf(replacement_interval_days(PIXEL_3A.battery, 0.0))
+        assert replacements_over_lifetime(PIXEL_3A.battery, 0.0, 36.0) == 1
+
+    def test_replacements_ceiling(self):
+        # 36 months at 1.54 W is ~1.3 battery lifetimes: ceil gives 2 packs.
+        assert replacements_over_lifetime(PIXEL_3A.battery, 1.54, 36.0) == 2
+        assert replacements_over_lifetime(PIXEL_3A.battery, 1.54, 12.0) == 1
+
+    def test_zero_lifetime(self):
+        assert replacements_over_lifetime(PIXEL_3A.battery, 1.54, 0.0) == 0
+
+    def test_replacement_carbon_scales_with_packs(self):
+        one_year = replacement_carbon_kg(PIXEL_3A.battery, 1.54, 12.0)
+        three_years = replacement_carbon_kg(PIXEL_3A.battery, 1.54, 36.0)
+        assert one_year == pytest.approx(PIXEL_3A.battery.embodied_carbon_kgco2e)
+        assert three_years == pytest.approx(2 * PIXEL_3A.battery.embodied_carbon_kgco2e)
+
+    @given(st.floats(min_value=0.1, max_value=10.0), st.floats(min_value=1.0, max_value=120.0))
+    def test_replacement_count_monotone_in_lifetime(self, draw, lifetime):
+        shorter = replacements_over_lifetime(PIXEL_3A.battery, draw, lifetime / 2)
+        longer = replacements_over_lifetime(PIXEL_3A.battery, draw, lifetime)
+        assert longer >= shorter
+
+
+class TestBatteryState:
+    def test_starts_full(self):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        assert state.state_of_charge == pytest.approx(1.0)
+
+    def test_discharge_and_charge_conserve_energy(self):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        supplied = state.discharge(2.0, 3_600.0)
+        assert supplied == pytest.approx(7_200.0)
+        assert state.state_of_charge < 1.0
+        delivered = state.charge(3_600.0, rate_w=2.0)
+        assert delivered == pytest.approx(7_200.0)
+        assert state.state_of_charge == pytest.approx(1.0)
+
+    def test_discharge_stops_at_empty(self):
+        spec = BatterySpec(capacity_wh=1.0, charge_rate_w=5.0)
+        state = BatteryState(spec=spec)
+        supplied = state.discharge(10.0, 3_600.0)
+        assert supplied == pytest.approx(spec.capacity_joules)
+        assert state.state_of_charge == pytest.approx(0.0)
+
+    def test_charge_stops_at_full(self):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        assert state.charge(3_600.0) == pytest.approx(0.0)
+
+    def test_cycle_counting(self):
+        spec = BatterySpec(capacity_wh=1.0, charge_rate_w=10.0, cycle_life=2.0)
+        state = BatteryState(spec=spec)
+        for _ in range(2):
+            state.discharge(1.0, 3_600.0)
+            state.charge(3_600.0)
+        assert state.equivalent_full_cycles == pytest.approx(2.0)
+        assert state.is_worn_out
+
+    def test_reset(self):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        state.discharge(2.0, 1_000.0)
+        state.reset(0.5)
+        assert state.state_of_charge == pytest.approx(0.5)
+        assert state.discharged_energy_j == 0.0
+
+    def test_invalid_inputs(self):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        with pytest.raises(ValueError):
+            state.discharge(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            state.charge(-5.0)
+        with pytest.raises(ValueError):
+            state.reset(1.5)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=5.0), st.floats(min_value=0.0, max_value=3_600.0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_state_of_charge_always_within_bounds(self, steps):
+        state = BatteryState(spec=PIXEL_3A.battery)
+        for draw, duration in steps:
+            state.discharge(draw, duration)
+            state.charge(duration / 2)
+            assert -1e-9 <= state.state_of_charge <= 1.0 + 1e-9

@@ -1,0 +1,85 @@
+"""Benchmark scores and suites."""
+
+import pytest
+
+from repro.devices.benchmarks import (
+    DIJKSTRA,
+    MEMORY_COPY,
+    PDF_RENDER,
+    SGEMM,
+    TABLE1_BENCHMARKS,
+    BenchmarkScore,
+    BenchmarkSuite,
+    benchmark_by_name,
+)
+from repro.devices.catalog import NEXUS_4, PIXEL_3A, POWEREDGE_R740
+
+
+def test_table1_benchmarks_complete():
+    names = [b.name for b in TABLE1_BENCHMARKS]
+    assert names == ["SGEMM", "PDF Render", "Dijkstra", "Memory Copy"]
+
+
+def test_benchmark_by_name():
+    assert benchmark_by_name("SGEMM") is SGEMM
+    with pytest.raises(KeyError):
+        benchmark_by_name("SPECint")
+
+
+class TestBenchmarkScore:
+    def test_throughput_is_multicore(self):
+        score = BenchmarkScore(SGEMM, single_core=8.84, multi_core=39.0)
+        assert score.throughput == pytest.approx(39.0)
+
+    def test_rejects_multi_below_single(self):
+        with pytest.raises(ValueError):
+            BenchmarkScore(SGEMM, single_core=10.0, multi_core=5.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BenchmarkScore(SGEMM, single_core=0.0, multi_core=5.0)
+
+    def test_speedup_over(self):
+        server = POWEREDGE_R740.benchmark_suite.score(SGEMM)
+        pixel = PIXEL_3A.benchmark_suite.score(SGEMM)
+        assert server.speedup_over(pixel) == pytest.approx(2_070 / 39.0)
+
+    def test_speedup_requires_same_benchmark(self):
+        server = POWEREDGE_R740.benchmark_suite.score(SGEMM)
+        pixel = PIXEL_3A.benchmark_suite.score(DIJKSTRA)
+        with pytest.raises(ValueError):
+            server.speedup_over(pixel)
+
+
+class TestBenchmarkSuite:
+    def test_from_table1_row_has_all_four(self):
+        suite = PIXEL_3A.benchmark_suite
+        for benchmark in TABLE1_BENCHMARKS:
+            assert suite.has(benchmark)
+
+    def test_lookup_by_name_or_object(self):
+        suite = NEXUS_4.benchmark_suite
+        assert suite.throughput("Memory Copy") == suite.throughput(MEMORY_COPY)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            PIXEL_3A.benchmark_suite.score("LINPACK")
+
+    def test_relative_performance_against_baseline(self):
+        ratios = POWEREDGE_R740.benchmark_suite.relative_performance(
+            NEXUS_4.benchmark_suite
+        )
+        # Paper: 256x difference for SGEMM, only ~7x for Memory Copy.
+        assert ratios["SGEMM"] == pytest.approx(255.0, rel=0.01)
+        assert ratios["Memory Copy"] == pytest.approx(6.06, rel=0.01)
+
+    def test_relative_performance_single_benchmark(self):
+        ratios = POWEREDGE_R740.benchmark_suite.relative_performance(
+            PIXEL_3A.benchmark_suite, benchmark=PDF_RENDER
+        )
+        assert set(ratios) == {"PDF Render"}
+
+    def test_mismatched_key_rejected(self):
+        score = BenchmarkScore(SGEMM, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            BenchmarkSuite(scores={"Dijkstra": score})

@@ -1,0 +1,105 @@
+"""The built-in device catalog."""
+
+import pytest
+
+from repro.devices import catalog
+from repro.devices.power import LIGHT_MEDIUM
+from repro.devices.specs import DeviceClass, DeviceSpec
+
+
+def test_registry_lookup_and_error():
+    assert catalog.get_device("Pixel 3A") is catalog.PIXEL_3A
+    with pytest.raises(KeyError):
+        catalog.get_device("iPhone 27")
+
+
+def test_all_devices_contains_table1_devices():
+    names = {d.name for d in catalog.all_devices()}
+    for device in catalog.TABLE1_DEVICES:
+        assert device.name in names
+
+
+def test_register_device_and_overwrite_guard():
+    custom = catalog.PIXEL_3A.with_overrides(name="My Junk Phone")
+    catalog.register_device(custom)
+    try:
+        assert catalog.get_device("My Junk Phone") is custom
+        with pytest.raises(ValueError):
+            catalog.register_device(custom)
+        catalog.register_device(custom, overwrite=True)
+    finally:
+        catalog._REGISTRY.pop("My Junk Phone", None)
+
+
+def test_table2_average_power_values_match_paper():
+    expected = {
+        "PowerEdge R740": 308.7,
+        "HP ProLiant DL380 G6": 199.1,
+        "ThinkPad X1 Carbon G3": 11.47,
+        "Pixel 3A": 1.54,
+        "Nexus 4": 1.78,
+    }
+    for device in catalog.TABLE1_DEVICES:
+        assert device.average_power_w(LIGHT_MEDIUM) == pytest.approx(
+            expected[device.name], abs=0.05
+        )
+
+
+def test_device_classes():
+    assert catalog.POWEREDGE_R740.device_class is DeviceClass.SERVER
+    assert catalog.THINKPAD_X1_CARBON_G3.device_class is DeviceClass.LAPTOP
+    assert catalog.PIXEL_3A.device_class is DeviceClass.SMARTPHONE
+    assert catalog.C5_9XLARGE.device_class is DeviceClass.CLOUD_INSTANCE
+
+
+def test_c5_9xlarge_matches_paper_quoted_values():
+    instance = catalog.C5_9XLARGE
+    assert instance.power_model.power_at(0.10) == pytest.approx(140.7)
+    assert instance.power_model.power_at(0.50) == pytest.approx(239.0)
+    assert instance.embodied_carbon_kgco2e == pytest.approx(1_344.0)
+    assert instance.extra["on_demand_usd_per_hour"] == pytest.approx(1.53)
+
+
+def test_c5_family_scales_with_vcpus():
+    assert catalog.C5_4XLARGE.cores == 16
+    assert catalog.C5_12XLARGE.cores == 48
+    assert catalog.C5_4XLARGE.power_model.peak_power_w < catalog.C5_9XLARGE.power_model.peak_power_w
+
+
+def test_smartphone_component_fractions_sum_to_one():
+    catalog.SMARTPHONE_COMPONENT_BREAKDOWN.validate()
+    catalog.LAPTOP_COMPONENT_BREAKDOWN.validate()
+
+
+def test_flagship_years_cover_2013_to_2021():
+    years = catalog.flagship_years()
+    assert years[0] == 2013
+    assert years[-1] == 2021
+    assert len(years) == 9
+
+
+def test_flagships_per_year_have_five_entries():
+    for year in catalog.flagship_years():
+        assert len(catalog.yearly_flagship_phones(year)) == 5
+
+
+def test_flagship_scores_increase_over_time():
+    def mean_score(year):
+        phones = catalog.yearly_flagship_phones(year)
+        return sum(p.geekbench_norm for p in phones) / len(phones)
+
+    assert mean_score(2021) > mean_score(2017) > mean_score(2013)
+
+
+def test_flagship_unknown_year_raises():
+    with pytest.raises(KeyError):
+        catalog.yearly_flagship_phones(1999)
+
+
+def test_t4g_instances_ordered_by_size():
+    instances = catalog.t4g_instances()
+    names = [i.name for i in instances]
+    assert names[0] == "t4g.small"
+    assert names[-1] == "t4g.2xlarge"
+    vcpus = [i.vcpus for i in instances]
+    assert vcpus == sorted(vcpus)

@@ -1,0 +1,123 @@
+"""Power models and load profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.power import (
+    FULL_LOAD,
+    IDLE,
+    LIGHT_MEDIUM,
+    ConstantPowerModel,
+    LoadProfile,
+    PiecewiseLinearPowerModel,
+    validate_profile_average_power,
+)
+
+
+@pytest.fixture
+def pixel_model():
+    return PiecewiseLinearPowerModel.from_table2(p_100=2.5, p_50=1.9, p_10=1.4, p_idle=0.8)
+
+
+class TestPiecewiseLinearPowerModel:
+    def test_anchor_points_are_exact(self, pixel_model):
+        assert pixel_model.power_at(0.0) == pytest.approx(0.8)
+        assert pixel_model.power_at(0.10) == pytest.approx(1.4)
+        assert pixel_model.power_at(0.50) == pytest.approx(1.9)
+        assert pixel_model.power_at(1.0) == pytest.approx(2.5)
+
+    def test_interpolation_between_anchors(self, pixel_model):
+        assert pixel_model.power_at(0.30) == pytest.approx((1.4 + 1.9) / 2)
+        assert pixel_model.power_at(0.75) == pytest.approx((1.9 + 2.5) / 2)
+
+    def test_idle_and_peak_properties(self, pixel_model):
+        assert pixel_model.idle_power_w == pytest.approx(0.8)
+        assert pixel_model.peak_power_w == pytest.approx(2.5)
+
+    def test_rejects_out_of_range_utilization(self, pixel_model):
+        with pytest.raises(ValueError):
+            pixel_model.power_at(-0.1)
+        with pytest.raises(ValueError):
+            pixel_model.power_at(1.1)
+
+    def test_rejects_bad_anchors(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearPowerModel(anchors={})
+        with pytest.raises(ValueError):
+            PiecewiseLinearPowerModel(anchors={1.5: 10.0})
+        with pytest.raises(ValueError):
+            PiecewiseLinearPowerModel(anchors={0.5: -1.0})
+
+    def test_energy_joules(self, pixel_model):
+        assert pixel_model.energy_joules(1.0, 3_600.0) == pytest.approx(2.5 * 3_600)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_power_bounded_by_idle_and_peak(self, utilization):
+        model = PiecewiseLinearPowerModel.from_table2(510, 369, 261, 201)
+        power = model.power_at(utilization)
+        assert model.idle_power_w <= power <= model.peak_power_w
+
+
+class TestConstantPowerModel:
+    def test_constant_everywhere(self):
+        model = ConstantPowerModel(4.0)
+        assert model.power_at(0.0) == model.power_at(1.0) == 4.0
+        assert model.idle_power_w == model.peak_power_w == 4.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantPowerModel(-1.0)
+
+
+class TestLoadProfile:
+    def test_light_medium_matches_paper_table2_average(self, pixel_model):
+        # Paper Table 2: Pixel 3A average 1.54 W under light-medium.
+        assert pixel_model.average_power(LIGHT_MEDIUM) == pytest.approx(1.535, abs=0.01)
+
+    def test_poweredge_average_matches_paper(self):
+        model = PiecewiseLinearPowerModel.from_table2(510, 369, 261, 201)
+        assert model.average_power(LIGHT_MEDIUM) == pytest.approx(308.7, abs=0.1)
+
+    def test_average_utilization_light_medium(self):
+        # 0.10*1 + 0.35*0.5 + 0.30*0.1 + 0.25*0 = 0.305
+        assert LIGHT_MEDIUM.average_utilization() == pytest.approx(0.305)
+
+    def test_average_throughput_scales_linearly(self):
+        assert LIGHT_MEDIUM.average_throughput(100.0) == pytest.approx(30.5)
+        assert FULL_LOAD.average_throughput(100.0) == pytest.approx(100.0)
+        assert IDLE.average_throughput(100.0) == pytest.approx(0.0)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            LoadProfile({1.0: 0.5, 0.0: 0.4})
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            LoadProfile({1.0: 1.5, 0.0: -0.5})
+
+    def test_scaled_to_utilization(self):
+        profile = LIGHT_MEDIUM.scaled_to_utilization(0.25)
+        assert profile.average_utilization() == pytest.approx(0.25)
+        zero = LIGHT_MEDIUM.scaled_to_utilization(0.0)
+        assert zero.average_utilization() == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            LIGHT_MEDIUM.scaled_to_utilization(1.5)
+
+    def test_validate_profile_average_power_breakdown(self, pixel_model):
+        breakdown = validate_profile_average_power(pixel_model, LIGHT_MEDIUM)
+        assert breakdown["average"] == pytest.approx(pixel_model.average_power(LIGHT_MEDIUM))
+        contributions = [v for k, v in breakdown.items() if k != "average"]
+        assert sum(contributions) == pytest.approx(breakdown["average"])
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_average_power_between_idle_and_peak(self, busy, idle_split):
+        remaining = 1.0 - busy
+        profile = LoadProfile(
+            {1.0: busy, 0.5: remaining * idle_split, 0.0: remaining * (1 - idle_split)}
+        )
+        model = PiecewiseLinearPowerModel.from_table2(24, 16.2, 8.5, 3.4)
+        average = model.average_power(profile)
+        assert model.idle_power_w - 1e-9 <= average <= model.peak_power_w + 1e-9

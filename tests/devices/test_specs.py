@@ -1,0 +1,80 @@
+"""Device specs and component breakdowns."""
+
+import pytest
+
+from repro.devices.catalog import PIXEL_3A, POWEREDGE_R740
+from repro.devices.power import LIGHT_MEDIUM, ConstantPowerModel
+from repro.devices.specs import ComponentBreakdown, DeviceClass, DeviceSpec
+
+
+def _minimal_spec(**overrides):
+    defaults = dict(
+        name="Test Device",
+        device_class=DeviceClass.SMARTPHONE,
+        release_year=2020,
+        cores=4,
+        memory_gib=4.0,
+        embodied_carbon_kgco2e=40.0,
+        power_model=ConstantPowerModel(2.0),
+    )
+    defaults.update(overrides)
+    return DeviceSpec(**defaults)
+
+
+class TestComponentBreakdown:
+    def test_validates_sum(self):
+        ComponentBreakdown({"compute": 0.5, "other": 0.5}).validate()
+        with pytest.raises(ValueError):
+            ComponentBreakdown({"compute": 0.5, "other": 0.3}).validate()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComponentBreakdown({"compute": 1.2, "other": -0.2}).validate()
+
+    def test_fraction_of_missing_component_is_zero(self):
+        breakdown = ComponentBreakdown({"compute": 1.0})
+        assert breakdown.fraction_of("display") == 0.0
+
+    def test_absolute_kg_split(self):
+        breakdown = ComponentBreakdown({"compute": 0.25, "other": 0.75})
+        split = breakdown.absolute_kg(40.0)
+        assert split == {"compute": 10.0, "other": 30.0}
+
+
+class TestDeviceSpec:
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(cores=0)
+        with pytest.raises(ValueError):
+            _minimal_spec(memory_gib=0.0)
+        with pytest.raises(ValueError):
+            _minimal_spec(embodied_carbon_kgco2e=-1.0)
+
+    def test_component_breakdown_validated_on_construction(self):
+        with pytest.raises(ValueError):
+            _minimal_spec(components=ComponentBreakdown({"compute": 0.4}))
+
+    def test_has_battery(self):
+        assert PIXEL_3A.has_battery
+        assert not POWEREDGE_R740.has_battery
+
+    def test_is_reusable(self):
+        assert PIXEL_3A.is_reusable
+        spec = _minimal_spec(device_class=DeviceClass.CLOUD_INSTANCE)
+        assert not spec.is_reusable
+
+    def test_average_power_delegates_to_model(self):
+        spec = _minimal_spec()
+        assert spec.average_power_w(LIGHT_MEDIUM) == pytest.approx(2.0)
+
+    def test_with_overrides_returns_new_spec(self):
+        tweaked = PIXEL_3A.with_overrides(embodied_carbon_kgco2e=99.0)
+        assert tweaked.embodied_carbon_kgco2e == 99.0
+        assert PIXEL_3A.embodied_carbon_kgco2e != 99.0
+        assert tweaked.name == PIXEL_3A.name
+
+    def test_describe_mentions_key_facts(self):
+        text = PIXEL_3A.describe()
+        assert "Pixel 3A" in text
+        assert "smartphone" in text
+        assert "Wh" in text

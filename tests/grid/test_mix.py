@@ -1,0 +1,58 @@
+"""Energy-mix scenarios."""
+
+import pytest
+
+from repro.grid.mix import EnergyMix, california, constant_mix, solar_24_7, zero_carbon
+from repro.grid.traces import GridTrace
+
+
+def test_california_default_uses_paper_mean():
+    mix = california()
+    assert mix.mean_intensity_g_per_kwh == pytest.approx(257.0)
+    assert mix.smart_charging_discount == pytest.approx(0.07)
+
+
+def test_california_with_trace():
+    mix = california(use_trace=True, n_days=2, seed=5)
+    assert mix.trace is not None
+    assert 150 < mix.mean_intensity_g_per_kwh < 400
+
+
+def test_solar_and_zero_carbon():
+    assert solar_24_7().mean_intensity_g_per_kwh == pytest.approx(48.0)
+    assert zero_carbon().mean_intensity_g_per_kwh == pytest.approx(0.0)
+    assert solar_24_7().smart_charging_discount == 0.0
+
+
+def test_effective_intensity_with_smart_charging():
+    mix = california()
+    plain = mix.effective_intensity_g_per_kwh(smart_charging=False)
+    discounted = mix.effective_intensity_g_per_kwh(smart_charging=True)
+    assert discounted == pytest.approx(plain * 0.93)
+
+
+def test_with_smart_charging_discount_returns_copy():
+    mix = california()
+    laptop_mix = mix.with_smart_charging_discount(0.04)
+    assert laptop_mix.smart_charging_discount == pytest.approx(0.04)
+    assert mix.smart_charging_discount == pytest.approx(0.07)
+
+
+def test_constant_mix():
+    mix = constant_mix("test", 100.0)
+    assert mix.mean_intensity_g_per_kwh == pytest.approx(100.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnergyMix(name="broken")
+    with pytest.raises(ValueError):
+        EnergyMix(name="broken", constant_intensity_g_per_kwh=-5.0)
+    with pytest.raises(ValueError):
+        EnergyMix(name="broken", constant_intensity_g_per_kwh=100.0, smart_charging_discount=1.0)
+
+
+def test_trace_backed_mix_mean_comes_from_trace():
+    trace = GridTrace.from_series([100, 200, 300, 400])
+    mix = EnergyMix(name="trace", trace=trace)
+    assert mix.mean_intensity_g_per_kwh == pytest.approx(250.0)

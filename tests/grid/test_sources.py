@@ -1,0 +1,57 @@
+"""Energy sources and blended intensity."""
+
+import pytest
+
+from repro.grid import sources
+
+
+def test_paper_quoted_intensities():
+    assert sources.SOLAR.carbon_intensity_g_per_kwh == pytest.approx(48.0)
+    assert sources.GAS.carbon_intensity_g_per_kwh == pytest.approx(602.0)
+    assert sources.CALIFORNIA_MEAN_INTENSITY_G_PER_KWH == pytest.approx(257.0)
+    assert sources.ZERO_CARBON.carbon_intensity_g_per_kwh == 0.0
+
+
+def test_source_lookup():
+    assert sources.source_by_name("solar") is sources.SOLAR
+    with pytest.raises(KeyError):
+        sources.source_by_name("fusion")
+
+
+def test_all_sources_nonempty_and_unique():
+    names = [s.name for s in sources.all_sources()]
+    assert len(names) == len(set(names))
+    assert len(names) >= 8
+
+
+def test_carbon_for_energy():
+    assert sources.GAS.carbon_for_energy_kwh(2.0) == pytest.approx(1_204.0)
+    with pytest.raises(ValueError):
+        sources.GAS.carbon_for_energy_kwh(-1.0)
+
+
+def test_intensity_per_joule_consistent():
+    per_joule = sources.SOLAR.carbon_intensity_g_per_joule
+    assert per_joule * 3.6e6 == pytest.approx(48.0)
+
+
+class TestBlendedIntensity:
+    def test_single_source(self):
+        assert sources.blended_intensity({"solar": 10.0}) == pytest.approx(48.0)
+
+    def test_equal_blend_is_mean(self):
+        blend = sources.blended_intensity({"solar": 1.0, "natural gas": 1.0})
+        assert blend == pytest.approx((48.0 + 602.0) / 2)
+
+    def test_weighted_blend_between_extremes(self):
+        blend = sources.blended_intensity({"solar": 3.0, "natural gas": 1.0})
+        assert 48.0 < blend < 602.0
+        assert blend == pytest.approx((3 * 48 + 602) / 4)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            sources.blended_intensity({"solar": 0.0})
+
+    def test_negative_generation_rejected(self):
+        with pytest.raises(ValueError):
+            sources.blended_intensity({"solar": -1.0, "natural gas": 2.0})

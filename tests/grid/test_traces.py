@@ -1,0 +1,119 @@
+"""Grid traces and the synthetic CAISO-like generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.grid.traces import CaisoLikeTraceGenerator, GridTrace
+
+
+@pytest.fixture(scope="module")
+def one_day():
+    return CaisoLikeTraceGenerator(seed=7).generate_day(0)
+
+
+@pytest.fixture(scope="module")
+def five_days():
+    return CaisoLikeTraceGenerator(seed=7).generate_days(5)
+
+
+class TestGridTrace:
+    def test_from_series_and_basic_properties(self):
+        trace = GridTrace.from_series([100, 200, 300, 400], interval_s=600)
+        assert len(trace) == 4
+        assert trace.interval_s == 600
+        assert trace.mean_intensity() == pytest.approx(250.0)
+        assert trace.percentile(0) == pytest.approx(100.0)
+        assert trace.percentile(100) == pytest.approx(400.0)
+
+    def test_constant_trace(self):
+        trace = GridTrace.constant(257.0, duration_s=3_600, interval_s=300)
+        assert trace.mean_intensity() == pytest.approx(257.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridTrace.from_series([100.0])
+        with pytest.raises(ValueError):
+            GridTrace(times_s=np.array([0.0, 1.0]), intensity_g_per_kwh=np.array([1.0]))
+        with pytest.raises(ValueError):
+            GridTrace(times_s=np.array([1.0, 0.0]), intensity_g_per_kwh=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            GridTrace(times_s=np.array([0.0, 1.0]), intensity_g_per_kwh=np.array([1.0, -2.0]))
+
+    def test_intensity_at_interpolates_and_clamps(self):
+        trace = GridTrace.from_series([100, 300], interval_s=100)
+        assert trace.intensity_at(50) == pytest.approx(200.0)
+        assert trace.intensity_at(-10) == pytest.approx(100.0)
+        assert trace.intensity_at(1_000) == pytest.approx(300.0)
+
+    def test_slice_and_day_split(self, five_days):
+        assert five_days.n_days == 5
+        day2 = five_days.day(2)
+        assert day2.duration_s == pytest.approx(units.SECONDS_PER_DAY, rel=0.01)
+        assert len(five_days.days()) == 5
+        with pytest.raises(IndexError):
+            five_days.day(5)
+
+    def test_concatenate_preserves_samples(self, one_day):
+        double = GridTrace.concatenate([one_day, one_day])
+        assert len(double) == 2 * len(one_day)
+        assert double.n_days == 2
+
+    def test_carbon_for_constant_power(self):
+        trace = GridTrace.constant(250.0, duration_s=units.SECONDS_PER_DAY, interval_s=300)
+        grams = trace.carbon_for_constant_power(1_000.0)
+        # 1 kW for ~one day at 250 g/kWh is ~6 kg.
+        expected = 1_000 * len(trace) * 300 / units.JOULES_PER_KWH * 250
+        assert grams == pytest.approx(expected)
+
+    def test_carbon_rejects_negative_power(self, one_day):
+        with pytest.raises(ValueError):
+            one_day.carbon_for_constant_power(-5.0)
+
+
+class TestCaisoLikeGenerator:
+    def test_day_has_5_minute_resolution(self, one_day):
+        assert len(one_day) == 288
+        assert one_day.interval_s == pytest.approx(300.0)
+
+    def test_mean_intensity_near_california_average(self, five_days):
+        assert 200 < five_days.mean_intensity() < 350
+
+    def test_intensity_anticorrelated_with_solar(self, one_day):
+        solar = one_day.supply_mw["solar"]
+        correlation = np.corrcoef(solar, one_day.intensity_g_per_kwh)[0, 1]
+        assert correlation < -0.7
+
+    def test_midday_cleaner_than_evening(self, one_day):
+        hours = one_day.times_s / 3_600.0
+        midday = one_day.intensity_g_per_kwh[(hours >= 11) & (hours < 15)].mean()
+        evening = one_day.intensity_g_per_kwh[(hours >= 19) & (hours < 22)].mean()
+        assert midday < evening
+
+    def test_deterministic_for_seed(self):
+        a = CaisoLikeTraceGenerator(seed=3).generate_day(1)
+        b = CaisoLikeTraceGenerator(seed=3).generate_day(1)
+        np.testing.assert_allclose(a.intensity_g_per_kwh, b.intensity_g_per_kwh)
+
+    def test_days_differ_from_each_other(self):
+        gen = CaisoLikeTraceGenerator(seed=3)
+        a = gen.generate_day(0)
+        b = gen.generate_day(1)
+        assert not np.allclose(a.intensity_g_per_kwh, b.intensity_g_per_kwh)
+
+    def test_generate_month_length(self):
+        month = CaisoLikeTraceGenerator(seed=1).generate_month(3)
+        assert month.n_days == 3
+
+    def test_invalid_day_count(self):
+        with pytest.raises(ValueError):
+            CaisoLikeTraceGenerator().generate_days(0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=400))
+    def test_any_day_is_physically_sane(self, day_index):
+        day = CaisoLikeTraceGenerator(seed=11).generate_day(day_index)
+        assert np.all(day.intensity_g_per_kwh > 0)
+        assert np.all(day.intensity_g_per_kwh < 820)  # never dirtier than pure coal
+        assert np.all(day.supply_mw["solar"] >= 0)

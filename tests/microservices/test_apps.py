@@ -1,0 +1,116 @@
+"""The DeathStarBench-style application models."""
+
+import pytest
+
+from repro.microservices import calibration as cal
+from repro.microservices.apps import (
+    COMPOSE_POST,
+    COMPOSE_REVIEW,
+    HOTEL_MIXED_WORKLOAD,
+    READ_HOME_TIMELINE,
+    READ_MOVIE_REVIEWS,
+    READ_USER_TIMELINE,
+    RECOMMEND,
+    SEARCH_HOTEL,
+    hotel_reservation,
+    media_reviewing,
+    social_network,
+)
+
+
+@pytest.fixture(scope="module")
+def sn():
+    return social_network()
+
+
+@pytest.fixture(scope="module")
+def hotel():
+    return hotel_reservation()
+
+
+@pytest.fixture(scope="module")
+def media():
+    return media_reviewing()
+
+
+class TestSocialNetwork:
+    def test_has_roughly_thirty_services(self, sn):
+        assert 28 <= len(sn.services) <= 35
+
+    def test_request_types_present(self, sn):
+        assert set(sn.request_types) == {
+            COMPOSE_POST,
+            READ_USER_TIMELINE,
+            READ_HOME_TIMELINE,
+        }
+
+    def test_compose_post_touches_write_path(self, sn):
+        services = sn.request_type(COMPOSE_POST).services_used()
+        for expected in (
+            "nginx-web-server",
+            "compose-post-service",
+            "unique-id-service",
+            "text-service",
+            "post-storage-mongo",
+            "home-timeline-service",
+        ):
+            assert expected in services
+
+    def test_read_timeline_returns_large_payload(self, sn):
+        read = sn.request_type(READ_USER_TIMELINE)
+        write = sn.request_type(COMPOSE_POST)
+        assert read.root.response_bytes > 3 * write.root.response_bytes
+
+    def test_write_path_has_more_rpcs_than_read(self, sn):
+        assert (
+            sn.request_type(COMPOSE_POST).root.rpc_count()
+            > sn.request_type(READ_USER_TIMELINE).root.rpc_count()
+        )
+
+    def test_post_storage_mongo_is_the_write_bottleneck(self, sn):
+        mongo = sn.service("post-storage-mongo")
+        assert mongo.io_ms == pytest.approx(cal.MONGO_COMMIT_IO_MS)
+        assert mongo.io_concurrency == 1
+
+    def test_placement_groups_cover_ten_phones(self, sn):
+        assert len(sn.placement_groups) == 10
+
+    def test_total_cpu_budgets_are_in_calibrated_range(self, sn):
+        write = sn.request_type(COMPOSE_POST).total_cpu_ms()
+        read = sn.request_type(READ_USER_TIMELINE).total_cpu_ms()
+        assert 4.0 < write < 8.0
+        assert 5.0 < read < 8.0
+
+
+class TestHotelReservation:
+    def test_mixed_workload_weights_sum_to_one(self):
+        assert sum(HOTEL_MIXED_WORKLOAD.values()) == pytest.approx(1.0)
+        assert HOTEL_MIXED_WORKLOAD[SEARCH_HOTEL] > HOTEL_MIXED_WORKLOAD[RECOMMEND]
+
+    def test_request_types(self, hotel):
+        assert SEARCH_HOTEL in hotel.request_types
+        assert RECOMMEND in hotel.request_types
+        assert len(hotel.request_types) == 4
+
+    def test_search_uses_geo_and_rate(self, hotel):
+        services = hotel.request_type(SEARCH_HOTEL).services_used()
+        assert {"frontend", "search", "geo", "rate", "profile"} <= services
+
+    def test_every_request_enters_through_frontend(self, hotel):
+        for request in hotel.request_types.values():
+            assert request.root.service == "frontend"
+
+    def test_placement_groups_cover_ten_phones(self, hotel):
+        assert len(hotel.placement_groups) == 10
+
+
+class TestMediaReviewing:
+    def test_request_types(self, media):
+        assert set(media.request_types) == {COMPOSE_REVIEW, READ_MOVIE_REVIEWS}
+
+    def test_compose_review_hits_review_storage(self, media):
+        services = media.request_type(COMPOSE_REVIEW).services_used()
+        assert "review-storage-mongo" in services
+
+    def test_all_apps_have_distinct_names(self, sn, hotel, media):
+        assert len({sn.name, hotel.name, media.name}) == 3

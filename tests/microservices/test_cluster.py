@@ -1,0 +1,155 @@
+"""The serving-cluster simulator (kept at low load so tests stay fast)."""
+
+import pytest
+
+from repro.devices.catalog import C5_9XLARGE, PIXEL_3A
+from repro.microservices import calibration as cal
+from repro.microservices.apps import (
+    COMPOSE_POST,
+    HOTEL_MIXED_WORKLOAD,
+    READ_USER_TIMELINE,
+    hotel_reservation,
+    social_network,
+)
+from repro.microservices.cluster import (
+    EXTERNAL_CLIENT,
+    NodeSpec,
+    ServingCluster,
+    ec2_instance,
+    pixel_cloudlet,
+)
+
+
+@pytest.fixture(scope="module")
+def sn():
+    return social_network()
+
+
+@pytest.fixture(scope="module")
+def hotel():
+    return hotel_reservation()
+
+
+@pytest.fixture(scope="module")
+def phones():
+    return pixel_cloudlet()
+
+
+@pytest.fixture(scope="module")
+def ec2():
+    return ec2_instance()
+
+
+@pytest.fixture(scope="module")
+def phone_write_run(phones, sn):
+    return phones.run(sn, {COMPOSE_POST: 1.0}, qps=300, duration_s=1.0, warmup_s=0.2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def ec2_write_run(ec2, sn):
+    return ec2.run(sn, {COMPOSE_POST: 1.0}, qps=300, duration_s=1.0, warmup_s=0.2, seed=1)
+
+
+class TestClusterConstruction:
+    def test_pixel_cloudlet_shape(self, phones):
+        assert len(phones.nodes) == 10
+        assert all(node.device is PIXEL_3A for node in phones.nodes)
+        assert not phones.client_colocated
+        assert phones.total_capacity_ref_cores() == pytest.approx(
+            10 * 8 * cal.PIXEL_CORE_SPEED
+        )
+
+    def test_ec2_instance_shape(self, ec2):
+        assert len(ec2.nodes) == 1
+        assert ec2.client_colocated
+        assert ec2.client_node == C5_9XLARGE.name
+
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", device=PIXEL_3A, cores=0, core_speed=1.0)
+        with pytest.raises(ValueError):
+            NodeSpec(name="x", device=PIXEL_3A, cores=4, core_speed=0.0)
+
+    def test_cluster_validation(self):
+        node = NodeSpec(name="a", device=PIXEL_3A, cores=4, core_speed=1.0)
+        with pytest.raises(ValueError):
+            ServingCluster(name="empty", nodes=[])
+        with pytest.raises(ValueError):
+            ServingCluster(name="dup", nodes=[node, node])
+        with pytest.raises(ValueError):
+            ServingCluster(
+                name="bad-client", nodes=[node], client_colocated=True, client_node="zzz"
+            )
+
+    def test_default_placements(self, phones, ec2, sn):
+        assert len(set(phones.default_placement(sn).nodes_used())) > 1
+        assert ec2.default_placement(sn).nodes_used() == (C5_9XLARGE.name,)
+
+    def test_cloudlet_size_validation(self):
+        with pytest.raises(ValueError):
+            pixel_cloudlet(0)
+
+
+class TestRunResults:
+    def test_all_requests_complete_at_low_load(self, phone_write_run):
+        assert phone_write_run.completion_ratio > 0.95
+        assert phone_write_run.completed_requests > 100
+
+    def test_latency_summaries_present(self, phone_write_run):
+        summary = phone_write_run.summaries[COMPOSE_POST]
+        assert summary.median_ms > 0
+        assert summary.p90_ms >= summary.median_ms
+        assert summary.p99_ms >= summary.p90_ms
+
+    def test_phone_latency_higher_than_ec2(self, phone_write_run, ec2_write_run):
+        # Requests hop across the WiFi on the cloudlet but stay on-box on EC2.
+        assert phone_write_run.median_ms() > ec2_write_run.median_ms()
+
+    def test_network_bytes_only_on_multi_node_cluster(self, phone_write_run, ec2_write_run):
+        assert phone_write_run.network_bytes > 0
+        assert ec2_write_run.network_bytes == 0.0
+
+    def test_utilization_reported_per_node(self, phone_write_run):
+        utilization = phone_write_run.mean_node_utilization()
+        assert len(utilization) == 10
+        assert all(0.0 <= value <= 1.0 for value in utilization.values())
+        assert max(utilization.values()) > 0.01
+
+    def test_power_and_energy_positive(self, phone_write_run):
+        assert phone_write_run.mean_power_w > 10 * PIXEL_3A.power_model.idle_power_w * 0.9
+        assert phone_write_run.energy_j == pytest.approx(
+            phone_write_run.mean_power_w * phone_write_run.measurement_duration_s
+        )
+
+    def test_achieved_tracks_offered_at_low_load(self, phone_write_run):
+        assert phone_write_run.achieved_qps == pytest.approx(300, rel=0.2)
+
+    def test_run_is_deterministic_for_seed(self, phones, sn):
+        a = phones.run(sn, {READ_USER_TIMELINE: 1.0}, qps=100, duration_s=0.8, warmup_s=0.2, seed=9)
+        b = phones.run(sn, {READ_USER_TIMELINE: 1.0}, qps=100, duration_s=0.8, warmup_s=0.2, seed=9)
+        assert a.median_ms() == pytest.approx(b.median_ms())
+        assert a.completed_requests == b.completed_requests
+
+    def test_hotel_mixed_workload_runs(self, phones, hotel):
+        result = phones.run(
+            hotel, HOTEL_MIXED_WORKLOAD, qps=300, duration_s=1.0, warmup_s=0.2, seed=2
+        )
+        assert result.completion_ratio > 0.9
+        # The mix is dominated by searches and recommendations.
+        assert set(result.summaries) <= set(HOTEL_MIXED_WORKLOAD)
+        assert "search_hotel" in result.summaries
+
+    def test_run_parameter_validation(self, phones, sn):
+        with pytest.raises(ValueError):
+            phones.run(sn, {COMPOSE_POST: 1.0}, qps=0.0)
+        with pytest.raises(ValueError):
+            phones.run(sn, {COMPOSE_POST: 1.0}, qps=10, duration_s=1.0, warmup_s=2.0)
+        with pytest.raises(ValueError):
+            phones.run(sn, {}, qps=10)
+        with pytest.raises(ValueError):
+            phones.run(sn, {"unknown-request": 1.0}, qps=10)
+        with pytest.raises(ValueError):
+            phones.run(sn, {COMPOSE_POST: -1.0}, qps=10)
+
+    def test_external_client_constant(self):
+        assert EXTERNAL_CLIENT not in {f"phone-{i}" for i in range(10)}

@@ -1,0 +1,93 @@
+"""Service placement strategies."""
+
+import pytest
+
+from repro.microservices.apps import social_network
+from repro.microservices.placement import (
+    Placement,
+    round_robin_placement,
+    single_node_placement,
+    swarm_placement,
+)
+from repro.microservices.service_graph import Application, Microservice
+
+
+@pytest.fixture(scope="module")
+def sn():
+    return social_network()
+
+
+def test_single_node_places_everything_on_one_node(sn):
+    placement = single_node_placement(sn, "c5.9xlarge")
+    placement.validate_against(sn)
+    assert placement.nodes_used() == ("c5.9xlarge",)
+    assert len(placement.services_on("c5.9xlarge")) == len(sn.services)
+
+
+def test_round_robin_spreads_services(sn):
+    nodes = [f"phone-{i}" for i in range(10)]
+    placement = round_robin_placement(sn, nodes)
+    placement.validate_against(sn)
+    counts = [len(placement.services_on(node)) for node in nodes]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_swarm_placement_honours_groups(sn):
+    nodes = [f"phone-{i}" for i in range(10)]
+    placement = swarm_placement(sn, nodes)
+    placement.validate_against(sn)
+    # The first Figure 8 group lands together on the first node.
+    first_group = sn.placement_groups[0]
+    hosts = {placement.node_for(service) for service in first_group}
+    assert hosts == {"phone-0"}
+    # nginx and the user-timeline service co-locate (the panel-C grouping).
+    assert placement.node_for("nginx-web-server") == placement.node_for(
+        "user-timeline-service"
+    )
+
+
+def test_swarm_placement_wraps_when_fewer_nodes(sn):
+    nodes = ["phone-0", "phone-1", "phone-2"]
+    placement = swarm_placement(sn, nodes)
+    placement.validate_against(sn)
+    assert set(placement.nodes_used()) <= set(nodes)
+
+
+def test_swarm_placement_spreads_ungrouped_by_memory():
+    app = Application(
+        name="tiny",
+        services={
+            "grouped": Microservice("grouped", memory_mb=64),
+            "big": Microservice("big", memory_mb=512),
+            "small": Microservice("small", memory_mb=32),
+        },
+        request_types={},
+        placement_groups=(("grouped",),),
+    )
+    placement = swarm_placement(app, ["n0", "n1"])
+    # The big ungrouped service avoids the node that already hosts the group
+    # only if that balances memory; either way all services are placed.
+    placement.validate_against(app)
+    assert placement.node_for("grouped") == "n0"
+
+
+def test_placement_lookup_errors(sn):
+    placement = single_node_placement(sn, "node")
+    with pytest.raises(KeyError):
+        placement.node_for("not-a-service")
+    incomplete = Placement(assignment={"nginx-web-server": "node"})
+    with pytest.raises(ValueError):
+        incomplete.validate_against(sn)
+
+
+def test_memory_by_node_sums_to_total(sn):
+    nodes = [f"phone-{i}" for i in range(10)]
+    placement = swarm_placement(sn, nodes)
+    assert sum(placement.memory_by_node(sn).values()) == pytest.approx(sn.total_memory_mb())
+
+
+def test_empty_node_list_rejected(sn):
+    with pytest.raises(ValueError):
+        swarm_placement(sn, [])
+    with pytest.raises(ValueError):
+        round_robin_placement(sn, [])

@@ -1,0 +1,76 @@
+"""Throughput sweeps and saturation detection."""
+
+import numpy as np
+import pytest
+
+from repro.microservices.apps import COMPOSE_POST, social_network
+from repro.microservices.cluster import NodeSpec, ServingCluster
+from repro.microservices.sweep import (
+    SweepPoint,
+    latency_throughput_sweep,
+    saturation_qps,
+)
+from repro.devices.catalog import PIXEL_3A
+
+
+@pytest.fixture(scope="module")
+def tiny_cluster():
+    """A deliberately under-provisioned two-phone cluster that saturates early."""
+    nodes = [
+        NodeSpec(name=f"phone-{i}", device=PIXEL_3A, cores=2, core_speed=0.3)
+        for i in range(2)
+    ]
+    return ServingCluster(name="tiny", nodes=nodes)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep(tiny_cluster):
+    app = social_network()
+    return latency_throughput_sweep(
+        tiny_cluster,
+        app,
+        {COMPOSE_POST: 1.0},
+        qps_values=[50, 150, 400, 800],
+        duration_s=1.0,
+        warmup_s=0.2,
+        seed=3,
+    )
+
+
+def test_sweep_produces_one_point_per_load(tiny_sweep):
+    assert len(tiny_sweep.points) == 4
+    np.testing.assert_allclose(tiny_sweep.offered_qps(), [50, 150, 400, 800])
+
+
+def test_latency_grows_with_load(tiny_sweep):
+    medians = tiny_sweep.median_ms()
+    assert medians[-1] > medians[0]
+    tails = tiny_sweep.tail_ms()
+    assert np.all(tails >= medians - 1e-9)
+
+
+def test_completion_ratio_drops_at_overload(tiny_sweep):
+    ratios = [point.completion_ratio for point in tiny_sweep.points]
+    assert ratios[0] > 0.95
+    assert ratios[-1] < 0.9
+
+
+def test_saturation_is_between_first_and_last_point(tiny_sweep):
+    saturation = tiny_sweep.saturation_qps()
+    assert 50 <= saturation < 800
+
+
+def test_achieved_qps_caps_below_offered_when_saturated(tiny_sweep):
+    last = tiny_sweep.points[-1]
+    assert last.achieved_qps < last.offered_qps * 0.95
+
+
+def test_saturation_qps_validation():
+    with pytest.raises(ValueError):
+        saturation_qps([])
+
+
+def test_sweep_requires_points(tiny_cluster):
+    app = social_network()
+    with pytest.raises(ValueError):
+        latency_throughput_sweep(tiny_cluster, app, {COMPOSE_POST: 1.0}, qps_values=[])

@@ -1,0 +1,58 @@
+"""Named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.random_streams import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(seed=5)
+    b = RandomStreams(seed=5)
+    assert [a.exponential("arrivals", 1.0) for _ in range(5)] == [
+        b.exponential("arrivals", 1.0) for _ in range(5)
+    ]
+
+
+def test_different_streams_are_independent():
+    streams = RandomStreams(seed=5)
+    first = [streams.exponential("arrivals", 1.0) for _ in range(5)]
+    # Drawing from another stream must not perturb the first one.
+    streams.exponential("service", 1.0)
+    reference = RandomStreams(seed=5)
+    _ = [reference.exponential("arrivals", 1.0) for _ in range(5)]
+    assert streams.exponential("arrivals", 1.0) == reference.exponential("arrivals", 1.0)
+
+
+def test_different_seeds_differ():
+    assert RandomStreams(1).exponential("x", 1.0) != RandomStreams(2).exponential("x", 1.0)
+
+
+def test_exponential_mean_is_close():
+    streams = RandomStreams(seed=0)
+    samples = [streams.exponential("arrivals", 2.0) for _ in range(4_000)]
+    assert np.mean(samples) == pytest.approx(2.0, rel=0.1)
+    with pytest.raises(ValueError):
+        streams.exponential("arrivals", 0.0)
+
+
+def test_lognormal_factor_median_near_one():
+    streams = RandomStreams(seed=0)
+    samples = [streams.lognormal_factor("svc", 0.35) for _ in range(4_000)]
+    assert np.median(samples) == pytest.approx(1.0, rel=0.1)
+    assert streams.lognormal_factor("svc", 0.0) == 1.0
+    with pytest.raises(ValueError):
+        streams.lognormal_factor("svc", -0.1)
+
+
+def test_choice_respects_probabilities():
+    streams = RandomStreams(seed=0)
+    picks = [streams.choice("mix", ["a", "b"], [0.9, 0.1]) for _ in range(2_000)]
+    assert picks.count("a") > picks.count("b") * 4
+
+
+def test_uniform_within_bounds():
+    streams = RandomStreams(seed=0)
+    for _ in range(100):
+        value = streams.uniform("u", 2.0, 3.0)
+        assert 2.0 <= value < 3.0

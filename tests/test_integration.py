@@ -1,0 +1,115 @@
+"""Cross-module integration tests.
+
+These tests exercise paths that span several subsystems the way the examples
+and the benchmark harness do: device catalog -> carbon model -> cluster design,
+grid trace -> charging -> CCI, and serving simulation -> carbon per request.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    DeviceCarbonModel,
+    PIXEL_3A,
+    POWEREDGE_R740,
+    SGEMM,
+    california,
+    crossover_month,
+    default_lifetimes,
+)
+from repro.charging import smart_charging_savings
+from repro.cluster import paper_cloudlets, pixel_cloudlet_design
+from repro.core import second_life_cci
+from repro.economics import CloudRentalCostModel, FleetCostModel, cloudlet_vs_cloud_cost
+from repro.devices.catalog import C5_9XLARGE
+from repro.grid import CaisoLikeTraceGenerator
+from repro.microservices import (
+    COMPOSE_POST,
+    pixel_cloudlet,
+    social_network,
+)
+from repro.thermal import plan_cooling_light_medium, run_stress_test
+
+
+def test_package_exposes_version_and_quickstart_symbols():
+    assert repro.__version__
+    assert repro.PIXEL_3A.name == "Pixel 3A"
+    assert callable(repro.DeviceCarbonModel)
+
+
+def test_headline_claim_reused_phone_beats_new_server():
+    """The paper's headline: repurposed phones out-perform a new server on CCI."""
+    phone = DeviceCarbonModel(PIXEL_3A, reused=True, include_battery_replacement=True)
+    server = DeviceCarbonModel(POWEREDGE_R740, reused=False)
+    months = default_lifetimes()
+    phone_cci = phone.cci_series(SGEMM, months)
+    server_cci = server.cci_series(SGEMM, months)
+    assert np.all(phone_cci < server_cci)
+
+
+def test_smart_charging_discount_feeds_cluster_cci():
+    """Measured smart-charging savings plug back into the cloudlet design."""
+    trace = CaisoLikeTraceGenerator(seed=3).generate_days(6)
+    measured = smart_charging_savings(PIXEL_3A, trace).median_savings
+    assert 0.0 < measured < 0.4
+
+    baseline_mix = california(smart_charging_discount=0.0)
+    measured_mix = california(smart_charging_discount=measured)
+    plain = pixel_cloudlet_design(SGEMM, baseline_mix, smart_charging=True)
+    smart = pixel_cloudlet_design(SGEMM, measured_mix, smart_charging=True)
+    assert smart.operational_carbon_g(36.0) < plain.operational_carbon_g(36.0)
+
+
+def test_thermal_plan_consistent_with_cloudlet_design():
+    """The fan count used in Figure 5 comes from the thermal model."""
+    design = paper_cloudlets(SGEMM, regime="california")["Pixel 3A"]
+    plan = plan_cooling_light_medium(PIXEL_3A, design.n_devices)
+    assert plan.fans >= 1
+    assert design.peripherals.total_power_w >= plan.fans * 4.0
+
+
+def test_thermal_experiment_informs_density_limits():
+    result = run_stress_test()  # full 45-minute scenario
+    assert result.any_shutdown  # packing Nexus 4s densely at 100% load fails
+
+
+def test_serving_energy_consistent_with_carbon_model():
+    """The serving simulator's power estimate matches the paper's ~1.7 W/phone."""
+    cluster = pixel_cloudlet()
+    app = social_network()
+    result = cluster.run(app, {COMPOSE_POST: 1.0}, qps=400, duration_s=1.0, warmup_s=0.2, seed=5)
+    per_phone = result.mean_power_w / len(cluster.nodes)
+    assert 0.8 < per_phone < 2.5
+
+
+def test_carbon_and_dollar_savings_point_the_same_way():
+    fleet = FleetCostModel(device=PIXEL_3A, n_devices=10)
+    rental = CloudRentalCostModel(instance=C5_9XLARGE)
+    comparison = cloudlet_vs_cloud_cost(fleet, rental, lifetime_months=36.0)
+    assert comparison.savings_usd > 0
+
+    phone = DeviceCarbonModel(PIXEL_3A, reused=True)
+    server = DeviceCarbonModel(POWEREDGE_R740, reused=False)
+    assert phone.cci(SGEMM, 36.0) < server.cci(SGEMM, 36.0)
+
+
+def test_second_life_analysis_spans_catalog_and_core():
+    reused = DeviceCarbonModel(PIXEL_3A, reused=True)
+    cci_two_lives = second_life_cci(
+        first_life=reused,
+        second_life=reused,
+        benchmark=SGEMM,
+        first_life_months=24.0,
+        second_life_months=36.0,
+    )
+    assert cci_two_lives > reused.cci(SGEMM, 36.0)
+
+
+def test_crossover_analysis_on_cluster_designs():
+    designs = paper_cloudlets(SGEMM, regime="california")
+    months = default_lifetimes()
+    nexus = designs["Nexus 4"].cci_series(SGEMM, months)
+    server = designs["PowerEdge R740"].cci_series(SGEMM, months)
+    crossover = crossover_month(months, nexus, server)
+    assert crossover is not None and crossover > 24

@@ -1,0 +1,69 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_kwh_joule_round_trip():
+    assert units.joules_to_kwh(units.kwh_to_joules(3.7)) == pytest.approx(3.7)
+
+
+def test_one_kwh_is_3_6_megajoules():
+    assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+
+
+def test_wh_to_joules():
+    assert units.wh_to_joules(1.0) == pytest.approx(3_600.0)
+    assert units.joules_to_wh(7_200.0) == pytest.approx(2.0)
+
+
+def test_watts_for_duration():
+    assert units.watts_for_duration_joules(10.0, 60.0) == pytest.approx(600.0)
+    assert units.watts_for_duration_kwh(1_000.0, 3_600.0) == pytest.approx(1.0)
+
+
+def test_month_conversions_consistent():
+    assert units.months_to_seconds(12.0) == pytest.approx(units.SECONDS_PER_YEAR, rel=1e-3)
+    assert units.seconds_to_months(units.months_to_seconds(7.5)) == pytest.approx(7.5)
+    assert units.months_to_hours(1.0) == pytest.approx(units.HOURS_PER_MONTH)
+
+
+def test_years_to_months():
+    assert units.years_to_months(3.0) == pytest.approx(36.0)
+
+
+def test_mass_conversions():
+    assert units.kg_to_grams(2.5) == pytest.approx(2_500.0)
+    assert units.grams_to_kg(500.0) == pytest.approx(0.5)
+    assert units.grams_to_milligrams(0.25) == pytest.approx(250.0)
+
+
+def test_network_rate_conversions():
+    assert units.mbit_per_s_to_bytes_per_s(8.0) == pytest.approx(1e6)
+    assert units.gbit_per_s_to_bytes_per_s(1.0) == pytest.approx(1.25e8)
+
+
+def test_battery_capacity_conversion():
+    # 3 Ah at ~4.17 V nominal is the paper's 45 kJ Pixel 3A pack.
+    wh = units.ah_to_wh(3.0, 4.17)
+    assert units.wh_to_joules(wh) == pytest.approx(45_036.0, rel=1e-3)
+
+
+def test_temperature_conversions():
+    assert units.celsius_to_kelvin(25.0) == pytest.approx(298.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(60.0)) == pytest.approx(60.0)
+
+
+@given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+def test_energy_round_trip_property(kwh):
+    assert units.joules_to_kwh(units.kwh_to_joules(kwh)) == pytest.approx(kwh, rel=1e-12, abs=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=1e6), st.floats(min_value=0.0, max_value=1e7))
+def test_energy_is_bilinear_in_power_and_time(power, duration):
+    double_power = units.watts_for_duration_joules(2 * power, duration)
+    assert double_power == pytest.approx(2 * units.watts_for_duration_joules(power, duration))

@@ -1,0 +1,56 @@
+"""Cloudlet cooling provisioning."""
+
+import pytest
+
+from repro.devices.catalog import NEXUS_4, PIXEL_3A
+from repro.devices.power import FULL_LOAD, LIGHT_MEDIUM
+from repro.thermal.cooling import (
+    FAN_POWER_W,
+    FAN_RATED_W,
+    device_thermal_power_w,
+    fans_needed,
+    plan_cooling,
+    plan_cooling_light_medium,
+)
+
+
+def test_device_thermal_power_tracks_load():
+    full = device_thermal_power_w(NEXUS_4, FULL_LOAD)
+    light = device_thermal_power_w(NEXUS_4, LIGHT_MEDIUM)
+    assert full == pytest.approx(3.6)
+    assert light < full
+
+
+def test_256_nexus4_within_two_fans():
+    # Paper: 256 Nexus 4s at 100 % load are ~666 W of thermal power, which
+    # fits within two 500 W-rated fans.
+    plan = plan_cooling(NEXUS_4, 256, load_profile=FULL_LOAD)
+    assert 600 < plan.thermal_power_w < 1_000
+    assert plan.fans == 2
+    assert plan.total_fan_power_w == pytest.approx(2 * FAN_POWER_W)
+
+
+def test_54_pixels_need_single_fan():
+    plan = plan_cooling(PIXEL_3A, 54, load_profile=FULL_LOAD)
+    assert plan.fans == 1
+
+
+def test_light_medium_plan_uses_lower_thermal_power():
+    full = plan_cooling(PIXEL_3A, 54, load_profile=FULL_LOAD)
+    light = plan_cooling_light_medium(PIXEL_3A, 54)
+    assert light.thermal_power_w < full.thermal_power_w
+
+
+def test_fans_needed_edge_cases():
+    assert fans_needed(0.0) == 1
+    assert fans_needed(FAN_RATED_W) == 1
+    assert fans_needed(FAN_RATED_W + 0.1) == 2
+    with pytest.raises(ValueError):
+        fans_needed(-1.0)
+    with pytest.raises(ValueError):
+        fans_needed(100.0, fan_rated_w=0.0)
+
+
+def test_plan_requires_positive_device_count():
+    with pytest.raises(ValueError):
+        plan_cooling(PIXEL_3A, 0)

@@ -1,0 +1,91 @@
+"""The Figure 3 box experiment and Equation 9 thermal-power estimate."""
+
+import pytest
+
+from repro.devices.catalog import PIXEL_3A
+from repro.devices.power import LIGHT_MEDIUM
+from repro.thermal.experiment import (
+    build_box_experiment,
+    estimate_thermal_power,
+    run_custom_scenario,
+    run_light_medium_test,
+    run_stress_test,
+)
+
+
+@pytest.fixture(scope="module")
+def stress_result():
+    return run_stress_test()
+
+
+@pytest.fixture(scope="module")
+def light_medium_result():
+    return run_light_medium_test()
+
+
+def test_box_experiment_composition():
+    enclosure, phones = build_box_experiment()
+    assert len(phones) == 5
+    names = [p.device.name for p in phones]
+    assert names.count("Nexus 4") == 4
+    assert names.count("Nexus 5") == 1
+    assert enclosure.ambient_temp_c == pytest.approx(25.0)
+
+
+def test_nexus4s_shut_down_under_full_load(stress_result):
+    shutdowns = stress_result.shutdown_times()
+    nexus4_shutdowns = [v for k, v in shutdowns.items() if "Nexus 4" in k]
+    assert all(t is not None for t in nexus4_shutdowns)
+    # Shutdown happens within the 45-minute window, not instantly.
+    assert all(10 * 60 < t < 45 * 60 for t in nexus4_shutdowns)
+
+
+def test_nexus5_survives_both_scenarios(stress_result, light_medium_result):
+    assert stress_result.shutdown_times()["Nexus 5 #4"] is None
+    assert light_medium_result.shutdown_times()["Nexus 5 #4"] is None
+
+
+def test_shutdown_internal_temperature_in_paper_range(stress_result):
+    for phone in stress_result.phones:
+        if phone.shutdown_time_s is not None:
+            assert 72.0 <= float(phone.temperature_c.max()) <= 82.0
+
+
+def test_air_temperature_at_first_shutdown_elevated(stress_result):
+    air = stress_result.air_temperature_at_first_shutdown()
+    assert air is not None
+    assert 35.0 < air < 60.0
+
+
+def test_light_medium_runs_cooler(stress_result, light_medium_result):
+    hot = max(float(p.temperature_c.max()) for p in stress_result.phones)
+    warm = max(float(p.temperature_c.max()) for p in light_medium_result.phones)
+    assert warm < hot
+
+
+def test_thermal_power_estimates_match_paper_ballpark(stress_result, light_medium_result):
+    # Paper: ~2.6 W/device at 100 % load and ~1.2 W/device for light-medium.
+    full = estimate_thermal_power(stress_result)
+    light = estimate_thermal_power(light_medium_result)
+    assert 1.5 < full.per_phone_w < 3.5
+    assert 0.7 < light.per_phone_w < 1.8
+    assert full.per_phone_w > light.per_phone_w
+
+
+def test_thermal_power_window_ends_at_first_shutdown(stress_result):
+    estimate = estimate_thermal_power(stress_result)
+    first_shutdown = min(
+        t for t in stress_result.shutdown_times().values() if t is not None
+    )
+    assert estimate.window_s <= first_shutdown + stress_result.timestep_s
+
+
+def test_custom_scenario_with_pixels_survives():
+    result = run_custom_scenario([PIXEL_3A] * 4, LIGHT_MEDIUM, duration_s=1_800)
+    assert not result.any_shutdown
+
+
+def test_higher_ambient_is_hotter():
+    cool = run_stress_test(duration_s=900, ambient_temp_c=20.0)
+    hot = run_stress_test(duration_s=900, ambient_temp_c=35.0)
+    assert float(hot.air_temperature_c.max()) > float(cool.air_temperature_c.max())

@@ -1,0 +1,117 @@
+"""Lumped thermal model: throttling policies, enclosure, and simulation."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import NEXUS_4
+from repro.devices.power import FULL_LOAD, IDLE
+from repro.thermal.model import (
+    Enclosure,
+    PhoneThermalProperties,
+    ThermalSimulation,
+    ThrottlingPolicy,
+)
+
+
+class TestThrottlingPolicy:
+    def test_performance_regions(self):
+        policy = ThrottlingPolicy(
+            throttle_onset_c=45, throttle_full_c=70, min_performance=0.4, shutdown_c=77
+        )
+        assert policy.performance_factor(30.0) == 1.0
+        assert policy.performance_factor(45.0) == 1.0
+        assert policy.performance_factor(57.5) == pytest.approx(0.7)
+        assert policy.performance_factor(70.0) == pytest.approx(0.4)
+        assert policy.performance_factor(76.0) == pytest.approx(0.4)
+        assert policy.performance_factor(80.0) == 0.0
+
+    def test_shutdown_threshold(self):
+        policy = ThrottlingPolicy()
+        assert not policy.is_shutdown(policy.shutdown_c - 0.1)
+        assert policy.is_shutdown(policy.shutdown_c)
+
+    def test_power_factor_coupling(self):
+        policy = ThrottlingPolicy(power_performance_coupling=0.5)
+        assert policy.power_factor(1.0) == pytest.approx(1.0)
+        assert policy.power_factor(0.0) == pytest.approx(0.5)
+        assert policy.power_factor(0.4) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrottlingPolicy(throttle_onset_c=70, throttle_full_c=60)
+        with pytest.raises(ValueError):
+            ThrottlingPolicy(min_performance=0.0)
+        with pytest.raises(ValueError):
+            ThrottlingPolicy(power_performance_coupling=2.0)
+        with pytest.raises(ValueError):
+            ThrottlingPolicy().power_factor(1.5)
+
+
+class TestEnclosure:
+    def test_geometry(self):
+        box = Enclosure()
+        assert box.air_volume_m3 == pytest.approx(0.0129, rel=0.02)
+        assert box.air_mass_kg > 0
+        assert box.air_heat_capacity_j_per_k > box.air_mass_kg * 1_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Enclosure(width_m=0.0)
+        with pytest.raises(ValueError):
+            Enclosure(wall_conductance_w_per_k=-1.0)
+
+
+class TestPhoneThermalProperties:
+    def test_heat_capacity(self):
+        phone = PhoneThermalProperties(device=NEXUS_4, mass_kg=0.1)
+        assert phone.heat_capacity_j_per_k == pytest.approx(70.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhoneThermalProperties(device=NEXUS_4, mass_kg=0.0)
+        with pytest.raises(ValueError):
+            PhoneThermalProperties(device=NEXUS_4, conductance_to_air_w_per_k=0.0)
+
+
+class TestThermalSimulation:
+    def _simulation(self, load_profile=FULL_LOAD, n_phones=2):
+        phones = [PhoneThermalProperties(device=NEXUS_4) for _ in range(n_phones)]
+        return ThermalSimulation(
+            enclosure=Enclosure(), phones=phones, load_profile=load_profile
+        )
+
+    def test_idle_phones_stay_at_ambient(self):
+        sim = self._simulation(load_profile=IDLE)
+        result = sim.run(duration_s=600)
+        # Idle draw still produces a little heat, but temperatures stay close
+        # to ambient over ten minutes.
+        assert float(result.phones[0].temperature_c.max()) < 40.0
+
+    def test_loaded_phones_heat_up_monotonically_before_throttle(self):
+        sim = self._simulation()
+        result = sim.run(duration_s=600)
+        temps = result.phones[0].temperature_c
+        assert temps[-1] > temps[0]
+        assert np.all(np.diff(temps[:20]) >= -1e-9)
+
+    def test_air_temperature_rises_with_load(self):
+        result = self._simulation().run(duration_s=1_800)
+        assert result.air_temperature_c[-1] > result.air_temperature_c[0]
+
+    def test_latency_increases_when_throttled(self):
+        sim = self._simulation(n_phones=5)
+        result = sim.run(duration_s=2_700)
+        latency = result.phones[0].job_latency_s
+        finite = latency[np.isfinite(latency)]
+        assert finite[-1] > finite[1]
+
+    def test_total_power_series_nonnegative(self):
+        result = self._simulation().run(duration_s=600)
+        assert np.all(result.total_power_series_w() >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalSimulation(enclosure=Enclosure(), phones=[])
+        sim = self._simulation()
+        with pytest.raises(ValueError):
+            sim.run(duration_s=0.0)
