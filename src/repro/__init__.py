@@ -19,6 +19,9 @@ The library models the full pipeline the paper builds:
   Docker-Swarm-like placement, and the phone-cloudlet / EC2 deployments;
 * :mod:`repro.cluster` — cloudlet and datacenter-scale carbon designs
   (sizing, peripherals, topologies, PUE);
+* :mod:`repro.fleet` — device-churn lifecycle (intake, aging, failure,
+  replacement) and carbon-aware request routing across geo-distributed
+  sites with different grid mixes;
 * :mod:`repro.economics` — ownership-versus-cloud-rental cost models;
 * :mod:`repro.analysis` — per-figure and per-table data builders plus text
   reports.
@@ -59,9 +62,19 @@ from repro.devices import (
     DeviceSpec,
     get_device,
 )
+from repro.fleet import (
+    DeviceCohort,
+    DiurnalDemand,
+    FleetReport,
+    FleetSimulation,
+    FleetSite,
+    phone_site,
+    policy_by_name,
+    two_site_asymmetric_fleet,
+)
 from repro.grid import CaisoLikeTraceGenerator, EnergyMix, GridTrace, california, solar_24_7, zero_carbon
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -90,6 +103,15 @@ __all__ = [
     "DIJKSTRA",
     "MEMORY_COPY",
     "LIGHT_MEDIUM",
+    # fleet
+    "DeviceCohort",
+    "FleetSite",
+    "phone_site",
+    "two_site_asymmetric_fleet",
+    "DiurnalDemand",
+    "FleetSimulation",
+    "FleetReport",
+    "policy_by_name",
     # grid
     "GridTrace",
     "CaisoLikeTraceGenerator",

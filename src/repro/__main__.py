@@ -1,0 +1,219 @@
+"""Command-line entry point: list and run the library's figures and tables.
+
+Usage::
+
+    python -m repro list                # show everything runnable
+    python -m repro run fig5           # regenerate Figure 5 and print it
+    python -m repro run table1 fleet   # several targets in one invocation
+
+Each target maps to a zero-argument builder that computes the underlying
+data and returns the text to print (registry pattern, so adding a figure is
+one entry here).  Heavy simulation figures accept no tuning from the CLI —
+use the Python API for that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+
+def _fig1() -> str:
+    from repro.analysis import fig1_phone_capability
+
+    data = fig1_phone_capability()
+    lines = ["Flagship-phone capability vs AWS T4g instances (Figure 1):"]
+    for instance in data.t4g_references:
+        year = data.first_year_phones_reach(instance.name)
+        reached = f"phones reach it in {year}" if year else "not reached yet"
+        lines.append(f"  {instance.name}: {reached}")
+    return "\n".join(lines)
+
+
+def _fig2() -> str:
+    from repro.analysis import fig2_single_device_cci
+    from repro.analysis.report import render_lifetime_sweep
+
+    sweeps = fig2_single_device_cci()
+    return "\n\n".join(
+        f"Figure 2 ({name}):\n{render_lifetime_sweep(sweep)}"
+        for name, sweep in sweeps.items()
+    )
+
+
+def _fig3() -> str:
+    from repro.analysis import fig3_thermal
+
+    data = fig3_thermal()
+    lines = ["Phones-in-a-box thermal experiment (Figure 3):"]
+    for label, result in (
+        ("full load", data.full_load),
+        ("light-medium", data.light_medium),
+    ):
+        peak_air = float(result.air_temperature_c.max())
+        shutdowns = sum(
+            1 for t in result.shutdown_times().values() if t is not None
+        )
+        lines.append(
+            f"  {label}: peak box air {peak_air:.1f} C, "
+            f"{shutdowns}/{len(result.phones)} phones shut down"
+        )
+    return "\n".join(lines)
+
+
+def _fig4() -> str:
+    from repro.analysis import fig4_smart_charging
+
+    data = fig4_smart_charging()
+    lines = ["Smart-charging carbon savings (Figure 4):"]
+    for device in data.studies:
+        lines.append(f"  {device}: median {data.median_savings(device):.1%}")
+    return "\n".join(lines)
+
+
+def _fig5() -> str:
+    from repro.analysis import fig5_cluster_cci
+    from repro.analysis.report import render_lifetime_sweep
+
+    panels = fig5_cluster_cci()
+    return "\n\n".join(
+        f"Figure 5 ({benchmark}, {regime}):\n{render_lifetime_sweep(sweep)}"
+        for (benchmark, regime), sweep in panels.items()
+    )
+
+
+def _fig6() -> str:
+    from repro.analysis import fig6_energy_mix
+    from repro.analysis.report import render_lifetime_sweep
+
+    panels = fig6_energy_mix()
+    return "\n\n".join(
+        f"Figure 6 ({mix}):\n{render_lifetime_sweep(sweep)}"
+        for mix, sweep in panels.items()
+    )
+
+
+def _fig7() -> str:
+    from repro.analysis import fig7_deathstarbench
+
+    sweeps = fig7_deathstarbench()
+    lines = ["DeathStarBench latency-throughput sweeps (Figure 7):"]
+    for (workload, cluster), sweep in sweeps.items():
+        lines.append(
+            f"  {workload} on {cluster}: offered "
+            f"{sweep.offered_qps().min():.0f}-{sweep.offered_qps().max():.0f} qps, "
+            f"median {sweep.median_ms().min():.1f}-{sweep.median_ms().max():.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+def _fig8() -> str:
+    from repro.analysis import fig8_cpu_utilization
+
+    data = fig8_cpu_utilization()
+    lines = [
+        "Per-phone CPU utilisation, social-network cloudlet (Figure 8):",
+        f"  read phase at {data.read_qps:.0f} qps, write phase at {data.write_qps:.0f} qps",
+        f"  lightly-used phones (<25% in both phases): "
+        f"{data.lightly_used_fraction():.0%}",
+    ]
+    for name in sorted(data.read_utilization):
+        lines.append(
+            f"  {name}: read {data.read_utilization[name]:.0%}, "
+            f"write {data.write_utilization[name]:.0%}"
+        )
+    return "\n".join(lines)
+
+
+def _fig9() -> str:
+    from repro.analysis import fig9_request_cci
+    from repro.analysis.report import render_lifetime_sweep
+
+    data = fig9_request_cci()
+    return "\n\n".join(
+        f"Figure 9 ({workload}), phones {data.improvement_at(workload):.1f}x better at 36 mo:\n"
+        f"{render_lifetime_sweep(sweep)}"
+        for workload, sweep in data.sweeps.items()
+    )
+
+
+def _fleet() -> str:
+    from repro.analysis import fig10_fleet_orchestration, render_fleet_report
+
+    data = fig10_fleet_orchestration(n_devices_per_site=200, n_days=90)
+    blocks = [
+        f"{policy}:\n{render_fleet_report(data.reports[policy])}"
+        for policy in data.policies()
+    ]
+    blocks.append(
+        "greedy-lowest-intensity saves "
+        f"{data.savings_vs('greedy-lowest-intensity'):.1%} operational carbon "
+        "vs round-robin"
+    )
+    return "\n\n".join(blocks)
+
+
+def _table(renderer_name: str) -> Callable[[], str]:
+    def build() -> str:
+        from repro.analysis import report as report_module
+
+        return getattr(report_module, renderer_name)()
+
+    return build
+
+
+#: Target name -> (description, builder returning printable text).
+REGISTRY: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "fig1": ("smartphone capability vs cloud instances", _fig1),
+    "fig2": ("single-device CCI lifetime curves", _fig2),
+    "fig3": ("phones-in-a-box thermal experiment", _fig3),
+    "fig4": ("smart-charging savings distribution", _fig4),
+    "fig5": ("cluster-level CCI for the five comparison systems", _fig5),
+    "fig6": ("CCI under California / solar / zero-carbon mixes", _fig6),
+    "fig7": ("DeathStarBench latency-throughput sweeps", _fig7),
+    "fig8": ("per-phone CPU utilisation in the serving cloudlet", _fig8),
+    "fig9": ("carbon per served request vs EC2 baseline", _fig9),
+    "fleet": ("multi-site fleet orchestration policy comparison", _fleet),
+    "table1": ("Geekbench throughput per device", _table("render_table1")),
+    "table2": ("measured power curves per device", _table("render_table2")),
+    "table3": ("per-component embodied carbon", _table("render_table3")),
+    "table4": ("datacenter-scale projections", _table("render_table4")),
+}
+
+
+def list_targets() -> str:
+    """One line per runnable target."""
+    width = max(len(name) for name in REGISTRY)
+    lines = ["Available targets:"]
+    for name, (description, _) in sorted(REGISTRY.items()):
+        lines.append(f"  {name:<{width}}  {description}")
+    lines.append("\nRun with: python -m repro run <target> [<target> ...]")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures and tables from the Junkyard Computing reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list runnable figures and tables")
+    run_parser = subparsers.add_parser("run", help="run one or more targets")
+    run_parser.add_argument("targets", nargs="+", choices=sorted(REGISTRY))
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print(list_targets())
+        return 0
+
+    for target in args.targets:
+        description, builder = REGISTRY[target]
+        print(f"=== {target}: {description} ===")
+        print(builder())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -506,3 +506,81 @@ def fig9_request_cci(
             months=grid, series=series, metric_unit="gCO2e/request"
         )
     return Figure9Data(sweeps=sweeps, throughputs=rates)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 (extension) — fleet orchestration across geo-distributed sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure10Data:
+    """Policy comparison for a multi-site fleet over months of virtual time.
+
+    ``reports`` maps policy name to its :class:`~repro.fleet.reporting.FleetReport`;
+    the series accessors expose the daily running-CCI and availability curves
+    the fleet figure plots.
+    """
+
+    reports: Mapping[str, "FleetReport"]  # noqa: F821 - imported lazily below
+    n_days: int
+    n_devices_per_site: int
+
+    def policies(self) -> Tuple[str, ...]:
+        """The compared policy names."""
+        return tuple(self.reports)
+
+    def cci(self, policy: str) -> float:
+        """Final fleet CCI (g CO2e / request) under ``policy``."""
+        return self.reports[policy].fleet_cci_g_per_request()
+
+    def savings_vs(self, policy: str, baseline: str = "round-robin") -> float:
+        """Fractional operational-carbon savings of ``policy`` over ``baseline``."""
+        for name in (policy, baseline):
+            if name not in self.reports:
+                available = ", ".join(sorted(self.reports))
+                raise ValueError(
+                    f"policy {name!r} was not simulated; available: {available}"
+                )
+        base = self.reports[baseline].total_operational_carbon_g
+        ours = self.reports[policy].total_operational_carbon_g
+        return 1.0 - ours / base
+
+    def daily_cci_curves(self) -> Dict[str, np.ndarray]:
+        """Running fleet CCI per day for every policy."""
+        return {name: report.daily_cci_series() for name, report in self.reports.items()}
+
+
+def fig10_fleet_orchestration(
+    n_devices_per_site: int = 500,
+    n_days: int = 180,
+    demand_fraction: float = 0.9,
+    seed: int = 0,
+    policy_names: Optional[Sequence[str]] = None,
+) -> Figure10Data:
+    """Compare routing policies on the canonical two-site asymmetric fleet.
+
+    ``demand_fraction`` scales mean demand relative to a single site's
+    nominal capacity, so the clean site can absorb most — but not all — of
+    the load and the routing policy has a real decision to make.
+    """
+    from repro.fleet.scheduler import DiurnalDemand, policy_by_name, run_policy_comparison
+    from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, two_site_asymmetric_fleet
+
+    names = list(policy_names) if policy_names is not None else [
+        "round-robin",
+        "greedy-lowest-intensity",
+        "marginal-cci",
+    ]
+    demand = DiurnalDemand(
+        mean_rps=demand_fraction * n_devices_per_site * DEFAULT_REQUESTS_PER_DEVICE_S
+    )
+    reports = run_policy_comparison(
+        lambda: two_site_asymmetric_fleet(n_devices_per_site, seed=seed),
+        [policy_by_name(name) for name in names],
+        demand,
+        n_days,
+    )
+    return Figure10Data(
+        reports=reports, n_days=n_days, n_devices_per_site=n_devices_per_site
+    )

@@ -101,3 +101,53 @@ def render_lifetime_sweep(sweep: LifetimeSweep, months: Sequence[float] = (12, 3
     for label in sweep.labels():
         rows.append([label] + [f"{sweep.at(label, m):.4g}" for m in months])
     return f"(units: {sweep.metric_unit})\n" + format_table(headers, rows)
+
+
+def render_fleet_report(report) -> str:
+    """Render a :class:`~repro.fleet.reporting.FleetReport` as a per-site table.
+
+    One row per site plus a fleet-total row, covering served load, carbon
+    split, grid intensity, availability, and churn counters.
+    """
+    headers = [
+        "Site",
+        "Served (Mreq)",
+        "Op. carbon (kg)",
+        "Repl. carbon (kg)",
+        "Mean CI (g/kWh)",
+        "Avail.",
+        "Failures",
+        "Batt. swaps",
+    ]
+    rows = []
+    for site in report.site_summaries():
+        rows.append(
+            [
+                site.name,
+                f"{site.served_requests / 1e6:.1f}",
+                f"{site.operational_carbon_g / 1e3:.2f}",
+                f"{site.replacement_carbon_g / 1e3:.2f}",
+                f"{site.mean_intensity_g_per_kwh:.0f}",
+                f"{site.availability:.1%}",
+                str(site.failures),
+                str(site.battery_swaps),
+            ]
+        )
+    rows.append(
+        [
+            f"FLEET ({report.policy_name})",
+            f"{report.total_served_requests / 1e6:.1f}",
+            f"{report.total_operational_carbon_g / 1e3:.2f}",
+            f"{report.total_replacement_carbon_g / 1e3:.2f}",
+            "-",
+            f"{report.availability():.1%}",
+            str(int(report.failures.sum())),
+            str(int(report.battery_swaps.sum())),
+        ]
+    )
+    cci = report.fleet_cci_g_per_request()
+    footer = (
+        f"fleet CCI: {cci:.3e} gCO2e/request, "
+        f"served fraction: {report.served_fraction():.1%}"
+    )
+    return format_table(headers, rows) + "\n" + footer

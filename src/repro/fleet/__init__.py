@@ -1,0 +1,85 @@
+"""Fleet subsystem: device-churn lifecycle + carbon-aware multi-site orchestration.
+
+Where :mod:`repro.cluster` models one static cloudlet on one grid, this
+package models a *fleet*: populations of reused devices arriving, aging,
+failing, and being replaced across geo-distributed sites with different
+grid mixes, with request routing policies that exploit the differences.
+
+* :mod:`repro.fleet.population` — vectorized device cohorts (intake,
+  battery aging, stochastic churn, replacement policies);
+* :mod:`repro.fleet.sites` — multi-site cloudlets, each a
+  :class:`~repro.cluster.cloudlet.CloudletDesign` bound to its own
+  :class:`~repro.grid.traces.GridTrace`, plus regional trace presets;
+* :mod:`repro.fleet.scheduler` — pluggable carbon-aware routing policies
+  with a vectorized hourly path and a DES-backed latency-aware path;
+* :mod:`repro.fleet.reporting` — fleet CCI / availability / replacement
+  carbon reporting consumed by :mod:`repro.analysis`.
+"""
+
+from repro.fleet.population import (
+    CohortStep,
+    DeviceCohort,
+    FailureModel,
+    IntakeStream,
+    ReplacementPolicy,
+    steady_state_intake_rate,
+)
+from repro.fleet.reporting import FleetReport, SiteSummary, compare_reports
+from repro.fleet.scheduler import (
+    POLICIES,
+    CapacityAwareMarginalCciRouting,
+    DiurnalDemand,
+    FleetSimulation,
+    GreedyLowestIntensityRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    policy_by_name,
+    run_policy_comparison,
+    simulate_latency_aware,
+)
+from repro.fleet.sites import (
+    DEFAULT_REQUESTS_PER_DEVICE_S,
+    REGIONAL_GENERATORS,
+    FleetSite,
+    caiso_like_generator,
+    ercot_like_generator,
+    hydro_heavy_generator,
+    phone_site,
+    regional_trace,
+    two_site_asymmetric_fleet,
+)
+
+__all__ = [
+    # population
+    "DeviceCohort",
+    "CohortStep",
+    "IntakeStream",
+    "FailureModel",
+    "ReplacementPolicy",
+    "steady_state_intake_rate",
+    # sites
+    "FleetSite",
+    "phone_site",
+    "two_site_asymmetric_fleet",
+    "regional_trace",
+    "caiso_like_generator",
+    "ercot_like_generator",
+    "hydro_heavy_generator",
+    "REGIONAL_GENERATORS",
+    "DEFAULT_REQUESTS_PER_DEVICE_S",
+    # scheduler
+    "RoutingPolicy",
+    "RoundRobinRouting",
+    "GreedyLowestIntensityRouting",
+    "CapacityAwareMarginalCciRouting",
+    "POLICIES",
+    "policy_by_name",
+    "DiurnalDemand",
+    "FleetSimulation",
+    "run_policy_comparison",
+    "simulate_latency_aware",
+    # reporting
+    "FleetReport",
+    "SiteSummary",
+    "compare_reports",
+]

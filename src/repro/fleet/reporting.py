@@ -1,0 +1,235 @@
+"""Fleet-level carbon, availability, and churn reporting.
+
+A :class:`FleetReport` is the single artifact a fleet simulation produces:
+hourly served/dropped/operational-carbon/intensity series per site plus
+daily population series (active devices, failures, swaps, replacement
+carbon).  From it every downstream consumer derives what it needs:
+
+* the fleet CCI (grams of CO2e per served request, the paper's Equation 1
+  applied to the whole fleet over the whole horizon);
+* availability (delivered capacity against the target deployment);
+* per-site and fleet-wide summary tables for the text reports in
+  :mod:`repro.analysis.report`;
+* daily CCI / carbon time series for figure builders in
+  :mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.cci import computational_carbon_intensity
+
+
+@dataclass(frozen=True)
+class SiteSummary:
+    """Aggregates for one site over the simulated horizon."""
+
+    name: str
+    served_requests: float
+    operational_carbon_g: float
+    replacement_carbon_g: float
+    mean_intensity_g_per_kwh: float
+    availability: float
+    failures: int
+    battery_swaps: int
+    deployed: int
+
+    @property
+    def total_carbon_g(self) -> float:
+        """Operational plus replacement carbon for this site."""
+        return self.operational_carbon_g + self.replacement_carbon_g
+
+    @property
+    def cci_g_per_request(self) -> float:
+        """Site-level CCI (g CO2e per served request)."""
+        return computational_carbon_intensity(
+            self.total_carbon_g, max(self.served_requests, 1.0)
+        )
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything a fleet simulation measured.
+
+    Hourly arrays have shape ``(T, S)`` for ``T`` timesteps and ``S`` sites;
+    daily arrays have shape ``(D, S)``.  ``step_s`` is the scheduling
+    timestep in seconds (series of requests/s integrate to requests by
+    multiplying with it).
+    """
+
+    policy_name: str
+    site_names: Tuple[str, ...]
+    hours: np.ndarray
+    served_rps: np.ndarray
+    dropped_rps: np.ndarray
+    operational_g: np.ndarray
+    intensity_g_per_kwh: np.ndarray
+    days: np.ndarray
+    active_devices: np.ndarray
+    target_devices: np.ndarray
+    replacement_carbon_g: np.ndarray
+    battery_swaps: np.ndarray
+    failures: np.ndarray
+    deployed: np.ndarray
+    step_s: float = 3_600.0
+
+    def __post_init__(self) -> None:
+        n_sites = len(self.site_names)
+        for name in ("served_rps", "operational_g", "intensity_g_per_kwh"):
+            array = getattr(self, name)
+            if array.shape != (len(self.hours), n_sites):
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected "
+                    f"({len(self.hours)}, {n_sites})"
+                )
+        if self.dropped_rps.shape != (len(self.hours),):
+            raise ValueError(
+                f"dropped_rps has shape {self.dropped_rps.shape}, expected "
+                f"({len(self.hours)},)"
+            )
+        for name in (
+            "active_devices",
+            "replacement_carbon_g",
+            "battery_swaps",
+            "failures",
+            "deployed",
+        ):
+            array = getattr(self, name)
+            if array.shape != (len(self.days), n_sites):
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected "
+                    f"({len(self.days)}, {n_sites})"
+                )
+
+    # ------------------------------------------------------------------
+    # Fleet-level aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_served_requests(self) -> float:
+        """Requests served across all sites over the horizon."""
+        return float(self.served_rps.sum() * self.step_s)
+
+    @property
+    def total_dropped_requests(self) -> float:
+        """Demand the fleet could not serve (requests)."""
+        return float(self.dropped_rps.sum() * self.step_s)
+
+    @property
+    def total_operational_carbon_g(self) -> float:
+        """Operational carbon across all sites (grams)."""
+        return float(self.operational_g.sum())
+
+    @property
+    def total_replacement_carbon_g(self) -> float:
+        """Battery-replacement embodied carbon across all sites (grams)."""
+        return float(self.replacement_carbon_g.sum())
+
+    @property
+    def total_carbon_g(self) -> float:
+        """Operational + replacement carbon (grams)."""
+        return self.total_operational_carbon_g + self.total_replacement_carbon_g
+
+    def fleet_cci_g_per_request(self) -> float:
+        """Fleet CCI: total carbon over total served requests (Equation 1)."""
+        return computational_carbon_intensity(
+            self.total_carbon_g, max(self.total_served_requests, 1.0)
+        )
+
+    def served_fraction(self) -> float:
+        """Fraction of offered demand that was served."""
+        offered = self.total_served_requests + self.total_dropped_requests
+        if offered == 0:
+            return 1.0
+        return self.total_served_requests / offered
+
+    def availability(self) -> float:
+        """Mean fraction of the target deployment that was live."""
+        target_total = float(self.target_devices.sum())
+        if target_total == 0:
+            return 0.0
+        return float(np.mean(self.active_devices.sum(axis=1) / target_total))
+
+    # ------------------------------------------------------------------
+    # Time series for figures
+    # ------------------------------------------------------------------
+
+    def daily_carbon_g(self) -> np.ndarray:
+        """Total carbon per day (operational + replacement), shape ``(D,)``."""
+        steps_per_day = len(self.hours) // len(self.days)
+        operational = self.operational_g.sum(axis=1).reshape(
+            len(self.days), steps_per_day
+        ).sum(axis=1)
+        return operational + self.replacement_carbon_g.sum(axis=1)
+
+    def daily_cci_series(self) -> np.ndarray:
+        """Running (cumulative) fleet CCI at the end of each day."""
+        steps_per_day = len(self.hours) // len(self.days)
+        daily_served = (
+            self.served_rps.sum(axis=1).reshape(len(self.days), steps_per_day).sum(axis=1)
+            * self.step_s
+        )
+        cumulative_carbon = np.cumsum(self.daily_carbon_g())
+        cumulative_served = np.maximum(np.cumsum(daily_served), 1.0)
+        return cumulative_carbon / cumulative_served
+
+    def availability_series(self) -> np.ndarray:
+        """Daily fleet availability (active / target), shape ``(D,)``."""
+        return self.active_devices.sum(axis=1) / float(self.target_devices.sum())
+
+    # ------------------------------------------------------------------
+    # Per-site summaries
+    # ------------------------------------------------------------------
+
+    def site_summaries(self) -> List[SiteSummary]:
+        """Per-site aggregate rows, in site order."""
+        summaries = []
+        for j, name in enumerate(self.site_names):
+            target = float(self.target_devices[j])
+            summaries.append(
+                SiteSummary(
+                    name=name,
+                    served_requests=float(self.served_rps[:, j].sum() * self.step_s),
+                    operational_carbon_g=float(self.operational_g[:, j].sum()),
+                    replacement_carbon_g=float(self.replacement_carbon_g[:, j].sum()),
+                    mean_intensity_g_per_kwh=float(
+                        np.mean(self.intensity_g_per_kwh[:, j])
+                    ),
+                    availability=float(np.mean(self.active_devices[:, j] / target)),
+                    failures=int(self.failures[:, j].sum()),
+                    battery_swaps=int(self.battery_swaps[:, j].sum()),
+                    deployed=int(self.deployed[:, j].sum()),
+                )
+            )
+        return summaries
+
+    def summary_dict(self) -> Dict[str, float]:
+        """Headline numbers, convenient for asserts and JSON dumps."""
+        return {
+            "policy": self.policy_name,
+            "served_requests": self.total_served_requests,
+            "dropped_requests": self.total_dropped_requests,
+            "operational_carbon_kg": self.total_operational_carbon_g / 1_000.0,
+            "replacement_carbon_kg": self.total_replacement_carbon_g / 1_000.0,
+            "fleet_cci_g_per_request": self.fleet_cci_g_per_request(),
+            "availability": self.availability(),
+            "served_fraction": self.served_fraction(),
+        }
+
+
+def compare_reports(reports: Dict[str, "FleetReport"]) -> List[Tuple[str, float, float]]:
+    """Rank policies by fleet CCI: ``(policy, cci, operational_kg)`` ascending."""
+    rows = [
+        (
+            name,
+            report.fleet_cci_g_per_request(),
+            report.total_operational_carbon_g / 1_000.0,
+        )
+        for name, report in reports.items()
+    ]
+    rows.sort(key=lambda row: row[1])
+    return rows

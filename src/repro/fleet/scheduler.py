@@ -1,0 +1,457 @@
+"""Carbon-aware multi-site request routing and the fleet simulation loop.
+
+Routing policies decide, hour by hour, how much of the fleet's request
+demand each site serves.  All three bundled policies are *capacity-feasible*
+(they never route more than a site can serve) and fully vectorized — an
+allocation for a whole year of hourly timesteps across all sites is a single
+NumPy pass:
+
+* :class:`RoundRobinRouting` — demand split proportional to live capacity,
+  the carbon-oblivious baseline (DNS round-robin across healthy devices);
+* :class:`GreedyLowestIntensityRouting` — fill the site with the lowest
+  instantaneous grid carbon intensity first, then the next, and so on;
+* :class:`CapacityAwareMarginalCciRouting` — the same waterfill, but ranked
+  by the *marginal CCI* of one extra request at each site: dynamic energy
+  per request times local intensity plus amortised battery-wear carbon.
+  This correctly prefers an efficient device on a middling grid over an
+  inefficient one on a slightly cleaner grid.
+
+:class:`FleetSimulation` couples the hourly routing path with the daily
+population dynamics of :mod:`repro.fleet.population`: capacity follows the
+live device count, realised utilisation drives battery cycling, and churn
+feeds replacement carbon into the fleet ledger.  For latency-aware
+questions, :func:`simulate_latency_aware` runs the same sites and policy on
+the discrete-event engine of :mod:`repro.simulation` instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.fleet.reporting import FleetReport
+from repro.fleet.sites import FleetSite
+from repro.simulation.engine import Simulator, Timeout
+from repro.simulation.metrics import LatencyRecorder, LatencySummary, summarize
+from repro.simulation.random_streams import RandomStreams
+
+#: Hours per scheduling timestep of the vectorized path.
+HOURS_PER_STEP = 1.0
+
+
+# ---------------------------------------------------------------------------
+# Demand
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiurnalDemand:
+    """A deterministic diurnal + weekly fleet demand model (requests/s).
+
+    Demand follows a sinusoidal daily cycle peaking at ``peak_hour`` with
+    relative amplitude ``daily_amplitude``, modulated by a weekly cycle that
+    dips on the weekend.  Determinism matters: the scheduler's reproducibility
+    guarantee (fixed seed => identical fleet CCI) must not depend on demand
+    noise, so any stochastic demand belongs in a wrapping model.
+    """
+
+    mean_rps: float
+    daily_amplitude: float = 0.35
+    peak_hour: float = 20.0
+    weekly_amplitude: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.mean_rps <= 0:
+            raise ValueError("mean demand must be positive")
+        if not 0.0 <= self.daily_amplitude < 1.0:
+            raise ValueError("daily amplitude must be within [0, 1)")
+        if not 0.0 <= self.weekly_amplitude < 1.0:
+            raise ValueError("weekly amplitude must be within [0, 1)")
+
+    def series(self, n_hours: int, start_hour: float = 0.0) -> np.ndarray:
+        """Demand (requests/s) for ``n_hours`` hourly timesteps."""
+        if n_hours <= 0:
+            raise ValueError("n_hours must be positive")
+        hours = start_hour + np.arange(n_hours, dtype=float)
+        daily = 1.0 + self.daily_amplitude * np.cos(
+            2.0 * np.pi * (hours - self.peak_hour) / 24.0
+        )
+        # Minimum at day 5.5 (the weekend midpoint), renormalised so the
+        # weekly mean stays exactly mean_rps.
+        weekly = 1.0 - self.weekly_amplitude * 0.5 * (
+            1.0 + np.cos(2.0 * np.pi * (hours / 24.0 - 5.5) / 7.0)
+        )
+        weekly /= 1.0 - self.weekly_amplitude / 2.0
+        return self.mean_rps * daily * weekly
+
+
+# ---------------------------------------------------------------------------
+# Routing policies (vectorized hourly path)
+# ---------------------------------------------------------------------------
+
+
+class RoutingPolicy(abc.ABC):
+    """Allocates hourly fleet demand across sites."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        demand_rps: np.ndarray,
+        capacity_rps: np.ndarray,
+        intensity: np.ndarray,
+        marginal_g_per_request: np.ndarray,
+    ) -> np.ndarray:
+        """Return served requests/s per ``(timestep, site)``.
+
+        ``demand_rps`` has shape ``(T,)``; the three matrices have shape
+        ``(T, S)``.  Implementations must return a non-negative ``(T, S)``
+        allocation with per-site values bounded by ``capacity_rps`` and row
+        sums bounded by ``demand_rps`` (unmet demand is dropped and reported
+        by the simulation).
+        """
+
+    def request_key(self, site: FleetSite, now_s: float) -> Optional[float]:
+        """Per-request ranking key for the DES path (lower is better).
+
+        Keys are in *grams of CO2e per request* so the DES scheduler can add
+        a gram-denominated backlog penalty without mixing units.  Returning
+        ``None`` opts out of carbon ranking: the scheduler falls back to
+        capacity-weighted rotation (true per-request round-robin).
+        """
+        return site.marginal_carbon_g_per_request(now_s)
+
+
+def _waterfill(
+    demand_rps: np.ndarray, capacity_rps: np.ndarray, key: np.ndarray
+) -> np.ndarray:
+    """Fill sites in ascending ``key`` order up to capacity, per timestep."""
+    order = np.argsort(key, axis=1, kind="stable")
+    cap_sorted = np.take_along_axis(capacity_rps, order, axis=1)
+    cum_before = np.cumsum(cap_sorted, axis=1) - cap_sorted
+    remaining = np.clip(demand_rps[:, None] - cum_before, 0.0, None)
+    alloc_sorted = np.minimum(cap_sorted, remaining)
+    alloc = np.empty_like(alloc_sorted)
+    np.put_along_axis(alloc, order, alloc_sorted, axis=1)
+    return alloc
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Carbon-oblivious baseline: split demand proportional to live capacity."""
+
+    name = "round-robin"
+
+    def allocate(
+        self,
+        demand_rps: np.ndarray,
+        capacity_rps: np.ndarray,
+        intensity: np.ndarray,
+        marginal_g_per_request: np.ndarray,
+    ) -> np.ndarray:
+        total = capacity_rps.sum(axis=1)
+        served_total = np.minimum(demand_rps, total)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            share = np.where(total[:, None] > 0, capacity_rps / total[:, None], 0.0)
+        return share * served_total[:, None]
+
+    def request_key(self, site: FleetSite, now_s: float) -> Optional[float]:
+        return None  # carbon-oblivious: rotate across sites instead
+
+
+class GreedyLowestIntensityRouting(RoutingPolicy):
+    """Waterfill sites from cleanest to dirtiest instantaneous grid."""
+
+    name = "greedy-lowest-intensity"
+
+    def allocate(
+        self,
+        demand_rps: np.ndarray,
+        capacity_rps: np.ndarray,
+        intensity: np.ndarray,
+        marginal_g_per_request: np.ndarray,
+    ) -> np.ndarray:
+        return _waterfill(demand_rps, capacity_rps, intensity)
+
+    def request_key(self, site: FleetSite, now_s: float) -> Optional[float]:
+        # Intensity ranking expressed in grams: dynamic energy x intensity,
+        # without the wear term the marginal-CCI policy adds.
+        return site.marginal_carbon_g_for_intensity(
+            site.intensity_at(now_s), include_wear=False
+        )
+
+
+class CapacityAwareMarginalCciRouting(RoutingPolicy):
+    """Waterfill ranked by marginal carbon per request (energy x intensity + wear)."""
+
+    name = "marginal-cci"
+
+    def allocate(
+        self,
+        demand_rps: np.ndarray,
+        capacity_rps: np.ndarray,
+        intensity: np.ndarray,
+        marginal_g_per_request: np.ndarray,
+    ) -> np.ndarray:
+        return _waterfill(demand_rps, capacity_rps, marginal_g_per_request)
+
+
+#: Registry of the bundled policies, keyed by their public names.
+POLICIES: Dict[str, type] = {
+    RoundRobinRouting.name: RoundRobinRouting,
+    GreedyLowestIntensityRouting.name: GreedyLowestIntensityRouting,
+    CapacityAwareMarginalCciRouting.name: CapacityAwareMarginalCciRouting,
+}
+
+
+def policy_by_name(name: str) -> RoutingPolicy:
+    """Instantiate one of the bundled routing policies by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown policy {name!r}; expected one of: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Fleet simulation (vectorized hourly path + daily population dynamics)
+# ---------------------------------------------------------------------------
+
+
+class FleetSimulation:
+    """Couples hourly carbon-aware routing with daily device-churn dynamics.
+
+    Each simulated day: (1) the policy allocates 24 hourly demand steps
+    across the sites' live capacities and local grid intensities, (2) each
+    site's operational carbon integrates idle floor + dynamic request energy
+    against its trace, and (3) each cohort steps one day of aging, failures,
+    battery wear, and spare deployment at the utilisation the routing
+    actually produced.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[FleetSite],
+        policy: RoutingPolicy,
+        demand: DiurnalDemand,
+    ) -> None:
+        if not sites:
+            raise ValueError("a fleet needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"site names must be unique, got {names}")
+        self.sites = list(sites)
+        self.policy = policy
+        self.demand = demand
+
+    def run(self, n_days: int) -> FleetReport:
+        """Simulate ``n_days`` of virtual time and return the fleet report."""
+        if n_days <= 0:
+            raise ValueError("n_days must be positive")
+        n_sites = len(self.sites)
+        hours_per_day = int(round(24.0 / HOURS_PER_STEP))
+        step_s = HOURS_PER_STEP * units.SECONDS_PER_HOUR
+
+        served = np.zeros((n_days * hours_per_day, n_sites))
+        dropped = np.zeros(n_days * hours_per_day)
+        operational_g = np.zeros((n_days * hours_per_day, n_sites))
+        intensity_all = np.zeros((n_days * hours_per_day, n_sites))
+        active = np.zeros((n_days, n_sites), dtype=np.int64)
+        replacement_g = np.zeros((n_days, n_sites))
+        battery_swaps = np.zeros((n_days, n_sites), dtype=np.int64)
+        failures = np.zeros((n_days, n_sites), dtype=np.int64)
+        deployed = np.zeros((n_days, n_sites), dtype=np.int64)
+
+        for day in range(n_days):
+            rows = slice(day * hours_per_day, (day + 1) * hours_per_day)
+            times_s = (day * units.SECONDS_PER_DAY) + np.arange(hours_per_day) * step_s
+            demand = self.demand.series(hours_per_day, start_hour=day * 24.0)
+
+            capacity = np.empty((hours_per_day, n_sites))
+            intensity = np.empty((hours_per_day, n_sites))
+            marginal = np.empty((hours_per_day, n_sites))
+            for j, site in enumerate(self.sites):
+                capacity[:, j] = site.capacity_rps
+                intensity[:, j] = site.intensities_at(times_s)
+                marginal[:, j] = site.marginal_carbon_g_for_intensity(intensity[:, j])
+
+            alloc = self.policy.allocate(demand, capacity, intensity, marginal)
+            self._validate_allocation(alloc, demand, capacity)
+
+            served[rows] = alloc
+            dropped[rows] = demand - alloc.sum(axis=1)
+            intensity_all[rows] = intensity
+
+            # Hourly operational carbon from the site's own power model.
+            for j, site in enumerate(self.sites):
+                energy_kwh = site.power_w(alloc[:, j]) * step_s / units.JOULES_PER_KWH
+                operational_g[rows, j] = energy_kwh * intensity[:, j]
+
+            # Daily population step at the realised utilisation.
+            for j, site in enumerate(self.sites):
+                cap_j = capacity[:, j]
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    util = np.where(cap_j > 0, alloc[:, j] / cap_j, 0.0)
+                mean_util = float(np.clip(np.mean(util), 0.0, 1.0))
+                step = site.cohort.step(1.0, utilization=mean_util)
+                active[day, j] = step.active
+                replacement_g[day, j] = step.replacement_carbon_g
+                battery_swaps[day, j] = step.battery_swaps
+                failures[day, j] = step.failures
+                deployed[day, j] = step.deployed
+
+        return FleetReport(
+            policy_name=self.policy.name,
+            site_names=tuple(site.name for site in self.sites),
+            hours=np.arange(n_days * hours_per_day, dtype=float) * HOURS_PER_STEP,
+            served_rps=served,
+            dropped_rps=dropped,
+            operational_g=operational_g,
+            intensity_g_per_kwh=intensity_all,
+            days=np.arange(1, n_days + 1, dtype=float),
+            active_devices=active,
+            target_devices=np.array(
+                [site.cohort.policy.target_size for site in self.sites]
+            ),
+            replacement_carbon_g=replacement_g,
+            battery_swaps=battery_swaps,
+            failures=failures,
+            deployed=deployed,
+            step_s=step_s,
+        )
+
+    @staticmethod
+    def _validate_allocation(
+        alloc: np.ndarray, demand: np.ndarray, capacity: np.ndarray
+    ) -> None:
+        tol = 1e-6
+        if np.any(alloc < -tol):
+            raise ValueError("policy produced a negative allocation")
+        if np.any(alloc > capacity + tol):
+            raise ValueError("policy allocated beyond site capacity")
+        if np.any(alloc.sum(axis=1) > demand * (1 + tol) + tol):
+            raise ValueError("policy served more than the offered demand")
+
+
+def run_policy_comparison(
+    site_builder,
+    policies: Sequence[RoutingPolicy],
+    demand: DiurnalDemand,
+    n_days: int,
+) -> Dict[str, FleetReport]:
+    """Run the same scenario under several policies with identical fleets.
+
+    ``site_builder`` is a zero-argument callable returning a *fresh* list of
+    sites — each policy must see an identical, independently-seeded fleet,
+    otherwise population RNG state would leak across runs and the comparison
+    would not be apples-to-apples.
+    """
+    reports: Dict[str, FleetReport] = {}
+    for policy in policies:
+        simulation = FleetSimulation(site_builder(), policy, demand)
+        reports[policy.name] = simulation.run(n_days)
+    return reports
+
+
+# ---------------------------------------------------------------------------
+# DES-backed latency-aware path
+# ---------------------------------------------------------------------------
+
+
+def simulate_latency_aware(
+    sites: Sequence[FleetSite],
+    policy: RoutingPolicy,
+    demand_rps: float,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    queue_penalty_g: float = 5e-6,
+) -> Tuple[LatencySummary, Dict[str, int]]:
+    """Serve a Poisson request stream through the sites on the DES engine.
+
+    Where the vectorized path treats each hour as a fluid allocation, this
+    path models individual requests: exponential inter-arrivals, per-site
+    FIFO service at ``requests_per_device_s`` per device, and the site's
+    network RTT added to every response.  Each arrival is routed by the
+    policy's :meth:`~RoutingPolicy.request_key` (grams per request) plus
+    ``queue_penalty_g`` grams per already-queued request, so carbon-greedy
+    policies shed load to the next-cleanest site once the clean site backs
+    up.  The default penalty is on the order of a phone-cloudlet marginal
+    (a few 1e-6 g/request), so spill happens after a handful of queued
+    requests rather than after a multi-second backlog.  Policies whose key
+    is ``None`` (round-robin) rotate: each request goes to the site with
+    the lowest served-count-to-capacity ratio.
+
+    Returns the overall latency summary and the per-site served counts.
+    """
+    if demand_rps <= 0:
+        raise ValueError("demand must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if queue_penalty_g < 0:
+        raise ValueError("queue penalty must be non-negative")
+    simulator = Simulator()
+    streams = RandomStreams(seed=seed)
+    recorder = LatencyRecorder()
+    served_by_site = {site.name: 0 for site in sites}
+    routed_by_site = {site.name: 0 for site in sites}
+
+    from repro.simulation.resources import Resource
+
+    pools = {
+        site.name: Resource(
+            simulator, capacity=max(1, site.cohort.active_count), name=site.name
+        )
+        for site in sites
+    }
+    service_s = {site.name: 1.0 / site.requests_per_device_s for site in sites}
+
+    def route(now_s: float) -> FleetSite:
+        keys = [policy.request_key(site, now_s) for site in sites]
+        if any(key is None for key in keys):
+            # Capacity-weighted rotation: send the request to the site that
+            # has served the smallest share of its capacity so far.
+            shares = [
+                routed_by_site[site.name]
+                / (max(1, site.cohort.active_count) * site.requests_per_device_s)
+                for site in sites
+            ]
+            best = int(np.argmin(shares))
+        else:
+            penalized = [
+                key + pools[site.name].queue_length * queue_penalty_g
+                for key, site in zip(keys, sites)
+            ]
+            best = int(np.argmin(penalized))
+        routed_by_site[sites[best].name] += 1
+        return sites[best]
+
+    def handle(site: FleetSite, start_s: float):
+        pool = pools[site.name]
+        yield pool.acquire()
+        yield Timeout(service_s[site.name])
+        pool.release()
+        yield Timeout(site.network_rtt_s)
+        recorder.record("request", simulator.now - start_s)
+        served_by_site[site.name] += 1
+
+    spawned = {"count": 0}
+
+    def arrivals():
+        while simulator.now < duration_s:
+            yield Timeout(streams.exponential("arrivals", 1.0 / demand_rps))
+            if simulator.now >= duration_s:
+                break
+            site = route(simulator.now)
+            spawned["count"] += 1
+            simulator.spawn(handle(site, simulator.now), name=f"req@{site.name}")
+
+    simulator.spawn(arrivals(), name="arrivals")
+    simulator.run()
+    summaries = summarize(recorder, offered={"request": spawned["count"]})
+    if "request" not in summaries:
+        raise RuntimeError("no requests completed; increase duration or demand")
+    return summaries["request"], served_by_site

@@ -1,0 +1,334 @@
+"""Geo-distributed cloudlet sites with regional grid-intensity traces.
+
+A :class:`FleetSite` binds together the three things the fleet scheduler
+needs to know about a location:
+
+* a :class:`~repro.cluster.cloudlet.CloudletDesign` (device type,
+  peripherals, network topology) sized at the site's target fleet;
+* the site's own :class:`~repro.grid.traces.GridTrace` — every site sees a
+  *different* carbon-intensity time series, which is what makes carbon-aware
+  routing pay off;
+* a :class:`~repro.fleet.population.DeviceCohort` modelling the devices
+  actually deployed there, with their intake/churn dynamics.
+
+Three regional trace-generator presets accompany the paper's CAISO-like
+generator so multi-site scenarios span realistically different grids:
+
+* :func:`caiso_like_generator` — solar-heavy California (the paper's grid,
+  mean ~257 gCO2e/kWh with a deep mid-day duck curve);
+* :func:`ercot_like_generator` — wind-plus-gas Texas-like grid: bigger
+  demand, less solar, much more wind, gas dominating the residual (higher
+  mean, volatile);
+* :func:`hydro_heavy_generator` — Pacific-Northwest-like grid dominated by
+  hydro baseload (low, flat intensity).
+
+These are *structural* presets tuned on the same synthetic generator — real
+CAISO/ERCOT/BPA ingestion can later feed the same :class:`GridTrace`
+interface (see ROADMAP open items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.cluster.cloudlet import CloudletDesign
+from repro.cluster.peripherals import PeripheralSet
+from repro.cluster.topology import wifi_tree_topology
+from repro.devices.catalog import PIXEL_3A
+from repro.devices.power import LIGHT_MEDIUM, LoadProfile
+from repro.devices.specs import DeviceSpec
+from repro.fleet.population import (
+    DeviceCohort,
+    FailureModel,
+    IntakeStream,
+    ReplacementPolicy,
+    steady_state_intake_rate,
+)
+from repro.grid.mix import EnergyMix
+from repro.grid.traces import CaisoLikeTraceGenerator, GridTrace
+from repro.thermal.cooling import plan_cooling
+
+#: Default sustained request service rate of one phone (requests/s).  Matches
+#: the order of magnitude of the paper's DeathStarBench phone-cloudlet runs.
+DEFAULT_REQUESTS_PER_DEVICE_S = 20.0
+
+
+# ---------------------------------------------------------------------------
+# Regional grid presets
+# ---------------------------------------------------------------------------
+
+
+def caiso_like_generator(seed: int = 2021) -> CaisoLikeTraceGenerator:
+    """The paper's solar-heavy Californian grid (mean ~257 gCO2e/kWh)."""
+    return CaisoLikeTraceGenerator(seed=seed)
+
+
+def ercot_like_generator(seed: int = 2021) -> CaisoLikeTraceGenerator:
+    """A Texas-like grid: strong wind, weak solar, gas-dominated residual.
+
+    Larger base demand, roughly half the solar of California, three times
+    the wind, negligible hydro/geothermal — the residual (and therefore the
+    intensity) is higher and peaks harder in the evening.
+    """
+    return CaisoLikeTraceGenerator(
+        seed=seed,
+        base_demand_gw=40.0,
+        evening_peak_gw=9.0,
+        solar_peak_gw=5.0,
+        wind_mean_gw=9.0,
+        hydro_gw=0.3,
+        nuclear_gw=2.5,
+        geothermal_gw=0.0,
+        day_to_day_sigma=0.18,
+    )
+
+
+def hydro_heavy_generator(seed: int = 2021) -> CaisoLikeTraceGenerator:
+    """A Pacific-Northwest-like grid dominated by hydro (low, flat intensity)."""
+    return CaisoLikeTraceGenerator(
+        seed=seed,
+        base_demand_gw=14.0,
+        evening_peak_gw=2.5,
+        solar_peak_gw=1.0,
+        wind_mean_gw=2.5,
+        hydro_gw=9.0,
+        nuclear_gw=1.1,
+        geothermal_gw=0.2,
+        day_to_day_sigma=0.08,
+    )
+
+
+#: Name -> generator factory for the bundled regional presets.
+REGIONAL_GENERATORS = {
+    "caiso-like": caiso_like_generator,
+    "ercot-like": ercot_like_generator,
+    "hydro-heavy": hydro_heavy_generator,
+}
+
+
+def regional_trace(region: str, n_days: int = 30, seed: int = 2021) -> GridTrace:
+    """Generate an ``n_days`` trace for one of the named regional presets."""
+    try:
+        factory = REGIONAL_GENERATORS[region]
+    except KeyError:
+        known = ", ".join(sorted(REGIONAL_GENERATORS))
+        raise ValueError(f"unknown region {region!r}; expected one of: {known}") from None
+    return factory(seed=seed).generate_days(n_days)
+
+
+# ---------------------------------------------------------------------------
+# Fleet sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetSite:
+    """One cloudlet location participating in multi-site orchestration."""
+
+    name: str
+    design: CloudletDesign
+    trace: GridTrace
+    cohort: DeviceCohort
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S
+    #: Round-trip network latency between the fleet's clients and this site;
+    #: the DES-backed scheduler path adds it once per request.
+    network_rtt_s: float = 0.010
+
+    def __post_init__(self) -> None:
+        if self.requests_per_device_s <= 0:
+            raise ValueError("per-device request rate must be positive")
+        if self.network_rtt_s < 0:
+            raise ValueError("network RTT must be non-negative")
+        if self.design.device.name != self.cohort.device.name:
+            raise ValueError(
+                f"site {self.name!r}: design device {self.design.device.name!r} "
+                f"differs from cohort device {self.cohort.device.name!r}"
+            )
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_rps(self) -> float:
+        """Current request capacity (requests/s) given the live population."""
+        return self.cohort.active_count * self.requests_per_device_s
+
+    # -- power -------------------------------------------------------------
+
+    @property
+    def idle_power_w(self) -> float:
+        """Per-device idle draw (W)."""
+        return self.design.device.power_model.idle_power_w
+
+    @property
+    def peak_power_w(self) -> float:
+        """Per-device full-load draw (W)."""
+        return self.design.device.power_model.peak_power_w
+
+    @property
+    def dynamic_energy_per_request_j(self) -> float:
+        """Incremental energy (J) of serving one request on one device.
+
+        The idle-to-peak power swing amortised over the device's service
+        rate; the idle floor is charged separately as standby power.
+        """
+        return (self.peak_power_w - self.idle_power_w) / self.requests_per_device_s
+
+    def power_w(self, served_rps):
+        """Total site draw (W) while serving ``served_rps`` requests/s.
+
+        Active devices idle at their floor, each served request adds its
+        dynamic energy, and peripherals (fans, plugs, access points) draw
+        their constant overhead.  Accepts a scalar or an array of rates.
+        """
+        served = np.asarray(served_rps, dtype=float)
+        if np.any(served < 0):
+            raise ValueError("served rate must be non-negative")
+        device_floor = self.cohort.active_count * self.idle_power_w
+        dynamic = served * self.dynamic_energy_per_request_j
+        result = device_floor + dynamic + self.design.peripherals.total_power_w
+        return float(result) if np.isscalar(served_rps) else result
+
+    # -- carbon ------------------------------------------------------------
+
+    def intensity_at(self, time_s: float) -> float:
+        """Grid carbon intensity at ``time_s``, wrapping around the trace."""
+        return self.trace.intensity_at(time_s, wrap=True)
+
+    def intensities_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized wrap-around intensity lookup."""
+        return self.trace.intensities_at(times_s, wrap=True)
+
+    def marginal_carbon_g_for_intensity(self, intensity_g_per_kwh, include_wear: bool = True):
+        """Marginal carbon (g) of one request at a given grid intensity.
+
+        The single source of truth for the per-request marginal used by every
+        routing path (vectorized hourly, scalar DES) — accepts a scalar or an
+        array of intensities.  ``include_wear=False`` gives the energy-only
+        marginal (the greedy lowest-intensity ranking).
+        """
+        grams = (
+            self.dynamic_energy_per_request_j
+            * np.asarray(intensity_g_per_kwh, dtype=float)
+            / units.JOULES_PER_KWH
+        )
+        if include_wear:
+            grams = grams + self.battery_wear_g_per_request()
+        return float(grams) if np.isscalar(intensity_g_per_kwh) else grams
+
+    def marginal_carbon_g_per_request(self, time_s: float) -> float:
+        """Marginal operational + wear carbon (g) of routing one request here."""
+        return self.marginal_carbon_g_for_intensity(self.intensity_at(time_s))
+
+    def battery_wear_g_per_request(self) -> float:
+        """Embodied battery carbon amortised per request served.
+
+        Every joule pushed through the battery consumes cycle life; once the
+        pack wears out its replacement re-introduces embodied carbon.  Sites
+        whose policy never swaps batteries carry no wear cost (the device is
+        retired and its successor arrives carbon-free, per the paper's
+        reuse convention).
+        """
+        battery = self.design.device.battery
+        if battery is None or not self.cohort.policy.swap_batteries:
+            return 0.0
+        wear_g_per_joule = units.kg_to_grams(battery.embodied_carbon_kgco2e) / (
+            battery.cycle_life * battery.capacity_joules
+        )
+        return wear_g_per_joule * self.dynamic_energy_per_request_j
+
+
+def phone_site(
+    name: str,
+    region: str,
+    n_devices: int,
+    device: DeviceSpec = PIXEL_3A,
+    n_trace_days: int = 30,
+    seed: int = 0,
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+    intake: Optional[IntakeStream] = None,
+    failure_model: Optional[FailureModel] = None,
+    replacement_policy: Optional[ReplacementPolicy] = None,
+    network_rtt_s: float = 0.010,
+) -> FleetSite:
+    """Build a smartphone cloudlet site on one of the regional grid presets.
+
+    The cloudlet design follows the paper's recipe (smart plugs per phone,
+    fans sized by the thermal model, a WiFi tree topology); the intake
+    stream defaults to the steady-state replacement rate so the site can
+    sustain its target size indefinitely.
+    """
+    if n_devices <= 0:
+        raise ValueError("site needs a positive device count")
+    policy = replacement_policy or ReplacementPolicy(target_size=n_devices)
+    failures = failure_model or FailureModel()
+    if intake is None:
+        rate = steady_state_intake_rate(device, policy, failures, load_profile)
+        # 25 % headroom plus a small spare pool absorbs Poisson clustering.
+        intake = IntakeStream(
+            arrivals_per_day=1.25 * rate,
+            initial_spares=max(2, n_devices // 20),
+        )
+    trace = regional_trace(region, n_days=n_trace_days, seed=2021 + seed)
+    cooling = plan_cooling(device, n_devices)
+    design = CloudletDesign(
+        name=f"{name} ({n_devices}x {device.name})",
+        device=device,
+        n_devices=n_devices,
+        energy_mix=EnergyMix(name=region, trace=trace),
+        topology=wifi_tree_topology(),
+        peripherals=PeripheralSet.for_smartphone_cloudlet(
+            n_devices=n_devices, n_fans=cooling.fans, include_smart_plugs=True
+        ),
+        load_profile=load_profile,
+        reused=True,
+    )
+    cohort = DeviceCohort(
+        device=device,
+        policy=policy,
+        intake=intake,
+        failure_model=failures,
+        load_profile=load_profile,
+        seed=seed,
+    )
+    return FleetSite(
+        name=name,
+        design=design,
+        trace=trace,
+        cohort=cohort,
+        requests_per_device_s=requests_per_device_s,
+        network_rtt_s=network_rtt_s,
+    )
+
+
+def two_site_asymmetric_fleet(
+    n_devices_per_site: int,
+    seed: int = 0,
+    n_trace_days: int = 30,
+) -> Sequence[FleetSite]:
+    """The canonical benchmark scenario: one dirty-grid and one clean-grid site.
+
+    An ERCOT-like site and a hydro-heavy site with identical hardware — the
+    setting in which carbon-aware routing shows its largest win over
+    round-robin.
+    """
+    return [
+        phone_site(
+            "texas",
+            "ercot-like",
+            n_devices_per_site,
+            seed=seed,
+            n_trace_days=n_trace_days,
+        ),
+        phone_site(
+            "cascadia",
+            "hydro-heavy",
+            n_devices_per_site,
+            seed=seed + 1,
+            n_trace_days=n_trace_days,
+        ),
+    ]

@@ -154,14 +154,52 @@ class GridTrace:
             raise ValueError(f"percentile must be within [0, 100], got {p}")
         return float(np.percentile(self.intensity_g_per_kwh, p))
 
-    def intensity_at(self, time_s: float) -> float:
+    @property
+    def period_s(self) -> float:
+        """Length of one tiling period when the trace repeats end-to-end.
+
+        One interval longer than :attr:`duration_s`, so that a
+        midnight-to-midnight daily trace (samples at 0 .. 86100 s) tiles
+        seamlessly: the sample after 86100 s is the next period's 0 s.
+        """
+        return self.duration_s + self.interval_s
+
+    def intensity_at(self, time_s: float, wrap: bool = False) -> float:
         """Carbon intensity at an arbitrary time, via linear interpolation.
 
-        Times outside the trace are clamped to the first/last sample.
+        With ``wrap=False`` times outside the trace are clamped to the
+        first/last sample.  With ``wrap=True`` the trace repeats with period
+        :attr:`period_s`, so long-horizon simulations (e.g. a fleet year)
+        can reuse a month-long trace; the seam between the last sample and
+        the repeated first sample is linearly interpolated.
         """
-        return float(
-            np.interp(time_s, self.times_s, self.intensity_g_per_kwh)
-        )
+        return float(self.intensities_at(np.asarray(time_s, dtype=float), wrap=wrap))
+
+    def intensities_at(self, times_s: np.ndarray, wrap: bool = False) -> np.ndarray:
+        """Vectorized :meth:`intensity_at` for an array of query times."""
+        times = np.asarray(times_s, dtype=float)
+        if wrap:
+            times = np.mod(times - self.times_s[0], self.period_s) + self.times_s[0]
+            xs, ys = self._wrap_samples()
+            return np.interp(times, xs, ys)
+        return np.interp(times, self.times_s, self.intensity_g_per_kwh)
+
+    def _wrap_samples(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Seam-bridged sample arrays for wrap-around interpolation, cached.
+
+        One virtual sample at the period end equal to the first sample makes
+        interpolation wrap instead of clamping.  The trace is immutable, so
+        the bridged copies are built once (per-request DES routing queries
+        the same trace thousands of times).
+        """
+        cached = getattr(self, "_wrap_cache", None)
+        if cached is None:
+            cached = (
+                np.append(self.times_s, self.times_s[0] + self.period_s),
+                np.append(self.intensity_g_per_kwh, self.intensity_g_per_kwh[0]),
+            )
+            object.__setattr__(self, "_wrap_cache", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Slicing

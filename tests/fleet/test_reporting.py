@@ -1,0 +1,80 @@
+"""Fleet reports: aggregates, series, and the analysis-layer integration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig10_fleet_orchestration, render_fleet_report
+from repro.fleet import (
+    DiurnalDemand,
+    FleetSimulation,
+    GreedyLowestIntensityRouting,
+    compare_reports,
+    two_site_asymmetric_fleet,
+)
+from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S
+
+
+@pytest.fixture(scope="module")
+def report():
+    demand = DiurnalDemand(mean_rps=0.8 * 20 * DEFAULT_REQUESTS_PER_DEVICE_S)
+    sites = two_site_asymmetric_fleet(20, seed=6, n_trace_days=7)
+    return FleetSimulation(sites, GreedyLowestIntensityRouting(), demand).run(10)
+
+
+class TestFleetReport:
+    def test_totals_are_consistent(self, report):
+        summaries = report.site_summaries()
+        assert sum(s.served_requests for s in summaries) == pytest.approx(
+            report.total_served_requests
+        )
+        assert sum(s.operational_carbon_g for s in summaries) == pytest.approx(
+            report.total_operational_carbon_g
+        )
+        assert report.total_carbon_g == pytest.approx(
+            report.total_operational_carbon_g + report.total_replacement_carbon_g
+        )
+
+    def test_cci_matches_hand_computation(self, report):
+        assert report.fleet_cci_g_per_request() == pytest.approx(
+            report.total_carbon_g / report.total_served_requests
+        )
+
+    def test_daily_series_integrate_to_totals(self, report):
+        assert report.daily_carbon_g().sum() == pytest.approx(report.total_carbon_g)
+        assert len(report.availability_series()) == 10
+        # The running CCI converges to the final fleet CCI on the last day.
+        assert report.daily_cci_series()[-1] == pytest.approx(
+            report.fleet_cci_g_per_request()
+        )
+
+    def test_shape_validation(self, report):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="shape"):
+            replace(report, served_rps=report.served_rps[:, :1])
+
+
+def test_compare_reports_ranks_by_cci(report):
+    rows = compare_reports({"a": report, "b": report})
+    assert [name for name, _, _ in rows] == ["a", "b"]
+    assert rows[0][1] == pytest.approx(report.fleet_cci_g_per_request())
+
+
+def test_render_fleet_report_mentions_sites_and_cci(report):
+    text = render_fleet_report(report)
+    assert "texas" in text and "cascadia" in text
+    assert "fleet CCI" in text
+    assert "FLEET (greedy-lowest-intensity)" in text
+
+
+def test_fig10_builder_end_to_end():
+    data = fig10_fleet_orchestration(n_devices_per_site=25, n_days=7, seed=2)
+    assert set(data.policies()) == {
+        "round-robin",
+        "greedy-lowest-intensity",
+        "marginal-cci",
+    }
+    assert data.savings_vs("greedy-lowest-intensity") > 0
+    curves = data.daily_cci_curves()
+    assert all(len(curve) == 7 for curve in curves.values())
+    assert data.cci("greedy-lowest-intensity") < data.cci("round-robin")

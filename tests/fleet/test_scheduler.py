@@ -1,0 +1,187 @@
+"""Routing policies, demand model, and the fleet simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.scheduler import (
+    POLICIES,
+    CapacityAwareMarginalCciRouting,
+    DiurnalDemand,
+    FleetSimulation,
+    GreedyLowestIntensityRouting,
+    RoundRobinRouting,
+    _waterfill,
+    policy_by_name,
+    run_policy_comparison,
+    simulate_latency_aware,
+)
+from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, two_site_asymmetric_fleet
+
+
+class TestDiurnalDemand:
+    def test_series_is_deterministic_and_positive(self):
+        demand = DiurnalDemand(mean_rps=1000.0)
+        a = demand.series(24 * 14)
+        b = demand.series(24 * 14)
+        assert np.array_equal(a, b)
+        assert np.all(a > 0)
+
+    def test_peaks_at_peak_hour(self):
+        demand = DiurnalDemand(mean_rps=1000.0, peak_hour=20.0, weekly_amplitude=0.0)
+        day = demand.series(24)
+        assert int(np.argmax(day)) == 20
+
+    def test_weekend_dip(self):
+        demand = DiurnalDemand(mean_rps=1000.0, daily_amplitude=0.0, weekly_amplitude=0.3)
+        fortnight = demand.series(24 * 14)
+        assert fortnight.min() < fortnight.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalDemand(mean_rps=0.0)
+        with pytest.raises(ValueError):
+            DiurnalDemand(mean_rps=1.0, daily_amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalDemand(mean_rps=1.0).series(0)
+
+
+class TestWaterfill:
+    def test_fills_cheapest_first(self):
+        demand = np.array([10.0])
+        capacity = np.array([[8.0, 8.0]])
+        key = np.array([[2.0, 1.0]])
+        alloc = _waterfill(demand, capacity, key)
+        assert np.allclose(alloc, [[2.0, 8.0]])
+
+    def test_caps_at_total_capacity(self):
+        demand = np.array([100.0])
+        capacity = np.array([[8.0, 8.0]])
+        key = np.array([[1.0, 2.0]])
+        alloc = _waterfill(demand, capacity, key)
+        assert np.allclose(alloc, [[8.0, 8.0]])
+
+    def test_ties_are_stable(self):
+        """Equal keys resolve in site order, keeping runs reproducible."""
+        demand = np.array([5.0])
+        capacity = np.array([[8.0, 8.0]])
+        key = np.array([[1.0, 1.0]])
+        alloc = _waterfill(demand, capacity, key)
+        assert np.allclose(alloc, [[5.0, 0.0]])
+
+
+class TestPolicies:
+    def test_registry_round_trips(self):
+        for name in POLICIES:
+            assert policy_by_name(name).name == name
+        with pytest.raises(ValueError, match="unknown policy"):
+            policy_by_name("random")
+
+    def test_round_robin_splits_proportional_to_capacity(self):
+        policy = RoundRobinRouting()
+        alloc = policy.allocate(
+            np.array([30.0]),
+            np.array([[20.0, 40.0]]),
+            np.array([[100.0, 500.0]]),
+            np.array([[1.0, 5.0]]),
+        )
+        assert np.allclose(alloc, [[10.0, 20.0]])
+
+    def test_greedy_prefers_clean_grid(self):
+        policy = GreedyLowestIntensityRouting()
+        alloc = policy.allocate(
+            np.array([30.0]),
+            np.array([[40.0, 40.0]]),
+            np.array([[400.0, 100.0]]),
+            np.array([[1.0, 5.0]]),  # marginal says otherwise; greedy ignores it
+        )
+        assert np.allclose(alloc, [[0.0, 30.0]])
+
+    def test_marginal_cci_prefers_low_marginal_carbon(self):
+        policy = CapacityAwareMarginalCciRouting()
+        alloc = policy.allocate(
+            np.array([30.0]),
+            np.array([[40.0, 40.0]]),
+            np.array([[100.0, 400.0]]),  # intensity says otherwise
+            np.array([[5.0, 1.0]]),
+        )
+        assert np.allclose(alloc, [[0.0, 30.0]])
+
+    def test_overload_is_dropped_not_overallocated(self):
+        policy = GreedyLowestIntensityRouting()
+        alloc = policy.allocate(
+            np.array([1000.0]),
+            np.array([[40.0, 40.0]]),
+            np.array([[400.0, 100.0]]),
+            np.array([[1.0, 1.0]]),
+        )
+        assert alloc.sum() == pytest.approx(80.0)
+
+
+class TestFleetSimulation:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        demand = DiurnalDemand(mean_rps=0.8 * 30 * DEFAULT_REQUESTS_PER_DEVICE_S)
+        return demand
+
+    def test_report_shapes(self, scenario):
+        sites = two_site_asymmetric_fleet(30, seed=1, n_trace_days=7)
+        report = FleetSimulation(sites, RoundRobinRouting(), scenario).run(14)
+        assert report.served_rps.shape == (14 * 24, 2)
+        assert report.active_devices.shape == (14, 2)
+        assert report.total_served_requests > 0
+        assert 0.0 <= report.availability() <= 1.0
+        assert len(report.daily_cci_series()) == 14
+        assert len(report.site_summaries()) == 2
+
+    def test_carbon_aware_beats_round_robin(self, scenario):
+        reports = run_policy_comparison(
+            lambda: two_site_asymmetric_fleet(30, seed=1, n_trace_days=7),
+            [RoundRobinRouting(), GreedyLowestIntensityRouting()],
+            scenario,
+            n_days=14,
+        )
+        rr = reports["round-robin"]
+        greedy = reports["greedy-lowest-intensity"]
+        assert np.isclose(rr.total_served_requests, greedy.total_served_requests)
+        assert greedy.total_operational_carbon_g < rr.total_operational_carbon_g
+
+    def test_duplicate_site_names_rejected(self, scenario):
+        sites = two_site_asymmetric_fleet(10, seed=0, n_trace_days=7)
+        sites[1].name = sites[0].name
+        with pytest.raises(ValueError, match="unique"):
+            FleetSimulation(sites, RoundRobinRouting(), scenario)
+
+    def test_overloaded_fleet_reports_drops(self):
+        sites = two_site_asymmetric_fleet(5, seed=2, n_trace_days=7)
+        demand = DiurnalDemand(mean_rps=100 * 5 * DEFAULT_REQUESTS_PER_DEVICE_S)
+        report = FleetSimulation(sites, GreedyLowestIntensityRouting(), demand).run(3)
+        assert report.total_dropped_requests > 0
+        assert report.served_fraction() < 1.0
+
+
+class TestLatencyAwarePath:
+    def test_des_serves_requests_deterministically(self):
+        sites = two_site_asymmetric_fleet(10, seed=4, n_trace_days=7)
+        summary_a, by_site_a = simulate_latency_aware(
+            sites, GreedyLowestIntensityRouting(), demand_rps=50.0, duration_s=10.0, seed=9
+        )
+        sites_b = two_site_asymmetric_fleet(10, seed=4, n_trace_days=7)
+        summary_b, by_site_b = simulate_latency_aware(
+            sites_b, GreedyLowestIntensityRouting(), demand_rps=50.0, duration_s=10.0, seed=9
+        )
+        assert summary_a.completed == summary_b.completed
+        assert by_site_a == by_site_b
+        assert summary_a.completion_ratio > 0.9
+        # Latency >= service time + RTT of the chosen site.
+        assert summary_a.median_ms >= 1_000.0 / sites[0].requests_per_device_s
+
+    def test_greedy_routes_to_clean_site_until_saturation(self):
+        sites = two_site_asymmetric_fleet(5, seed=4, n_trace_days=7)
+        _, by_site = simulate_latency_aware(
+            sites,
+            GreedyLowestIntensityRouting(),
+            demand_rps=300.0,  # 3x one site's capacity: must spill over
+            duration_s=10.0,
+            seed=9,
+        )
+        assert by_site["cascadia"] > by_site["texas"] > 0

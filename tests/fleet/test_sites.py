@@ -1,0 +1,117 @@
+"""Fleet sites: regional grid presets and site power/carbon accounting."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import PIXEL_3A
+from repro.fleet.sites import (
+    REGIONAL_GENERATORS,
+    ercot_like_generator,
+    hydro_heavy_generator,
+    phone_site,
+    regional_trace,
+    two_site_asymmetric_fleet,
+)
+
+
+class TestRegionalPresets:
+    def test_presets_are_registered(self):
+        assert set(REGIONAL_GENERATORS) == {"caiso-like", "ercot-like", "hydro-heavy"}
+
+    def test_regional_intensity_ordering(self):
+        """Hydro-heavy must be the cleanest grid, ERCOT-like the dirtiest."""
+        means = {
+            region: regional_trace(region, n_days=7).mean_intensity()
+            for region in REGIONAL_GENERATORS
+        }
+        assert means["hydro-heavy"] < means["caiso-like"] < means["ercot-like"]
+        # And the asymmetry is big enough that routing matters.
+        assert means["ercot-like"] > 2.0 * means["hydro-heavy"]
+
+    def test_generators_are_deterministic(self):
+        a = ercot_like_generator(seed=3).generate_day(0)
+        b = ercot_like_generator(seed=3).generate_day(0)
+        assert np.array_equal(a.intensity_g_per_kwh, b.intensity_g_per_kwh)
+
+    def test_hydro_heavy_is_flat(self):
+        """Baseload hydro keeps intensity variance well below the duck curve's."""
+        hydro = hydro_heavy_generator(seed=1).generate_day(0)
+        caiso = regional_trace("caiso-like", n_days=1, seed=1)
+        assert np.std(hydro.intensity_g_per_kwh) < np.std(caiso.intensity_g_per_kwh)
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ValueError, match="unknown region"):
+            regional_trace("mars-colony")
+
+
+class TestFleetSite:
+    @pytest.fixture(scope="class")
+    def site(self):
+        return phone_site("test", "caiso-like", n_devices=50, seed=3)
+
+    def test_capacity_follows_population(self, site):
+        assert site.capacity_rps == site.cohort.active_count * site.requests_per_device_s
+
+    def test_design_matches_paper_recipe(self, site):
+        assert site.design.device.name == PIXEL_3A.name
+        assert site.design.reused is True
+        assert site.design.peripherals.total_power_w > 0  # plugs + fans + AP
+
+    def test_power_model_is_affine_in_load(self, site):
+        idle = site.power_w(0.0)
+        half = site.power_w(site.capacity_rps / 2.0)
+        full = site.power_w(site.capacity_rps)
+        assert idle < half < full
+        assert full - half == pytest.approx(half - idle)
+        # Fully loaded, each phone draws its peak power.
+        expected_device_draw = site.cohort.active_count * site.peak_power_w
+        assert full - site.design.peripherals.total_power_w == pytest.approx(
+            expected_device_draw
+        )
+
+    def test_wraparound_intensity(self, site):
+        period = site.trace.period_s
+        assert site.intensity_at(0.0) == pytest.approx(site.intensity_at(period))
+        many_days_later = 400 * 86_400.0
+        assert site.intensity_at(many_days_later) == pytest.approx(
+            site.intensity_at(many_days_later % period)
+        )
+
+    def test_marginal_carbon_tracks_intensity(self, site):
+        times = np.arange(0, 86_400.0, 3_600.0)
+        marginals = np.array([site.marginal_carbon_g_per_request(t) for t in times])
+        intensities = site.intensities_at(times)
+        wear = site.battery_wear_g_per_request()
+        assert wear > 0  # swap-enabled Pixel site carries wear carbon
+        expected = site.dynamic_energy_per_request_j * intensities / 3.6e6 + wear
+        assert np.allclose(marginals, expected)
+
+    def test_device_mismatch_rejected(self):
+        from repro.devices.catalog import NEXUS_4
+        from repro.fleet.sites import FleetSite
+
+        site = phone_site("a", "caiso-like", n_devices=10, seed=0)
+        nexus_site = phone_site("b", "hydro-heavy", n_devices=10, device=NEXUS_4, seed=1)
+        with pytest.raises(ValueError, match="differs from cohort"):
+            FleetSite(
+                name="broken",
+                design=site.design,
+                trace=site.trace,
+                cohort=nexus_site.cohort,
+            )
+        with pytest.raises(ValueError, match="must be positive"):
+            FleetSite(
+                name="broken",
+                design=site.design,
+                trace=site.trace,
+                cohort=site.cohort,
+                requests_per_device_s=0.0,
+            )
+
+
+def test_two_site_asymmetric_fleet_shape():
+    sites = two_site_asymmetric_fleet(25, seed=9, n_trace_days=7)
+    assert [site.name for site in sites] == ["texas", "cascadia"]
+    texas, cascadia = sites
+    assert texas.trace.mean_intensity() > cascadia.trace.mean_intensity()
+    assert texas.cohort.active_count == cascadia.cohort.active_count == 25

@@ -117,3 +117,82 @@ class TestCaisoLikeGenerator:
         assert np.all(day.intensity_g_per_kwh > 0)
         assert np.all(day.intensity_g_per_kwh < 820)  # never dirtier than pure coal
         assert np.all(day.supply_mw["solar"] >= 0)
+
+
+class TestTraceEdgeCases:
+    """Interval-boundary and wrap-around behaviour of slice/intensity_at."""
+
+    def test_slice_is_half_open_at_interval_boundaries(self):
+        trace = GridTrace.from_series([10, 20, 30, 40, 50, 60], interval_s=100)
+        part = trace.slice(100, 400)
+        # [100, 400) keeps the samples at 100, 200, 300 but not 400.
+        assert list(part.intensity_g_per_kwh) == [20, 30, 40]
+        # Times are re-based to zero.
+        assert part.times_s[0] == 0.0
+        assert part.times_s[-1] == 200.0
+
+    def test_adjacent_slices_partition_the_trace(self):
+        trace = GridTrace.from_series(list(range(10)), interval_s=100)
+        left = trace.slice(0, 500)
+        right = trace.slice(500, 1_000)
+        rejoined = np.concatenate(
+            [left.intensity_g_per_kwh, right.intensity_g_per_kwh]
+        )
+        assert np.array_equal(rejoined, trace.intensity_g_per_kwh)
+
+    def test_slice_requires_at_least_two_samples(self):
+        trace = GridTrace.from_series([10, 20, 30, 40], interval_s=100)
+        with pytest.raises(ValueError, match="fewer than two samples"):
+            trace.slice(150, 199)
+        with pytest.raises(ValueError, match="end must be after start"):
+            trace.slice(200, 200)
+
+    def test_intensity_at_exact_sample_times(self):
+        trace = GridTrace.from_series([10, 20, 30], interval_s=300)
+        for i, expected in enumerate([10.0, 20.0, 30.0]):
+            assert trace.intensity_at(i * 300.0) == pytest.approx(expected)
+
+    def test_wraparound_periodicity(self):
+        trace = GridTrace.from_series([10, 20, 30], interval_s=300)
+        assert trace.period_s == pytest.approx(900.0)
+        for t in (0.0, 150.0, 600.0):
+            assert trace.intensity_at(t + trace.period_s, wrap=True) == pytest.approx(
+                trace.intensity_at(t, wrap=True)
+            )
+            assert trace.intensity_at(t + 7 * trace.period_s, wrap=True) == pytest.approx(
+                trace.intensity_at(t, wrap=True)
+            )
+
+    def test_wraparound_seam_interpolates_last_to_first(self):
+        trace = GridTrace.from_series([10, 20, 30], interval_s=300)
+        # Halfway between the last sample (30 at t=600) and the repeated
+        # first sample (10 at t=900).
+        assert trace.intensity_at(750.0, wrap=True) == pytest.approx(20.0)
+        # Exactly at the period boundary, back to the first sample.
+        assert trace.intensity_at(900.0, wrap=True) == pytest.approx(10.0)
+
+    def test_wraparound_daily_trace_is_seamless(self, one_day):
+        """A midnight-to-midnight day wraps with a one-day period."""
+        assert one_day.period_s == pytest.approx(units.SECONDS_PER_DAY)
+        noon = 12 * 3_600.0
+        week_later = noon + 7 * units.SECONDS_PER_DAY
+        assert one_day.intensity_at(week_later, wrap=True) == pytest.approx(
+            one_day.intensity_at(noon)
+        )
+
+    def test_intensities_at_vectorizes_intensity_at(self, one_day):
+        times = np.array([-100.0, 0.0, 40_000.0, 90_000.0])
+        unwrapped = one_day.intensities_at(times)
+        assert unwrapped == pytest.approx(
+            [one_day.intensity_at(t) for t in times]
+        )
+        wrapped = one_day.intensities_at(times, wrap=True)
+        assert wrapped == pytest.approx(
+            [one_day.intensity_at(t, wrap=True) for t in times]
+        )
+
+    def test_negative_times_wrap_backwards(self):
+        trace = GridTrace.from_series([10, 20, 30], interval_s=300)
+        assert trace.intensity_at(-300.0, wrap=True) == pytest.approx(
+            trace.intensity_at(600.0, wrap=True)
+        )

@@ -156,3 +156,50 @@ def test_runaway_guard():
     sim.spawn(forever())
     with pytest.raises(RuntimeError):
         sim.run(max_events=1_000)
+
+
+def test_tie_breaking_is_deterministic_across_runs():
+    """Many events at the same instant replay in the same order every run."""
+
+    def run_once(seed_order):
+        sim = Simulator()
+        order = []
+        # Schedule from a shuffled label list; ties at t=1.0 must replay in
+        # *scheduling* order, making the result a pure function of the input
+        # sequence (not of heap internals or hash order).
+        for label in seed_order:
+            sim.schedule(1.0, order.append, label)
+        sim.schedule(0.5, order.append, "early")
+        sim.run()
+        return order
+
+    labels = [f"event-{i}" for i in range(50)]
+    first = run_once(labels)
+    second = run_once(labels)
+    assert first == second
+    assert first[0] == "early"
+    assert first[1:] == labels
+
+
+def test_tied_process_timeouts_resume_in_spawn_order():
+    sim = Simulator()
+    resumed = []
+
+    def proc(name):
+        yield Timeout(2.0)
+        resumed.append(name)
+
+    for name in ("a", "b", "c", "d"):
+        sim.spawn(proc(name))
+    sim.run()
+    assert resumed == ["a", "b", "c", "d"]
+
+
+def test_zero_delay_events_run_before_later_events_and_fifo():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.0, order.append, "first")
+    sim.schedule(1e-12, order.append, "later")
+    sim.schedule(0.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "later"]
