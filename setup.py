@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``python setup.py develop``).
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` / ``setup.py develop`` on toolchains too old to build
+PEP 660 editable wheels (e.g. environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -22,7 +22,11 @@ The library models the full pipeline the paper builds:
 * :mod:`repro.fleet` — device-churn lifecycle (intake, aging, failure,
   replacement) and carbon-aware request routing across geo-distributed
   sites with different grid mixes;
-* :mod:`repro.economics` — ownership-versus-cloud-rental cost models;
+* :mod:`repro.economics` — ownership-versus-cloud-rental cost models with
+  churn-driven fleet economics;
+* :mod:`repro.scenarios` — the declarative experiment layer: serializable
+  :class:`ScenarioSpec` trees, a :class:`ScenarioRunner` resolving them
+  against every subsystem, and a named-preset registry;
 * :mod:`repro.analysis` — per-figure and per-table data builders plus text
   reports.
 
@@ -33,6 +37,13 @@ Quick start::
     phone = DeviceCarbonModel(PIXEL_3A, reused=True)
     server = DeviceCarbonModel(POWEREDGE_R740, reused=False)
     print(phone.cci(SGEMM, 36), server.cci(SGEMM, 36))
+
+Scenario quick start::
+
+    from repro import get_scenario, run_scenario
+
+    spec = get_scenario("two-site-asymmetric").with_overrides({"duration_days": 7})
+    print(run_scenario(spec).summary_dict())
 """
 
 from repro.core import (
@@ -73,8 +84,18 @@ from repro.fleet import (
     two_site_asymmetric_fleet,
 )
 from repro.grid import CaisoLikeTraceGenerator, EnergyMix, GridTrace, california, solar_24_7, zero_carbon
+from repro.scenarios import (
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    ScenarioValidationError,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -112,6 +133,15 @@ __all__ = [
     "FleetSimulation",
     "FleetReport",
     "policy_by_name",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "ScenarioValidationError",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "run_scenario",
     # grid
     "GridTrace",
     "CaisoLikeTraceGenerator",

@@ -1,15 +1,19 @@
-"""Command-line entry point: list and run the library's figures and tables.
+"""Command-line entry point: figures, tables, and declarative scenarios.
 
 Usage::
 
-    python -m repro list                # show everything runnable
-    python -m repro run fig5           # regenerate Figure 5 and print it
-    python -m repro run table1 fleet   # several targets in one invocation
+    python -m repro list                 # show everything runnable
+    python -m repro run fig5             # regenerate Figure 5 and print it
+    python -m repro run table1 fleet     # several targets in one invocation
+    python -m repro scenarios            # list registered scenario presets
+    python -m repro run scenario two-site-asymmetric \
+        --set duration_days=2 --set routing.policy=round-robin
 
-Each target maps to a zero-argument builder that computes the underlying
-data and returns the text to print (registry pattern, so adding a figure is
-one entry here).  Heavy simulation figures accept no tuning from the CLI —
-use the Python API for that.
+Each figure/table target maps to a zero-argument builder that computes the
+underlying data and returns the text to print (registry pattern, so adding a
+figure is one entry here).  Scenarios are the tunable path: any field of a
+registered :class:`~repro.scenarios.ScenarioSpec` can be overridden from the
+command line with ``--set dotted.path=value``.
 """
 
 from __future__ import annotations
@@ -189,30 +193,117 @@ def list_targets() -> str:
     for name, (description, _) in sorted(REGISTRY.items()):
         lines.append(f"  {name:<{width}}  {description}")
     lines.append("\nRun with: python -m repro run <target> [<target> ...]")
+    lines.append("Scenarios: python -m repro scenarios")
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate figures and tables from the Junkyard Computing reproduction.",
+def list_scenarios() -> str:
+    """One line per registered scenario preset."""
+    from repro.scenarios import all_scenarios
+
+    specs = all_scenarios()
+    width = max(len(spec.name) for spec in specs)
+    lines = ["Registered scenarios:"]
+    for spec in specs:
+        sites = ", ".join(site.name for site in spec.sites)
+        lines.append(f"  {spec.name:<{width}}  {spec.description}")
+        lines.append(
+            f"  {'':<{width}}  sites: {sites}; policy: {spec.routing.policy}; "
+            f"{spec.duration_days} days"
+        )
+    lines.append(
+        "\nRun with: python -m repro run scenario <name> [--set dotted.path=value ...]"
     )
-    subparsers = parser.add_subparsers(dest="command")
-    subparsers.add_parser("list", help="list runnable figures and tables")
-    run_parser = subparsers.add_parser("run", help="run one or more targets")
-    run_parser.add_argument("targets", nargs="+", choices=sorted(REGISTRY))
+    return "\n".join(lines)
 
-    args = parser.parse_args(argv)
-    if args.command in (None, "list"):
-        print(list_targets())
-        return 0
 
-    for target in args.targets:
+def _run_scenario(name: str, set_args) -> int:
+    """Resolve, override, run, and render one registered scenario."""
+    from repro.analysis import render_scenario_result
+    from repro.scenarios import (
+        ScenarioRunner,
+        ScenarioValidationError,
+        get_scenario,
+        parse_override,
+        scenario_names,
+    )
+
+    try:
+        spec = get_scenario(name)
+    except KeyError:
+        known = "\n  ".join(scenario_names())
+        print(f"unknown scenario {name!r}; registered scenarios:\n  {known}")
+        return 2
+    try:
+        overrides = dict(parse_override(text) for text in set_args or [])
+        if overrides:
+            spec = spec.with_overrides(overrides)
+        result = ScenarioRunner(spec).run()
+    except ScenarioValidationError as error:
+        print(f"invalid scenario configuration: {error}")
+        return 2
+    print(render_scenario_result(result))
+    return 0
+
+
+def _run_targets(targets) -> int:
+    """Run figure/table targets, with a helpful message on a typo."""
+    unknown = [target for target in targets if target not in REGISTRY]
+    if unknown:
+        known = ", ".join(sorted(REGISTRY))
+        print(
+            f"unknown target(s): {', '.join(unknown)}\navailable targets: {known}\n"
+            "(for scenarios, use: python -m repro run scenario <name>)"
+        )
+        return 2
+    for target in targets:
         description, builder = REGISTRY[target]
         print(f"=== {target}: {description} ===")
         print(builder())
         print()
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate figures and tables from the Junkyard Computing "
+            "reproduction, and run declarative fleet scenarios."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list runnable figures and tables")
+    subparsers.add_parser("scenarios", help="list registered scenario presets")
+    run_parser = subparsers.add_parser(
+        "run", help="run targets, or a scenario via: run scenario <name>"
+    )
+    run_parser.add_argument("targets", nargs="+", metavar="target")
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="dotted.path=value",
+        help="override a scenario spec field (repeatable; scenario runs only)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print(list_targets())
+        return 0
+    if args.command == "scenarios":
+        print(list_scenarios())
+        return 0
+
+    if args.targets and args.targets[0] == "scenario":
+        if len(args.targets) != 2:
+            print("usage: python -m repro run scenario <name> [--set key=value ...]")
+            return 2
+        return _run_scenario(args.targets[1], args.overrides)
+    if args.overrides:
+        print("--set only applies to scenario runs (python -m repro run scenario <name>)")
+        return 2
+    return _run_targets(args.targets)
 
 
 if __name__ == "__main__":

@@ -563,24 +563,39 @@ def fig10_fleet_orchestration(
     ``demand_fraction`` scales mean demand relative to a single site's
     nominal capacity, so the clean site can absorb most — but not all — of
     the load and the routing policy has a real decision to make.
+
+    Built on the declarative scenario layer: the ``two-site-asymmetric``
+    preset is re-parameterised per policy and run through
+    :class:`~repro.scenarios.runner.ScenarioRunner`, so the figure and any
+    user scenario share one resolution path.
     """
-    from repro.fleet.scheduler import DiurnalDemand, policy_by_name, run_policy_comparison
-    from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, two_site_asymmetric_fleet
+    from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S
+    from repro.scenarios import ScenarioRunner, get_scenario
 
     names = list(policy_names) if policy_names is not None else [
         "round-robin",
         "greedy-lowest-intensity",
         "marginal-cci",
     ]
-    demand = DiurnalDemand(
-        mean_rps=demand_fraction * n_devices_per_site * DEFAULT_REQUESTS_PER_DEVICE_S
+    base = get_scenario("two-site-asymmetric").with_overrides(
+        {
+            "duration_days": n_days,
+            "seed": seed,
+            "sites.0.devices.count": n_devices_per_site,
+            "sites.1.devices.count": n_devices_per_site,
+            # The paper-style convention: demand relative to ONE site's
+            # nominal capacity, so the clean site saturates under load.
+            "demand.mean_rps": demand_fraction
+            * n_devices_per_site
+            * DEFAULT_REQUESTS_PER_DEVICE_S,
+            # The figure compares fluid-path carbon only; skip the DES probe.
+            "routing.latency_probe_s": 0,
+        }
     )
-    reports = run_policy_comparison(
-        lambda: two_site_asymmetric_fleet(n_devices_per_site, seed=seed),
-        [policy_by_name(name) for name in names],
-        demand,
-        n_days,
-    )
+    reports = {}
+    for name in names:
+        spec = base.with_overrides({"routing.policy": name})
+        reports[name] = ScenarioRunner(spec).run().report
     return Figure10Data(
         reports=reports, n_days=n_days, n_devices_per_site=n_devices_per_site
     )

@@ -151,3 +151,50 @@ def render_fleet_report(report) -> str:
         f"served fraction: {report.served_fraction():.1%}"
     )
     return format_table(headers, rows) + "\n" + footer
+
+
+def render_scenario_result(result) -> str:
+    """Render a :class:`~repro.scenarios.runner.ScenarioResult` for the CLI.
+
+    The fleet table plus the scenario-level extras the runner unifies:
+    dollars per request (with the churn-cost breakdown per site), the DES
+    latency probe, and the smart-charging headroom estimate.
+    """
+    spec = result.spec
+    lines = [
+        f"scenario: {spec.name} ({spec.duration_days} days, seed {spec.seed}, "
+        f"policy {spec.routing.policy})",
+    ]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append("")
+    lines.append(render_fleet_report(result.report))
+    if result.site_costs:
+        lines.append("")
+        headers = ["Site", "Purchase ($)", "Energy ($)", "Churn ($)", "Total ($)"]
+        rows = []
+        for name, cost in result.site_costs.items():
+            rows.append(
+                [
+                    name,
+                    f"{cost.purchase_usd + cost.peripherals_usd:,.0f}",
+                    f"{cost.energy_usd:,.0f}",
+                    f"{cost.maintenance_usd:,.0f}",
+                    f"{cost.total_usd:,.0f}",
+                ]
+            )
+        lines.append(format_table(headers, rows))
+        lines.append(
+            f"cost: ${result.total_cost_usd:,.0f} total, "
+            f"{result.usd_per_request:.3e} $/request "
+            f"(vs {result.cci_g_per_request:.3e} gCO2e/request)"
+        )
+    if result.latency is not None:
+        lines.append(
+            f"latency probe: median {result.latency.median_ms:.1f} ms, "
+            f"p99 {result.latency.p99_ms:.1f} ms, "
+            f"completion {result.latency.completion_ratio:.1%}"
+        )
+    for site, savings in result.charging_savings.items():
+        lines.append(f"smart charging at {site}: ~{savings:.1%} operational savings")
+    return "\n".join(lines)

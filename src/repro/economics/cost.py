@@ -41,7 +41,17 @@ class OwnershipCost:
 
 @dataclass(frozen=True)
 class FleetCostModel:
-    """Purchase + electricity cost model for a fleet of owned devices."""
+    """Purchase + electricity + churn cost model for a fleet of owned devices.
+
+    Beyond the paper's purchase-plus-electricity arithmetic, the model prices
+    the *churn* a long-running fleet generates (measured by
+    :class:`~repro.fleet.reporting.FleetReport` counters): every battery swap
+    costs a replacement pack plus ``battery_swap_labor_min`` minutes of
+    technician time at ``labor_usd_per_hour``, and every spare deployed to
+    replace a failed/retired device costs ``intake_acquisition_usd`` to
+    acquire (eBay price, shipping, intake testing).  ``None`` acquisition
+    defaults to the device's catalog purchase price.
+    """
 
     device: DeviceSpec
     n_devices: int
@@ -49,6 +59,9 @@ class FleetCostModel:
     load_profile: LoadProfile = LIGHT_MEDIUM
     electricity_usd_per_kwh: float = CALIFORNIA_ELECTRICITY_USD_PER_KWH
     battery_replacement_usd: float = 25.0
+    battery_swap_labor_min: float = 15.0
+    labor_usd_per_hour: float = 30.0
+    intake_acquisition_usd: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_devices <= 0:
@@ -57,6 +70,12 @@ class FleetCostModel:
             raise ValueError("electricity price must be non-negative")
         if self.battery_replacement_usd < 0:
             raise ValueError("battery replacement cost must be non-negative")
+        if self.battery_swap_labor_min < 0:
+            raise ValueError("battery-swap labor minutes must be non-negative")
+        if self.labor_usd_per_hour < 0:
+            raise ValueError("labor rate must be non-negative")
+        if self.intake_acquisition_usd is not None and self.intake_acquisition_usd < 0:
+            raise ValueError("intake acquisition cost must be non-negative")
 
     def average_power_w(self) -> float:
         """Average fleet power including peripherals."""
@@ -97,6 +116,65 @@ class FleetCostModel:
             maintenance_usd=(
                 self.maintenance_cost_usd(lifetime_months) if include_maintenance else 0.0
             ),
+        )
+
+    # -- churn-driven costs (fleet subsystem) ------------------------------
+
+    @property
+    def acquisition_usd_per_device(self) -> float:
+        """Cost of acquiring one replacement device into the spare pool."""
+        if self.intake_acquisition_usd is not None:
+            return self.intake_acquisition_usd
+        return self.device.purchase_price_usd
+
+    def churn_cost_usd(self, battery_swaps: int, devices_deployed: int) -> float:
+        """Cost of realised churn: swap parts + swap labor + spare acquisition.
+
+        ``battery_swaps`` and ``devices_deployed`` are the counters a
+        :class:`~repro.fleet.reporting.FleetReport` accumulates per site
+        (``deployed`` counts only replacements — the initial deployment is
+        charged as ``purchase_usd``).
+        """
+        if battery_swaps < 0 or devices_deployed < 0:
+            raise ValueError("churn counters must be non-negative")
+        labor_usd = (
+            battery_swaps * self.battery_swap_labor_min / 60.0 * self.labor_usd_per_hour
+        )
+        parts_usd = battery_swaps * self.battery_replacement_usd
+        acquisition_usd = devices_deployed * self.acquisition_usd_per_device
+        return labor_usd + parts_usd + acquisition_usd
+
+    def scenario_cost(
+        self,
+        duration_days: float,
+        battery_swaps: int = 0,
+        devices_deployed: int = 0,
+        energy_kwh: Optional[float] = None,
+    ) -> OwnershipCost:
+        """Ownership cost over a scenario horizon, with churn as maintenance.
+
+        Unlike :meth:`cost`, which estimates battery replacements from the
+        device's nominal cycling rate, this variant consumes the *measured*
+        quantities of a fleet simulation — the churn counters and, when
+        ``energy_kwh`` is given, the realised site energy (live device
+        counts at routed utilisation, the same series the carbon ledger
+        integrated) — so the dollars track exactly what the carbon tracked.
+        Without ``energy_kwh`` the electricity term falls back to the
+        nominal full-fleet draw at the load profile's average utilisation.
+        """
+        if duration_days <= 0:
+            raise ValueError("duration must be positive")
+        if energy_kwh is None:
+            energy_kwh = units.joules_to_kwh(
+                self.average_power_w() * duration_days * units.SECONDS_PER_DAY
+            )
+        elif energy_kwh < 0:
+            raise ValueError("energy must be non-negative")
+        return OwnershipCost(
+            purchase_usd=self.n_devices * self.device.purchase_price_usd,
+            peripherals_usd=self.peripherals.total_cost_usd,
+            energy_usd=energy_kwh * self.electricity_usd_per_kwh,
+            maintenance_usd=self.churn_cost_usd(battery_swaps, devices_deployed),
         )
 
 

@@ -42,10 +42,12 @@ from repro.fleet.sites import (
     REGIONAL_GENERATORS,
     FleetSite,
     caiso_like_generator,
+    default_intake_stream,
     ercot_like_generator,
     hydro_heavy_generator,
     phone_site,
     regional_trace,
+    site_on_trace,
     two_site_asymmetric_fleet,
 )
 
@@ -60,6 +62,8 @@ __all__ = [
     # sites
     "FleetSite",
     "phone_site",
+    "site_on_trace",
+    "default_intake_stream",
     "two_site_asymmetric_fleet",
     "regional_trace",
     "caiso_like_generator",

@@ -17,7 +17,7 @@ carbon).  From it every downstream consumer derives what it needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,6 +76,10 @@ class FleetReport:
     failures: np.ndarray
     deployed: np.ndarray
     step_s: float = 3_600.0
+    #: Realised site energy per timestep (kWh), shape ``(T, S)``.  Optional
+    #: for backward compatibility with reports built before it was tracked;
+    #: the fleet simulation always fills it.
+    energy_kwh: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n_sites = len(self.site_names)
@@ -86,6 +90,14 @@ class FleetReport:
                     f"{name} has shape {array.shape}, expected "
                     f"({len(self.hours)}, {n_sites})"
                 )
+        if self.energy_kwh is not None and self.energy_kwh.shape != (
+            len(self.hours),
+            n_sites,
+        ):
+            raise ValueError(
+                f"energy_kwh has shape {self.energy_kwh.shape}, expected "
+                f"({len(self.hours)}, {n_sites})"
+            )
         if self.dropped_rps.shape != (len(self.hours),):
             raise ValueError(
                 f"dropped_rps has shape {self.dropped_rps.shape}, expected "

@@ -259,6 +259,7 @@ class FleetSimulation:
         served = np.zeros((n_days * hours_per_day, n_sites))
         dropped = np.zeros(n_days * hours_per_day)
         operational_g = np.zeros((n_days * hours_per_day, n_sites))
+        energy_kwh_all = np.zeros((n_days * hours_per_day, n_sites))
         intensity_all = np.zeros((n_days * hours_per_day, n_sites))
         active = np.zeros((n_days, n_sites), dtype=np.int64)
         replacement_g = np.zeros((n_days, n_sites))
@@ -289,6 +290,7 @@ class FleetSimulation:
             # Hourly operational carbon from the site's own power model.
             for j, site in enumerate(self.sites):
                 energy_kwh = site.power_w(alloc[:, j]) * step_s / units.JOULES_PER_KWH
+                energy_kwh_all[rows, j] = energy_kwh
                 operational_g[rows, j] = energy_kwh * intensity[:, j]
 
             # Daily population step at the realised utilisation.
@@ -322,6 +324,7 @@ class FleetSimulation:
             failures=failures,
             deployed=deployed,
             step_s=step_s,
+            energy_kwh=energy_kwh_all,
         )
 
     @staticmethod

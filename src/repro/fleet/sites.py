@@ -241,12 +241,41 @@ class FleetSite:
         return wear_g_per_joule * self.dynamic_energy_per_request_j
 
 
-def phone_site(
+def default_intake_stream(
+    device: DeviceSpec,
+    policy: ReplacementPolicy,
+    failure_model: FailureModel,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+    arrivals_per_day: Optional[float] = None,
+    initial_spares: Optional[int] = None,
+    poisson: bool = True,
+) -> IntakeStream:
+    """The intake stream a site uses unless told otherwise.
+
+    The single source of the fleet's intake defaults (sites and the scenario
+    runner both call it): 25 % headroom over the analytic steady-state
+    replacement rate, plus a small spare pool proportional to the target
+    size, both overridable individually.
+    """
+    if arrivals_per_day is None:
+        arrivals_per_day = 1.25 * steady_state_intake_rate(
+            device, policy, failure_model, load_profile
+        )
+    if initial_spares is None:
+        initial_spares = max(2, policy.target_size // 20)
+    return IntakeStream(
+        arrivals_per_day=arrivals_per_day,
+        initial_spares=initial_spares,
+        poisson=poisson,
+    )
+
+
+def site_on_trace(
     name: str,
-    region: str,
+    trace: GridTrace,
     n_devices: int,
     device: DeviceSpec = PIXEL_3A,
-    n_trace_days: int = 30,
+    grid_label: str = "custom",
     seed: int = 0,
     requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S,
     load_profile: LoadProfile = LIGHT_MEDIUM,
@@ -255,31 +284,27 @@ def phone_site(
     replacement_policy: Optional[ReplacementPolicy] = None,
     network_rtt_s: float = 0.010,
 ) -> FleetSite:
-    """Build a smartphone cloudlet site on one of the regional grid presets.
+    """Build a smartphone cloudlet site on an arbitrary grid trace.
 
     The cloudlet design follows the paper's recipe (smart plugs per phone,
     fans sized by the thermal model, a WiFi tree topology); the intake
     stream defaults to the steady-state replacement rate so the site can
-    sustain its target size indefinitely.
+    sustain its target size indefinitely.  ``trace`` may come from a regional
+    preset, a measured CSV export (:meth:`~repro.grid.traces.GridTrace.from_csv`),
+    or any other :class:`~repro.grid.traces.GridTrace` source.
     """
     if n_devices <= 0:
         raise ValueError("site needs a positive device count")
     policy = replacement_policy or ReplacementPolicy(target_size=n_devices)
     failures = failure_model or FailureModel()
     if intake is None:
-        rate = steady_state_intake_rate(device, policy, failures, load_profile)
-        # 25 % headroom plus a small spare pool absorbs Poisson clustering.
-        intake = IntakeStream(
-            arrivals_per_day=1.25 * rate,
-            initial_spares=max(2, n_devices // 20),
-        )
-    trace = regional_trace(region, n_days=n_trace_days, seed=2021 + seed)
+        intake = default_intake_stream(device, policy, failures, load_profile)
     cooling = plan_cooling(device, n_devices)
     design = CloudletDesign(
         name=f"{name} ({n_devices}x {device.name})",
         device=device,
         n_devices=n_devices,
-        energy_mix=EnergyMix(name=region, trace=trace),
+        energy_mix=EnergyMix(name=grid_label, trace=trace),
         topology=wifi_tree_topology(),
         peripherals=PeripheralSet.for_smartphone_cloudlet(
             n_devices=n_devices, n_fans=cooling.fans, include_smart_plugs=True
@@ -301,6 +326,42 @@ def phone_site(
         trace=trace,
         cohort=cohort,
         requests_per_device_s=requests_per_device_s,
+        network_rtt_s=network_rtt_s,
+    )
+
+
+def phone_site(
+    name: str,
+    region: str,
+    n_devices: int,
+    device: DeviceSpec = PIXEL_3A,
+    n_trace_days: int = 30,
+    seed: int = 0,
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+    intake: Optional[IntakeStream] = None,
+    failure_model: Optional[FailureModel] = None,
+    replacement_policy: Optional[ReplacementPolicy] = None,
+    network_rtt_s: float = 0.010,
+) -> FleetSite:
+    """Build a smartphone cloudlet site on one of the regional grid presets.
+
+    A convenience wrapper over :func:`site_on_trace` that generates the
+    site's trace from the named regional preset.
+    """
+    trace = regional_trace(region, n_days=n_trace_days, seed=2021 + seed)
+    return site_on_trace(
+        name=name,
+        trace=trace,
+        n_devices=n_devices,
+        device=device,
+        grid_label=region,
+        seed=seed,
+        requests_per_device_s=requests_per_device_s,
+        load_profile=load_profile,
+        intake=intake,
+        failure_model=failure_model,
+        replacement_policy=replacement_policy,
         network_rtt_s=network_rtt_s,
     )
 

@@ -24,6 +24,7 @@ from repro.grid.sources import (
     source_by_name,
 )
 from repro.grid.traces import (
+    CAISO_SAMPLE_CSV,
     DEFAULT_INTERVAL_S,
     CaisoLikeTraceGenerator,
     GridTrace,
@@ -47,6 +48,7 @@ __all__ = [
     "GridTrace",
     "CaisoLikeTraceGenerator",
     "DEFAULT_INTERVAL_S",
+    "CAISO_SAMPLE_CSV",
     "EnergyMix",
     "california",
     "solar_24_7",

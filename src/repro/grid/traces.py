@@ -22,6 +22,10 @@ agnostic to whether the data is synthetic or measured.
 
 from __future__ import annotations
 
+import csv
+import datetime as _datetime
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -32,6 +36,38 @@ from repro.grid import sources as energy_sources
 
 #: Default sampling interval of CAISO supply data (5 minutes).
 DEFAULT_INTERVAL_S = 300.0
+
+#: Directory of bundled grid-trace data files shipped with the package.
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+#: A small checked-in sample of hourly CAISO-style intensities (3 days),
+#: in the column layout :meth:`GridTrace.from_csv` defaults to.
+CAISO_SAMPLE_CSV = os.path.join(DATA_DIR, "caiso_sample.csv")
+
+
+def _parse_time_cell(cell: str, column: str, row_number: int) -> float:
+    """Parse one time cell: seconds-since-start or an ISO-8601 timestamp."""
+    text = cell.strip()
+    try:
+        seconds = float(text)
+    except ValueError:
+        pass
+    else:
+        if not math.isfinite(seconds):
+            raise ValueError(
+                f"row {row_number}: {column!r} value {cell!r} is not finite"
+            )
+        return seconds
+    try:
+        stamp = _datetime.datetime.fromisoformat(text.replace("Z", "+00:00"))
+    except ValueError:
+        raise ValueError(
+            f"row {row_number}: cannot parse {column!r} value {cell!r} as "
+            "seconds or an ISO-8601 timestamp"
+        ) from None
+    if stamp.tzinfo is None:
+        stamp = stamp.replace(tzinfo=_datetime.timezone.utc)
+    return stamp.timestamp()
 
 
 @dataclass(frozen=True)
@@ -86,6 +122,72 @@ class GridTrace:
             for name, values in (supply_mw or {}).items()
         }
         return cls(times_s=times, intensity_g_per_kwh=intensity, supply_mw=supply)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        time_col: str = "timestamp",
+        intensity_col: str = "intensity_gco2_per_kwh",
+    ) -> "GridTrace":
+        """Load a trace from a CSV export (CAISO/ERCOT/BPA style).
+
+        ``time_col`` may hold either numeric seconds or ISO-8601 timestamps
+        (naive stamps are treated as UTC); times are re-based so the trace
+        starts at 0 s.  ``intensity_col`` holds gCO2e/kWh.  Rows must be in
+        chronological order; malformed cells and missing columns raise
+        :class:`ValueError` naming the offending column and row.
+        """
+        times: List[float] = []
+        intensities: List[float] = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            header = reader.fieldnames or []
+            for column in (time_col, intensity_col):
+                if column not in header:
+                    raise ValueError(
+                        f"{os.path.basename(path)}: missing column {column!r}; "
+                        f"found columns: {', '.join(header) or '(none)'}"
+                    )
+            for row_number, row in enumerate(reader, start=2):
+                time_cell = row[time_col]
+                intensity_cell = row[intensity_col]
+                if time_cell is None or intensity_cell is None:
+                    raise ValueError(f"row {row_number}: short row")
+                times.append(_parse_time_cell(time_cell, time_col, row_number))
+                try:
+                    intensity = float(intensity_cell)
+                except ValueError:
+                    raise ValueError(
+                        f"row {row_number}: cannot parse {intensity_col!r} "
+                        f"value {intensity_cell!r} as a number"
+                    ) from None
+                if not math.isfinite(intensity):
+                    raise ValueError(
+                        f"row {row_number}: {intensity_col!r} value "
+                        f"{intensity_cell!r} is not finite"
+                    )
+                intensities.append(intensity)
+        if len(times) < 2:
+            raise ValueError(
+                f"{os.path.basename(path)}: a trace requires at least two data rows"
+            )
+        series = np.asarray(times) - times[0]
+        # GridTrace's interval_s/period_s/wrap-around math assumes uniform
+        # sampling; a gapped export (DST jump, data outage) must fail loudly
+        # rather than silently skew every wrapped lookup.
+        gaps = np.diff(series)
+        if gaps.size and not np.allclose(gaps, gaps[0], rtol=1e-6, atol=1e-6):
+            bad = int(np.argmax(np.abs(gaps - gaps[0]) > 1e-6 * max(1.0, abs(gaps[0]))))
+            raise ValueError(
+                f"{os.path.basename(path)}: rows must be uniformly spaced; "
+                f"expected {gaps[0]:.0f} s between samples but row "
+                f"{bad + 3} is {gaps[bad]:.0f} s after its predecessor"
+            )
+        return cls(
+            times_s=series,
+            intensity_g_per_kwh=np.asarray(intensities),
+        )
 
     @classmethod
     def constant(

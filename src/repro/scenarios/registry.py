@@ -1,0 +1,213 @@
+"""Named scenario presets and the user-extensible scenario registry.
+
+Presets are plain :class:`~repro.scenarios.spec.ScenarioSpec` values — data,
+not code — so ``get_scenario("two-site-asymmetric").with_overrides({...})``
+is the canonical way to derive variations, and every preset round-trips
+through ``to_dict``/``from_dict``/JSON by construction.
+
+Bundled presets:
+
+* ``paper-baseline`` — the paper's setting: one ten-phone Pixel 3A cloudlet
+  on the synthetic CAISO-like Californian grid, with the smart-charging
+  study enabled;
+* ``two-site-asymmetric`` — the canonical fleet benchmark: an ERCOT-like
+  (dirty) and a hydro-heavy (clean) site with identical hardware under
+  marginal-CCI routing;
+* ``hydro-vs-ercot`` — the same two grids at low demand under greedy
+  lowest-intensity routing, the regime where carbon-aware routing shows its
+  largest win;
+* ``heterogeneous-cohorts`` — a Pixel 3A and a Nexus 4 cohort side by side
+  on the same Californian grid, where marginal-CCI routing must trade
+  device efficiency rather than grid cleanliness;
+* ``caiso-csv-sample`` — a single site driven by the checked-in measured-CSV
+  sample, exercising the :meth:`~repro.grid.traces.GridTrace.from_csv`
+  ingestion path.
+
+``register_scenario`` adds user scenarios to the same namespace the CLI
+resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    ChargingSpec,
+    DemandSpec,
+    DeviceMixSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SiteSpec,
+    TraceSpec,
+)
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry under ``spec.name``.
+
+    Library users register their own scenarios here so name-based surfaces
+    (the CLI, experiment sweeps) can refer to them.  Re-registering an
+    existing name raises unless ``overwrite=True``.
+    """
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"scenario {spec.name!r} already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name.
+
+    Raises :class:`KeyError` listing the known scenario names on a miss, so
+    a CLI typo turns into an actionable message.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """Every registered scenario spec, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# Bundled presets
+# ---------------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-baseline",
+        description=(
+            "The paper's setting: ten reused Pixel 3A phones on the "
+            "synthetic CAISO-like Californian grid, smart charging enabled"
+        ),
+        sites=(
+            SiteSpec(
+                name="california",
+                trace=TraceSpec(kind="regional", region="caiso-like"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=10),
+            ),
+        ),
+        routing=RoutingSpec(policy="round-robin"),
+        demand=DemandSpec(fraction_of_capacity=0.9),
+        charging=ChargingSpec(policy="smart"),
+        duration_days=30,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="two-site-asymmetric",
+        description=(
+            "The canonical fleet benchmark: an ERCOT-like (dirty) and a "
+            "hydro-heavy (clean) site with identical hardware under "
+            "marginal-CCI routing"
+        ),
+        sites=(
+            SiteSpec(
+                name="texas",
+                trace=TraceSpec(kind="regional", region="ercot-like"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=200),
+            ),
+            SiteSpec(
+                name="cascadia",
+                trace=TraceSpec(kind="regional", region="hydro-heavy"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=200),
+            ),
+        ),
+        routing=RoutingSpec(policy="marginal-cci"),
+        demand=DemandSpec(fraction_of_capacity=0.45),
+        duration_days=30,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="hydro-vs-ercot",
+        description=(
+            "The same dirty/clean grid pair at low demand under greedy "
+            "lowest-intensity routing — the clean site can absorb nearly "
+            "everything"
+        ),
+        sites=(
+            SiteSpec(
+                name="ercot",
+                trace=TraceSpec(kind="regional", region="ercot-like"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=150),
+            ),
+            SiteSpec(
+                name="hydro",
+                trace=TraceSpec(kind="regional", region="hydro-heavy"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=150),
+            ),
+        ),
+        routing=RoutingSpec(policy="greedy-lowest-intensity"),
+        demand=DemandSpec(fraction_of_capacity=0.35),
+        duration_days=30,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="heterogeneous-cohorts",
+        description=(
+            "A Pixel 3A and a Nexus 4 cohort side by side on the same "
+            "Californian grid: marginal-CCI routing trades device "
+            "efficiency instead of grid cleanliness"
+        ),
+        sites=(
+            SiteSpec(
+                name="pixel-cohort",
+                trace=TraceSpec(kind="regional", region="caiso-like"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=120),
+            ),
+            SiteSpec(
+                name="nexus-cohort",
+                trace=TraceSpec(kind="regional", region="caiso-like"),
+                devices=DeviceMixSpec(
+                    device="Nexus 4", count=120, requests_per_device_s=8.0
+                ),
+            ),
+        ),
+        routing=RoutingSpec(policy="marginal-cci"),
+        demand=DemandSpec(fraction_of_capacity=0.5),
+        duration_days=30,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="caiso-csv-sample",
+        description=(
+            "A single cloudlet driven by the checked-in measured-CSV trace "
+            "sample (GridTrace.from_csv ingestion path)"
+        ),
+        sites=(
+            SiteSpec(
+                name="caiso-csv",
+                # A bare filename resolves against the bundled data
+                # directory, so the serialized preset stays portable.
+                trace=TraceSpec(kind="csv", csv_path="caiso_sample.csv"),
+                devices=DeviceMixSpec(device="Pixel 3A", count=50),
+            ),
+        ),
+        routing=RoutingSpec(policy="round-robin"),
+        demand=DemandSpec(fraction_of_capacity=0.6),
+        duration_days=14,
+    )
+)

@@ -1,0 +1,318 @@
+"""Resolve a :class:`~repro.scenarios.spec.ScenarioSpec` and run it.
+
+The runner is the single place where declarative specs meet the live
+subsystems: it builds :class:`~repro.fleet.sites.FleetSite` objects from the
+spec (devices catalog, grid traces, churn policies), runs the vectorized
+fleet simulation under the named routing policy, optionally probes request
+latency on the discrete-event engine, prices the realised churn through
+:class:`~repro.economics.FleetCostModel`, and estimates smart-charging
+headroom — returning everything as one :class:`ScenarioResult`.
+
+Determinism: every stochastic component is seeded from ``spec.seed`` (site
+``i`` gets cohort seed ``seed + i`` and trace seed ``2021 + seed + i``,
+matching :func:`~repro.fleet.sites.phone_site`), so running the same spec
+twice yields identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.devices.catalog import get_device
+from repro.economics.cost import FleetCostModel, OwnershipCost
+from repro.fleet.population import FailureModel, ReplacementPolicy
+from repro.fleet.reporting import FleetReport
+from repro.fleet.scheduler import (
+    DiurnalDemand,
+    FleetSimulation,
+    policy_by_name,
+    simulate_latency_aware,
+)
+from repro.fleet.sites import (
+    FleetSite,
+    default_intake_stream,
+    regional_trace,
+    site_on_trace,
+)
+from repro.grid.traces import DATA_DIR, GridTrace
+from repro.scenarios.spec import (
+    LOAD_PROFILE_REGISTRY,
+    ScenarioSpec,
+    ScenarioValidationError,
+    SiteSpec,
+    TraceSpec,
+)
+from repro.simulation.metrics import LatencySummary
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything one scenario run measured.
+
+    ``report`` is the full :class:`~repro.fleet.reporting.FleetReport`;
+    ``site_costs`` maps site name to its :class:`~repro.economics.OwnershipCost`
+    over the horizon (empty when economics is disabled); ``latency`` is the
+    DES probe summary (``None`` when the probe is disabled);
+    ``charging_savings`` maps site name to the estimated fractional
+    operational-carbon savings smart charging could buy there (empty unless
+    the spec enables the charging study).
+    """
+
+    spec: ScenarioSpec
+    report: FleetReport
+    site_costs: Dict[str, OwnershipCost]
+    latency: Optional[LatencySummary]
+    charging_savings: Dict[str, float]
+
+    # -- headline metrics --------------------------------------------------
+
+    @property
+    def cci_g_per_request(self) -> float:
+        """Fleet CCI: grams of CO2e per served request."""
+        return self.report.fleet_cci_g_per_request()
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total ownership + churn cost over the horizon (0 when disabled)."""
+        return sum(cost.total_usd for cost in self.site_costs.values())
+
+    @property
+    def usd_per_request(self) -> float:
+        """Dollars per served request over the horizon (0 when disabled)."""
+        if not self.site_costs:
+            return 0.0
+        return self.total_cost_usd / max(self.report.total_served_requests, 1.0)
+
+    def summary_dict(self) -> Dict[str, object]:
+        """Headline numbers, convenient for asserts, JSON dumps, and the CLI."""
+        summary: Dict[str, object] = {
+            "scenario": self.spec.name,
+            "policy": self.report.policy_name,
+            "duration_days": self.spec.duration_days,
+            "seed": self.spec.seed,
+            **self.report.summary_dict(),
+        }
+        if self.site_costs:
+            summary["total_cost_usd"] = self.total_cost_usd
+            summary["usd_per_request"] = self.usd_per_request
+        if self.latency is not None:
+            summary["latency_median_ms"] = self.latency.median_ms
+            summary["latency_p99_ms"] = self.latency.p99_ms
+        for site, savings in self.charging_savings.items():
+            summary[f"smart_charging_savings[{site}]"] = savings
+        return summary
+
+
+class ScenarioRunner:
+    """Builds and runs the fleet experiment a :class:`ScenarioSpec` describes."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    # -- resolution --------------------------------------------------------
+
+    def build_trace(self, site: SiteSpec, index: int) -> GridTrace:
+        """Materialise one site's grid trace from its :class:`TraceSpec`."""
+        trace_spec: TraceSpec = site.trace
+        if trace_spec.kind == "regional":
+            return regional_trace(
+                trace_spec.region,
+                n_days=trace_spec.n_days,
+                seed=2021 + self.spec.seed + index,
+            )
+        if trace_spec.kind == "csv":
+            path = trace_spec.csv_path
+            # Relative paths that don't resolve locally fall back to the
+            # bundled data directory, keeping serialized specs portable.
+            if not os.path.isabs(path) and not os.path.exists(path):
+                bundled = os.path.join(DATA_DIR, path)
+                if os.path.exists(bundled):
+                    path = bundled
+            try:
+                return GridTrace.from_csv(
+                    path,
+                    time_col=trace_spec.time_col,
+                    intensity_col=trace_spec.intensity_col,
+                )
+            except (OSError, ValueError) as error:
+                raise ScenarioValidationError(
+                    f"sites.{index}.trace.csv_path: cannot load "
+                    f"{trace_spec.csv_path!r}: {error}"
+                ) from None
+        return GridTrace.constant(
+            trace_spec.intensity_g_per_kwh,
+            duration_s=trace_spec.n_days * 86_400.0,
+        )
+
+    def build_site(self, site: SiteSpec, index: int) -> FleetSite:
+        """Materialise one :class:`~repro.fleet.sites.FleetSite`."""
+        try:
+            device = get_device(site.devices.device)
+        except KeyError as error:
+            raise ScenarioValidationError(
+                f"sites.{index}.devices.device: {error.args[0]}"
+            ) from None
+        churn = site.churn
+        load_profile = LOAD_PROFILE_REGISTRY[site.devices.load_profile]
+        failure_model = FailureModel(
+            annual_rate=churn.annual_failure_rate,
+            age_acceleration_per_year=churn.age_acceleration_per_year,
+        )
+        replacement_policy = ReplacementPolicy(
+            target_size=site.devices.count,
+            swap_batteries=churn.swap_batteries,
+            max_battery_swaps=churn.max_battery_swaps,
+        )
+        intake = default_intake_stream(
+            device,
+            replacement_policy,
+            failure_model,
+            load_profile,
+            arrivals_per_day=churn.intake_per_day,
+            initial_spares=churn.initial_spares,
+            poisson=churn.poisson_intake,
+        )
+        return site_on_trace(
+            name=site.name,
+            trace=self.build_trace(site, index),
+            n_devices=site.devices.count,
+            device=device,
+            grid_label=(
+                site.trace.region if site.trace.kind == "regional" else site.trace.kind
+            ),
+            seed=self.spec.seed + index,
+            requests_per_device_s=site.devices.requests_per_device_s,
+            load_profile=load_profile,
+            intake=intake,
+            failure_model=failure_model,
+            replacement_policy=replacement_policy,
+            network_rtt_s=site.network_rtt_s,
+        )
+
+    def build_sites(self) -> List[FleetSite]:
+        """Materialise every site of the scenario, in spec order."""
+        return [
+            self.build_site(site, index) for index, site in enumerate(self.spec.sites)
+        ]
+
+    def nominal_capacity_rps(self) -> float:
+        """Fleet capacity at full deployment (requests/s), from the spec alone."""
+        return sum(
+            site.devices.count * site.devices.requests_per_device_s
+            for site in self.spec.sites
+        )
+
+    def build_demand(self) -> DiurnalDemand:
+        """The diurnal demand model the spec describes."""
+        demand = self.spec.demand
+        mean_rps = (
+            demand.mean_rps
+            if demand.mean_rps is not None
+            else demand.fraction_of_capacity * self.nominal_capacity_rps()
+        )
+        return DiurnalDemand(
+            mean_rps=mean_rps,
+            daily_amplitude=demand.daily_amplitude,
+            peak_hour=demand.peak_hour,
+            weekly_amplitude=demand.weekly_amplitude,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        """Run the scenario end-to-end and return the unified result."""
+        spec = self.spec
+        try:
+            policy = policy_by_name(spec.routing.policy)
+        except ValueError as error:
+            raise ScenarioValidationError(f"routing.policy: {error}") from None
+        sites = self.build_sites()
+        simulation = FleetSimulation(sites, policy, self.build_demand())
+        report = simulation.run(spec.duration_days)
+        return ScenarioResult(
+            spec=spec,
+            report=report,
+            site_costs=self._price_churn(sites, report),
+            latency=self._probe_latency(sites, policy),
+            charging_savings=self._estimate_charging_savings(sites),
+        )
+
+    def _price_churn(
+        self, sites: List[FleetSite], report: FleetReport
+    ) -> Dict[str, OwnershipCost]:
+        economics = self.spec.economics
+        if not economics.enabled:
+            return {}
+        costs: Dict[str, OwnershipCost] = {}
+        for index, summary in enumerate(report.site_summaries()):
+            site = sites[index]
+            model = FleetCostModel(
+                device=site.design.device,
+                n_devices=site.cohort.policy.target_size,
+                peripherals=site.design.peripherals,
+                load_profile=site.cohort.load_profile,
+                electricity_usd_per_kwh=economics.electricity_usd_per_kwh,
+                battery_replacement_usd=economics.battery_replacement_usd,
+                battery_swap_labor_min=economics.battery_swap_labor_min,
+                labor_usd_per_hour=economics.labor_usd_per_hour,
+                intake_acquisition_usd=economics.intake_acquisition_usd,
+            )
+            realised_kwh = (
+                float(report.energy_kwh[:, index].sum())
+                if report.energy_kwh is not None
+                else None
+            )
+            costs[summary.name] = model.scenario_cost(
+                duration_days=self.spec.duration_days,
+                battery_swaps=summary.battery_swaps,
+                devices_deployed=summary.deployed,
+                energy_kwh=realised_kwh,
+            )
+        return costs
+
+    def _probe_latency(
+        self, sites: List[FleetSite], policy
+    ) -> Optional[LatencySummary]:
+        routing = self.spec.routing
+        if routing.latency_probe_s <= 0:
+            return None
+        live_capacity = sum(
+            site.cohort.active_count * site.requests_per_device_s for site in sites
+        )
+        if live_capacity <= 0:
+            return None
+        summary, _ = simulate_latency_aware(
+            sites,
+            policy,
+            demand_rps=routing.latency_demand_fraction * live_capacity,
+            duration_s=routing.latency_probe_s,
+            seed=self.spec.seed,
+            queue_penalty_g=routing.queue_penalty_g,
+        )
+        return summary
+
+    def _estimate_charging_savings(self, sites: List[FleetSite]) -> Dict[str, float]:
+        charging = self.spec.charging
+        if charging.policy != "smart":
+            return {}
+        from repro.charging import smart_charging_savings
+
+        savings: Dict[str, float] = {}
+        for site in sites:
+            if site.design.device.battery is None:
+                continue
+            study = smart_charging_savings(
+                site.design.device,
+                site.trace,
+                load_profile=site.cohort.load_profile,
+                min_state_of_charge=charging.min_state_of_charge,
+            )
+            savings[site.name] = study.median_savings
+        return savings
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience wrapper: ``ScenarioRunner(spec).run()``."""
+    return ScenarioRunner(spec).run()

@@ -1,0 +1,530 @@
+"""Declarative, serializable scenario specifications.
+
+A :class:`ScenarioSpec` is a nested tree of frozen dataclasses describing a
+complete fleet experiment — sites (device mix, grid-trace source, churn
+policy), request demand, routing policy, charging policy, economics, horizon
+and seed — with no live objects inside, so every scenario is *data*:
+
+* :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict` and the JSON
+  twins round-trip losslessly, and ``from_dict`` rejects unknown fields and
+  ill-typed values with a :class:`ScenarioValidationError` naming the exact
+  dotted path of the offending field;
+* :meth:`ScenarioSpec.with_overrides` applies ``dotted.path=value`` overrides
+  (list indices included, e.g. ``sites.0.devices.count``), which is what the
+  CLI's ``--set`` flag feeds;
+* the spec resolves against the live subsystems only inside
+  :class:`~repro.scenarios.runner.ScenarioRunner`, so specs can be built,
+  stored, diffed, and shipped without touching a simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.devices.power import FULL_LOAD, IDLE, LIGHT_MEDIUM, LoadProfile
+from repro.economics.cost import CALIFORNIA_ELECTRICITY_USD_PER_KWH, FleetCostModel
+from repro.fleet.population import FailureModel, IntakeStream, ReplacementPolicy
+from repro.fleet.scheduler import DiurnalDemand
+from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, REGIONAL_GENERATORS
+
+#: Grid-trace source kinds a :class:`TraceSpec` may name.
+TRACE_KINDS = ("regional", "csv", "constant")
+
+#: Charging-policy names a :class:`ChargingSpec` may name.
+CHARGING_POLICIES = ("none", "smart")
+
+#: Name -> :class:`~repro.devices.power.LoadProfile` for every profile a spec
+#: may name.  The single source of truth: validation (here) and resolution
+#: (the runner) both read it, so the two can never drift.
+LOAD_PROFILE_REGISTRY: Dict[str, LoadProfile] = {
+    profile.name: profile for profile in (LIGHT_MEDIUM, FULL_LOAD, IDLE)
+}
+
+#: Load-profile names resolvable by the runner.
+LOAD_PROFILES = tuple(LOAD_PROFILE_REGISTRY)
+
+
+class ScenarioValidationError(ValueError):
+    """A scenario spec is malformed; the message names the offending field."""
+
+
+# ---------------------------------------------------------------------------
+# Leaf specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Where a site's carbon-intensity time series comes from.
+
+    ``kind`` selects the source: ``"regional"`` generates ``n_days`` from
+    one of the synthetic regional presets (:data:`~repro.fleet.sites.REGIONAL_GENERATORS`);
+    ``"csv"`` loads a measured export via
+    :meth:`~repro.grid.traces.GridTrace.from_csv`; ``"constant"`` builds a
+    flat trace at ``intensity_g_per_kwh``.  Long scenarios wrap the trace
+    end-to-end, so a month of data serves a simulated year.
+
+    A relative ``csv_path`` that does not exist in the working directory is
+    resolved against the package's bundled data directory
+    (:data:`~repro.grid.traces.DATA_DIR`), so specs referencing bundled
+    samples (``csv_path="caiso_sample.csv"``) stay portable when serialized
+    and shipped to another machine.
+    """
+
+    kind: str = "regional"
+    region: str = "caiso-like"
+    n_days: int = 30
+    csv_path: Optional[str] = None
+    time_col: str = "timestamp"
+    intensity_col: str = "intensity_gco2_per_kwh"
+    intensity_g_per_kwh: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ScenarioValidationError(
+                f"kind must be one of {', '.join(TRACE_KINDS)}; got {self.kind!r}"
+            )
+        if self.kind == "regional" and self.region not in REGIONAL_GENERATORS:
+            known = ", ".join(sorted(REGIONAL_GENERATORS))
+            raise ScenarioValidationError(
+                f"region must be one of {known}; got {self.region!r}"
+            )
+        if self.kind == "csv" and not self.csv_path:
+            raise ScenarioValidationError("csv_path is required when kind='csv'")
+        if self.n_days <= 0:
+            raise ScenarioValidationError("n_days must be positive")
+        if self.intensity_g_per_kwh < 0:
+            raise ScenarioValidationError("intensity_g_per_kwh must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeviceMixSpec:
+    """The device population one site deploys."""
+
+    device: str = "Pixel 3A"
+    count: int = 100
+    load_profile: str = LIGHT_MEDIUM.name
+    # Defaults below mirror the subsystem defaults by reference (dataclass
+    # defaults are class attributes), so spec-driven and direct-model runs
+    # can never drift apart.
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ScenarioValidationError("count must be positive")
+        if self.load_profile not in LOAD_PROFILES:
+            raise ScenarioValidationError(
+                f"load_profile must be one of {', '.join(LOAD_PROFILES)}; "
+                f"got {self.load_profile!r}"
+            )
+        if self.requests_per_device_s <= 0:
+            raise ScenarioValidationError("requests_per_device_s must be positive")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Population-churn policy: failures, battery swaps, intake.
+
+    ``intake_per_day=None`` sizes the intake stream at 1.25x the analytic
+    steady-state replacement rate (as :func:`~repro.fleet.sites.phone_site`
+    does); an explicit rate models supply-constrained or oversupplied
+    junkyards.  ``initial_spares=None`` likewise defaults to a small pool
+    proportional to the site size.
+    """
+
+    swap_batteries: bool = ReplacementPolicy.swap_batteries
+    max_battery_swaps: int = ReplacementPolicy.max_battery_swaps
+    annual_failure_rate: float = FailureModel.annual_rate
+    age_acceleration_per_year: float = FailureModel.age_acceleration_per_year
+    intake_per_day: Optional[float] = None
+    initial_spares: Optional[int] = None
+    poisson_intake: bool = IntakeStream.poisson
+
+    def __post_init__(self) -> None:
+        if self.max_battery_swaps < 0:
+            raise ScenarioValidationError("max_battery_swaps must be non-negative")
+        if self.annual_failure_rate < 0 or self.age_acceleration_per_year < 0:
+            raise ScenarioValidationError("failure rates must be non-negative")
+        if self.intake_per_day is not None and self.intake_per_day < 0:
+            raise ScenarioValidationError("intake_per_day must be non-negative")
+        if self.initial_spares is not None and self.initial_spares < 0:
+            raise ScenarioValidationError("initial_spares must be non-negative")
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One cloudlet location: its grid, devices, churn policy, and network."""
+
+    name: str
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    devices: DeviceMixSpec = field(default_factory=DeviceMixSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    network_rtt_s: float = 0.010
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioValidationError("name must be non-empty")
+        if self.network_rtt_s < 0:
+            raise ScenarioValidationError("network_rtt_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """Fleet-wide request demand (a diurnal + weekly deterministic model).
+
+    ``mean_rps`` pins the mean demand explicitly; when ``None`` the runner
+    derives it as ``fraction_of_capacity`` times the fleet's nominal capacity
+    (sum over sites of ``count * requests_per_device_s``).
+    """
+
+    mean_rps: Optional[float] = None
+    fraction_of_capacity: float = 0.45
+    daily_amplitude: float = DiurnalDemand.daily_amplitude
+    peak_hour: float = DiurnalDemand.peak_hour
+    weekly_amplitude: float = DiurnalDemand.weekly_amplitude
+
+    def __post_init__(self) -> None:
+        if self.mean_rps is not None and self.mean_rps <= 0:
+            raise ScenarioValidationError("mean_rps must be positive")
+        if not 0.0 < self.fraction_of_capacity <= 1.5:
+            raise ScenarioValidationError("fraction_of_capacity must be in (0, 1.5]")
+        if not 0.0 <= self.daily_amplitude < 1.0:
+            raise ScenarioValidationError("daily_amplitude must be within [0, 1)")
+        if not 0.0 <= self.weekly_amplitude < 1.0:
+            raise ScenarioValidationError("weekly_amplitude must be within [0, 1)")
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ScenarioValidationError("peak_hour must be within [0, 24)")
+
+
+@dataclass(frozen=True)
+class RoutingSpec:
+    """Request-routing policy plus the optional DES latency probe.
+
+    ``latency_probe_s`` seconds of per-request discrete-event simulation run
+    after the fluid simulation (0 disables the probe);
+    ``latency_demand_fraction`` scales the probe's Poisson arrival rate
+    relative to the fleet's live capacity.
+    """
+
+    policy: str = "marginal-cci"
+    latency_probe_s: float = 5.0
+    latency_demand_fraction: float = 0.5
+    queue_penalty_g: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ScenarioValidationError("policy must be non-empty")
+        if self.latency_probe_s < 0:
+            raise ScenarioValidationError("latency_probe_s must be non-negative")
+        if not 0.0 < self.latency_demand_fraction <= 1.5:
+            raise ScenarioValidationError(
+                "latency_demand_fraction must be in (0, 1.5]"
+            )
+        if self.queue_penalty_g < 0:
+            raise ScenarioValidationError("queue_penalty_g must be non-negative")
+
+
+@dataclass(frozen=True)
+class ChargingSpec:
+    """Smart-charging coupling: estimate the UPS-as-carbon-buffer headroom.
+
+    With ``policy="smart"`` the runner runs the paper's smart-charging study
+    per site (threshold at the previous day's P-th intensity percentile) and
+    reports the fractional operational-carbon savings the batteries could
+    buy on that site's grid.  The savings are *reported*, not folded into the
+    fleet ledger — full demand-response co-optimisation is a ROADMAP item.
+    """
+
+    policy: str = "none"
+    min_state_of_charge: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.policy not in CHARGING_POLICIES:
+            raise ScenarioValidationError(
+                f"policy must be one of {', '.join(CHARGING_POLICIES)}; "
+                f"got {self.policy!r}"
+            )
+        if not 0.0 <= self.min_state_of_charge < 1.0:
+            raise ScenarioValidationError("min_state_of_charge must be within [0, 1)")
+
+
+@dataclass(frozen=True)
+class EconomicsSpec:
+    """Dollar-cost model parameters (see :class:`~repro.economics.FleetCostModel`)."""
+
+    enabled: bool = True
+    electricity_usd_per_kwh: float = CALIFORNIA_ELECTRICITY_USD_PER_KWH
+    battery_replacement_usd: float = FleetCostModel.battery_replacement_usd
+    battery_swap_labor_min: float = FleetCostModel.battery_swap_labor_min
+    labor_usd_per_hour: float = FleetCostModel.labor_usd_per_hour
+    intake_acquisition_usd: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "electricity_usd_per_kwh",
+            "battery_replacement_usd",
+            "battery_swap_labor_min",
+            "labor_usd_per_hour",
+        ):
+            if getattr(self, name) < 0:
+                raise ScenarioValidationError(f"{name} must be non-negative")
+        if self.intake_acquisition_usd is not None and self.intake_acquisition_usd < 0:
+            raise ScenarioValidationError("intake_acquisition_usd must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# The scenario spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable description of one fleet experiment."""
+
+    name: str
+    description: str = ""
+    sites: Tuple[SiteSpec, ...] = ()
+    routing: RoutingSpec = field(default_factory=RoutingSpec)
+    demand: DemandSpec = field(default_factory=DemandSpec)
+    charging: ChargingSpec = field(default_factory=ChargingSpec)
+    economics: EconomicsSpec = field(default_factory=EconomicsSpec)
+    duration_days: int = 30
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioValidationError("name must be non-empty")
+        if not self.sites:
+            raise ScenarioValidationError("sites must list at least one site")
+        if not isinstance(self.sites, tuple):
+            object.__setattr__(self, "sites", tuple(self.sites))
+        names = [site.name for site in self.sites]
+        if len(set(names)) != len(names):
+            raise ScenarioValidationError(f"sites must have unique names, got {names}")
+        if self.duration_days <= 0:
+            raise ScenarioValidationError("duration_days must be positive")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-data (JSON-compatible) representation of the spec."""
+        return _to_plain(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output, validating every field."""
+        return _from_plain(cls, data, path="")
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Deserialize from :meth:`to_json` output."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioValidationError(f"invalid scenario JSON: {error}") from None
+        return cls.from_dict(data)
+
+    # -- overrides ---------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """Return a copy with dotted-path overrides applied.
+
+        ``overrides`` maps dotted paths to values, list indices included::
+
+            spec.with_overrides({
+                "duration_days": 2,
+                "routing.policy": "round-robin",
+                "sites.0.devices.count": 50,
+            })
+
+        Unknown paths raise :class:`ScenarioValidationError` listing the
+        fields available at the failing segment.
+        """
+        data = self.to_dict()
+        for dotted, value in overrides.items():
+            _set_dotted(data, dotted, value)
+        return ScenarioSpec.from_dict(data)
+
+
+def parse_override(text: str) -> Tuple[str, Any]:
+    """Parse one CLI ``key=value`` override into ``(dotted_path, value)``.
+
+    The value is JSON-decoded when possible (numbers, booleans, ``null``,
+    quoted strings, lists) and kept as a bare string otherwise, so
+    ``--set duration_days=2`` yields an int and ``--set routing.policy=round-robin``
+    a string.
+    """
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise ScenarioValidationError(
+            f"override {text!r} is not of the form dotted.path=value"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+# ---------------------------------------------------------------------------
+# Generic dataclass <-> plain-data conversion
+# ---------------------------------------------------------------------------
+
+
+def _to_plain(value: Any) -> Any:
+    if dataclasses.is_dataclass(value):
+        return {
+            spec_field.name: _to_plain(getattr(value, spec_field.name))
+            for spec_field in dataclasses.fields(value)
+        }
+    if isinstance(value, tuple):
+        return [_to_plain(item) for item in value]
+    return value
+
+
+def _describe(path: str) -> str:
+    return path if path else "scenario"
+
+
+def _from_plain(cls: type, data: Any, path: str) -> Any:
+    """Build dataclass ``cls`` from plain data, naming bad fields by path."""
+    if not isinstance(data, Mapping):
+        raise ScenarioValidationError(
+            f"{_describe(path)} must be a mapping, got {type(data).__name__}"
+        )
+    hints = typing.get_type_hints(cls)
+    known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        name = sorted(unknown)[0]
+        where = f"{path}.{name}" if path else name
+        raise ScenarioValidationError(
+            f"unknown field {where!r}; expected one of: {', '.join(sorted(known))}"
+        )
+    kwargs = {}
+    for key, value in data.items():
+        where = f"{path}.{key}" if path else key
+        kwargs[key] = _convert(value, hints[key], where)
+    try:
+        return cls(**kwargs)
+    except ScenarioValidationError as error:
+        raise ScenarioValidationError(f"{_describe(path)}: {error}") from None
+    except TypeError as error:
+        raise ScenarioValidationError(f"{_describe(path)}: {error}") from None
+
+
+def _convert(value: Any, hint: Any, path: str) -> Any:
+    origin = typing.get_origin(hint)
+    args = typing.get_args(hint)
+    if origin is Union:
+        if value is None:
+            if type(None) in args:
+                return None
+            raise ScenarioValidationError(f"field {path!r} must not be null")
+        inner = [arg for arg in args if arg is not type(None)]
+        return _convert(value, inner[0], path)
+    if origin is tuple:
+        if not isinstance(value, (list, tuple)):
+            raise ScenarioValidationError(
+                f"field {path!r} must be a list, got {type(value).__name__}"
+            )
+        element_hint = args[0] if args else Any
+        return tuple(
+            _convert(item, element_hint, f"{path}.{index}")
+            for index, item in enumerate(value)
+        )
+    if dataclasses.is_dataclass(hint):
+        return _from_plain(hint, value, path)
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise ScenarioValidationError(
+                f"field {path!r} must be a boolean, got {value!r}"
+            )
+        return value
+    if hint is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioValidationError(
+                f"field {path!r} must be an integer, got {value!r}"
+            )
+        return value
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ScenarioValidationError(
+                f"field {path!r} must be a number, got {value!r}"
+            )
+        return float(value)
+    if hint is str:
+        if not isinstance(value, str):
+            raise ScenarioValidationError(
+                f"field {path!r} must be a string, got {value!r}"
+            )
+        return value
+    return value
+
+
+def _set_dotted(data: Any, dotted: str, value: Any) -> None:
+    """Set ``data[a][b]...[z] = value`` following a dotted path with indices."""
+    if not dotted:
+        raise ScenarioValidationError("override path must be non-empty")
+    parts = dotted.split(".")
+    node = data
+    walked = []
+    for part in parts[:-1]:
+        node = _step_into(node, part, walked, dotted)
+        walked.append(part)
+    leaf = parts[-1]
+    if isinstance(node, dict):
+        if leaf not in node:
+            raise ScenarioValidationError(
+                f"unknown override path {dotted!r}: no field {leaf!r} at "
+                f"{'.'.join(walked) or 'top level'}; available: "
+                f"{', '.join(sorted(node))}"
+            )
+        node[leaf] = value
+    elif isinstance(node, list):
+        index = _as_index(leaf, dotted, node)
+        node[index] = value
+    else:
+        raise ScenarioValidationError(
+            f"override path {dotted!r} descends into a scalar at {leaf!r}"
+        )
+
+
+def _step_into(node: Any, part: str, walked: list, dotted: str) -> Any:
+    where = ".".join(walked) or "top level"
+    if isinstance(node, dict):
+        if part not in node:
+            raise ScenarioValidationError(
+                f"unknown override path {dotted!r}: segment {part!r} at {where}; "
+                f"available: {', '.join(sorted(node))}"
+            )
+        return node[part]
+    if isinstance(node, list):
+        return node[_as_index(part, dotted, node)]
+    raise ScenarioValidationError(
+        f"override path {dotted!r}: segment {part!r} at {where} descends "
+        "into a scalar"
+    )
+
+
+def _as_index(part: str, dotted: str, node: list) -> int:
+    try:
+        index = int(part)
+    except ValueError:
+        raise ScenarioValidationError(
+            f"override path {dotted!r}: expected a list index, got {part!r}"
+        ) from None
+    if not -len(node) <= index < len(node):
+        raise ScenarioValidationError(
+            f"override path {dotted!r}: index {index} out of range for "
+            f"a {len(node)}-element list"
+        )
+    return index

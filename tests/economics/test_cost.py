@@ -82,3 +82,41 @@ class TestComparison:
         short = cloudlet_vs_cloud_cost(phone_fleet, c5_rental, lifetime_months=6.0)
         long = cloudlet_vs_cloud_cost(phone_fleet, c5_rental, lifetime_months=36.0)
         assert short.cost_ratio < long.cost_ratio
+
+
+class TestChurnCosts:
+    def test_churn_cost_prices_swaps_and_acquisitions(self):
+        model = FleetCostModel(
+            device=PIXEL_3A,
+            n_devices=10,
+            battery_replacement_usd=25.0,
+            battery_swap_labor_min=30.0,
+            labor_usd_per_hour=40.0,
+            intake_acquisition_usd=35.0,
+        )
+        # 4 swaps: 4 * ($25 parts + 0.5 h * $40 labor) = $180; 3 spares: $105.
+        assert model.churn_cost_usd(battery_swaps=4, devices_deployed=3) == pytest.approx(285.0)
+
+    def test_acquisition_defaults_to_catalog_purchase_price(self):
+        model = FleetCostModel(device=PIXEL_3A, n_devices=10)
+        assert model.acquisition_usd_per_device == PIXEL_3A.purchase_price_usd
+        assert model.churn_cost_usd(0, 2) == pytest.approx(2 * PIXEL_3A.purchase_price_usd)
+
+    def test_negative_counters_rejected(self):
+        model = FleetCostModel(device=PIXEL_3A, n_devices=10)
+        with pytest.raises(ValueError):
+            model.churn_cost_usd(-1, 0)
+
+    def test_scenario_cost_folds_churn_into_maintenance(self):
+        model = FleetCostModel(device=PIXEL_3A, n_devices=10, intake_acquisition_usd=20.0)
+        cost = model.scenario_cost(duration_days=30, battery_swaps=2, devices_deployed=1)
+        assert cost.maintenance_usd == pytest.approx(model.churn_cost_usd(2, 1))
+        assert cost.purchase_usd == pytest.approx(10 * PIXEL_3A.purchase_price_usd)
+        assert cost.energy_usd > 0
+        # a month of energy costs much less than a 36-month deployment
+        assert cost.energy_usd < model.energy_cost_usd(36.0)
+
+    def test_scenario_cost_requires_positive_duration(self):
+        model = FleetCostModel(device=PIXEL_3A, n_devices=10)
+        with pytest.raises(ValueError):
+            model.scenario_cost(duration_days=0)

@@ -196,3 +196,67 @@ class TestTraceEdgeCases:
         assert trace.intensity_at(-300.0, wrap=True) == pytest.approx(
             trace.intensity_at(600.0, wrap=True)
         )
+
+
+class TestFromCsv:
+    def test_bundled_sample_loads(self):
+        from repro.grid.traces import CAISO_SAMPLE_CSV
+
+        trace = GridTrace.from_csv(CAISO_SAMPLE_CSV)
+        assert len(trace) == 72
+        assert trace.interval_s == pytest.approx(3600.0)
+        assert trace.times_s[0] == 0.0
+        assert 150 < trace.mean_intensity() < 450
+
+    def test_numeric_seconds_and_custom_columns(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text("t,extra,ci\n0,x,100\n300,y,200\n600,z,150\n")
+        trace = GridTrace.from_csv(str(path), time_col="t", intensity_col="ci")
+        assert trace.intensity_g_per_kwh == pytest.approx([100.0, 200.0, 150.0])
+        assert trace.interval_s == pytest.approx(300.0)
+
+    def test_iso_timestamps_are_rebased_to_zero(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text(
+            "timestamp,intensity_gco2_per_kwh\n"
+            "2021-04-01T00:00:00+00:00,100\n"
+            "2021-04-01T01:00:00+00:00,200\n"
+        )
+        trace = GridTrace.from_csv(str(path))
+        assert trace.times_s == pytest.approx([0.0, 3600.0])
+
+    def test_missing_column_names_available_ones(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text("time,ci\n0,100\n300,200\n")
+        with pytest.raises(ValueError, match="missing column 'timestamp'.*time, ci"):
+            GridTrace.from_csv(str(path))
+
+    def test_unparseable_cell_names_row(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text("timestamp,intensity_gco2_per_kwh\n0,100\nnoon-ish,200\n")
+        with pytest.raises(ValueError, match="row 3"):
+            GridTrace.from_csv(str(path))
+
+    def test_too_few_rows_rejected(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text("timestamp,intensity_gco2_per_kwh\n0,100\n")
+        with pytest.raises(ValueError, match="two data rows"):
+            GridTrace.from_csv(str(path))
+
+    def test_gapped_rows_rejected(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text(
+            "timestamp,intensity_gco2_per_kwh\n"
+            "0,100\n3600,110\n10800,120\n14400,130\n"
+        )
+        with pytest.raises(ValueError, match="uniformly spaced.*row 4"):
+            GridTrace.from_csv(str(path))
+
+    def test_non_finite_cells_rejected(self, tmp_path):
+        path = tmp_path / "grid.csv"
+        path.write_text("timestamp,intensity_gco2_per_kwh\n0,100\n3600,NaN\n")
+        with pytest.raises(ValueError, match="row 3.*not finite"):
+            GridTrace.from_csv(str(path))
+        path.write_text("timestamp,intensity_gco2_per_kwh\ninf,100\n3600,200\n")
+        with pytest.raises(ValueError, match="row 2.*not finite"):
+            GridTrace.from_csv(str(path))

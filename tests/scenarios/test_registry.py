@@ -1,0 +1,90 @@
+"""The named-scenario registry: presets, registration, lookup errors."""
+
+import pytest
+
+from repro.scenarios import (
+    DeviceMixSpec,
+    ScenarioSpec,
+    SiteSpec,
+    TraceSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.registry import _REGISTRY
+
+EXPECTED_PRESETS = {
+    "paper-baseline",
+    "two-site-asymmetric",
+    "hydro-vs-ercot",
+    "heterogeneous-cohorts",
+    "caiso-csv-sample",
+}
+
+
+def _custom(name="custom-test-scenario") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        sites=(
+            SiteSpec(
+                name="lab",
+                trace=TraceSpec(kind="constant", intensity_g_per_kwh=50.0),
+                devices=DeviceMixSpec(count=5),
+            ),
+        ),
+        duration_days=1,
+    )
+
+
+def test_bundled_presets_registered():
+    assert EXPECTED_PRESETS <= set(scenario_names())
+
+
+def test_scenario_names_sorted_and_matches_all_scenarios():
+    names = scenario_names()
+    assert names == sorted(names)
+    assert [spec.name for spec in all_scenarios()] == names
+
+
+def test_presets_have_descriptions():
+    for spec in all_scenarios():
+        assert spec.description, f"{spec.name} lacks a description"
+
+
+def test_get_unknown_scenario_lists_known_names():
+    with pytest.raises(KeyError, match="two-site-asymmetric"):
+        get_scenario("tow-site-asymmetric")
+
+
+def test_register_and_lookup_custom_scenario():
+    spec = _custom()
+    try:
+        register_scenario(spec)
+        assert get_scenario(spec.name) == spec
+        assert spec.name in scenario_names()
+    finally:
+        _REGISTRY.pop(spec.name, None)
+
+
+def test_register_duplicate_requires_overwrite():
+    spec = _custom()
+    try:
+        register_scenario(spec)
+        with pytest.raises(ValueError, match="overwrite"):
+            register_scenario(spec)
+        register_scenario(spec, overwrite=True)  # explicit overwrite is fine
+    finally:
+        _REGISTRY.pop(spec.name, None)
+
+
+def test_heterogeneous_preset_mixes_device_types():
+    spec = get_scenario("heterogeneous-cohorts")
+    devices = {site.devices.device for site in spec.sites}
+    assert devices == {"Pixel 3A", "Nexus 4"}
+
+
+def test_csv_preset_points_at_bundled_sample():
+    spec = get_scenario("caiso-csv-sample")
+    assert spec.sites[0].trace.kind == "csv"
+    assert spec.sites[0].trace.csv_path.endswith("caiso_sample.csv")

@@ -1,0 +1,221 @@
+"""ScenarioSpec serialization: round-trips, validation errors, overrides."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import (
+    ChurnSpec,
+    DemandSpec,
+    DeviceMixSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+    SiteSpec,
+    TraceSpec,
+    get_scenario,
+    parse_override,
+    scenario_names,
+)
+
+
+def small_spec(**kwargs) -> ScenarioSpec:
+    defaults = dict(
+        name="test",
+        sites=(SiteSpec(name="a"), SiteSpec(name="b")),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Round-trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_preset_round_trips_through_dict(name):
+    spec = get_scenario(name)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_preset_round_trips_through_json(name):
+    spec = get_scenario(name)
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert restored.to_json() == spec.to_json()
+
+
+def test_to_dict_is_json_compatible_plain_data():
+    data = get_scenario("two-site-asymmetric").to_dict()
+    assert isinstance(data, dict)
+    assert isinstance(data["sites"], list)
+    json.dumps(data)  # raises on anything non-plain
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    duration_days=st.integers(min_value=1, max_value=3650),
+    seed=st.integers(min_value=0, max_value=2**31),
+    count=st.integers(min_value=1, max_value=100_000),
+    rps=st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    daily_amplitude=st.floats(min_value=0.0, max_value=0.99),
+    peak_hour=st.floats(min_value=0.0, max_value=23.9),
+    intake=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e3)),
+    max_swaps=st.integers(min_value=0, max_value=20),
+    policy=st.sampled_from(["round-robin", "greedy-lowest-intensity", "marginal-cci"]),
+    region=st.sampled_from(["caiso-like", "ercot-like", "hydro-heavy"]),
+)
+def test_random_specs_round_trip(
+    duration_days, seed, count, rps, daily_amplitude, peak_hour, intake, max_swaps,
+    policy, region,
+):
+    """dict and JSON round-trips are lossless across the spec's value space."""
+    spec = ScenarioSpec(
+        name="prop",
+        sites=(
+            SiteSpec(
+                name="x",
+                trace=TraceSpec(kind="regional", region=region),
+                devices=DeviceMixSpec(count=count, requests_per_device_s=rps),
+                churn=ChurnSpec(intake_per_day=intake, max_battery_swaps=max_swaps),
+            ),
+        ),
+        routing=RoutingSpec(policy=policy),
+        demand=DemandSpec(daily_amplitude=daily_amplitude, peak_hour=peak_hour),
+        duration_days=duration_days,
+        seed=seed,
+    )
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+# ---------------------------------------------------------------------------
+# Validation errors name the bad field
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_top_level_field_is_named():
+    data = small_spec().to_dict()
+    data["banana"] = 1
+    with pytest.raises(ScenarioValidationError, match="banana"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_unknown_nested_field_names_dotted_path():
+    data = small_spec().to_dict()
+    data["sites"][1]["devices"]["frequency"] = 42
+    with pytest.raises(ScenarioValidationError, match=r"sites\.1\.devices\.frequency"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_wrong_type_names_dotted_path():
+    data = small_spec().to_dict()
+    data["sites"][0]["network_rtt_s"] = "fast"
+    with pytest.raises(ScenarioValidationError, match=r"sites\.0\.network_rtt_s"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_semantic_violation_names_location():
+    data = small_spec().to_dict()
+    data["sites"][0]["devices"]["count"] = -3
+    with pytest.raises(ScenarioValidationError, match=r"sites\.0\.devices"):
+        ScenarioSpec.from_dict(data)
+
+
+def test_duplicate_site_names_rejected():
+    with pytest.raises(ScenarioValidationError, match="unique"):
+        small_spec(sites=(SiteSpec(name="a"), SiteSpec(name="a")))
+
+
+def test_csv_kind_requires_path():
+    with pytest.raises(ScenarioValidationError, match="csv_path"):
+        TraceSpec(kind="csv")
+
+
+def test_unknown_trace_kind_rejected():
+    with pytest.raises(ScenarioValidationError, match="kind"):
+        TraceSpec(kind="astrology")
+
+
+def test_invalid_json_reports_clearly():
+    with pytest.raises(ScenarioValidationError, match="invalid scenario JSON"):
+        ScenarioSpec.from_json("{not json")
+
+
+# ---------------------------------------------------------------------------
+# Overrides
+# ---------------------------------------------------------------------------
+
+
+def test_override_scalar_and_nested_and_indexed():
+    spec = get_scenario("two-site-asymmetric").with_overrides(
+        {
+            "duration_days": 2,
+            "routing.policy": "round-robin",
+            "sites.1.devices.count": 7,
+        }
+    )
+    assert spec.duration_days == 2
+    assert spec.routing.policy == "round-robin"
+    assert spec.sites[1].devices.count == 7
+    # untouched fields survive
+    assert spec.sites[0].devices.count == get_scenario("two-site-asymmetric").sites[0].devices.count
+
+
+def test_override_does_not_mutate_original():
+    original = get_scenario("two-site-asymmetric")
+    before = original.to_dict()
+    original.with_overrides({"duration_days": 1})
+    assert original.to_dict() == before
+
+
+def test_override_unknown_path_lists_available_fields():
+    with pytest.raises(ScenarioValidationError, match="available"):
+        small_spec().with_overrides({"routing.polcy": "round-robin"})
+
+
+def test_override_unknown_segment_fails():
+    with pytest.raises(ScenarioValidationError, match="rooting"):
+        small_spec().with_overrides({"rooting.policy": "round-robin"})
+
+
+def test_override_index_out_of_range():
+    with pytest.raises(ScenarioValidationError, match="out of range"):
+        small_spec().with_overrides({"sites.5.devices.count": 1})
+
+
+def test_override_bad_value_is_validated():
+    with pytest.raises(ScenarioValidationError, match="duration_days"):
+        small_spec().with_overrides({"duration_days": -1})
+
+
+def test_parse_override_types():
+    assert parse_override("duration_days=2") == ("duration_days", 2)
+    assert parse_override("demand.mean_rps=12.5") == ("demand.mean_rps", 12.5)
+    assert parse_override("routing.policy=round-robin") == ("routing.policy", "round-robin")
+    assert parse_override("churn.swap_batteries=false") == ("churn.swap_batteries", False)
+    assert parse_override("demand.mean_rps=null") == ("demand.mean_rps", None)
+
+
+def test_parse_override_requires_equals():
+    with pytest.raises(ScenarioValidationError, match="dotted.path=value"):
+        parse_override("duration_days")
+
+
+def test_spec_defaults_mirror_subsystem_defaults():
+    """Spec-layer defaults are references to the subsystem defaults, not copies."""
+    from repro.economics.cost import FleetCostModel
+    from repro.fleet.population import FailureModel, ReplacementPolicy
+    from repro.fleet.scheduler import DiurnalDemand
+    from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S
+
+    assert DeviceMixSpec().requests_per_device_s == DEFAULT_REQUESTS_PER_DEVICE_S
+    assert ChurnSpec().annual_failure_rate == FailureModel.annual_rate
+    assert ChurnSpec().max_battery_swaps == ReplacementPolicy.max_battery_swaps
+    assert DemandSpec().daily_amplitude == DiurnalDemand.daily_amplitude
+    from repro.scenarios import EconomicsSpec
+
+    assert EconomicsSpec().battery_swap_labor_min == FleetCostModel.battery_swap_labor_min

@@ -1,0 +1,77 @@
+"""Smoke tests for the ``python -m repro`` command-line surface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_shows_targets_and_scenario_hint(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out and "fleet" in out
+    assert "scenarios" in out
+
+
+def test_scenarios_lists_every_preset(capsys):
+    from repro.scenarios import scenario_names
+
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_run_scenario_with_overrides(capsys):
+    code = main(
+        [
+            "run",
+            "scenario",
+            "two-site-asymmetric",
+            "--set",
+            "duration_days=2",
+            "--set",
+            "sites.0.devices.count=20",
+            "--set",
+            "sites.1.devices.count=20",
+            "--set",
+            "routing.latency_probe_s=0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "scenario: two-site-asymmetric (2 days" in out
+    assert "fleet CCI" in out
+    assert "$/request" in out
+
+
+def test_run_scenario_typo_lists_names(capsys):
+    assert main(["run", "scenario", "two-sight-asymmetric"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown scenario" in out
+    assert "two-site-asymmetric" in out
+
+
+def test_run_scenario_invalid_override_is_reported(capsys):
+    code = main(
+        ["run", "scenario", "two-site-asymmetric", "--set", "duration_dayz=2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "duration_dayz" in out
+
+
+def test_run_target_typo_lists_targets(capsys):
+    assert main(["run", "fgi5"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown target" in out
+    assert "fig5" in out
+
+
+def test_set_rejected_for_figure_targets(capsys):
+    assert main(["run", "fig1", "--set", "duration_days=2"]) == 2
+    assert "--set" in capsys.readouterr().out
+
+
+def test_run_fast_figure_target(capsys):
+    assert main(["run", "fig1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
