@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.fleet import (
     CapacityAwareMarginalCciRouting,
+    CarbonBufferDispatch,
     DiurnalDemand,
     FleetSimulation,
     GreedyLowestIntensityRouting,
@@ -32,9 +33,12 @@ DEMAND = DiurnalDemand(
 )
 
 
-def _run(policy, seed: int = 42):
+def _run(policy, seed: int = 42, dispatch=None):
     simulation = FleetSimulation(
-        two_site_asymmetric_fleet(DEVICES_PER_SITE, seed=seed), policy, DEMAND
+        two_site_asymmetric_fleet(DEVICES_PER_SITE, seed=seed),
+        policy,
+        DEMAND,
+        dispatch=dispatch,
     )
     return simulation.run(N_DAYS)
 
@@ -59,6 +63,32 @@ def test_fleet_year_within_wall_clock_budget(report):
     assert result.failures.sum() > 100
     assert 0.9 <= result.availability() <= 1.0
     assert elapsed < WALL_CLOCK_BUDGET_S
+
+
+def test_fleet_year_with_dispatch_within_wall_clock_budget(report):
+    """The battery ledger stays inside the same budget as the plain loop."""
+    start = time.perf_counter()
+    result = _run(GreedyLowestIntensityRouting(), dispatch=CarbonBufferDispatch())
+    elapsed = time.perf_counter() - start
+
+    baseline = _run(GreedyLowestIntensityRouting())
+    avoided = result.carbon_avoided_g()
+    report(
+        "Fleet scaling with energy dispatch (10k devices, 1 year)",
+        f"battery served {result.total_battery_discharge_kwh:.1f} kWh, "
+        f"charged {result.total_charge_kwh:.1f} kWh, "
+        f"avoided {avoided / 1e3:.2f} kg operational carbon"
+        f"\nwall clock: {elapsed:.2f} s",
+    )
+    assert elapsed < WALL_CLOCK_BUDGET_S
+    # The coupled ledger must pay off, never cost, operational carbon.
+    assert avoided > 0
+    assert (
+        result.total_operational_carbon_g <= baseline.total_operational_carbon_g
+    )
+    # SoC bounds hold at scale.
+    assert float(result.soc.min()) >= 0.25 - 1e-9
+    assert float(result.soc.max()) <= 1.0 + 1e-9
 
 
 def test_fleet_year_is_deterministic(report):

@@ -8,12 +8,17 @@ Usage::
     python -m repro scenarios            # list registered scenario presets
     python -m repro run scenario two-site-asymmetric \
         --set duration_days=2 --set routing.policy=round-robin
+    python -m repro sweep scenario carbon-buffer \
+        --set routing.policy=round-robin,greedy-lowest-intensity \
+        --set demand.fraction_of_capacity=0.3,0.6
 
 Each figure/table target maps to a zero-argument builder that computes the
 underlying data and returns the text to print (registry pattern, so adding a
 figure is one entry here).  Scenarios are the tunable path: any field of a
 registered :class:`~repro.scenarios.ScenarioSpec` can be overridden from the
-command line with ``--set dotted.path=value``.
+command line with ``--set dotted.path=value``, and ``sweep`` runs the
+cartesian grid of comma-separated ``--set`` value lists, tabulating CCI and
+dollars per request per cell.
 """
 
 from __future__ import annotations
@@ -142,6 +147,23 @@ def _fig9() -> str:
     )
 
 
+def _dispatch() -> str:
+    from repro.analysis import fig11_carbon_buffer
+
+    data = fig11_carbon_buffer(n_days=14, n_devices_per_site=50)
+    lines = [
+        "Coupled energy dispatch on the carbon-buffer scenario (Figure 11):",
+        f"  greedy alone:      {data.operational_carbon_kg('none'):.3f} kg operational, "
+        f"CCI {data.cci('none'):.3e} g/request",
+        f"  greedy + dispatch: {data.operational_carbon_kg('dispatch'):.3f} kg operational, "
+        f"CCI {data.cci('dispatch'):.3e} g/request",
+        f"  carbon avoided by the battery ledger: {data.carbon_avoided_kg():.3f} kg",
+    ]
+    for site, savings in data.realised_savings().items():
+        lines.append(f"  {site}: {savings:.1%} realised smart-charging savings")
+    return "\n".join(lines)
+
+
 def _fleet() -> str:
     from repro.analysis import fig10_fleet_orchestration, render_fleet_report
 
@@ -179,6 +201,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], str]]] = {
     "fig8": ("per-phone CPU utilisation in the serving cloudlet", _fig8),
     "fig9": ("carbon per served request vs EC2 baseline", _fig9),
     "fleet": ("multi-site fleet orchestration policy comparison", _fleet),
+    "dispatch": ("coupled energy dispatch (UPS-as-carbon-buffer) comparison", _dispatch),
     "table1": ("Geekbench throughput per device", _table("render_table1")),
     "table2": ("measured power curves per device", _table("render_table2")),
     "table3": ("per-component embodied carbon", _table("render_table3")),
@@ -217,22 +240,59 @@ def list_scenarios() -> str:
     return "\n".join(lines)
 
 
+def _resolve_scenario(name: str):
+    """Look up a registered scenario, printing the catalog on a miss."""
+    from repro.scenarios import get_scenario, scenario_names
+
+    try:
+        return get_scenario(name)
+    except KeyError:
+        known = "\n  ".join(scenario_names())
+        print(f"unknown scenario {name!r}; registered scenarios:\n  {known}")
+        return None
+
+
+def _sweep_scenario(name: str, set_args) -> int:
+    """Resolve a scenario and run it over a cartesian --set grid."""
+    from repro.analysis import render_sweep_result
+    from repro.scenarios import (
+        ScenarioValidationError,
+        parse_sweep_override,
+        sweep_scenario,
+    )
+
+    spec = _resolve_scenario(name)
+    if spec is None:
+        return 2
+    try:
+        axes = {}
+        for text in set_args or []:
+            key, values = parse_sweep_override(text)
+            if key in axes:
+                raise ScenarioValidationError(
+                    f"duplicate sweep axis {key!r}; list every value in one "
+                    f"--set {key}=v1,v2"
+                )
+            axes[key] = values
+        sweep = sweep_scenario(spec, axes)
+    except ScenarioValidationError as error:
+        print(f"invalid sweep configuration: {error}")
+        return 2
+    print(render_sweep_result(sweep))
+    return 0
+
+
 def _run_scenario(name: str, set_args) -> int:
     """Resolve, override, run, and render one registered scenario."""
     from repro.analysis import render_scenario_result
     from repro.scenarios import (
         ScenarioRunner,
         ScenarioValidationError,
-        get_scenario,
         parse_override,
-        scenario_names,
     )
 
-    try:
-        spec = get_scenario(name)
-    except KeyError:
-        known = "\n  ".join(scenario_names())
-        print(f"unknown scenario {name!r}; registered scenarios:\n  {known}")
+    spec = _resolve_scenario(name)
+    if spec is None:
         return 2
     try:
         overrides = dict(parse_override(text) for text in set_args or [])
@@ -286,6 +346,21 @@ def main(argv=None) -> int:
         metavar="dotted.path=value",
         help="override a scenario spec field (repeatable; scenario runs only)",
     )
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help=(
+            "run a scenario over a cartesian grid via: "
+            "sweep scenario <name> --set dotted.path=v1,v2"
+        ),
+    )
+    sweep_parser.add_argument("targets", nargs="+", metavar="target")
+    sweep_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="dotted.path=v1,v2",
+        help="sweep a scenario field over comma-separated values (repeatable)",
+    )
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -294,6 +369,14 @@ def main(argv=None) -> int:
     if args.command == "scenarios":
         print(list_scenarios())
         return 0
+    if args.command == "sweep":
+        if len(args.targets) != 2 or args.targets[0] != "scenario":
+            print(
+                "usage: python -m repro sweep scenario <name> "
+                "--set dotted.path=v1,v2 [--set ...]"
+            )
+            return 2
+        return _sweep_scenario(args.targets[1], args.overrides)
 
     if args.targets and args.targets[0] == "scenario":
         if len(args.targets) != 2:

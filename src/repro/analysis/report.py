@@ -195,6 +195,41 @@ def render_scenario_result(result) -> str:
             f"p99 {result.latency.p99_ms:.1f} ms, "
             f"completion {result.latency.completion_ratio:.1%}"
         )
-    for site, savings in result.charging_savings.items():
-        lines.append(f"smart charging at {site}: ~{savings:.1%} operational savings")
+    if result.charging_mode == "dispatch":
+        report = result.report
+        lines.append(
+            "energy dispatch: "
+            f"{report.total_battery_discharge_kwh:.2f} kWh served from battery, "
+            f"{report.total_charge_kwh:.2f} kWh charged, "
+            f"{report.carbon_avoided_g() / 1e3:.3f} kg carbon avoided"
+        )
+        for site, savings in result.charging_savings.items():
+            lines.append(
+                f"smart charging at {site}: {savings:.1%} realised operational savings"
+            )
+    else:
+        for site, savings in result.charging_savings.items():
+            lines.append(
+                f"smart charging at {site}: ~{savings:.1%} estimated operational savings"
+            )
+    return "\n".join(lines)
+
+
+def render_sweep_result(sweep) -> str:
+    """Render a :class:`~repro.scenarios.sweep.SweepResult` for the CLI.
+
+    One row per grid cell — the swept override values plus CCI, dollars per
+    request, and operational carbon — with the lowest-CCI cell called out.
+    """
+    headers, rows = sweep.table()
+    best = sweep.best_cell()
+    best_axes = ", ".join(f"{key}={value}" for key, value in best.overrides)
+    lines = [
+        f"sweep of {sweep.base.name!r} over {len(sweep.cells)} cells "
+        f"({' x '.join(sweep.axis_names)})",
+        "",
+        format_table(headers, rows),
+        "",
+        f"lowest CCI: {best.cci_g_per_request:.3e} g/request at {best_axes}",
+    ]
     return "\n".join(lines)

@@ -13,6 +13,8 @@ from repro.charging.smart_charging import (
     ChargingPolicy,
     NaiveCharging,
     SmartChargingPolicy,
+    charge_time_percentile,
+    threshold_from_intensities,
 )
 
 __all__ = [
@@ -26,4 +28,6 @@ __all__ = [
     "DayResult",
     "compare_policies",
     "smart_charging_savings",
+    "charge_time_percentile",
+    "threshold_from_intensities",
 ]

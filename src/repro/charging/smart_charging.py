@@ -13,20 +13,78 @@ run from its battery.  The paper's heuristic for the Californian grid:
 * charge unconditionally whenever the battery drops below a 25 % floor (the
   battery doubles as backup power, so it is never allowed to run flat).
 
-:class:`SmartChargingPolicy` implements that heuristic; :class:`AlwaysPlugged`
-and :class:`NaiveCharging` provide the baselines the savings are measured
-against.
+The heuristic itself is *trace-level*: it needs only yesterday's intensity
+samples, a battery spec, and an average draw.  :func:`charge_time_percentile`
+and :func:`threshold_from_intensities` expose it in that form so every
+consumer — the per-device study here, the fleet's coupled energy-dispatch
+engine (:mod:`repro.fleet.dispatch`), and the scenario runner's headroom
+estimate — shares one decision path.  :class:`SmartChargingPolicy` wraps the
+helpers into the stateful per-interval policy the charging simulator steps;
+:class:`AlwaysPlugged` and :class:`NaiveCharging` provide the baselines the
+savings are measured against.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro import units
 from repro.devices.battery import BatterySpec
 from repro.grid.traces import GridTrace
+
+
+# ---------------------------------------------------------------------------
+# Trace-level heuristic (shared by policies, fleet dispatch, and estimates)
+# ---------------------------------------------------------------------------
+
+
+def charge_time_percentile(battery: BatterySpec, average_draw_w: float) -> float:
+    """Percentage of the day the device must spend charging (the paper's P).
+
+    The device consumes ``average_draw_w`` around the clock and recharges at
+    the battery's rated charge power, so the minimum plugged-in fraction is
+    ``average_draw_w / charge_rate_w``.
+    """
+    if average_draw_w < 0:
+        raise ValueError("average draw must be non-negative")
+    fraction = min(1.0, average_draw_w / battery.charge_rate_w)
+    return 100.0 * fraction
+
+
+def threshold_from_intensities(
+    intensities: Optional[Union[Sequence[float], np.ndarray]],
+    battery: BatterySpec,
+    average_draw_w: float,
+    percentile_margin: float = 5.0,
+    fixed_percentile: Optional[float] = None,
+) -> Optional[float]:
+    """Today's carbon-intensity charge threshold from yesterday's samples.
+
+    The single source of the paper's percentile heuristic: take the
+    charge-time percentile (plus a safety margin) of the previous day's
+    intensity distribution.  ``intensities`` may be any sample array —
+    a 5-minute charging-study day or the fleet scheduler's hourly grid
+    lookups — which is what lets the per-device study and the site-aggregate
+    dispatch engine share one decision.  Returns ``None`` when there is no
+    history yet (callers then behave like an always-plugged device).
+    """
+    if intensities is None:
+        return None
+    samples = np.asarray(intensities, dtype=float)
+    if samples.size == 0:
+        return None
+    if fixed_percentile is not None:
+        percentile = fixed_percentile
+    else:
+        percentile = min(
+            100.0,
+            charge_time_percentile(battery, average_draw_w) + percentile_margin,
+        )
+    return float(np.percentile(samples, percentile))
 
 
 @dataclass(frozen=True)
@@ -131,16 +189,8 @@ class SmartChargingPolicy(ChargingPolicy):
 
     @staticmethod
     def charge_time_percentile(battery: BatterySpec, average_draw_w: float) -> float:
-        """Percentage of the day the device must spend charging (the paper's P).
-
-        The device consumes ``average_draw_w`` around the clock and recharges
-        at the battery's rated charge power, so the minimum plugged-in
-        fraction is ``average_draw_w / charge_rate_w``.
-        """
-        if average_draw_w < 0:
-            raise ValueError("average draw must be non-negative")
-        fraction = min(1.0, average_draw_w / battery.charge_rate_w)
-        return 100.0 * fraction
+        """The paper's P; delegates to :func:`charge_time_percentile`."""
+        return charge_time_percentile(battery, average_draw_w)
 
     def prepare_day(
         self,
@@ -149,18 +199,13 @@ class SmartChargingPolicy(ChargingPolicy):
         average_draw_w: float,
     ) -> None:
         """Set today's carbon-intensity threshold from yesterday's trace."""
-        if previous_day is None:
-            self._threshold = None
-            return
-        if self.fixed_percentile is not None:
-            percentile = self.fixed_percentile
-        else:
-            percentile = min(
-                100.0,
-                self.charge_time_percentile(battery, average_draw_w)
-                + self.percentile_margin,
-            )
-        self._threshold = previous_day.percentile(percentile)
+        self._threshold = threshold_from_intensities(
+            previous_day.intensity_g_per_kwh if previous_day is not None else None,
+            battery,
+            average_draw_w,
+            percentile_margin=self.percentile_margin,
+            fixed_percentile=self.fixed_percentile,
+        )
 
     @property
     def threshold_g_per_kwh(self) -> Optional[float]:

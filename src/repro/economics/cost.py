@@ -127,6 +127,30 @@ class FleetCostModel:
             return self.intake_acquisition_usd
         return self.device.purchase_price_usd
 
+    def battery_wear_cost_usd(self, throughput_kwh: float) -> float:
+        """Pro-rated pack cost of cycling ``throughput_kwh`` through the fleet.
+
+        The energy-dispatch ledger (UPS-as-carbon-buffer) consumes battery
+        cycle life with every discharged kWh: ``throughput / (capacity *
+        cycle_life)`` packs' worth of wear, each priced at a replacement pack
+        plus the swap labour, linearly so scenarios can weigh carbon avoided
+        against dollars of pack life spent.  Deliberately conservative: the
+        cohort model cycle-counts all device energy too, so on horizons long
+        enough to realise swaps this overlaps with :meth:`churn_cost_usd` —
+        the dispatch mode is charged for its pack usage up front rather than
+        only when a swap lands inside the window.
+        """
+        if throughput_kwh < 0:
+            raise ValueError("battery throughput must be non-negative")
+        battery = self.device.battery
+        if battery is None or throughput_kwh == 0:
+            return 0.0
+        packs = (throughput_kwh * units.JOULES_PER_KWH) / (
+            battery.capacity_joules * battery.cycle_life
+        )
+        labor_usd = self.battery_swap_labor_min / 60.0 * self.labor_usd_per_hour
+        return packs * (self.battery_replacement_usd + labor_usd)
+
     def churn_cost_usd(self, battery_swaps: int, devices_deployed: int) -> float:
         """Cost of realised churn: swap parts + swap labor + spare acquisition.
 
@@ -150,6 +174,7 @@ class FleetCostModel:
         battery_swaps: int = 0,
         devices_deployed: int = 0,
         energy_kwh: Optional[float] = None,
+        battery_throughput_kwh: float = 0.0,
     ) -> OwnershipCost:
         """Ownership cost over a scenario horizon, with churn as maintenance.
 
@@ -161,6 +186,9 @@ class FleetCostModel:
         integrated) — so the dollars track exactly what the carbon tracked.
         Without ``energy_kwh`` the electricity term falls back to the
         nominal full-fleet draw at the load profile's average utilisation.
+        ``battery_throughput_kwh`` is the dispatch ledger's discharge
+        throughput, priced as pro-rated pack wear on top of the realised
+        churn.
         """
         if duration_days <= 0:
             raise ValueError("duration must be positive")
@@ -174,7 +202,8 @@ class FleetCostModel:
             purchase_usd=self.n_devices * self.device.purchase_price_usd,
             peripherals_usd=self.peripherals.total_cost_usd,
             energy_usd=energy_kwh * self.electricity_usd_per_kwh,
-            maintenance_usd=self.churn_cost_usd(battery_swaps, devices_deployed),
+            maintenance_usd=self.churn_cost_usd(battery_swaps, devices_deployed)
+            + self.battery_wear_cost_usd(battery_throughput_kwh),
         )
 
 

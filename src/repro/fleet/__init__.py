@@ -12,10 +12,21 @@ grid mixes, with request routing policies that exploit the differences.
   :class:`~repro.grid.traces.GridTrace`, plus regional trace presets;
 * :mod:`repro.fleet.scheduler` — pluggable carbon-aware routing policies
   with a vectorized hourly path and a DES-backed latency-aware path;
+* :mod:`repro.fleet.dispatch` — the coupled energy-dispatch core: per-site
+  battery state-of-charge ledgers charging at clean hours and serving load
+  at dirty hours (UPS-as-carbon-buffer);
 * :mod:`repro.fleet.reporting` — fleet CCI / availability / replacement
   carbon reporting consumed by :mod:`repro.analysis`.
 """
 
+from repro.fleet.dispatch import (
+    CarbonBufferDispatch,
+    DispatchPolicy,
+    EnergyLedger,
+    GridOnlyDispatch,
+    estimate_fleet_savings,
+    estimate_site_savings,
+)
 from repro.fleet.population import (
     CohortStep,
     DeviceCohort,
@@ -82,6 +93,13 @@ __all__ = [
     "FleetSimulation",
     "run_policy_comparison",
     "simulate_latency_aware",
+    # dispatch
+    "DispatchPolicy",
+    "GridOnlyDispatch",
+    "CarbonBufferDispatch",
+    "EnergyLedger",
+    "estimate_site_savings",
+    "estimate_fleet_savings",
     # reporting
     "FleetReport",
     "SiteSummary",

@@ -1,0 +1,266 @@
+"""Coupled energy dispatch: per-site battery ledgers for the fleet loop.
+
+The paper studies smart charging (Section 4.3) and cluster operation as
+separate experiments.  This module closes that gap — UPS-as-carbon-buffer:
+each :class:`~repro.fleet.sites.FleetSite` carries an aggregate
+state-of-charge ledger (one pack fraction for the whole cohort, since every
+device holds its own battery at the same SoC), and a :class:`DispatchPolicy`
+co-decides with the routing policy, hour by hour, whether served load draws
+from the grid or from the batteries and whether idle headroom charges the
+packs — so clean hours fill batteries that dirty hours drain.
+
+The decision reuses the paper's charging heuristic at trace level
+(:func:`repro.charging.smart_charging.threshold_from_intensities`): the
+threshold for each day is a percentile of the *previous* day's intensities,
+and hours at or below it are "clean" (charge) while hours above it are
+"dirty" (serve from battery).  The ledger enforces the physics the per-device
+charging simulator enforces — SoC floor and ceiling, rated charge power,
+never charging and discharging simultaneously — but vectorized across sites
+so the fleet's hot loop stays a handful of NumPy ops per hour.
+
+Battery-wear accounting: the cohort model already cycle-counts *every*
+device-joule through the pack (:meth:`~repro.fleet.population.DeviceCohort.step`
+converts the realised per-device draw into daily equivalent full cycles
+regardless of charging policy — the phones run through their batteries
+either way), so dispatch discharge adds no cycles beyond that convention
+and the replacement-carbon ledger needs no dispatch-specific term.  The
+*dollars* side additionally prices the dispatched throughput as pro-rated
+pack wear (:meth:`~repro.economics.cost.FleetCostModel.battery_wear_cost_usd`),
+surfacing the marginal wear cost that the discrete swap counters only
+realise after a full cycle-life crossing.
+
+* :class:`EnergyLedger` — the mutable SoC state plus the per-hour physics;
+* :class:`CarbonBufferDispatch` — the percentile-threshold policy;
+* :class:`GridOnlyDispatch` — the do-nothing baseline (batteries stay full,
+  every joule is grid-drawn at the instantaneous intensity);
+* :func:`estimate_site_savings` — the detached per-device charging study run
+  on one site's device/trace/load context, used by the scenario runner's
+  ``coupling="estimate"`` mode so the estimate and the coupled dispatch share
+  one trace-level decision path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.charging.smart_charging import threshold_from_intensities
+from repro.fleet.sites import FleetSite
+
+#: Per-hour dispatch modes: hold (grid serves, batteries untouched), charge
+#: (grid serves *and* fills packs), discharge (packs serve device load).
+DISPATCH_HOLD = 0
+DISPATCH_CHARGE = 1
+DISPATCH_DISCHARGE = -1
+
+
+class DispatchPolicy(abc.ABC):
+    """Decides, per hour and site, how the battery ledger participates."""
+
+    name: str = "dispatch"
+    #: SoC floor the ledger never discharges below (backup-power margin).
+    min_state_of_charge: float = 0.25
+
+    def make_ledger(self, sites: Sequence[FleetSite]) -> "EnergyLedger":
+        """A fresh ledger for one simulation run."""
+        return EnergyLedger(sites, min_state_of_charge=self.min_state_of_charge)
+
+    @abc.abstractmethod
+    def day_thresholds(
+        self,
+        previous_intensity: Optional[np.ndarray],
+        sites: Sequence[FleetSite],
+    ) -> np.ndarray:
+        """Per-site charge thresholds (g/kWh) for the coming day.
+
+        ``previous_intensity`` is the previous day's ``(H, S)`` intensity
+        matrix (``None`` on the first day).  ``nan`` entries opt a site out
+        of dispatch for the day.
+        """
+
+    @abc.abstractmethod
+    def day_modes(self, intensity: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+        """Dispatch mode per ``(hour, site)``.
+
+        ``intensity`` has shape ``(H, S)`` and ``thresholds`` shape ``(S,)``;
+        returns an ``(H, S)`` integer array of ``DISPATCH_*`` modes.
+        """
+
+
+class GridOnlyDispatch(DispatchPolicy):
+    """The decoupled baseline: batteries stay full, everything is grid power."""
+
+    name = "grid-only"
+
+    def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
+        return np.full(len(sites), np.nan)
+
+    def day_modes(self, intensity, thresholds) -> np.ndarray:
+        return np.full(intensity.shape, DISPATCH_HOLD, dtype=np.int8)
+
+
+class CarbonBufferDispatch(DispatchPolicy):
+    """The paper's percentile heuristic applied to site aggregates.
+
+    Each day, each site's threshold is the P-th percentile of its previous
+    day's intensities (P from the device's charge-time fraction plus
+    ``percentile_margin``, or ``fixed_percentile`` when given).  Hours at or
+    below the threshold charge the pack from idle headroom; hours above it
+    serve device load from the pack down to ``min_state_of_charge``.
+    """
+
+    name = "carbon-buffer"
+
+    def __init__(
+        self,
+        min_state_of_charge: float = 0.25,
+        percentile_margin: float = 5.0,
+        fixed_percentile: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= min_state_of_charge < 1.0:
+            raise ValueError("min state of charge must be within [0, 1)")
+        if percentile_margin < 0:
+            raise ValueError("percentile margin must be non-negative")
+        if fixed_percentile is not None and not 0.0 <= fixed_percentile <= 100.0:
+            raise ValueError("fixed percentile must be within [0, 100]")
+        self.min_state_of_charge = min_state_of_charge
+        self.percentile_margin = percentile_margin
+        self.fixed_percentile = fixed_percentile
+
+    def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
+        thresholds = np.full(len(sites), np.nan)
+        if previous_intensity is None:
+            return thresholds
+        for j, site in enumerate(sites):
+            battery = site.design.device.battery
+            if battery is None:
+                continue
+            threshold = threshold_from_intensities(
+                previous_intensity[:, j],
+                battery,
+                site.design.device.average_power_w(site.cohort.load_profile),
+                percentile_margin=self.percentile_margin,
+                fixed_percentile=self.fixed_percentile,
+            )
+            if threshold is not None:
+                thresholds[j] = threshold
+        return thresholds
+
+    def day_modes(self, intensity, thresholds) -> np.ndarray:
+        # nan thresholds compare False on both sides, leaving HOLD in place.
+        modes = np.full(intensity.shape, DISPATCH_HOLD, dtype=np.int8)
+        modes[intensity <= thresholds] = DISPATCH_CHARGE
+        modes[intensity > thresholds] = DISPATCH_DISCHARGE
+        return modes
+
+
+class EnergyLedger:
+    """Aggregate per-site battery state and the hourly dispatch physics.
+
+    State-of-charge is a *fraction* per site: every live device carries its
+    own pack at the cohort-wide SoC, so the aggregate capacity follows the
+    live device count through churn while the fraction is preserved (a
+    failed device leaves with its pack; a fresh spare arrives charged).
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[FleetSite],
+        min_state_of_charge: float = 0.25,
+        initial_soc: float = 1.0,
+    ) -> None:
+        if not 0.0 <= min_state_of_charge < 1.0:
+            raise ValueError("min state of charge must be within [0, 1)")
+        if not min_state_of_charge <= initial_soc <= 1.0:
+            raise ValueError("initial SoC must be within [min_soc, 1]")
+        self.sites = list(sites)
+        self.min_soc = min_state_of_charge
+        self.soc = np.full(len(self.sites), float(initial_soc))
+        self._has_battery = np.array(
+            [site.design.device.battery is not None for site in self.sites]
+        )
+
+    def day_capabilities(self):
+        """Today's ``(capacity_j, charge_rate_w)`` arrays from live counts."""
+        capacity_j = np.array([site.battery_capacity_j for site in self.sites])
+        charge_rate_w = np.array([site.battery_charge_rate_w for site in self.sites])
+        return capacity_j, charge_rate_w
+
+    def step(
+        self,
+        modes: np.ndarray,
+        device_energy_j: np.ndarray,
+        step_s: float,
+        capacity_j: np.ndarray,
+        charge_rate_w: np.ndarray,
+        idle_fraction: np.ndarray,
+    ):
+        """Apply one hour of dispatch decisions; returns ``(battery_j, charge_j)``.
+
+        ``device_energy_j`` is the device-only energy each site must deliver
+        this hour (peripherals always stay on the grid); ``idle_fraction``
+        scales the aggregate charge rate — only idle headroom charges the
+        pack, devices busy serving requests do not.  Charging and
+        discharging are mutually exclusive by construction, discharge stops
+        at the SoC floor, and charging stops at a full pack.
+        """
+        modes = np.asarray(modes)
+        usable = self._has_battery & (capacity_j > 0)
+        # Backup-power guarantee: below the floor, charging is forced
+        # regardless of the policy's verdict (mirrors the per-device study).
+        modes = np.where(usable & (self.soc < self.min_soc), DISPATCH_CHARGE, modes)
+
+        discharging = usable & (modes == DISPATCH_DISCHARGE)
+        available_j = np.clip(self.soc - self.min_soc, 0.0, None) * capacity_j
+        battery_j = np.where(
+            discharging, np.minimum(device_energy_j, available_j), 0.0
+        )
+
+        charging = usable & (modes == DISPATCH_CHARGE)
+        headroom_j = np.clip(1.0 - self.soc, 0.0, None) * capacity_j
+        deliverable_j = charge_rate_w * np.clip(idle_fraction, 0.0, 1.0) * step_s
+        charge_j = np.where(charging, np.minimum(headroom_j, deliverable_j), 0.0)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            delta = np.where(capacity_j > 0, (charge_j - battery_j) / capacity_j, 0.0)
+        self.soc = np.clip(self.soc + delta, 0.0, 1.0)
+        return battery_j, charge_j
+
+
+def estimate_site_savings(
+    site: FleetSite, min_state_of_charge: float = 0.25
+) -> Optional[float]:
+    """Detached smart-charging study on one site's own context.
+
+    Runs the paper's per-device percentile study (the Fig. 7-style estimate)
+    against the site's device, grid trace, and load profile, returning the
+    median fractional daily savings — or ``None`` when the device has no
+    battery.  This is the single place that derives the trace/battery
+    context for the scenario runner's ``coupling="estimate"`` mode, so the
+    estimate and the coupled-dispatch mode share the same inputs.
+    """
+    if site.design.device.battery is None:
+        return None
+    from repro.charging import smart_charging_savings
+
+    study = smart_charging_savings(
+        site.design.device,
+        site.trace,
+        load_profile=site.cohort.load_profile,
+        min_state_of_charge=min_state_of_charge,
+    )
+    return study.median_savings
+
+
+def estimate_fleet_savings(
+    sites: Sequence[FleetSite], min_state_of_charge: float = 0.25
+) -> Dict[str, float]:
+    """Per-site detached charging estimates, skipping battery-less sites."""
+    savings: Dict[str, float] = {}
+    for site in sites:
+        estimate = estimate_site_savings(site, min_state_of_charge)
+        if estimate is not None:
+            savings[site.name] = estimate
+    return savings

@@ -76,10 +76,22 @@ class FleetReport:
     failures: np.ndarray
     deployed: np.ndarray
     step_s: float = 3_600.0
-    #: Realised site energy per timestep (kWh), shape ``(T, S)``.  Optional
-    #: for backward compatibility with reports built before it was tracked;
-    #: the fleet simulation always fills it.
+    #: Realised site *wall* energy per timestep (kWh), shape ``(T, S)``:
+    #: grid energy serving load plus grid energy charging batteries.
+    #: Optional for backward compatibility with reports built before it was
+    #: tracked; the fleet simulation always fills it.
     energy_kwh: Optional[np.ndarray] = None
+    #: Energy-dispatch ledger series, shape ``(T, S)`` each; ``None`` on
+    #: reports built before dispatch existed.  ``grid_kwh`` is grid energy
+    #: used to *serve* load (so ``grid_kwh + battery_kwh`` is the energy the
+    #: site consumed, and ``grid_kwh + charge_kwh == energy_kwh`` is what the
+    #: meter saw); ``battery_kwh`` is battery discharge serving device load;
+    #: ``charge_kwh`` is grid energy filling the packs; ``soc`` is the
+    #: end-of-step aggregate state of charge in ``[0, 1]``.
+    grid_kwh: Optional[np.ndarray] = None
+    battery_kwh: Optional[np.ndarray] = None
+    charge_kwh: Optional[np.ndarray] = None
+    soc: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n_sites = len(self.site_names)
@@ -90,14 +102,13 @@ class FleetReport:
                     f"{name} has shape {array.shape}, expected "
                     f"({len(self.hours)}, {n_sites})"
                 )
-        if self.energy_kwh is not None and self.energy_kwh.shape != (
-            len(self.hours),
-            n_sites,
-        ):
-            raise ValueError(
-                f"energy_kwh has shape {self.energy_kwh.shape}, expected "
-                f"({len(self.hours)}, {n_sites})"
-            )
+        for name in ("energy_kwh", "grid_kwh", "battery_kwh", "charge_kwh", "soc"):
+            array = getattr(self, name)
+            if array is not None and array.shape != (len(self.hours), n_sites):
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected "
+                    f"({len(self.hours)}, {n_sites})"
+                )
         if self.dropped_rps.shape != (len(self.hours),):
             raise ValueError(
                 f"dropped_rps has shape {self.dropped_rps.shape}, expected "
@@ -151,6 +162,86 @@ class FleetReport:
         return computational_carbon_intensity(
             self.total_carbon_g, max(self.total_served_requests, 1.0)
         )
+
+    # ------------------------------------------------------------------
+    # Energy-dispatch (battery ledger) accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def has_dispatch_series(self) -> bool:
+        """True when the simulation tracked the battery ledger series.
+
+        Every :class:`~repro.fleet.scheduler.FleetSimulation` run fills the
+        series (zero-valued when no dispatch policy was coupled in); only
+        reports built before dispatch existed leave them ``None``.  "Was the
+        ledger actually active" is a question for the scenario layer's
+        ``charging.coupling``, not this flag.
+        """
+        return self.battery_kwh is not None and self.charge_kwh is not None
+
+    @property
+    def total_battery_discharge_kwh(self) -> float:
+        """Battery energy that served device load across the horizon (kWh)."""
+        if self.battery_kwh is None:
+            return 0.0
+        return float(self.battery_kwh.sum())
+
+    @property
+    def total_charge_kwh(self) -> float:
+        """Grid energy spent filling batteries across the horizon (kWh)."""
+        if self.charge_kwh is None:
+            return 0.0
+        return float(self.charge_kwh.sum())
+
+    def site_battery_discharge_kwh(self) -> np.ndarray:
+        """Per-site battery discharge throughput (kWh), shape ``(S,)``."""
+        if self.battery_kwh is None:
+            return np.zeros(len(self.site_names))
+        return self.battery_kwh.sum(axis=0)
+
+    def site_carbon_avoided_g(self) -> np.ndarray:
+        """Per-site operational carbon the dispatch ledger avoided (grams).
+
+        Battery energy displaced grid purchases at the discharge hours'
+        intensity but was bought back at the charge hours' intensity, so the
+        realised saving is the intensity-weighted difference.  Zero when the
+        ledger was not in the loop.  Boundary convention: packs start the
+        horizon full (reused phones arrive charged — that energy was paid
+        before the window) and any end-of-horizon deficit is likewise left
+        to the next window, so very short horizons can credit up to one
+        pack's worth of pre-window energy; compare coupling modes over
+        multi-day runs.
+        """
+        if not self.has_dispatch_series:
+            return np.zeros(len(self.site_names))
+        avoided = self.battery_kwh * self.intensity_g_per_kwh
+        paid = self.charge_kwh * self.intensity_g_per_kwh
+        return (avoided - paid).sum(axis=0)
+
+    def carbon_avoided_g(self) -> float:
+        """Fleet-wide realised carbon avoided by the dispatch ledger (grams)."""
+        return float(self.site_carbon_avoided_g().sum())
+
+    def realised_charging_savings(self) -> Dict[str, float]:
+        """Per-site realised fractional savings versus the no-dispatch ledger.
+
+        The counterfactual operational carbon is what the site *would* have
+        emitted had every battery-served joule been grid-served at the same
+        hours: ``operational + avoided``.  All-zero entries when the series
+        exist but the ledger never moved energy (no dispatch policy was
+        coupled in); empty only for pre-dispatch reports without the series.
+        """
+        if not self.has_dispatch_series:
+            return {}
+        avoided = self.site_carbon_avoided_g()
+        operational = self.operational_g.sum(axis=0)
+        savings: Dict[str, float] = {}
+        for j, name in enumerate(self.site_names):
+            counterfactual = operational[j] + avoided[j]
+            savings[name] = (
+                float(avoided[j] / counterfactual) if counterfactual > 0 else 0.0
+            )
+        return savings
 
     def served_fraction(self) -> float:
         """Fraction of offered demand that was served."""
@@ -221,7 +312,7 @@ class FleetReport:
 
     def summary_dict(self) -> Dict[str, float]:
         """Headline numbers, convenient for asserts and JSON dumps."""
-        return {
+        summary = {
             "policy": self.policy_name,
             "served_requests": self.total_served_requests,
             "dropped_requests": self.total_dropped_requests,
@@ -231,6 +322,10 @@ class FleetReport:
             "availability": self.availability(),
             "served_fraction": self.served_fraction(),
         }
+        if self.has_dispatch_series and self.total_battery_discharge_kwh > 0:
+            summary["battery_discharge_kwh"] = self.total_battery_discharge_kwh
+            summary["carbon_avoided_kg"] = self.carbon_avoided_g() / 1_000.0
+        return summary
 
 
 def compare_reports(reports: Dict[str, "FleetReport"]) -> List[Tuple[str, float, float]]:

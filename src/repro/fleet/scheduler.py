@@ -16,12 +16,22 @@ NumPy pass:
   This correctly prefers an efficient device on a middling grid over an
   inefficient one on a slightly cleaner grid.
 
+Every policy accepts a ``wear_derate`` factor for battery-aware load
+shedding: a site's effective capacity is scaled by
+``1 - wear_derate * mean_battery_wear``, so cohorts with nearly-spent packs
+shed load (and battery cycling) to healthier sites.
+
 :class:`FleetSimulation` couples the hourly routing path with the daily
 population dynamics of :mod:`repro.fleet.population`: capacity follows the
 live device count, realised utilisation drives battery cycling, and churn
-feeds replacement carbon into the fleet ledger.  For latency-aware
-questions, :func:`simulate_latency_aware` runs the same sites and policy on
-the discrete-event engine of :mod:`repro.simulation` instead.
+feeds replacement carbon into the fleet ledger.  With a
+:class:`~repro.fleet.dispatch.DispatchPolicy` in the loop, each site also
+carries a battery state-of-charge ledger: clean hours charge the packs from
+idle headroom, dirty hours serve device load from the packs
+(UPS-as-carbon-buffer), and the report gains grid/battery/charge/SoC
+series.  For latency-aware questions, :func:`simulate_latency_aware` runs
+the same sites and policy on the discrete-event engine of
+:mod:`repro.simulation` instead.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import units
+from repro.fleet.dispatch import DispatchPolicy
 from repro.fleet.reporting import FleetReport
 from repro.fleet.sites import FleetSite
 from repro.simulation.engine import Simulator, Timeout
@@ -95,9 +106,25 @@ class DiurnalDemand:
 
 
 class RoutingPolicy(abc.ABC):
-    """Allocates hourly fleet demand across sites."""
+    """Allocates hourly fleet demand across sites.
+
+    ``wear_derate`` enables battery-aware load shedding: the capacity the
+    policy sees for a site is scaled by ``1 - wear_derate * mean_battery_wear``
+    of its cohort, so heavily-cycled sites are offered less load and wear
+    out fewer replacement packs.  ``0`` (the default) reproduces the
+    wear-oblivious behaviour exactly.
+    """
 
     name: str = "policy"
+
+    def __init__(self, wear_derate: float = 0.0) -> None:
+        if not 0.0 <= wear_derate <= 1.0:
+            raise ValueError(f"wear derate must be within [0, 1], got {wear_derate}")
+        self.wear_derate = wear_derate
+
+    def site_capacity_rps(self, site: FleetSite) -> float:
+        """The capacity this policy offers to route toward one site."""
+        return site.effective_capacity_rps(self.wear_derate)
 
     @abc.abstractmethod
     def allocate(
@@ -208,13 +235,14 @@ POLICIES: Dict[str, type] = {
 }
 
 
-def policy_by_name(name: str) -> RoutingPolicy:
+def policy_by_name(name: str, wear_derate: float = 0.0) -> RoutingPolicy:
     """Instantiate one of the bundled routing policies by name."""
     try:
-        return POLICIES[name]()
+        cls = POLICIES[name]
     except KeyError:
         known = ", ".join(sorted(POLICIES))
         raise ValueError(f"unknown policy {name!r}; expected one of: {known}") from None
+    return cls(wear_derate=wear_derate)
 
 
 # ---------------------------------------------------------------------------
@@ -225,12 +253,19 @@ def policy_by_name(name: str) -> RoutingPolicy:
 class FleetSimulation:
     """Couples hourly carbon-aware routing with daily device-churn dynamics.
 
-    Each simulated day: (1) the policy allocates 24 hourly demand steps
-    across the sites' live capacities and local grid intensities, (2) each
-    site's operational carbon integrates idle floor + dynamic request energy
-    against its trace, and (3) each cohort steps one day of aging, failures,
-    battery wear, and spare deployment at the utilisation the routing
-    actually produced.
+    Each simulated day steps through four phases: (1) the routing policy
+    allocates 24 hourly demand steps across the sites' live (wear-derated)
+    capacities and local grid intensities, (2) the dispatch policy — when
+    one is coupled in — co-decides per hour whether served device load draws
+    from grid or battery and whether idle headroom charges the packs,
+    (3) each site's operational carbon integrates the realised *wall* energy
+    (grid serving + battery charging) against its trace, and (4) each cohort
+    steps one day of aging, failures, battery wear, and spare deployment at
+    the utilisation the routing actually produced.
+
+    Without a dispatch policy the batteries stay full (the decoupled
+    baseline) and the grid/battery/charge series degenerate to
+    ``grid == energy``, ``battery == charge == 0``, ``soc == 1``.
     """
 
     def __init__(
@@ -238,6 +273,7 @@ class FleetSimulation:
         sites: Sequence[FleetSite],
         policy: RoutingPolicy,
         demand: DiurnalDemand,
+        dispatch: Optional[DispatchPolicy] = None,
     ) -> None:
         if not sites:
             raise ValueError("a fleet needs at least one site")
@@ -247,6 +283,7 @@ class FleetSimulation:
         self.sites = list(sites)
         self.policy = policy
         self.demand = demand
+        self.dispatch = dispatch
 
     def run(self, n_days: int) -> FleetReport:
         """Simulate ``n_days`` of virtual time and return the fleet report."""
@@ -255,61 +292,70 @@ class FleetSimulation:
         n_sites = len(self.sites)
         hours_per_day = int(round(24.0 / HOURS_PER_STEP))
         step_s = HOURS_PER_STEP * units.SECONDS_PER_HOUR
+        n_steps = n_days * hours_per_day
 
-        served = np.zeros((n_days * hours_per_day, n_sites))
-        dropped = np.zeros(n_days * hours_per_day)
-        operational_g = np.zeros((n_days * hours_per_day, n_sites))
-        energy_kwh_all = np.zeros((n_days * hours_per_day, n_sites))
-        intensity_all = np.zeros((n_days * hours_per_day, n_sites))
+        served = np.zeros((n_steps, n_sites))
+        dropped = np.zeros(n_steps)
+        operational_g = np.zeros((n_steps, n_sites))
+        energy_kwh_all = np.zeros((n_steps, n_sites))
+        intensity_all = np.zeros((n_steps, n_sites))
+        grid_kwh = np.zeros((n_steps, n_sites))
+        battery_kwh = np.zeros((n_steps, n_sites))
+        charge_kwh = np.zeros((n_steps, n_sites))
+        soc = np.ones((n_steps, n_sites))
         active = np.zeros((n_days, n_sites), dtype=np.int64)
         replacement_g = np.zeros((n_days, n_sites))
         battery_swaps = np.zeros((n_days, n_sites), dtype=np.int64)
         failures = np.zeros((n_days, n_sites), dtype=np.int64)
         deployed = np.zeros((n_days, n_sites), dtype=np.int64)
 
+        ledger = (
+            self.dispatch.make_ledger(self.sites) if self.dispatch is not None else None
+        )
+        previous_intensity: Optional[np.ndarray] = None
+
         for day in range(n_days):
             rows = slice(day * hours_per_day, (day + 1) * hours_per_day)
-            times_s = (day * units.SECONDS_PER_DAY) + np.arange(hours_per_day) * step_s
-            demand = self.demand.series(hours_per_day, start_hour=day * 24.0)
-
-            capacity = np.empty((hours_per_day, n_sites))
-            intensity = np.empty((hours_per_day, n_sites))
-            marginal = np.empty((hours_per_day, n_sites))
-            for j, site in enumerate(self.sites):
-                capacity[:, j] = site.capacity_rps
-                intensity[:, j] = site.intensities_at(times_s)
-                marginal[:, j] = site.marginal_carbon_g_for_intensity(intensity[:, j])
-
-            alloc = self.policy.allocate(demand, capacity, intensity, marginal)
-            self._validate_allocation(alloc, demand, capacity)
-
+            alloc, demand_rps, capacity, intensity = self._allocate_day(
+                day, hours_per_day, step_s
+            )
             served[rows] = alloc
-            dropped[rows] = demand - alloc.sum(axis=1)
+            dropped[rows] = demand_rps - alloc.sum(axis=1)
             intensity_all[rows] = intensity
 
-            # Hourly operational carbon from the site's own power model.
-            for j, site in enumerate(self.sites):
-                energy_kwh = site.power_w(alloc[:, j]) * step_s / units.JOULES_PER_KWH
-                energy_kwh_all[rows, j] = energy_kwh
-                operational_g[rows, j] = energy_kwh * intensity[:, j]
+            # Energy the sites need this day, from each site's power model.
+            total_kwh, device_kwh = self._site_energy_kwh(alloc, step_s)
+
+            if ledger is None:
+                grid_kwh[rows] = total_kwh
+                energy_kwh_all[rows] = total_kwh
+            else:
+                day_battery, day_charge, day_soc = self._dispatch_day(
+                    ledger, alloc, intensity, device_kwh, step_s,
+                    previous_intensity,
+                )
+                battery_kwh[rows] = day_battery
+                charge_kwh[rows] = day_charge
+                soc[rows] = day_soc
+                grid_kwh[rows] = total_kwh - day_battery
+                energy_kwh_all[rows] = grid_kwh[rows] + day_charge
+
+            # Operational carbon follows the wall energy the meter saw.
+            operational_g[rows] = energy_kwh_all[rows] * intensity
+            previous_intensity = intensity
 
             # Daily population step at the realised utilisation.
-            for j, site in enumerate(self.sites):
-                cap_j = capacity[:, j]
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    util = np.where(cap_j > 0, alloc[:, j] / cap_j, 0.0)
-                mean_util = float(np.clip(np.mean(util), 0.0, 1.0))
-                step = site.cohort.step(1.0, utilization=mean_util)
-                active[day, j] = step.active
-                replacement_g[day, j] = step.replacement_carbon_g
-                battery_swaps[day, j] = step.battery_swaps
-                failures[day, j] = step.failures
-                deployed[day, j] = step.deployed
+            day_step = self._step_population(alloc)
+            active[day] = day_step["active"]
+            replacement_g[day] = day_step["replacement_carbon_g"]
+            battery_swaps[day] = day_step["battery_swaps"]
+            failures[day] = day_step["failures"]
+            deployed[day] = day_step["deployed"]
 
         return FleetReport(
             policy_name=self.policy.name,
             site_names=tuple(site.name for site in self.sites),
-            hours=np.arange(n_days * hours_per_day, dtype=float) * HOURS_PER_STEP,
+            hours=np.arange(n_steps, dtype=float) * HOURS_PER_STEP,
             served_rps=served,
             dropped_rps=dropped,
             operational_g=operational_g,
@@ -325,7 +371,110 @@ class FleetSimulation:
             deployed=deployed,
             step_s=step_s,
             energy_kwh=energy_kwh_all,
+            grid_kwh=grid_kwh,
+            battery_kwh=battery_kwh,
+            charge_kwh=charge_kwh,
+            soc=soc,
         )
+
+    # -- per-day phases ----------------------------------------------------
+
+    def _allocate_day(self, day: int, hours_per_day: int, step_s: float):
+        """Phase 1: route one day of hourly demand across the live sites."""
+        n_sites = len(self.sites)
+        times_s = (day * units.SECONDS_PER_DAY) + np.arange(hours_per_day) * step_s
+        demand_rps = self.demand.series(hours_per_day, start_hour=day * 24.0)
+        capacity = np.empty((hours_per_day, n_sites))
+        intensity = np.empty((hours_per_day, n_sites))
+        marginal = np.empty((hours_per_day, n_sites))
+        for j, site in enumerate(self.sites):
+            capacity[:, j] = self.policy.site_capacity_rps(site)
+            intensity[:, j] = site.intensities_at(times_s)
+            marginal[:, j] = site.marginal_carbon_g_for_intensity(intensity[:, j])
+        alloc = self.policy.allocate(demand_rps, capacity, intensity, marginal)
+        self._validate_allocation(alloc, demand_rps, capacity)
+        return alloc, demand_rps, capacity, intensity
+
+    def _site_energy_kwh(self, alloc: np.ndarray, step_s: float):
+        """Total and device-only energy (kWh) each site needs per hour."""
+        total_kwh = np.empty_like(alloc)
+        device_kwh = np.empty_like(alloc)
+        for j, site in enumerate(self.sites):
+            device_w = site.device_power_w(alloc[:, j])
+            device_kwh[:, j] = device_w * step_s / units.JOULES_PER_KWH
+            total_kwh[:, j] = (
+                (device_w + site.peripheral_power_w) * step_s / units.JOULES_PER_KWH
+            )
+        return total_kwh, device_kwh
+
+    def _dispatch_day(
+        self,
+        ledger,
+        alloc: np.ndarray,
+        intensity: np.ndarray,
+        device_kwh: np.ndarray,
+        step_s: float,
+        previous_intensity: Optional[np.ndarray],
+    ):
+        """Phase 2: step the battery ledger through one day of dispatch."""
+        hours = alloc.shape[0]
+        thresholds = self.dispatch.day_thresholds(previous_intensity, self.sites)
+        modes = self.dispatch.day_modes(intensity, thresholds)
+        capacity_j, charge_rate_w = ledger.day_capabilities()
+        # Idle headroom is physical: a device the routing derate shed is
+        # sitting idle and can charge.
+        idle_fraction = 1.0 - self._physical_utilization(alloc)
+        device_j = device_kwh * units.JOULES_PER_KWH
+        battery = np.zeros_like(alloc)
+        charge = np.zeros_like(alloc)
+        soc = np.empty_like(alloc)
+        for hour in range(hours):
+            battery_j, charge_j = ledger.step(
+                modes[hour],
+                device_j[hour],
+                step_s,
+                capacity_j,
+                charge_rate_w,
+                idle_fraction[hour],
+            )
+            battery[hour] = battery_j / units.JOULES_PER_KWH
+            charge[hour] = charge_j / units.JOULES_PER_KWH
+            soc[hour] = ledger.soc
+        return battery, charge, soc
+
+    def _physical_utilization(self, alloc: np.ndarray) -> np.ndarray:
+        """Per-``(hour, site)`` utilisation against *non-derated* capacity.
+
+        Battery cycling and charge headroom both follow what the devices
+        physically do, so utilisation is measured against
+        :attr:`~repro.fleet.sites.FleetSite.capacity_rps` regardless of any
+        routing-level wear derate.
+        """
+        physical = np.array([site.capacity_rps for site in self.sites])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            util = np.where(physical > 0, alloc / physical, 0.0)
+        return np.clip(util, 0.0, 1.0)
+
+    def _step_population(self, alloc: np.ndarray) -> Dict[str, np.ndarray]:
+        """Phase 4: one day of churn per cohort at the realised utilisation."""
+        n_sites = len(self.sites)
+        out = {
+            "active": np.zeros(n_sites, dtype=np.int64),
+            "replacement_carbon_g": np.zeros(n_sites),
+            "battery_swaps": np.zeros(n_sites, dtype=np.int64),
+            "failures": np.zeros(n_sites, dtype=np.int64),
+            "deployed": np.zeros(n_sites, dtype=np.int64),
+        }
+        utilization = self._physical_utilization(alloc)
+        for j, site in enumerate(self.sites):
+            mean_util = float(np.mean(utilization[:, j]))
+            step = site.cohort.step(1.0, utilization=mean_util)
+            out["active"][j] = step.active
+            out["replacement_carbon_g"][j] = step.replacement_carbon_g
+            out["battery_swaps"][j] = step.battery_swaps
+            out["failures"][j] = step.failures
+            out["deployed"][j] = step.deployed
+        return out
 
     @staticmethod
     def _validate_allocation(
@@ -363,6 +512,16 @@ def run_policy_comparison(
 # ---------------------------------------------------------------------------
 # DES-backed latency-aware path
 # ---------------------------------------------------------------------------
+
+
+def _effective_device_slots(policy: RoutingPolicy, site: FleetSite) -> int:
+    """Concurrent request slots the DES path offers for one site.
+
+    The wear-derated capacity divided back into whole devices; rounded (not
+    truncated) so the float division ``active * rate * 1.0 / rate`` cannot
+    drop a device to representation error when the derate is off.
+    """
+    return max(1, int(round(policy.site_capacity_rps(site) / site.requests_per_device_s)))
 
 
 def simulate_latency_aware(
@@ -404,9 +563,15 @@ def simulate_latency_aware(
 
     from repro.simulation.resources import Resource
 
+    # The DES path sees the same (wear-derated) capacity the hourly path
+    # routes against: a policy shedding load from a worn cohort also offers
+    # fewer concurrent request slots here.
+    effective_devices = {
+        site.name: _effective_device_slots(policy, site) for site in sites
+    }
     pools = {
         site.name: Resource(
-            simulator, capacity=max(1, site.cohort.active_count), name=site.name
+            simulator, capacity=effective_devices[site.name], name=site.name
         )
         for site in sites
     }
@@ -419,7 +584,7 @@ def simulate_latency_aware(
             # has served the smallest share of its capacity so far.
             shares = [
                 routed_by_site[site.name]
-                / (max(1, site.cohort.active_count) * site.requests_per_device_s)
+                / (effective_devices[site.name] * site.requests_per_device_s)
                 for site in sites
             ]
             best = int(np.argmin(shares))

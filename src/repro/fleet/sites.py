@@ -156,6 +156,19 @@ class FleetSite:
         """Current request capacity (requests/s) given the live population."""
         return self.cohort.active_count * self.requests_per_device_s
 
+    def effective_capacity_rps(self, wear_derate: float = 0.0) -> float:
+        """Capacity after battery-wear load shedding.
+
+        A routing policy with ``wear_derate = k`` treats the site as if its
+        capacity were scaled by ``1 - k * mean_battery_wear``: cohorts whose
+        packs are near end-of-life shed load, trading a little operational
+        carbon for fewer replacement packs (and their embodied carbon).
+        """
+        if wear_derate <= 0.0:
+            return self.capacity_rps
+        derate = max(0.0, 1.0 - wear_derate * self.cohort.mean_battery_wear())
+        return self.capacity_rps * derate
+
     # -- power -------------------------------------------------------------
 
     @property
@@ -191,6 +204,38 @@ class FleetSite:
         dynamic = served * self.dynamic_energy_per_request_j
         result = device_floor + dynamic + self.design.peripherals.total_power_w
         return float(result) if np.isscalar(served_rps) else result
+
+    @property
+    def peripheral_power_w(self) -> float:
+        """Constant peripheral draw (fans, plugs, APs) — never battery-backed."""
+        return self.design.peripherals.total_power_w
+
+    def device_power_w(self, served_rps):
+        """Device-only site draw (W): :meth:`power_w` minus the peripherals.
+
+        This is the portion of the site's load the phones' own batteries can
+        serve — a phone can run itself from its pack, but it cannot push
+        battery power out to the fans and access points.
+        """
+        return self.power_w(served_rps) - self.peripheral_power_w
+
+    # -- aggregate battery pack (the dispatch ledger's view) ---------------
+
+    @property
+    def battery_capacity_j(self) -> float:
+        """Usable aggregate battery capacity (J) of the live population."""
+        battery = self.design.device.battery
+        if battery is None:
+            return 0.0
+        return self.cohort.active_count * battery.capacity_joules
+
+    @property
+    def battery_charge_rate_w(self) -> float:
+        """Aggregate rated charge power (W) of the live population."""
+        battery = self.design.device.battery
+        if battery is None:
+            return 0.0
+        return self.cohort.active_count * battery.charge_rate_w
 
     # -- carbon ------------------------------------------------------------
 

@@ -12,9 +12,12 @@ grids, fleets, policies), this package turns a whole experiment into *data*:
   spec against the devices/grid/fleet/economics subsystems and returns a
   unified :class:`ScenarioResult` (fleet report + carbon + $/request +
   latency + charging headroom);
+* :mod:`repro.scenarios.sweep` — cartesian sweeps: one spec, a grid of
+  dotted-path override lists, a CCI / $-per-request table per cell;
 * :mod:`repro.scenarios.registry` — named presets (``paper-baseline``,
   ``two-site-asymmetric``, ``hydro-vs-ercot``, ``heterogeneous-cohorts``,
-  ``caiso-csv-sample``) plus :func:`register_scenario` for user extensions.
+  ``caiso-csv-sample``, ``carbon-buffer``) plus :func:`register_scenario`
+  for user extensions.
 
 Quick start::
 
@@ -34,7 +37,14 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios.runner import ScenarioResult, ScenarioRunner, run_scenario
+from repro.scenarios.sweep import (
+    SweepCell,
+    SweepResult,
+    parse_sweep_override,
+    sweep_scenario,
+)
 from repro.scenarios.spec import (
+    CHARGING_COUPLINGS,
     CHARGING_POLICIES,
     LOAD_PROFILE_REGISTRY,
     LOAD_PROFILES,
@@ -67,12 +77,18 @@ __all__ = [
     "parse_override",
     "TRACE_KINDS",
     "CHARGING_POLICIES",
+    "CHARGING_COUPLINGS",
     "LOAD_PROFILES",
     "LOAD_PROFILE_REGISTRY",
     # runner
     "ScenarioRunner",
     "ScenarioResult",
     "run_scenario",
+    # sweep
+    "sweep_scenario",
+    "SweepResult",
+    "SweepCell",
+    "parse_sweep_override",
     # registry
     "register_scenario",
     "get_scenario",

@@ -22,6 +22,11 @@ from typing import Dict, List, Optional
 
 from repro.devices.catalog import get_device
 from repro.economics.cost import FleetCostModel, OwnershipCost
+from repro.fleet.dispatch import (
+    CarbonBufferDispatch,
+    DispatchPolicy,
+    estimate_fleet_savings,
+)
 from repro.fleet.population import FailureModel, ReplacementPolicy
 from repro.fleet.reporting import FleetReport
 from repro.fleet.scheduler import (
@@ -55,9 +60,10 @@ class ScenarioResult:
     ``site_costs`` maps site name to its :class:`~repro.economics.OwnershipCost`
     over the horizon (empty when economics is disabled); ``latency`` is the
     DES probe summary (``None`` when the probe is disabled);
-    ``charging_savings`` maps site name to the estimated fractional
-    operational-carbon savings smart charging could buy there (empty unless
-    the spec enables the charging study).
+    ``charging_savings`` maps site name to the fractional operational-carbon
+    savings of smart charging there — *realised* from the dispatched battery
+    ledger when ``charging_mode == "dispatch"``, the detached study's
+    *estimate* when ``"estimate"``, empty when ``"none"``.
     """
 
     spec: ScenarioSpec
@@ -65,6 +71,7 @@ class ScenarioResult:
     site_costs: Dict[str, OwnershipCost]
     latency: Optional[LatencySummary]
     charging_savings: Dict[str, float]
+    charging_mode: str = "none"
 
     # -- headline metrics --------------------------------------------------
 
@@ -100,6 +107,8 @@ class ScenarioResult:
         if self.latency is not None:
             summary["latency_median_ms"] = self.latency.median_ms
             summary["latency_p99_ms"] = self.latency.p99_ms
+        if self.charging_mode != "none":
+            summary["charging_coupling"] = self.charging_mode
         for site, savings in self.charging_savings.items():
             summary[f"smart_charging_savings[{site}]"] = savings
         return summary
@@ -219,24 +228,37 @@ class ScenarioRunner:
             weekly_amplitude=demand.weekly_amplitude,
         )
 
+    def build_dispatch(self) -> Optional[DispatchPolicy]:
+        """The energy-dispatch policy the charging coupling asks for."""
+        if self.spec.charging.coupling != "dispatch":
+            return None
+        return CarbonBufferDispatch(
+            min_state_of_charge=self.spec.charging.min_state_of_charge
+        )
+
     # -- execution ---------------------------------------------------------
 
     def run(self) -> ScenarioResult:
         """Run the scenario end-to-end and return the unified result."""
         spec = self.spec
         try:
-            policy = policy_by_name(spec.routing.policy)
+            policy = policy_by_name(
+                spec.routing.policy, wear_derate=spec.routing.wear_derate
+            )
         except ValueError as error:
             raise ScenarioValidationError(f"routing.policy: {error}") from None
         sites = self.build_sites()
-        simulation = FleetSimulation(sites, policy, self.build_demand())
+        simulation = FleetSimulation(
+            sites, policy, self.build_demand(), dispatch=self.build_dispatch()
+        )
         report = simulation.run(spec.duration_days)
         return ScenarioResult(
             spec=spec,
             report=report,
             site_costs=self._price_churn(sites, report),
             latency=self._probe_latency(sites, policy),
-            charging_savings=self._estimate_charging_savings(sites),
+            charging_savings=self._charging_savings(sites, report),
+            charging_mode=spec.charging.coupling,
         )
 
     def _price_churn(
@@ -269,6 +291,9 @@ class ScenarioRunner:
                 battery_swaps=summary.battery_swaps,
                 devices_deployed=summary.deployed,
                 energy_kwh=realised_kwh,
+                battery_throughput_kwh=float(
+                    report.site_battery_discharge_kwh()[index]
+                ),
             )
         return costs
 
@@ -293,24 +318,24 @@ class ScenarioRunner:
         )
         return summary
 
-    def _estimate_charging_savings(self, sites: List[FleetSite]) -> Dict[str, float]:
-        charging = self.spec.charging
-        if charging.policy != "smart":
-            return {}
-        from repro.charging import smart_charging_savings
+    def _charging_savings(
+        self, sites: List[FleetSite], report: FleetReport
+    ) -> Dict[str, float]:
+        """Per-site smart-charging savings in the coupling mode's currency.
 
-        savings: Dict[str, float] = {}
-        for site in sites:
-            if site.design.device.battery is None:
-                continue
-            study = smart_charging_savings(
-                site.design.device,
-                site.trace,
-                load_profile=site.cohort.load_profile,
-                min_state_of_charge=charging.min_state_of_charge,
+        ``dispatch`` reads the *realised* savings out of the battery ledger
+        the simulation just ran; ``estimate`` runs the detached per-device
+        study through the same trace-level decision helper the dispatch
+        engine uses (:func:`~repro.fleet.dispatch.estimate_fleet_savings`).
+        """
+        charging = self.spec.charging
+        if charging.coupling == "dispatch":
+            return report.realised_charging_savings()
+        if charging.coupling == "estimate":
+            return estimate_fleet_savings(
+                sites, min_state_of_charge=charging.min_state_of_charge
             )
-            savings[site.name] = study.median_savings
-        return savings
+        return {}
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:

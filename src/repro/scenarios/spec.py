@@ -37,6 +37,9 @@ TRACE_KINDS = ("regional", "csv", "constant")
 #: Charging-policy names a :class:`ChargingSpec` may name.
 CHARGING_POLICIES = ("none", "smart")
 
+#: How the charging layer couples into the fleet simulation.
+CHARGING_COUPLINGS = ("none", "estimate", "dispatch")
+
 #: Name -> :class:`~repro.devices.power.LoadProfile` for every profile a spec
 #: may name.  The single source of truth: validation (here) and resolution
 #: (the runner) both read it, so the two can never drift.
@@ -214,6 +217,9 @@ class RoutingSpec:
     latency_probe_s: float = 5.0
     latency_demand_fraction: float = 0.5
     queue_penalty_g: float = 5e-6
+    #: Battery-aware load shedding: scale each site's effective capacity by
+    #: ``1 - wear_derate * mean_battery_wear`` of its cohort (0 disables).
+    wear_derate: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.policy:
@@ -226,21 +232,40 @@ class RoutingSpec:
             )
         if self.queue_penalty_g < 0:
             raise ScenarioValidationError("queue_penalty_g must be non-negative")
+        if not 0.0 <= self.wear_derate <= 1.0:
+            raise ScenarioValidationError("wear_derate must be within [0, 1]")
 
 
 @dataclass(frozen=True)
 class ChargingSpec:
-    """Smart-charging coupling: estimate the UPS-as-carbon-buffer headroom.
+    """Smart-charging coupling: UPS-as-carbon-buffer, estimated or realised.
 
-    With ``policy="smart"`` the runner runs the paper's smart-charging study
-    per site (threshold at the previous day's P-th intensity percentile) and
-    reports the fractional operational-carbon savings the batteries could
-    buy on that site's grid.  The savings are *reported*, not folded into the
-    fleet ledger — full demand-response co-optimisation is a ROADMAP item.
+    ``coupling`` selects how the charging layer meets the fleet simulation:
+
+    * ``"none"`` — batteries stay full; no charging study runs;
+    * ``"estimate"`` — the paper's detached per-device study (threshold at
+      the previous day's P-th intensity percentile) runs per site and the
+      fractional savings are *reported* as headroom, not folded into the
+      fleet ledger;
+    * ``"dispatch"`` — the coupled energy-dispatch core: each site carries a
+      battery state-of-charge ledger, clean hours charge the packs from idle
+      headroom, dirty hours serve device load from the packs, and the
+      reported savings are *realised* in the operational-carbon series.
+
+    ``coupling`` is the sole switch — ``coupling="none"`` always means the
+    decoupled baseline, even when ``policy="smart"`` names the heuristic, so
+    ``--set charging.coupling=none`` alone disables the battery layer.  A
+    live coupling with ``policy="none"`` is contradictory (a coupling needs
+    a charging heuristic) and implies ``policy="smart"``.  ``policy`` names
+    *which* heuristic the coupling applies; ``"smart"`` (the paper's
+    percentile threshold) is currently the only live choice, so the field
+    exists for forward compatibility with other
+    :class:`~repro.charging.smart_charging.ChargingPolicy` heuristics.
     """
 
     policy: str = "none"
     min_state_of_charge: float = 0.25
+    coupling: str = "none"
 
     def __post_init__(self) -> None:
         if self.policy not in CHARGING_POLICIES:
@@ -248,8 +273,15 @@ class ChargingSpec:
                 f"policy must be one of {', '.join(CHARGING_POLICIES)}; "
                 f"got {self.policy!r}"
             )
+        if self.coupling not in CHARGING_COUPLINGS:
+            raise ScenarioValidationError(
+                f"coupling must be one of {', '.join(CHARGING_COUPLINGS)}; "
+                f"got {self.coupling!r}"
+            )
         if not 0.0 <= self.min_state_of_charge < 1.0:
             raise ScenarioValidationError("min_state_of_charge must be within [0, 1)")
+        if self.coupling != "none" and self.policy == "none":
+            object.__setattr__(self, "policy", "smart")
 
 
 @dataclass(frozen=True)
@@ -354,6 +386,19 @@ class ScenarioSpec:
         return ScenarioSpec.from_dict(data)
 
 
+def decode_override_value(raw: str) -> Any:
+    """Decode one CLI override value: JSON when possible, bare string otherwise.
+
+    The single decode policy for every ``--set`` surface (``run`` and
+    ``sweep``), so ``2`` yields an int, ``true`` a bool, and
+    ``round-robin`` a string everywhere.
+    """
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
 def parse_override(text: str) -> Tuple[str, Any]:
     """Parse one CLI ``key=value`` override into ``(dotted_path, value)``.
 
@@ -367,11 +412,7 @@ def parse_override(text: str) -> Tuple[str, Any]:
         raise ScenarioValidationError(
             f"override {text!r} is not of the form dotted.path=value"
         )
-    try:
-        value = json.loads(raw)
-    except json.JSONDecodeError:
-        value = raw
-    return key, value
+    return key, decode_override_value(raw)
 
 
 # ---------------------------------------------------------------------------

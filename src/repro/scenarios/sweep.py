@@ -1,0 +1,152 @@
+"""Cartesian scenario sweeps: one spec, a grid of overrides, one table.
+
+A sweep takes a base :class:`~repro.scenarios.spec.ScenarioSpec` and a
+mapping of dotted override paths to *lists* of values, runs the scenario at
+every cell of the cartesian product (via
+:meth:`~repro.scenarios.spec.ScenarioSpec.with_overrides`, so every cell is
+itself a valid, serializable spec), and tabulates the headline metrics —
+fleet CCI, dollars per request, operational carbon — per cell.  The CLI's
+``python -m repro sweep scenario <name> --set routing.policy=a,b
+--set demand.fraction_of_capacity=0.3,0.6`` feeds this directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Sequence, Tuple
+
+from repro.fleet.scheduler import policy_by_name
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    ScenarioValidationError,
+    decode_override_value,
+)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: the overrides that produced it and its result."""
+
+    overrides: Tuple[Tuple[str, Any], ...]
+    result: ScenarioResult
+
+    @property
+    def cci_g_per_request(self) -> float:
+        return self.result.cci_g_per_request
+
+    @property
+    def usd_per_request(self) -> float:
+        return self.result.usd_per_request
+
+    @property
+    def operational_carbon_kg(self) -> float:
+        return self.result.report.total_operational_carbon_g / 1_000.0
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every cell of one cartesian sweep, in row-major axis order."""
+
+    base: ScenarioSpec
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    cells: Tuple[SweepCell, ...]
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def best_cell(self) -> SweepCell:
+        """The cell with the lowest fleet CCI."""
+        return min(self.cells, key=lambda cell: cell.cci_g_per_request)
+
+    def table(self) -> Tuple[List[str], List[List[str]]]:
+        """``(headers, rows)`` ready for text rendering: one row per cell."""
+        headers = list(self.axis_names) + [
+            "CCI (g/req)",
+            "$/request",
+            "Op. carbon (kg)",
+        ]
+        rows = []
+        for cell in self.cells:
+            values = dict(cell.overrides)
+            rows.append(
+                [str(values[name]) for name in self.axis_names]
+                + [
+                    f"{cell.cci_g_per_request:.3e}",
+                    f"{cell.usd_per_request:.3e}",
+                    f"{cell.operational_carbon_kg:.2f}",
+                ]
+            )
+        return headers, rows
+
+
+def sweep_scenario(
+    spec: ScenarioSpec, axes: Mapping[str, Sequence[Any]]
+) -> SweepResult:
+    """Run ``spec`` over the cartesian grid of ``axes`` overrides.
+
+    ``axes`` maps dotted override paths (the same paths ``--set`` accepts)
+    to the list of values to sweep; axis order follows the mapping's
+    insertion order and cells are produced row-major (last axis fastest).
+    Every cell's spec is built (and therefore validated) up front, so an
+    invalid path or value anywhere in the grid fails before any simulation
+    time is spent.
+    """
+    if not axes:
+        raise ScenarioValidationError("a sweep needs at least one --set axis")
+    names = list(axes)
+    for name in names:
+        if not isinstance(axes[name], (list, tuple)) or len(axes[name]) == 0:
+            raise ScenarioValidationError(
+                f"sweep axis {name!r} must list at least one value"
+            )
+    grid = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[name] for name in names))
+    ]
+    specs = [spec.with_overrides(overrides) for overrides in grid]
+    # Routing-policy names only resolve at run time; check them here so a
+    # typo in the last axis value cannot waste the rest of the grid.
+    for cell_spec in specs:
+        try:
+            policy_by_name(
+                cell_spec.routing.policy, wear_derate=cell_spec.routing.wear_derate
+            )
+        except ValueError as error:
+            raise ScenarioValidationError(f"routing.policy: {error}") from None
+    cells = [
+        SweepCell(overrides=tuple(overrides.items()), result=run_scenario(cell_spec))
+        for overrides, cell_spec in zip(grid, specs)
+    ]
+    return SweepResult(
+        base=spec,
+        axes=tuple((name, tuple(axes[name])) for name in names),
+        cells=tuple(cells),
+    )
+
+
+def parse_sweep_override(text: str) -> Tuple[str, List[Any]]:
+    """Parse one CLI ``dotted.path=v1,v2,...`` sweep axis.
+
+    The value list is JSON-decoded when possible (``--set k=[1,2]`` or a
+    single JSON scalar) and otherwise split on commas with each element
+    JSON-decoded individually (``--set routing.policy=round-robin,marginal-cci``
+    yields strings, ``--set demand.fraction_of_capacity=0.3,0.6`` floats).
+    A single value is a one-element axis, so sweeps compose with plain
+    pinned overrides.
+    """
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise ScenarioValidationError(
+            f"sweep override {text!r} is not of the form dotted.path=v1,v2"
+        )
+    try:
+        whole = json.loads(raw)
+    except json.JSONDecodeError:
+        # Bare (non-JSON) text: commas separate axis values.
+        return key, [decode_override_value(chunk) for chunk in raw.split(",")]
+    # Valid JSON is taken whole, so a quoted string may contain commas.
+    return key, list(whole) if isinstance(whole, list) else [whole]

@@ -11,6 +11,7 @@ from repro.analysis.figures import (
     fig6_energy_mix,
     fig8_cpu_utilization,
     fig9_request_cci,
+    fig11_carbon_buffer,
 )
 from repro.devices.benchmarks import SGEMM
 from repro.devices.catalog import PIXEL_3A
@@ -107,3 +108,17 @@ class TestFigure9:
         data = fig9_request_cci(months=[6.0, 24.0, 48.0])
         for sweep in data.sweeps.values():
             assert np.all(sweep.series["phones"] < sweep.series["c5.9xlarge"])
+
+
+class TestFigure11:
+    def test_dispatch_beats_decoupled_greedy(self):
+        data = fig11_carbon_buffer(n_days=4, n_devices_per_site=15)
+        assert set(data.results) == {"dispatch", "none"}
+        assert data.carbon_avoided_kg() > 0
+        assert data.operational_carbon_kg("dispatch") < data.operational_carbon_kg(
+            "none"
+        )
+        assert data.cci("dispatch") < data.cci("none")
+        savings = data.realised_savings()
+        assert set(savings) == {"texas", "cascadia"}
+        assert all(value > 0 for value in savings.values())

@@ -95,12 +95,81 @@ def test_charging_study_reports_savings_on_duck_curve_grid():
             ),
         ),
         routing=RoutingSpec(policy="round-robin", latency_probe_s=0.0),
-        charging=ChargingSpec(policy="smart"),
+        charging=ChargingSpec(policy="smart", coupling="estimate"),
         duration_days=1,
     )
     result = run_scenario(spec)
+    assert result.charging_mode == "estimate"
     assert "ca" in result.charging_savings
     assert 0.0 < result.charging_savings["ca"] < 0.5
+
+
+def _carbon_buffer_spec(**overrides):
+    base = {
+        "duration_days": 4,
+        "sites.0.devices.count": 15,
+        "sites.1.devices.count": 15,
+        "routing.latency_probe_s": 0,
+    }
+    base.update(overrides)
+    return get_scenario("carbon-buffer").with_overrides(base)
+
+
+def test_dispatch_coupling_reports_realised_savings():
+    result = run_scenario(_carbon_buffer_spec())
+    assert result.charging_mode == "dispatch"
+    assert result.report.total_battery_discharge_kwh > 0
+    assert set(result.charging_savings) == {"texas", "cascadia"}
+    assert all(value > 0 for value in result.charging_savings.values())
+    summary = result.summary_dict()
+    assert summary["charging_coupling"] == "dispatch"
+    assert summary["carbon_avoided_kg"] > 0
+
+
+def test_dispatch_never_increases_operational_carbon():
+    """Regression: coupling="dispatch" must not emit more than coupling="none"."""
+    dispatched = run_scenario(_carbon_buffer_spec())
+    decoupled = run_scenario(
+        _carbon_buffer_spec(**{"charging.coupling": "none"})
+    )
+    # Identical fleets, routing, and churn trajectories...
+    assert np.isclose(
+        dispatched.report.total_served_requests,
+        decoupled.report.total_served_requests,
+    )
+    # ...so the ledger can only help.
+    assert (
+        dispatched.report.total_operational_carbon_g
+        <= decoupled.report.total_operational_carbon_g
+    )
+    assert dispatched.cci_g_per_request < decoupled.cci_g_per_request
+
+
+def test_dispatch_scenario_is_deterministic():
+    first = run_scenario(_carbon_buffer_spec())
+    second = run_scenario(_carbon_buffer_spec())
+    assert first.summary_dict() == second.summary_dict()
+    assert np.array_equal(first.report.battery_kwh, second.report.battery_kwh)
+    assert np.array_equal(first.report.soc, second.report.soc)
+
+
+def test_dispatch_wear_priced_into_maintenance():
+    """Battery throughput shows up as pro-rated pack wear in the dollars."""
+    dispatched = run_scenario(_carbon_buffer_spec())
+    decoupled = run_scenario(
+        _carbon_buffer_spec(**{"charging.coupling": "none"})
+    )
+    wear = sum(
+        cost.maintenance_usd for cost in dispatched.site_costs.values()
+    ) - sum(cost.maintenance_usd for cost in decoupled.site_costs.values())
+    assert wear > 0
+
+
+def test_wear_derate_flows_to_the_routing_policy():
+    spec = tiny_spec(routing=RoutingSpec(policy="marginal-cci", wear_derate=0.4,
+                                         latency_probe_s=0.0))
+    result = run_scenario(spec)
+    assert result.report.total_served_requests > 0
 
 
 def test_explicit_churn_and_intake_flow_through():

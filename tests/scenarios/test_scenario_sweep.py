@@ -1,0 +1,137 @@
+"""Cartesian scenario sweeps: grid expansion, parsing, and tabulation."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ScenarioValidationError,
+    parse_sweep_override,
+    sweep_scenario,
+)
+from repro.scenarios.spec import (
+    DemandSpec,
+    DeviceMixSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SiteSpec,
+    TraceSpec,
+)
+
+
+def tiny_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sweep-tiny",
+        sites=(
+            SiteSpec(
+                name="dirty",
+                trace=TraceSpec(kind="constant", intensity_g_per_kwh=600.0, n_days=2),
+                devices=DeviceMixSpec(count=5),
+            ),
+            SiteSpec(
+                name="clean",
+                trace=TraceSpec(kind="constant", intensity_g_per_kwh=30.0, n_days=2),
+                devices=DeviceMixSpec(count=5),
+            ),
+        ),
+        routing=RoutingSpec(policy="round-robin", latency_probe_s=0.0),
+        demand=DemandSpec(fraction_of_capacity=0.4),
+        duration_days=1,
+    )
+
+
+class TestSweepScenario:
+    def test_cartesian_grid_is_fully_expanded(self):
+        sweep = sweep_scenario(
+            tiny_spec(),
+            {
+                "routing.policy": ["round-robin", "greedy-lowest-intensity"],
+                "demand.fraction_of_capacity": [0.3, 0.6],
+            },
+        )
+        assert len(sweep.cells) == 4
+        assert sweep.axis_names == ("routing.policy", "demand.fraction_of_capacity")
+        combos = {cell.overrides for cell in sweep.cells}
+        assert len(combos) == 4
+        for cell in sweep.cells:
+            overrides = dict(cell.overrides)
+            assert cell.result.spec.routing.policy == overrides["routing.policy"]
+            assert cell.result.spec.demand.fraction_of_capacity == pytest.approx(
+                overrides["demand.fraction_of_capacity"]
+            )
+
+    def test_greedy_wins_the_grid_on_asymmetric_sites(self):
+        sweep = sweep_scenario(
+            tiny_spec(),
+            {"routing.policy": ["round-robin", "greedy-lowest-intensity"]},
+        )
+        best = sweep.best_cell()
+        assert dict(best.overrides)["routing.policy"] == "greedy-lowest-intensity"
+
+    def test_table_has_one_row_per_cell(self):
+        sweep = sweep_scenario(
+            tiny_spec(), {"duration_days": [1, 2]}
+        )
+        headers, rows = sweep.table()
+        assert headers[0] == "duration_days"
+        assert "CCI (g/req)" in headers
+        assert len(rows) == 2
+        assert rows[0][0] == "1" and rows[1][0] == "2"
+
+    def test_sweep_is_deterministic(self):
+        axes = {"routing.policy": ["round-robin", "greedy-lowest-intensity"]}
+        first = sweep_scenario(tiny_spec(), axes)
+        second = sweep_scenario(tiny_spec(), axes)
+        for a, b in zip(first.cells, second.cells):
+            assert a.cci_g_per_request == b.cci_g_per_request
+            assert np.array_equal(
+                a.result.report.served_rps, b.result.report.served_rps
+            )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ScenarioValidationError, match="at least one"):
+            sweep_scenario(tiny_spec(), {})
+        with pytest.raises(ScenarioValidationError, match="at least one value"):
+            sweep_scenario(tiny_spec(), {"duration_days": []})
+
+    def test_bad_path_fails_fast(self):
+        with pytest.raises(ScenarioValidationError, match="duration_dayz"):
+            sweep_scenario(tiny_spec(), {"duration_dayz": [1, 2]})
+
+    def test_bad_policy_anywhere_in_grid_fails_before_any_run(self):
+        """A typo in the *last* axis value must not waste the earlier cells."""
+        with pytest.raises(ScenarioValidationError, match="routing.policy"):
+            sweep_scenario(
+                tiny_spec(),
+                {"routing.policy": ["round-robin", "clairvoyant"]},
+            )
+
+
+class TestParseSweepOverride:
+    def test_comma_separated_values(self):
+        key, values = parse_sweep_override("routing.policy=round-robin,marginal-cci")
+        assert key == "routing.policy"
+        assert values == ["round-robin", "marginal-cci"]
+
+    def test_numeric_values_decode(self):
+        key, values = parse_sweep_override("demand.fraction_of_capacity=0.3,0.6")
+        assert key == "demand.fraction_of_capacity"
+        assert values == [0.3, 0.6]
+
+    def test_single_value_is_one_element_axis(self):
+        assert parse_sweep_override("duration_days=2") == ("duration_days", [2])
+
+    def test_json_list_form(self):
+        assert parse_sweep_override("duration_days=[1,2,3]") == (
+            "duration_days",
+            [1, 2, 3],
+        )
+
+    def test_quoted_string_keeps_its_commas(self):
+        assert parse_sweep_override('sites.0.name="austin,tx"') == (
+            "sites.0.name",
+            ["austin,tx"],
+        )
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ScenarioValidationError, match="dotted.path"):
+            parse_sweep_override("routing.policy")

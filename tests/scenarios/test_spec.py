@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.scenarios import (
+    ChargingSpec,
     ChurnSpec,
     DemandSpec,
     DeviceMixSpec,
@@ -133,6 +134,27 @@ def test_duplicate_site_names_rejected():
 def test_csv_kind_requires_path():
     with pytest.raises(ScenarioValidationError, match="csv_path"):
         TraceSpec(kind="csv")
+
+
+def test_charging_coupling_validation_and_normalisation():
+    with pytest.raises(ScenarioValidationError, match="coupling"):
+        ChargingSpec(coupling="full")
+    # coupling is the sole switch: "none" stays the decoupled baseline even
+    # when the heuristic is named, so one override can disable the layer.
+    assert ChargingSpec(policy="smart", coupling="none").coupling == "none"
+    # Any live coupling implies the smart policy.
+    assert ChargingSpec(coupling="dispatch").policy == "smart"
+    assert ChargingSpec().coupling == "none"
+    spec = ChargingSpec(policy="smart", coupling="dispatch")
+    assert (spec.policy, spec.coupling) == ("smart", "dispatch")
+
+
+def test_routing_wear_derate_validated():
+    with pytest.raises(ScenarioValidationError, match="wear_derate"):
+        RoutingSpec(wear_derate=1.5)
+    with pytest.raises(ScenarioValidationError, match="wear_derate"):
+        RoutingSpec(wear_derate=-0.1)
+    assert RoutingSpec(wear_derate=0.4).wear_derate == 0.4
 
 
 def test_unknown_trace_kind_rejected():

@@ -44,6 +44,67 @@ def test_run_scenario_with_overrides(capsys):
     assert "$/request" in out
 
 
+def test_sweep_scenario_tabulates_grid(capsys):
+    code = main(
+        [
+            "sweep",
+            "scenario",
+            "carbon-buffer",
+            "--set",
+            "routing.policy=round-robin,greedy-lowest-intensity",
+            "--set",
+            "duration_days=2",
+            "--set",
+            "sites.0.devices.count=10",
+            "--set",
+            "sites.1.devices.count=10",
+            "--set",
+            "routing.latency_probe_s=0",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sweep of 'carbon-buffer' over 2 cells" in out
+    assert "round-robin" in out and "greedy-lowest-intensity" in out
+    assert "CCI (g/req)" in out
+    assert "lowest CCI" in out
+
+
+def test_sweep_requires_scenario_form(capsys):
+    assert main(["sweep", "carbon-buffer"]) == 2
+    assert "usage: python -m repro sweep scenario" in capsys.readouterr().out
+
+
+def test_sweep_unknown_scenario_lists_names(capsys):
+    assert main(["sweep", "scenario", "nope", "--set", "duration_days=1"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown scenario" in out and "carbon-buffer" in out
+
+
+def test_sweep_invalid_axis_is_reported(capsys):
+    code = main(
+        ["sweep", "scenario", "carbon-buffer", "--set", "duration_dayz=1,2"]
+    )
+    assert code == 2
+    assert "duration_dayz" in capsys.readouterr().out
+
+
+def test_sweep_duplicate_axis_is_rejected(capsys):
+    code = main(
+        [
+            "sweep",
+            "scenario",
+            "carbon-buffer",
+            "--set",
+            "duration_days=1,2",
+            "--set",
+            "duration_days=3",
+        ]
+    )
+    assert code == 2
+    assert "duplicate sweep axis" in capsys.readouterr().out
+
+
 def test_run_scenario_typo_lists_names(capsys):
     assert main(["run", "scenario", "two-sight-asymmetric"]) == 2
     out = capsys.readouterr().out
