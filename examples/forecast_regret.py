@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Forecast-aware lookahead dispatch: how much is a better forecast worth?
+
+PR 3's coupled battery dispatch reacts to the *previous* day's intensity
+percentiles.  The forecast subsystem (``repro.forecast``) looks forward
+instead: a :class:`~repro.forecast.models.ForecastModel` predicts each
+site's next hours and the :class:`~repro.forecast.planner.LookaheadPlanner`
+ranks them — serve the dirtiest forecast hours from the packs, fund them by
+charging at the cleanest.  This example measures what forecast *skill* is
+worth:
+
+1. run the ``forecast-buffer`` preset under the perfect (oracle) forecast
+   and print the unified result — note the ``forecast dispatch`` line with
+   its hindsight/regret accounting;
+2. sweep the noisy oracle's sigma from 0 (the oracle itself) upward:
+   realised savings degrade smoothly as the forecast's hour ranking erodes,
+   and regret — the carbon a hindsight-optimal plan would still have
+   avoided — grows monotonically;
+3. compare the two non-oracle forecasters the fleet could actually deploy:
+   persistence ("yesterday repeats") and the non-forecast previous-day
+   percentile heuristic it generalises.
+
+Run with ``python examples/forecast_regret.py``.
+"""
+
+from repro.analysis import fig12_forecast_regret, render_scenario_result
+from repro.scenarios import get_scenario, run_scenario
+
+N_DAYS = 14
+N_DEVICES = 50
+SIGMAS = (0.0, 0.2, 0.4, 0.8)
+
+
+def oracle_scenario() -> None:
+    """One perfect-forecast dispatch run with full reporting."""
+    spec = get_scenario("forecast-buffer").with_overrides(
+        {"duration_days": N_DAYS, "sites.0.devices.count": N_DEVICES,
+         "sites.1.devices.count": N_DEVICES}
+    )
+    print(render_scenario_result(run_scenario(spec)))
+    print()
+
+
+def noise_sweep() -> None:
+    """Savings vs forecast quality, regret vs the hindsight-optimal plan."""
+    data = fig12_forecast_regret(
+        sigmas=SIGMAS, n_days=N_DAYS, n_devices_per_site=N_DEVICES
+    )
+    print("forecast quality sweep (identical fleets, demand, and routing):")
+    print(f"  {'forecast':<24} {'avoided (kg)':>12} {'regret (kg)':>12}")
+    for sigma in data.sigmas():
+        label = "oracle (sigma=0)" if sigma == 0 else f"noisy oracle sigma={sigma:g}"
+        print(
+            f"  {label:<24} {data.carbon_avoided_kg(sigma):>12.3f} "
+            f"{data.regret_kg(sigma):>12.3f}"
+        )
+    print(
+        f"  {'persistence':<24} {data.persistence_avoided_kg():>12.3f} "
+        f"{data.persistence_regret_kg():>12.3f}"
+    )
+    print(
+        f"  {'prev-day heuristic':<24} {data.heuristic_avoided_kg():>12.3f} "
+        f"{'-':>12}"
+    )
+    print()
+    print(
+        "the oracle bounds the buffer's value; noise erodes it monotonically, "
+        "while persistence — a forecast any site can compute — recovers most "
+        "of the heuristic's gap on these day-periodic grids."
+    )
+
+
+def main() -> None:
+    oracle_scenario()
+    noise_sweep()
+
+
+if __name__ == "__main__":
+    main()

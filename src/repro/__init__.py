@@ -22,6 +22,9 @@ The library models the full pipeline the paper builds:
 * :mod:`repro.fleet` — device-churn lifecycle (intake, aging, failure,
   replacement) and carbon-aware request routing across geo-distributed
   sites with different grid mixes;
+* :mod:`repro.forecast` — carbon-intensity forecast models (perfect /
+  persistence / noisy oracle) and the greedy lookahead charge/discharge
+  planner behind the forecast-aware dispatch and its regret accounting;
 * :mod:`repro.economics` — ownership-versus-cloud-rental cost models with
   churn-driven fleet economics;
 * :mod:`repro.scenarios` — the declarative experiment layer: serializable

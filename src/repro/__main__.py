@@ -164,6 +164,28 @@ def _dispatch() -> str:
     return "\n".join(lines)
 
 
+def _forecast() -> str:
+    from repro.analysis import fig12_forecast_regret
+
+    data = fig12_forecast_regret(n_days=14, n_devices_per_site=50)
+    lines = [
+        "Forecast lookahead dispatch and regret (Figure 12):",
+        f"  prev-day heuristic:   {data.heuristic_avoided_kg():.3f} kg avoided "
+        "(no forecast)",
+    ]
+    for sigma in data.sigmas():
+        label = "oracle (sigma=0)" if sigma == 0 else f"noisy sigma={sigma:g}"
+        lines.append(
+            f"  {label:<21} {data.carbon_avoided_kg(sigma):.3f} kg avoided, "
+            f"regret {data.regret_kg(sigma):.3f} kg"
+        )
+    lines.append(
+        f"  persistence:          {data.persistence_avoided_kg():.3f} kg avoided, "
+        f"regret {data.persistence_regret_kg():.3f} kg"
+    )
+    return "\n".join(lines)
+
+
 def _fleet() -> str:
     from repro.analysis import fig10_fleet_orchestration, render_fleet_report
 
@@ -202,6 +224,7 @@ REGISTRY: Dict[str, Tuple[str, Callable[[], str]]] = {
     "fig9": ("carbon per served request vs EC2 baseline", _fig9),
     "fleet": ("multi-site fleet orchestration policy comparison", _fleet),
     "dispatch": ("coupled energy dispatch (UPS-as-carbon-buffer) comparison", _dispatch),
+    "forecast": ("forecast lookahead dispatch vs heuristic, with regret", _forecast),
     "table1": ("Geekbench throughput per device", _table("render_table1")),
     "table2": ("measured power curves per device", _table("render_table2")),
     "table3": ("per-component embodied carbon", _table("render_table3")),
@@ -252,7 +275,7 @@ def _resolve_scenario(name: str):
         return None
 
 
-def _sweep_scenario(name: str, set_args) -> int:
+def _sweep_scenario(name: str, set_args, jobs=None) -> int:
     """Resolve a scenario and run it over a cartesian --set grid."""
     from repro.analysis import render_sweep_result
     from repro.scenarios import (
@@ -274,7 +297,7 @@ def _sweep_scenario(name: str, set_args) -> int:
                     f"--set {key}=v1,v2"
                 )
             axes[key] = values
-        sweep = sweep_scenario(spec, axes)
+        sweep = sweep_scenario(spec, axes, jobs=jobs)
     except ScenarioValidationError as error:
         print(f"invalid sweep configuration: {error}")
         return 2
@@ -361,6 +384,16 @@ def main(argv=None) -> int:
         metavar="dotted.path=v1,v2",
         help="sweep a scenario field over comma-separated values (repeatable)",
     )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run sweep cells on a pool of N worker processes "
+            "(results are identical to a serial sweep)"
+        ),
+    )
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -373,10 +406,10 @@ def main(argv=None) -> int:
         if len(args.targets) != 2 or args.targets[0] != "scenario":
             print(
                 "usage: python -m repro sweep scenario <name> "
-                "--set dotted.path=v1,v2 [--set ...]"
+                "--set dotted.path=v1,v2 [--set ...] [--jobs N]"
             )
             return 2
-        return _sweep_scenario(args.targets[1], args.overrides)
+        return _sweep_scenario(args.targets[1], args.overrides, jobs=args.jobs)
 
     if args.targets and args.targets[0] == "scenario":
         if len(args.targets) != 2:

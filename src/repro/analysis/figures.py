@@ -636,6 +636,21 @@ class Figure11Data:
         return self.results["dispatch"].charging_savings
 
 
+def _carbon_buffer_base(name: str, n_days: int, n_devices_per_site: int, seed: int):
+    """A carbon-buffer-family preset re-sized for a figure run."""
+    from repro.scenarios import get_scenario
+
+    return get_scenario(name).with_overrides(
+        {
+            "duration_days": n_days,
+            "seed": seed,
+            "sites.0.devices.count": n_devices_per_site,
+            "sites.1.devices.count": n_devices_per_site,
+            "routing.latency_probe_s": 0,
+        }
+    )
+
+
 def fig11_carbon_buffer(
     n_days: int = 30,
     n_devices_per_site: int = 150,
@@ -648,22 +663,112 @@ def fig11_carbon_buffer(
     difference between serving dirty hours from batteries filled at clean
     hours and serving every hour straight off the grid.
     """
-    from repro.scenarios import ScenarioRunner, get_scenario
+    from repro.scenarios import ScenarioRunner
 
-    base = get_scenario("carbon-buffer").with_overrides(
-        {
-            "duration_days": n_days,
-            "seed": seed,
-            "sites.0.devices.count": n_devices_per_site,
-            "sites.1.devices.count": n_devices_per_site,
-            "routing.latency_probe_s": 0,
-        }
-    )
+    base = _carbon_buffer_base("carbon-buffer", n_days, n_devices_per_site, seed)
     decoupled = base.with_overrides({"charging.coupling": "none"})
     return Figure11Data(
         results={
             "dispatch": ScenarioRunner(base).run(),
             "none": ScenarioRunner(decoupled).run(),
         },
+        n_days=n_days,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 (extension) — forecast lookahead dispatch and regret
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure12Data:
+    """Forecast-quality sweep on the ``forecast-buffer`` scenario.
+
+    ``noisy`` maps noise sigma to the :class:`~repro.scenarios.runner.ScenarioResult`
+    of the lookahead dispatch under that forecast (``0.0`` is the perfect
+    oracle); ``persistence`` is the yesterday-repeats forecaster and
+    ``heuristic`` the non-forecast previous-day percentile dispatch — every
+    run on identical fleets, demand, and routing, so differences isolate
+    forecast skill.
+    """
+
+    noisy: Mapping[float, "ScenarioResult"]  # noqa: F821 - imported lazily below
+    persistence: "ScenarioResult"  # noqa: F821
+    heuristic: "ScenarioResult"  # noqa: F821
+    n_days: int
+
+    def sigmas(self) -> Tuple[float, ...]:
+        """The swept noise sigmas, ascending."""
+        return tuple(sorted(self.noisy))
+
+    def carbon_avoided_kg(self, sigma: float) -> float:
+        """Realised carbon avoided (kg) at one noise sigma."""
+        return self.noisy[sigma].carbon_avoided_g / 1_000.0
+
+    def regret_kg(self, sigma: float) -> float:
+        """Forecast regret (kg) at one noise sigma."""
+        return self.noisy[sigma].regret_g / 1_000.0
+
+    def heuristic_avoided_kg(self) -> float:
+        """Carbon avoided (kg) by the previous-day percentile heuristic."""
+        return self.heuristic.carbon_avoided_g / 1_000.0
+
+    def persistence_avoided_kg(self) -> float:
+        """Carbon avoided (kg) under the persistence forecast."""
+        return self.persistence.carbon_avoided_g / 1_000.0
+
+    def persistence_regret_kg(self) -> float:
+        """Regret (kg) of the persistence forecast vs the hindsight plan."""
+        return self.persistence.regret_g / 1_000.0
+
+
+def fig12_forecast_regret(
+    sigmas: Sequence[float] = (0.0, 0.2, 0.4, 0.8),
+    n_days: int = 14,
+    n_devices_per_site: int = 50,
+    seed: int = 0,
+) -> Figure12Data:
+    """Sweep forecast quality on the ``forecast-buffer`` scenario.
+
+    One run per noise sigma (``0.0`` resolves to the perfect oracle — the
+    hindsight bound itself, so its regret is exactly zero) plus the
+    persistence forecaster and the non-forecast percentile heuristic.
+    Savings degrade smoothly from the oracle toward persistence as sigma
+    grows, and regret — hindsight-optimal minus realised carbon avoided —
+    grows with it.
+    """
+    from repro.scenarios import ScenarioRunner
+
+    bad = [sigma for sigma in sigmas if sigma < 0]
+    if bad:
+        raise ValueError(f"noise sigma must be non-negative, got {bad[0]}")
+    base = _carbon_buffer_base("forecast-buffer", n_days, n_devices_per_site, seed)
+    # The hindsight baseline is shared across the whole sweep (only forecast
+    # quality varies), so the oracle cell runs once and every other cell
+    # reuses its avoided-carbon figure instead of re-simulating a twin.
+    oracle = ScenarioRunner(base.with_overrides({"forecast.model": "perfect"})).run()
+    hindsight = oracle.carbon_avoided_g
+
+    def run_cell(overrides):
+        return ScenarioRunner(
+            base.with_overrides(overrides), hindsight_avoided_g=hindsight
+        ).run()
+
+    noisy = {}
+    for sigma in sigmas:
+        noisy[float(sigma)] = (
+            oracle
+            if sigma == 0
+            else run_cell(
+                {"forecast.model": "noisy", "forecast.noise_sigma": sigma}
+            )
+        )
+    return Figure12Data(
+        noisy=noisy,
+        persistence=run_cell({"forecast.model": "persistence"}),
+        heuristic=ScenarioRunner(
+            base.with_overrides({"forecast.model": "none"})
+        ).run(),
         n_days=n_days,
     )

@@ -203,6 +203,12 @@ def render_scenario_result(result) -> str:
             f"{report.total_charge_kwh:.2f} kWh charged, "
             f"{report.carbon_avoided_g() / 1e3:.3f} kg carbon avoided"
         )
+        if result.forecast_model != "none":
+            lines.append(
+                f"forecast dispatch ({result.forecast_model}): "
+                f"hindsight-optimal {report.hindsight_avoided_g / 1e3:.3f} kg "
+                f"avoided, regret {report.forecast_regret_g() / 1e3:.3f} kg"
+            )
         for site, savings in result.charging_savings.items():
             lines.append(
                 f"smart charging at {site}: {savings:.1%} realised operational savings"

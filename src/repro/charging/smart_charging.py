@@ -70,13 +70,26 @@ def threshold_from_intensities(
     a 5-minute charging-study day or the fleet scheduler's hourly grid
     lookups — which is what lets the per-device study and the site-aggregate
     dispatch engine share one decision.  Returns ``None`` when there is no
-    history yet (callers then behave like an always-plugged device).
+    history yet (``intensities=None``; callers then behave like an
+    always-plugged device).  An *empty* or non-finite sample array is a bug
+    in the caller — a sliced-away day, a NaN-poisoned trace — not absent
+    history, and raises :class:`ValueError` naming the offending input
+    rather than silently disabling smart charging for the day.
     """
     if intensities is None:
         return None
     samples = np.asarray(intensities, dtype=float)
     if samples.size == 0:
-        return None
+        raise ValueError(
+            "intensities is empty: a day's threshold needs at least one "
+            "previous-day sample (pass None when there is no history yet)"
+        )
+    if not np.all(np.isfinite(samples)):
+        bad = samples[~np.isfinite(samples)]
+        raise ValueError(
+            f"intensities contains {bad.size} non-finite value(s) "
+            f"(first: {bad[0]!r}); carbon intensities must be finite"
+        )
     if fixed_percentile is not None:
         percentile = fixed_percentile
     else:

@@ -23,6 +23,7 @@ from repro.fleet.dispatch import (
     CarbonBufferDispatch,
     DispatchPolicy,
     EnergyLedger,
+    ForecastDispatch,
     GridOnlyDispatch,
     estimate_fleet_savings,
     estimate_site_savings,
@@ -38,6 +39,7 @@ from repro.fleet.population import (
 from repro.fleet.reporting import FleetReport, SiteSummary, compare_reports
 from repro.fleet.scheduler import (
     POLICIES,
+    SERVICE_DISTRIBUTIONS,
     CapacityAwareMarginalCciRouting,
     DiurnalDemand,
     FleetSimulation,
@@ -88,6 +90,7 @@ __all__ = [
     "GreedyLowestIntensityRouting",
     "CapacityAwareMarginalCciRouting",
     "POLICIES",
+    "SERVICE_DISTRIBUTIONS",
     "policy_by_name",
     "DiurnalDemand",
     "FleetSimulation",
@@ -97,6 +100,7 @@ __all__ = [
     "DispatchPolicy",
     "GridOnlyDispatch",
     "CarbonBufferDispatch",
+    "ForecastDispatch",
     "EnergyLedger",
     "estimate_site_savings",
     "estimate_fleet_savings",

@@ -31,6 +31,10 @@ realise after a full cycle-life crossing.
 
 * :class:`EnergyLedger` — the mutable SoC state plus the per-hour physics;
 * :class:`CarbonBufferDispatch` — the percentile-threshold policy;
+* :class:`ForecastDispatch` — the forecast-aware policy: a
+  :class:`~repro.forecast.planner.LookaheadPlanner` ranks a forecast window
+  (:mod:`repro.forecast.models`) and emits per-hour setpoints, falling back
+  to :class:`CarbonBufferDispatch` behaviour when no forecast is available;
 * :class:`GridOnlyDispatch` — the do-nothing baseline (batteries stay full,
   every joule is grid-drawn at the instantaneous intensity);
 * :func:`estimate_site_savings` — the detached per-device charging study run
@@ -42,12 +46,18 @@ realise after a full cycle-life crossing.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import units
 from repro.charging.smart_charging import threshold_from_intensities
 from repro.fleet.sites import FleetSite
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.forecast imports the
+    # DISPATCH_* constants from this module, so a top-level import would cycle.
+    from repro.forecast.models import ForecastModel
+    from repro.forecast.planner import LookaheadPlanner
 
 #: Per-hour dispatch modes: hold (grid serves, batteries untouched), charge
 #: (grid serves *and* fills packs), discharge (packs serve device load).
@@ -154,6 +164,144 @@ class CarbonBufferDispatch(DispatchPolicy):
         modes[intensity <= thresholds] = DISPATCH_CHARGE
         modes[intensity > thresholds] = DISPATCH_DISCHARGE
         return modes
+
+
+class ForecastDispatch(DispatchPolicy):
+    """Forecast-aware lookahead dispatch: planned setpoints, not thresholds.
+
+    Each day (and each ``refresh_h``-hour boundary within it) the policy asks
+    its :class:`~repro.forecast.models.ForecastModel` for an
+    ``horizon_h``-hour intensity window per site and has the
+    :class:`~repro.forecast.planner.LookaheadPlanner` rank it into hourly
+    charge/discharge setpoints: serve the dirtiest forecast hours from the
+    pack, fund them by charging at the cleanest — a receding-horizon plan of
+    which only the hours up to the next refresh execute.  Sites (or days)
+    the model cannot forecast fall back to the :class:`CarbonBufferDispatch`
+    percentile heuristic, so a persistence forecaster's blind first day
+    behaves exactly like the paper's heuristic does on its first day.
+
+    The policy is stateful across one simulation run (a day cursor plus the
+    ledger handle it reads live SoC from); :meth:`make_ledger` — called once
+    per run — resets that state, so one policy object can back repeated runs.
+
+    ``demand_fraction`` is the planning estimate of utilisation: each hour's
+    device-energy demand is estimated at that fraction of the site's current
+    capacity, and charge hours are assumed to find ``1 - demand_fraction``
+    of the fleet idle.  The executing ledger uses realised values, so the
+    estimate only shapes the plan, never the accounting.
+    """
+
+    name = "forecast"
+
+    def __init__(
+        self,
+        model: "ForecastModel",
+        horizon_h: int = 24,
+        refresh_h: int = 24,
+        min_state_of_charge: float = 0.25,
+        demand_fraction: float = 0.5,
+        planner: Optional["LookaheadPlanner"] = None,
+        fallback: Optional[CarbonBufferDispatch] = None,
+    ) -> None:
+        from repro.forecast.planner import LookaheadPlanner
+
+        if horizon_h < 1:
+            raise ValueError(f"forecast horizon must be >= 1 hour, got {horizon_h}")
+        if not 1 <= refresh_h <= horizon_h:
+            raise ValueError(
+                f"refresh interval must be within [1, horizon_h={horizon_h}]; "
+                f"got {refresh_h}"
+            )
+        if not 0.0 < demand_fraction <= 1.0:
+            raise ValueError(f"demand fraction must be in (0, 1], got {demand_fraction}")
+        if not 0.0 <= min_state_of_charge < 1.0:
+            raise ValueError("min state of charge must be within [0, 1)")
+        self.model = model
+        self.horizon_h = horizon_h
+        self.refresh_h = refresh_h
+        self.min_state_of_charge = min_state_of_charge
+        self.demand_fraction = demand_fraction
+        self.planner = planner or LookaheadPlanner(
+            min_state_of_charge=min_state_of_charge
+        )
+        self.fallback = fallback or CarbonBufferDispatch(
+            min_state_of_charge=min_state_of_charge
+        )
+        self._ledger: Optional[EnergyLedger] = None
+        self._sites: List[FleetSite] = []
+        self._day = 0
+
+    def make_ledger(self, sites: Sequence[FleetSite]) -> "EnergyLedger":
+        """A fresh ledger — and a reset of the policy's per-run plan state."""
+        self._ledger = EnergyLedger(
+            sites, min_state_of_charge=self.min_state_of_charge
+        )
+        self._day = 0
+        return self._ledger
+
+    def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
+        self._sites = list(sites)
+        return self.fallback.day_thresholds(previous_intensity, sites)
+
+    def day_modes(self, intensity, thresholds) -> np.ndarray:
+        hours = intensity.shape[0]
+        modes = self.fallback.day_modes(intensity, thresholds)
+        day_start_s = self._day * hours * units.SECONDS_PER_HOUR
+        for j, site in enumerate(self._sites):
+            planned = self._plan_site_day(site, j, day_start_s, hours)
+            if planned is not None:
+                modes[:, j] = planned
+        self._day += 1
+        return modes
+
+    # -- per-site planning -------------------------------------------------
+
+    def _plan_site_day(
+        self, site: FleetSite, site_index: int, day_start_s: float, hours: int
+    ) -> Optional[np.ndarray]:
+        """One site's planned modes for the day, or ``None`` to fall back."""
+        battery = site.design.device.battery
+        capacity_j = site.battery_capacity_j
+        if battery is None or capacity_j <= 0:
+            return None
+        demand_step_j = self._estimated_demand_j(site)
+        charge_step_j = (
+            site.battery_charge_rate_w
+            * (1.0 - self.demand_fraction)
+            * units.SECONDS_PER_HOUR
+        )
+        soc = (
+            float(self._ledger.soc[site_index]) if self._ledger is not None else 1.0
+        )
+        planned = np.full(hours, DISPATCH_HOLD, dtype=np.int8)
+        covered = 0
+        for offset in range(0, hours, self.refresh_h):
+            window = self.model.window(
+                site.trace,
+                day_start_s + offset * units.SECONDS_PER_HOUR,
+                self.horizon_h,
+                site_index=site_index,
+            )
+            if window is None:
+                if offset == 0:
+                    return None  # whole day blind: the fallback heuristic runs
+                break  # keep the planned prefix, hold the blind remainder
+            demand_j = np.full(self.horizon_h, demand_step_j)
+            plan = self.planner.plan_window(
+                window, demand_j, capacity_j, charge_step_j, soc
+            )
+            take = min(self.refresh_h, hours - offset)
+            planned[offset : offset + take] = plan[:take]
+            covered = offset + take
+            soc = self.planner.project_state_of_charge(
+                plan[:take], demand_j[:take], capacity_j, charge_step_j, soc
+            )
+        return planned if covered else None
+
+    def _estimated_demand_j(self, site: FleetSite) -> float:
+        """Estimated device energy (J) one hour of serving must deliver."""
+        served_rps = self.demand_fraction * site.capacity_rps
+        return max(0.0, site.device_power_w(served_rps)) * units.SECONDS_PER_HOUR
 
 
 class EnergyLedger:

@@ -92,6 +92,12 @@ class FleetReport:
     battery_kwh: Optional[np.ndarray] = None
     charge_kwh: Optional[np.ndarray] = None
     soc: Optional[np.ndarray] = None
+    #: Carbon (grams) the hindsight-optimal dispatch plan would have avoided
+    #: over the same horizon — the lookahead planner run with perfect
+    #: knowledge of every trace (see :mod:`repro.forecast`).  ``None`` when
+    #: no forecast regret accounting was performed; the scenario runner fills
+    #: it for forecast-dispatch runs.
+    hindsight_avoided_g: Optional[float] = None
 
     def __post_init__(self) -> None:
         n_sites = len(self.site_names)
@@ -243,6 +249,30 @@ class FleetReport:
             )
         return savings
 
+    # ------------------------------------------------------------------
+    # Forecast regret accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def has_regret_accounting(self) -> bool:
+        """True when a hindsight-optimal counterfactual was recorded."""
+        return self.hindsight_avoided_g is not None
+
+    def forecast_regret_g(self) -> float:
+        """Carbon (grams) left on the table versus the hindsight-optimal plan.
+
+        The hindsight plan is the same greedy lookahead planner run with
+        perfect knowledge of the true traces, so a perfect forecast has zero
+        regret by construction.  An imperfect forecast can, on rare windows,
+        luck into a plan the greedy hindsight baseline missed; regret is
+        clamped at zero so it reads as "how much a better forecast could
+        still recover", never as a negative debt.  ``0.0`` when no regret
+        accounting was performed.
+        """
+        if self.hindsight_avoided_g is None:
+            return 0.0
+        return max(0.0, self.hindsight_avoided_g - self.carbon_avoided_g())
+
     def served_fraction(self) -> float:
         """Fraction of offered demand that was served."""
         offered = self.total_served_requests + self.total_dropped_requests
@@ -325,6 +355,9 @@ class FleetReport:
         if self.has_dispatch_series and self.total_battery_discharge_kwh > 0:
             summary["battery_discharge_kwh"] = self.total_battery_discharge_kwh
             summary["carbon_avoided_kg"] = self.carbon_avoided_g() / 1_000.0
+        if self.has_regret_accounting:
+            summary["hindsight_avoided_kg"] = self.hindsight_avoided_g / 1_000.0
+            summary["forecast_regret_kg"] = self.forecast_regret_g() / 1_000.0
         return summary
 
 

@@ -46,9 +46,17 @@ from repro import units
 from repro.fleet.dispatch import DispatchPolicy
 from repro.fleet.reporting import FleetReport
 from repro.fleet.sites import FleetSite
+from repro.microservices.calibration import SERVICE_TIME_SIGMA
 from repro.simulation.engine import Simulator, Timeout
 from repro.simulation.metrics import LatencyRecorder, LatencySummary, summarize
 from repro.simulation.random_streams import RandomStreams
+
+#: Service-time distributions :func:`simulate_latency_aware` can draw from.
+#: ``deterministic`` reproduces the historical fixed ``1/rate`` service time;
+#: the stochastic shapes keep that mean, with the lognormal's log-sigma from
+#: the microservice simulator's calibrated variability
+#: (:data:`~repro.microservices.calibration.SERVICE_TIME_SIGMA`).
+SERVICE_DISTRIBUTIONS = ("deterministic", "exponential", "lognormal")
 
 #: Hours per scheduling timestep of the vectorized path.
 HOURS_PER_STEP = 1.0
@@ -531,6 +539,7 @@ def simulate_latency_aware(
     duration_s: float = 60.0,
     seed: int = 0,
     queue_penalty_g: float = 5e-6,
+    service_distribution: str = "deterministic",
 ) -> Tuple[LatencySummary, Dict[str, int]]:
     """Serve a Poisson request stream through the sites on the DES engine.
 
@@ -547,6 +556,14 @@ def simulate_latency_aware(
     is ``None`` (round-robin) rotate: each request goes to the site with
     the lowest served-count-to-capacity ratio.
 
+    ``service_distribution`` selects how per-request service times are
+    drawn (:data:`SERVICE_DISTRIBUTIONS`): the ``"deterministic"`` default
+    keeps the fixed ``1/requests_per_device_s``; ``"exponential"`` and
+    ``"lognormal"`` draw from a seeded stream with the same mean, the
+    lognormal shaped by the microservice simulator's calibrated
+    variability — so the probe's tail percentiles reflect per-request
+    jitter, not just queueing.
+
     Returns the overall latency summary and the per-site served counts.
     """
     if demand_rps <= 0:
@@ -555,6 +572,12 @@ def simulate_latency_aware(
         raise ValueError("duration must be positive")
     if queue_penalty_g < 0:
         raise ValueError("queue penalty must be non-negative")
+    if service_distribution not in SERVICE_DISTRIBUTIONS:
+        known = ", ".join(SERVICE_DISTRIBUTIONS)
+        raise ValueError(
+            f"unknown service distribution {service_distribution!r}; "
+            f"expected one of: {known}"
+        )
     simulator = Simulator()
     streams = RandomStreams(seed=seed)
     recorder = LatencyRecorder()
@@ -576,6 +599,21 @@ def simulate_latency_aware(
         for site in sites
     }
     service_s = {site.name: 1.0 / site.requests_per_device_s for site in sites}
+
+    # The lognormal factor stream has mean exp(sigma^2/2); the correction
+    # keeps the drawn mean at 1/rate so distributions differ in shape only.
+    lognormal_mean_correction = float(np.exp(-0.5 * SERVICE_TIME_SIGMA**2))
+
+    def draw_service_s(site: FleetSite) -> float:
+        mean = service_s[site.name]
+        if service_distribution == "exponential":
+            return streams.exponential(f"service@{site.name}", mean)
+        if service_distribution == "lognormal":
+            factor = streams.lognormal_factor(
+                f"service@{site.name}", SERVICE_TIME_SIGMA
+            )
+            return mean * factor * lognormal_mean_correction
+        return mean
 
     def route(now_s: float) -> FleetSite:
         keys = [policy.request_key(site, now_s) for site in sites]
@@ -600,7 +638,7 @@ def simulate_latency_aware(
     def handle(site: FleetSite, start_s: float):
         pool = pools[site.name]
         yield pool.acquire()
-        yield Timeout(service_s[site.name])
+        yield Timeout(draw_service_s(site))
         pool.release()
         yield Timeout(site.network_rtt_s)
         recorder.record("request", simulator.now - start_s)

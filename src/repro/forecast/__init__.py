@@ -1,0 +1,39 @@
+"""Carbon-intensity forecasting: models, lookahead planning, regret.
+
+Where :mod:`repro.charging` and :mod:`repro.fleet.dispatch` react to the
+*previous* day's intensity distribution (the paper's percentile heuristic),
+this package looks forward:
+
+* :mod:`repro.forecast.models` — :class:`ForecastModel` and the bundled
+  perfect / persistence / noisy-oracle forecasters, each turning a site's
+  :class:`~repro.grid.traces.GridTrace` into an hourly lookahead window;
+* :mod:`repro.forecast.planner` — :class:`LookaheadPlanner`, the greedy
+  rank-by-forecast-intensity charge/discharge setpoint planner, plus
+  :func:`hindsight_plan`, the same planner run on the true trace (the
+  regret baseline).
+
+The fleet couples these through
+:class:`~repro.fleet.dispatch.ForecastDispatch`; scenarios select them with
+:class:`~repro.scenarios.spec.ForecastSpec`.
+"""
+
+from repro.forecast.models import (
+    FORECAST_MODELS,
+    ForecastModel,
+    NoisyOracleForecast,
+    PerfectForecast,
+    PersistenceForecast,
+    forecast_model_by_name,
+)
+from repro.forecast.planner import LookaheadPlanner, hindsight_plan
+
+__all__ = [
+    "ForecastModel",
+    "PerfectForecast",
+    "PersistenceForecast",
+    "NoisyOracleForecast",
+    "FORECAST_MODELS",
+    "forecast_model_by_name",
+    "LookaheadPlanner",
+    "hindsight_plan",
+]

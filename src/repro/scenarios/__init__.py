@@ -16,8 +16,8 @@ grids, fleets, policies), this package turns a whole experiment into *data*:
   dotted-path override lists, a CCI / $-per-request table per cell;
 * :mod:`repro.scenarios.registry` — named presets (``paper-baseline``,
   ``two-site-asymmetric``, ``hydro-vs-ercot``, ``heterogeneous-cohorts``,
-  ``caiso-csv-sample``, ``carbon-buffer``) plus :func:`register_scenario`
-  for user extensions.
+  ``caiso-csv-sample``, ``carbon-buffer``, ``forecast-buffer``) plus
+  :func:`register_scenario` for user extensions.
 
 Quick start::
 
@@ -41,19 +41,23 @@ from repro.scenarios.sweep import (
     SweepCell,
     SweepResult,
     parse_sweep_override,
+    spec_hash,
     sweep_scenario,
 )
 from repro.scenarios.spec import (
     CHARGING_COUPLINGS,
     CHARGING_POLICIES,
+    FORECAST_MODEL_NAMES,
     LOAD_PROFILE_REGISTRY,
     LOAD_PROFILES,
+    SERVICE_DISTRIBUTIONS,
     TRACE_KINDS,
     ChargingSpec,
     ChurnSpec,
     DemandSpec,
     DeviceMixSpec,
     EconomicsSpec,
+    ForecastSpec,
     RoutingSpec,
     ScenarioSpec,
     ScenarioValidationError,
@@ -72,12 +76,15 @@ __all__ = [
     "DemandSpec",
     "RoutingSpec",
     "ChargingSpec",
+    "ForecastSpec",
     "EconomicsSpec",
     "ScenarioValidationError",
     "parse_override",
     "TRACE_KINDS",
     "CHARGING_POLICIES",
     "CHARGING_COUPLINGS",
+    "FORECAST_MODEL_NAMES",
+    "SERVICE_DISTRIBUTIONS",
     "LOAD_PROFILES",
     "LOAD_PROFILE_REGISTRY",
     # runner
@@ -89,6 +96,7 @@ __all__ = [
     "SweepResult",
     "SweepCell",
     "parse_sweep_override",
+    "spec_hash",
     # registry
     "register_scenario",
     "get_scenario",

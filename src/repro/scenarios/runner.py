@@ -16,6 +16,7 @@ twice yields identical results.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -25,8 +26,10 @@ from repro.economics.cost import FleetCostModel, OwnershipCost
 from repro.fleet.dispatch import (
     CarbonBufferDispatch,
     DispatchPolicy,
+    ForecastDispatch,
     estimate_fleet_savings,
 )
+from repro.forecast.models import PerfectForecast, forecast_model_by_name
 from repro.fleet.population import FailureModel, ReplacementPolicy
 from repro.fleet.reporting import FleetReport
 from repro.fleet.scheduler import (
@@ -64,6 +67,12 @@ class ScenarioResult:
     savings of smart charging there — *realised* from the dispatched battery
     ledger when ``charging_mode == "dispatch"``, the detached study's
     *estimate* when ``"estimate"``, empty when ``"none"``.
+
+    ``forecast_model`` names the forecast feeding the lookahead dispatch
+    (``"none"`` when dispatch ran the previous-day heuristic or was off);
+    when a forecast ran, the report carries regret accounting —
+    :attr:`regret_g` is the carbon the hindsight-optimal plan would have
+    additionally avoided.
     """
 
     spec: ScenarioSpec
@@ -72,6 +81,7 @@ class ScenarioResult:
     latency: Optional[LatencySummary]
     charging_savings: Dict[str, float]
     charging_mode: str = "none"
+    forecast_model: str = "none"
 
     # -- headline metrics --------------------------------------------------
 
@@ -92,6 +102,21 @@ class ScenarioResult:
             return 0.0
         return self.total_cost_usd / max(self.report.total_served_requests, 1.0)
 
+    @property
+    def carbon_avoided_g(self) -> float:
+        """Carbon (g) the dispatched battery ledger realised over the horizon."""
+        return self.report.carbon_avoided_g()
+
+    @property
+    def hindsight_carbon_avoided_g(self) -> Optional[float]:
+        """Carbon (g) the hindsight-optimal plan avoids; ``None`` without regret accounting."""
+        return self.report.hindsight_avoided_g
+
+    @property
+    def regret_g(self) -> float:
+        """Forecast regret (g): hindsight-optimal minus realised carbon avoided."""
+        return self.report.forecast_regret_g()
+
     def summary_dict(self) -> Dict[str, object]:
         """Headline numbers, convenient for asserts, JSON dumps, and the CLI."""
         summary: Dict[str, object] = {
@@ -109,16 +134,30 @@ class ScenarioResult:
             summary["latency_p99_ms"] = self.latency.p99_ms
         if self.charging_mode != "none":
             summary["charging_coupling"] = self.charging_mode
+        if self.forecast_model != "none":
+            summary["forecast_model"] = self.forecast_model
         for site, savings in self.charging_savings.items():
             summary[f"smart_charging_savings[{site}]"] = savings
         return summary
 
 
 class ScenarioRunner:
-    """Builds and runs the fleet experiment a :class:`ScenarioSpec` describes."""
+    """Builds and runs the fleet experiment a :class:`ScenarioSpec` describes.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    ``hindsight_avoided_g`` optionally injects a precomputed hindsight-optimal
+    carbon-avoided figure for the regret accounting.  The hindsight twin
+    depends only on the fleet/demand/routing/horizon side of the spec — not
+    on the forecast model or its noise — so a sweep varying only forecast
+    quality (e.g. :func:`~repro.analysis.figures.fig12_forecast_regret`) can
+    run the perfect-forecast cell once and share its result instead of
+    re-simulating an identical twin per cell.
+    """
+
+    def __init__(
+        self, spec: ScenarioSpec, hindsight_avoided_g: Optional[float] = None
+    ) -> None:
         self.spec = spec
+        self.hindsight_avoided_g = hindsight_avoided_g
 
     # -- resolution --------------------------------------------------------
 
@@ -229,12 +268,54 @@ class ScenarioRunner:
         )
 
     def build_dispatch(self) -> Optional[DispatchPolicy]:
-        """The energy-dispatch policy the charging coupling asks for."""
+        """The energy-dispatch policy the charging/forecast specs ask for.
+
+        Without a forecast model the coupled dispatch runs the paper's
+        previous-day percentile heuristic; with one, the forecast-aware
+        lookahead planner takes over (and the heuristic remains its
+        fallback for windows the model cannot forecast).
+        """
         if self.spec.charging.coupling != "dispatch":
             return None
-        return CarbonBufferDispatch(
-            min_state_of_charge=self.spec.charging.min_state_of_charge
+        forecast = self.spec.forecast
+        min_soc = self.spec.charging.min_state_of_charge
+        if forecast.model == "none":
+            return CarbonBufferDispatch(min_state_of_charge=min_soc)
+        return self._forecast_dispatch(
+            forecast_model_by_name(
+                forecast.model,
+                noise_sigma=forecast.noise_sigma,
+                seed=self.spec.seed,
+            )
         )
+
+    def _forecast_dispatch(self, model) -> ForecastDispatch:
+        """A :class:`ForecastDispatch` for ``model``, parameterized by the spec.
+
+        The planner's utilisation estimate follows the scenario's own demand
+        level (clipped into the planner's ``(0, 1]`` domain), so a lightly
+        loaded fleet plans with the idle headroom it actually has — and the
+        hindsight twin is parameterized identically.
+        """
+        forecast = self.spec.forecast
+        demand_fraction = min(
+            1.0, max(0.05, self._mean_demand_fraction_of_capacity())
+        )
+        return ForecastDispatch(
+            model,
+            horizon_h=forecast.horizon_h,
+            refresh_h=forecast.refresh_h,
+            min_state_of_charge=self.spec.charging.min_state_of_charge,
+            demand_fraction=demand_fraction,
+        )
+
+    def _mean_demand_fraction_of_capacity(self) -> float:
+        """Mean demand as a fraction of the fleet's nominal capacity."""
+        demand = self.spec.demand
+        if demand.mean_rps is None:
+            return demand.fraction_of_capacity
+        capacity = self.nominal_capacity_rps()
+        return demand.mean_rps / capacity if capacity > 0 else 1.0
 
     # -- execution ---------------------------------------------------------
 
@@ -251,7 +332,7 @@ class ScenarioRunner:
         simulation = FleetSimulation(
             sites, policy, self.build_demand(), dispatch=self.build_dispatch()
         )
-        report = simulation.run(spec.duration_days)
+        report = self._account_regret(simulation.run(spec.duration_days), policy)
         return ScenarioResult(
             spec=spec,
             report=report,
@@ -259,7 +340,37 @@ class ScenarioRunner:
             latency=self._probe_latency(sites, policy),
             charging_savings=self._charging_savings(sites, report),
             charging_mode=spec.charging.coupling,
+            forecast_model=(
+                spec.forecast.model if spec.charging.coupling == "dispatch" else "none"
+            ),
         )
+
+    def _account_regret(self, report: FleetReport, policy) -> FleetReport:
+        """Attach the hindsight-optimal counterfactual to a forecast run.
+
+        The hindsight baseline is the same scenario — identical seeds,
+        fleets, demand, and routing — dispatched by the lookahead planner
+        with a *perfect* forecast, so the only difference is forecast skill.
+        A perfect forecast is its own hindsight plan (regret 0 with no
+        second simulation); other models pay one extra fleet run unless the
+        caller injected a precomputed ``hindsight_avoided_g``.
+        """
+        spec = self.spec
+        if spec.charging.coupling != "dispatch" or spec.forecast.model == "none":
+            return report
+        if self.hindsight_avoided_g is not None:
+            hindsight_avoided = self.hindsight_avoided_g
+        elif spec.forecast.model == "perfect":
+            hindsight_avoided = report.carbon_avoided_g()
+        else:
+            hindsight = FleetSimulation(
+                self.build_sites(),
+                policy,
+                self.build_demand(),
+                dispatch=self._forecast_dispatch(PerfectForecast()),
+            ).run(spec.duration_days)
+            hindsight_avoided = hindsight.carbon_avoided_g()
+        return dataclasses.replace(report, hindsight_avoided_g=hindsight_avoided)
 
     def _price_churn(
         self, sites: List[FleetSite], report: FleetReport
@@ -315,6 +426,7 @@ class ScenarioRunner:
             duration_s=routing.latency_probe_s,
             seed=self.spec.seed,
             queue_penalty_g=routing.queue_penalty_g,
+            service_distribution=self.spec.demand.service_distribution,
         )
         return summary
 

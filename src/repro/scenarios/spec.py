@@ -28,8 +28,9 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 from repro.devices.power import FULL_LOAD, IDLE, LIGHT_MEDIUM, LoadProfile
 from repro.economics.cost import CALIFORNIA_ELECTRICITY_USD_PER_KWH, FleetCostModel
 from repro.fleet.population import FailureModel, IntakeStream, ReplacementPolicy
-from repro.fleet.scheduler import DiurnalDemand
+from repro.fleet.scheduler import SERVICE_DISTRIBUTIONS, DiurnalDemand
 from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, REGIONAL_GENERATORS
+from repro.forecast.models import FORECAST_MODELS
 
 #: Grid-trace source kinds a :class:`TraceSpec` may name.
 TRACE_KINDS = ("regional", "csv", "constant")
@@ -39,6 +40,15 @@ CHARGING_POLICIES = ("none", "smart")
 
 #: How the charging layer couples into the fleet simulation.
 CHARGING_COUPLINGS = ("none", "estimate", "dispatch")
+
+#: Forecast-model names a :class:`ForecastSpec` may name (``"none"`` disables
+#: forecasting; the rest resolve through
+#: :func:`~repro.forecast.models.forecast_model_by_name`, so the two
+#: registries can never drift).
+FORECAST_MODEL_NAMES = ("none",) + tuple(sorted(FORECAST_MODELS))
+
+# SERVICE_DISTRIBUTIONS (imported above) is re-exported here: the scheduler
+# defines the probe's distributions, spec validation just names them.
 
 #: Name -> :class:`~repro.devices.power.LoadProfile` for every profile a spec
 #: may name.  The single source of truth: validation (here) and resolution
@@ -182,6 +192,13 @@ class DemandSpec:
     ``mean_rps`` pins the mean demand explicitly; when ``None`` the runner
     derives it as ``fraction_of_capacity`` times the fleet's nominal capacity
     (sum over sites of ``count * requests_per_device_s``).
+
+    ``service_distribution`` selects how the DES latency probe draws each
+    request's service time: ``"deterministic"`` (the default, exactly
+    ``1/requests_per_device_s``), ``"exponential"``, or ``"lognormal"`` —
+    the stochastic shapes keep the same mean, with the lognormal's spread
+    taken from the microservice simulator's calibrated per-request
+    variability (:data:`repro.microservices.calibration.SERVICE_TIME_SIGMA`).
     """
 
     mean_rps: Optional[float] = None
@@ -189,6 +206,7 @@ class DemandSpec:
     daily_amplitude: float = DiurnalDemand.daily_amplitude
     peak_hour: float = DiurnalDemand.peak_hour
     weekly_amplitude: float = DiurnalDemand.weekly_amplitude
+    service_distribution: str = "deterministic"
 
     def __post_init__(self) -> None:
         if self.mean_rps is not None and self.mean_rps <= 0:
@@ -201,6 +219,12 @@ class DemandSpec:
             raise ScenarioValidationError("weekly_amplitude must be within [0, 1)")
         if not 0.0 <= self.peak_hour < 24.0:
             raise ScenarioValidationError("peak_hour must be within [0, 24)")
+        if self.service_distribution not in SERVICE_DISTRIBUTIONS:
+            raise ScenarioValidationError(
+                f"service_distribution must be one of "
+                f"{', '.join(SERVICE_DISTRIBUTIONS)}; "
+                f"got {self.service_distribution!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -285,6 +309,47 @@ class ChargingSpec:
 
 
 @dataclass(frozen=True)
+class ForecastSpec:
+    """Carbon-intensity forecasting for the lookahead dispatch.
+
+    ``model`` selects the forecaster feeding
+    :class:`~repro.fleet.dispatch.ForecastDispatch` (see
+    :mod:`repro.forecast.models`): ``"none"`` keeps the previous-day
+    percentile heuristic (:class:`~repro.fleet.dispatch.CarbonBufferDispatch`),
+    ``"perfect"`` the oracle, ``"persistence"`` yesterday-repeats, and
+    ``"noisy"`` the oracle degraded by multiplicative lognormal noise of
+    ``noise_sigma`` (seeded from the scenario seed).  ``horizon_h`` is the
+    lookahead window the planner ranks and ``refresh_h`` how often it
+    re-plans (receding horizon); both in hours.
+
+    A live forecast only acts through the coupled battery dispatch, so
+    ``model != "none"`` requires ``charging.coupling == "dispatch"`` — the
+    spec validation enforces the pairing rather than silently ignoring the
+    forecast.
+    """
+
+    model: str = "none"
+    horizon_h: int = 24
+    noise_sigma: float = 0.0
+    refresh_h: int = 24
+
+    def __post_init__(self) -> None:
+        if self.model not in FORECAST_MODEL_NAMES:
+            raise ScenarioValidationError(
+                f"model must be one of {', '.join(FORECAST_MODEL_NAMES)}; "
+                f"got {self.model!r}"
+            )
+        if self.horizon_h < 1:
+            raise ScenarioValidationError("horizon_h must be >= 1")
+        if not 1 <= self.refresh_h <= self.horizon_h:
+            raise ScenarioValidationError(
+                f"refresh_h must be within [1, horizon_h={self.horizon_h}]"
+            )
+        if self.noise_sigma < 0:
+            raise ScenarioValidationError("noise_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
 class EconomicsSpec:
     """Dollar-cost model parameters (see :class:`~repro.economics.FleetCostModel`)."""
 
@@ -323,6 +388,7 @@ class ScenarioSpec:
     routing: RoutingSpec = field(default_factory=RoutingSpec)
     demand: DemandSpec = field(default_factory=DemandSpec)
     charging: ChargingSpec = field(default_factory=ChargingSpec)
+    forecast: ForecastSpec = field(default_factory=ForecastSpec)
     economics: EconomicsSpec = field(default_factory=EconomicsSpec)
     duration_days: int = 30
     seed: int = 0
@@ -339,6 +405,12 @@ class ScenarioSpec:
             raise ScenarioValidationError(f"sites must have unique names, got {names}")
         if self.duration_days <= 0:
             raise ScenarioValidationError("duration_days must be positive")
+        if self.forecast.model != "none" and self.charging.coupling != "dispatch":
+            raise ScenarioValidationError(
+                f"forecast.model={self.forecast.model!r} requires "
+                "charging.coupling='dispatch' (a forecast only acts through "
+                f"the battery dispatch); got {self.charging.coupling!r}"
+            )
 
     # -- serialization -----------------------------------------------------
 

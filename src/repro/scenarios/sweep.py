@@ -8,14 +8,22 @@ itself a valid, serializable spec), and tabulates the headline metrics —
 fleet CCI, dollars per request, operational carbon — per cell.  The CLI's
 ``python -m repro sweep scenario <name> --set routing.policy=a,b
 --set demand.fraction_of_capacity=0.3,0.6`` feeds this directly.
+
+``jobs=N`` fans the grid out over a process pool.  Cells are keyed by their
+spec hash (the SHA-256 of the cell's canonical JSON): identical cells share
+one simulation, worker results are reassembled by key into row-major grid
+order, and — because every simulation is fully seeded — a parallel sweep is
+bitwise-identical to the serial one regardless of completion order.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.fleet.scheduler import policy_by_name
 from repro.scenarios.runner import ScenarioResult, run_scenario
@@ -83,8 +91,53 @@ class SweepResult:
         return headers, rows
 
 
+def spec_hash(spec: ScenarioSpec) -> str:
+    """A stable content hash of one spec (SHA-256 of its canonical JSON).
+
+    ``to_json`` sorts keys, so two specs hash equal exactly when they are
+    equal as data — the key the parallel sweep uses to dedupe identical
+    cells and to reassemble worker results in deterministic grid order.
+    """
+    return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+
+
+def _run_spec_json(text: str) -> ScenarioResult:
+    """Process-pool entry point: rebuild the cell's spec and run it.
+
+    Ships the spec as JSON rather than a pickled object so a worker always
+    re-validates through the same :meth:`ScenarioSpec.from_json` path the
+    CLI and registry use.
+    """
+    return run_scenario(ScenarioSpec.from_json(text))
+
+
+def _run_cells(specs: Sequence[ScenarioSpec], jobs: Optional[int]) -> List[ScenarioResult]:
+    """Run every cell spec, serially or over a process pool, in grid order.
+
+    Cells are keyed by spec hash either way: cells that hash equal share one
+    simulation, and results are reassembled in grid order, so the serial and
+    parallel paths return identical tables.
+    """
+    if jobs is not None and jobs < 1:
+        raise ScenarioValidationError(f"jobs must be >= 1, got {jobs}")
+    keys = [spec_hash(cell_spec) for cell_spec in specs]
+    unique: Dict[str, ScenarioSpec] = {}
+    for key, cell_spec in zip(keys, specs):
+        unique.setdefault(key, cell_spec)
+    if jobs is None or jobs == 1 or len(unique) <= 1:
+        results = {key: run_scenario(cell_spec) for key, cell_spec in unique.items()}
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
+            futures = {
+                key: pool.submit(_run_spec_json, cell_spec.to_json())
+                for key, cell_spec in unique.items()
+            }
+            results = {key: future.result() for key, future in futures.items()}
+    return [results[key] for key in keys]
+
+
 def sweep_scenario(
-    spec: ScenarioSpec, axes: Mapping[str, Sequence[Any]]
+    spec: ScenarioSpec, axes: Mapping[str, Sequence[Any]], jobs: Optional[int] = None
 ) -> SweepResult:
     """Run ``spec`` over the cartesian grid of ``axes`` overrides.
 
@@ -94,6 +147,11 @@ def sweep_scenario(
     Every cell's spec is built (and therefore validated) up front, so an
     invalid path or value anywhere in the grid fails before any simulation
     time is spent.
+
+    ``jobs`` caps the number of worker processes running cells concurrently
+    (``None`` or ``1`` runs serially in-process).  Cell order, and every
+    number in every cell, is identical either way: simulations are fully
+    seeded and results are reassembled by spec hash into grid order.
     """
     if not axes:
         raise ScenarioValidationError("a sweep needs at least one --set axis")
@@ -118,8 +176,8 @@ def sweep_scenario(
         except ValueError as error:
             raise ScenarioValidationError(f"routing.policy: {error}") from None
     cells = [
-        SweepCell(overrides=tuple(overrides.items()), result=run_scenario(cell_spec))
-        for overrides, cell_spec in zip(grid, specs)
+        SweepCell(overrides=tuple(overrides.items()), result=result)
+        for overrides, result in zip(grid, _run_cells(specs, jobs))
     ]
     return SweepResult(
         base=spec,

@@ -94,3 +94,55 @@ class TestSmartChargingPolicy:
             SmartChargingPolicy(percentile_margin=-1.0)
         with pytest.raises(ValueError):
             SmartChargingPolicy(fixed_percentile=150.0)
+
+
+class TestThresholdFromIntensities:
+    """Hardening: bad sample arrays fail loudly, absent history stays None."""
+
+    def test_no_history_returns_none(self):
+        from repro.charging import threshold_from_intensities
+
+        assert threshold_from_intensities(None, PIXEL_3A.battery, 1.54) is None
+
+    def test_valid_samples_give_a_percentile_threshold(self):
+        import numpy as np
+
+        from repro.charging import threshold_from_intensities
+
+        threshold = threshold_from_intensities(
+            np.array([100.0, 200.0, 300.0, 400.0]),
+            PIXEL_3A.battery,
+            1.54,
+            fixed_percentile=50.0,
+        )
+        assert threshold == pytest.approx(250.0)
+
+    def test_empty_array_raises_naming_the_input(self):
+        import numpy as np
+
+        from repro.charging import threshold_from_intensities
+
+        with pytest.raises(ValueError, match="intensities is empty"):
+            threshold_from_intensities(np.array([]), PIXEL_3A.battery, 1.54)
+        with pytest.raises(ValueError, match="intensities is empty"):
+            threshold_from_intensities([], PIXEL_3A.battery, 1.54)
+
+    def test_nan_samples_raise_naming_the_input(self):
+        import numpy as np
+
+        from repro.charging import threshold_from_intensities
+
+        with pytest.raises(ValueError, match="intensities contains 1 non-finite"):
+            threshold_from_intensities(
+                np.array([100.0, np.nan, 300.0]), PIXEL_3A.battery, 1.54
+            )
+
+    def test_infinite_samples_raise_with_the_offending_value(self):
+        import numpy as np
+
+        from repro.charging import threshold_from_intensities
+
+        with pytest.raises(ValueError, match="inf"):
+            threshold_from_intensities(
+                np.array([np.inf, 100.0]), PIXEL_3A.battery, 1.54
+            )

@@ -1,0 +1,152 @@
+"""Forecast-aware dispatch: planned setpoints in the fleet loop."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CarbonBufferDispatch,
+    DiurnalDemand,
+    FleetSimulation,
+    ForecastDispatch,
+    GreedyLowestIntensityRouting,
+    two_site_asymmetric_fleet,
+)
+from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S
+from repro.forecast import (
+    NoisyOracleForecast,
+    PerfectForecast,
+    PersistenceForecast,
+)
+
+N_DEVICES = 20
+N_DAYS = 7
+
+DEMAND = DiurnalDemand(mean_rps=0.5 * 2 * N_DEVICES * DEFAULT_REQUESTS_PER_DEVICE_S)
+
+
+def _run(dispatch, seed: int = 6):
+    sites = two_site_asymmetric_fleet(N_DEVICES, seed=seed, n_trace_days=7)
+    policy = GreedyLowestIntensityRouting()
+    return FleetSimulation(sites, policy, DEMAND, dispatch=dispatch).run(N_DAYS)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "none": _run(None),
+        "heuristic": _run(CarbonBufferDispatch()),
+        "perfect": _run(ForecastDispatch(PerfectForecast())),
+        "persistence": _run(ForecastDispatch(PersistenceForecast())),
+    }
+
+
+class TestForecastDispatch:
+    def test_perfect_forecast_beats_the_heuristic(self, reports):
+        assert (
+            reports["perfect"].carbon_avoided_g()
+            >= reports["heuristic"].carbon_avoided_g()
+        )
+        assert reports["perfect"].carbon_avoided_g() > 0
+
+    def test_energy_conservation_still_holds(self, reports):
+        served_energy = reports["none"].energy_kwh
+        for name in ("perfect", "persistence"):
+            report = reports[name]
+            assert np.allclose(
+                served_energy, report.grid_kwh + report.battery_kwh
+            )
+            assert np.allclose(report.energy_kwh, report.grid_kwh + report.charge_kwh)
+
+    def test_soc_bounds_hold(self, reports):
+        for name in ("perfect", "persistence"):
+            soc = reports[name].soc
+            assert np.all(soc >= 0.25 - 1e-9)
+            assert np.all(soc <= 1.0 + 1e-9)
+
+    def test_charge_and_discharge_never_simultaneous(self, reports):
+        report = reports["perfect"]
+        assert not np.any((report.battery_kwh > 0) & (report.charge_kwh > 0))
+
+    def test_perfect_forecast_acts_from_day_one(self, reports):
+        """The oracle needs no history: day 0 already cycles the packs."""
+        assert reports["perfect"].battery_kwh[:24].sum() > 0
+
+    def test_persistence_falls_back_on_the_blind_first_day(self, reports):
+        """No yesterday => no forecast => the heuristic's day-0 hold."""
+        report = reports["persistence"]
+        assert np.all(report.battery_kwh[:24] == 0)
+        assert np.all(report.charge_kwh[:24] == 0)
+        assert np.all(report.soc[:24] == 1.0)
+
+    def test_dispatch_is_deterministic(self):
+        first = _run(ForecastDispatch(NoisyOracleForecast(noise_sigma=0.3, seed=2)))
+        second = _run(ForecastDispatch(NoisyOracleForecast(noise_sigma=0.3, seed=2)))
+        assert np.array_equal(first.battery_kwh, second.battery_kwh)
+        assert np.array_equal(first.charge_kwh, second.charge_kwh)
+        assert first.fleet_cci_g_per_request() == second.fleet_cci_g_per_request()
+
+    def test_policy_object_is_reusable_across_runs(self):
+        """make_ledger resets the day cursor, so one policy can re-run."""
+        dispatch = ForecastDispatch(PerfectForecast())
+        first = _run(dispatch)
+        second = _run(dispatch)
+        assert np.array_equal(first.battery_kwh, second.battery_kwh)
+        assert np.array_equal(first.soc, second.soc)
+
+    def test_refresh_within_the_day(self):
+        report = _run(ForecastDispatch(PerfectForecast(), horizon_h=24, refresh_h=6))
+        assert report.total_battery_discharge_kwh > 0
+        assert np.all(report.soc >= 0.25 - 1e-9)
+
+    def test_long_horizon_runs(self):
+        report = _run(ForecastDispatch(PerfectForecast(), horizon_h=48))
+        assert report.carbon_avoided_g() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="horizon"):
+            ForecastDispatch(PerfectForecast(), horizon_h=0)
+        with pytest.raises(ValueError, match="refresh"):
+            ForecastDispatch(PerfectForecast(), horizon_h=24, refresh_h=48)
+        with pytest.raises(ValueError, match="refresh"):
+            ForecastDispatch(PerfectForecast(), refresh_h=0)
+        with pytest.raises(ValueError, match="demand fraction"):
+            ForecastDispatch(PerfectForecast(), demand_fraction=0.0)
+        with pytest.raises(ValueError, match="min state of charge"):
+            ForecastDispatch(PerfectForecast(), min_state_of_charge=1.0)
+
+
+class TestRegretAccounting:
+    def test_regret_defaults_to_zero_without_accounting(self, reports):
+        report = reports["perfect"]
+        assert not report.has_regret_accounting
+        assert report.forecast_regret_g() == 0.0
+
+    def test_regret_is_hindsight_minus_realised_clamped(self, reports):
+        import dataclasses
+
+        realised = reports["persistence"].carbon_avoided_g()
+        hindsight = reports["perfect"].carbon_avoided_g()
+        report = dataclasses.replace(
+            reports["persistence"], hindsight_avoided_g=hindsight
+        )
+        assert report.has_regret_accounting
+        assert report.forecast_regret_g() == pytest.approx(
+            max(0.0, hindsight - realised)
+        )
+        assert report.forecast_regret_g() >= 0
+        lucky = dataclasses.replace(
+            reports["perfect"], hindsight_avoided_g=hindsight - 1.0
+        )
+        assert lucky.forecast_regret_g() == 0.0
+
+    def test_summary_reports_regret_when_accounted(self, reports):
+        import dataclasses
+
+        report = dataclasses.replace(
+            reports["persistence"],
+            hindsight_avoided_g=reports["perfect"].carbon_avoided_g(),
+        )
+        summary = report.summary_dict()
+        assert "forecast_regret_kg" in summary
+        assert "hindsight_avoided_kg" in summary
+        assert "forecast_regret_kg" not in reports["perfect"].summary_dict()

@@ -185,3 +185,50 @@ class TestLatencyAwarePath:
             seed=9,
         )
         assert by_site["cascadia"] > by_site["texas"] > 0
+
+
+class TestServiceDistributions:
+    """Per-request service-time distributions in the DES latency probe."""
+
+    @staticmethod
+    def _probe(service_distribution, seed=3):
+        sites = two_site_asymmetric_fleet(5, seed=1, n_trace_days=2)
+        return simulate_latency_aware(
+            sites,
+            GreedyLowestIntensityRouting(),
+            demand_rps=60.0,
+            duration_s=10.0,
+            seed=seed,
+            service_distribution=service_distribution,
+        )
+
+    def test_deterministic_is_the_default_and_unchanged(self):
+        explicit, _ = self._probe("deterministic")
+        sites = two_site_asymmetric_fleet(5, seed=1, n_trace_days=2)
+        default, _ = simulate_latency_aware(
+            sites, GreedyLowestIntensityRouting(), demand_rps=60.0,
+            duration_s=10.0, seed=3,
+        )
+        assert explicit.median_ms == default.median_ms
+        assert explicit.p99_ms == default.p99_ms
+
+    @pytest.mark.parametrize("distribution", ["exponential", "lognormal"])
+    def test_stochastic_distributions_are_seed_deterministic(self, distribution):
+        first, served_first = self._probe(distribution)
+        second, served_second = self._probe(distribution)
+        assert first.median_ms == second.median_ms
+        assert first.p99_ms == second.p99_ms
+        assert served_first == served_second
+
+    def test_stochastic_service_spreads_the_tail(self):
+        fixed, _ = self._probe("deterministic")
+        exponential, _ = self._probe("exponential")
+        # Same mean service time, but per-request jitter must widen the
+        # spread between median and p99 beyond the deterministic case.
+        assert (exponential.p99_ms - exponential.median_ms) > (
+            fixed.p99_ms - fixed.median_ms
+        )
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="service distribution"):
+            self._probe("pareto")

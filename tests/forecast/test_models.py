@@ -1,0 +1,122 @@
+"""Forecast models: perfect, persistence, and the noisy oracle."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.forecast import (
+    FORECAST_MODELS,
+    NoisyOracleForecast,
+    PerfectForecast,
+    PersistenceForecast,
+    forecast_model_by_name,
+)
+from repro.fleet.sites import regional_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return regional_trace("caiso-like", n_days=4, seed=2021)
+
+
+HOUR = units.SECONDS_PER_HOUR
+DAY = units.SECONDS_PER_DAY
+
+
+class TestPerfectForecast:
+    def test_window_is_the_true_trace(self, trace):
+        start = 2 * DAY
+        window = PerfectForecast().window(trace, start, 24)
+        times = start + np.arange(24) * HOUR
+        assert np.array_equal(window, trace.intensities_at(times, wrap=True))
+
+    def test_window_wraps_past_the_trace_end(self, trace):
+        window = PerfectForecast().window(trace, 3 * DAY + 20 * HOUR, 12)
+        assert window.shape == (12,)
+        assert np.all(np.isfinite(window))
+
+    def test_bad_horizon_rejected(self, trace):
+        with pytest.raises(ValueError, match="horizon"):
+            PerfectForecast().window(trace, 0.0, 0)
+
+
+class TestPersistenceForecast:
+    def test_equals_the_trace_shifted_one_day(self, trace):
+        start = 2 * DAY
+        window = PersistenceForecast().window(trace, start, 24)
+        yesterday = PerfectForecast().window(trace, start - DAY, 24)
+        assert np.array_equal(window, yesterday)
+
+    def test_mid_day_windows_shift_too(self, trace):
+        start = DAY + 6 * HOUR
+        window = PersistenceForecast().window(trace, start, 36)
+        times = start - DAY + np.arange(36) * HOUR
+        assert np.array_equal(window, trace.intensities_at(times, wrap=True))
+
+    def test_first_day_has_no_forecast(self, trace):
+        assert PersistenceForecast().window(trace, 0.0, 24) is None
+        assert PersistenceForecast().window(trace, DAY - HOUR, 24) is None
+        assert PersistenceForecast().window(trace, DAY, 24) is not None
+
+
+class TestNoisyOracleForecast:
+    def test_sigma_zero_equals_perfect(self, trace):
+        noisy = NoisyOracleForecast(noise_sigma=0.0, seed=7)
+        perfect = PerfectForecast()
+        for start in (0.0, DAY, 2 * DAY + 5 * HOUR):
+            assert np.array_equal(
+                noisy.window(trace, start, 24), perfect.window(trace, start, 24)
+            )
+
+    def test_seed_determinism(self, trace):
+        first = NoisyOracleForecast(noise_sigma=0.3, seed=11)
+        second = NoisyOracleForecast(noise_sigma=0.3, seed=11)
+        assert np.array_equal(
+            first.window(trace, DAY, 24), second.window(trace, DAY, 24)
+        )
+
+    def test_determinism_is_call_order_independent(self, trace):
+        model = NoisyOracleForecast(noise_sigma=0.3, seed=11)
+        late_then_early = (
+            model.window(trace, 2 * DAY, 24),
+            model.window(trace, DAY, 24),
+        )
+        fresh = NoisyOracleForecast(noise_sigma=0.3, seed=11)
+        assert np.array_equal(fresh.window(trace, DAY, 24), late_then_early[1])
+        assert np.array_equal(fresh.window(trace, 2 * DAY, 24), late_then_early[0])
+
+    def test_different_seeds_and_sites_differ(self, trace):
+        a = NoisyOracleForecast(noise_sigma=0.3, seed=1).window(trace, DAY, 24)
+        b = NoisyOracleForecast(noise_sigma=0.3, seed=2).window(trace, DAY, 24)
+        assert not np.array_equal(a, b)
+        model = NoisyOracleForecast(noise_sigma=0.3, seed=1)
+        assert not np.array_equal(
+            model.window(trace, DAY, 24, site_index=0),
+            model.window(trace, DAY, 24, site_index=1),
+        )
+
+    def test_noise_is_multiplicative_and_positive(self, trace):
+        window = NoisyOracleForecast(noise_sigma=0.5, seed=3).window(trace, DAY, 48)
+        assert np.all(window > 0)
+        truth = PerfectForecast().window(trace, DAY, 48)
+        assert not np.array_equal(window, truth)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma"):
+            NoisyOracleForecast(noise_sigma=-0.1)
+
+
+class TestRegistry:
+    def test_every_bundled_model_resolves(self):
+        for name in FORECAST_MODELS:
+            model = forecast_model_by_name(name, noise_sigma=0.2, seed=5)
+            assert model.name == name
+
+    def test_noisy_carries_its_parameters(self):
+        model = forecast_model_by_name("noisy", noise_sigma=0.4, seed=9)
+        assert model.noise_sigma == 0.4
+        assert model.seed == 9
+
+    def test_unknown_name_lists_the_known_models(self):
+        with pytest.raises(ValueError, match="perfect"):
+            forecast_model_by_name("clairvoyant")

@@ -6,6 +6,7 @@ import pytest
 from repro.scenarios import (
     ScenarioValidationError,
     parse_sweep_override,
+    spec_hash,
     sweep_scenario,
 )
 from repro.scenarios.spec import (
@@ -104,6 +105,60 @@ class TestSweepScenario:
                 tiny_spec(),
                 {"routing.policy": ["round-robin", "clairvoyant"]},
             )
+
+
+class TestParallelSweep:
+    AXES = {
+        "routing.policy": ["round-robin", "greedy-lowest-intensity"],
+        "demand.fraction_of_capacity": [0.3, 0.6],
+    }
+
+    def test_parallel_results_are_bitwise_identical_to_serial(self):
+        serial = sweep_scenario(tiny_spec(), self.AXES)
+        parallel = sweep_scenario(tiny_spec(), self.AXES, jobs=2)
+        assert parallel.axes == serial.axes
+        for ours, theirs in zip(parallel.cells, serial.cells):
+            assert ours.overrides == theirs.overrides
+            assert ours.result.spec == theirs.result.spec
+            assert ours.cci_g_per_request == theirs.cci_g_per_request
+            assert np.array_equal(
+                ours.result.report.served_rps, theirs.result.report.served_rps
+            )
+            assert np.array_equal(
+                ours.result.report.operational_g, theirs.result.report.operational_g
+            )
+
+    def test_jobs_one_is_the_serial_path(self):
+        serial = sweep_scenario(tiny_spec(), {"duration_days": [1, 2]})
+        one_job = sweep_scenario(tiny_spec(), {"duration_days": [1, 2]}, jobs=1)
+        for ours, theirs in zip(one_job.cells, serial.cells):
+            assert ours.cci_g_per_request == theirs.cci_g_per_request
+
+    def test_more_jobs_than_cells_is_fine(self):
+        sweep = sweep_scenario(tiny_spec(), {"duration_days": [1, 2]}, jobs=8)
+        assert len(sweep.cells) == 2
+
+    def test_duplicate_cells_share_one_simulation(self):
+        """Axis values that collapse to the same spec hash equal results."""
+        sweep = sweep_scenario(
+            tiny_spec(), {"duration_days": [1, 1, 2]}, jobs=2
+        )
+        assert len(sweep.cells) == 3
+        assert spec_hash(sweep.cells[0].result.spec) == spec_hash(
+            sweep.cells[1].result.spec
+        )
+        assert (
+            sweep.cells[0].cci_g_per_request == sweep.cells[1].cci_g_per_request
+        )
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ScenarioValidationError, match="jobs"):
+            sweep_scenario(tiny_spec(), {"duration_days": [1, 2]}, jobs=0)
+
+    def test_spec_hash_is_content_addressed(self):
+        assert spec_hash(tiny_spec()) == spec_hash(tiny_spec())
+        changed = tiny_spec().with_overrides({"duration_days": 2})
+        assert spec_hash(changed) != spec_hash(tiny_spec())
 
 
 class TestParseSweepOverride:

@@ -241,3 +241,22 @@ def test_spec_defaults_mirror_subsystem_defaults():
     from repro.scenarios import EconomicsSpec
 
     assert EconomicsSpec().battery_swap_labor_min == FleetCostModel.battery_swap_labor_min
+
+
+class TestServiceDistributionField:
+    def test_default_is_deterministic(self):
+        from repro.scenarios import DemandSpec
+
+        assert DemandSpec().service_distribution == "deterministic"
+
+    def test_named_distributions_validate(self):
+        from repro.scenarios import SERVICE_DISTRIBUTIONS, DemandSpec
+
+        for name in SERVICE_DISTRIBUTIONS:
+            assert DemandSpec(service_distribution=name).service_distribution == name
+
+    def test_unknown_distribution_rejected(self):
+        from repro.scenarios import DemandSpec, ScenarioValidationError
+
+        with pytest.raises(ScenarioValidationError, match="service_distribution"):
+            DemandSpec(service_distribution="pareto")
