@@ -150,7 +150,42 @@ def render_fleet_report(report) -> str:
         f"fleet CCI: {cci:.3e} gCO2e/request, "
         f"served fraction: {report.served_fraction():.1%}"
     )
-    return format_table(headers, rows) + "\n" + footer
+    rendered = format_table(headers, rows) + "\n" + footer
+    cohort_table = _render_cohort_table(report)
+    if cohort_table:
+        rendered += "\n\n" + cohort_table
+    return rendered
+
+
+def _render_cohort_table(report) -> str:
+    """Per-device-type rows for mixed sites (empty when every site is one type)."""
+    if not getattr(report, "has_cohort_series", False):
+        return ""
+    if report.n_cohorts == len(report.site_names):
+        return ""  # one cohort per site: the site table already says it all
+    headers = [
+        "Cohort",
+        "Served (Mreq)",
+        "Device kWh",
+        "Batt. kWh",
+        "Avail.",
+        "Failures",
+        "Batt. swaps",
+    ]
+    rows = []
+    for cohort in report.cohort_summaries():
+        rows.append(
+            [
+                cohort.label,
+                f"{cohort.served_requests / 1e6:.1f}",
+                f"{cohort.device_energy_kwh:.1f}",
+                f"{cohort.battery_discharge_kwh:.1f}",
+                f"{cohort.availability:.1%}",
+                str(cohort.failures),
+                str(cohort.battery_swaps),
+            ]
+        )
+    return format_table(headers, rows)
 
 
 def render_scenario_result(result) -> str:

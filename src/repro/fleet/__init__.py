@@ -6,15 +6,20 @@ failing, and being replaced across geo-distributed sites with different
 grid mixes, with request routing policies that exploit the differences.
 
 * :mod:`repro.fleet.population` — vectorized device cohorts (intake,
-  battery aging, stochastic churn, replacement policies);
+  battery aging, stochastic churn, replacement policies), grouped per site
+  by :class:`FleetPopulation` with independent seeded streams;
 * :mod:`repro.fleet.sites` — multi-site cloudlets, each a
   :class:`~repro.cluster.cloudlet.CloudletDesign` bound to its own
-  :class:`~repro.grid.traces.GridTrace`, plus regional trace presets;
+  :class:`~repro.grid.traces.GridTrace` and holding one or more typed
+  :class:`SiteCohort` entries (mixed Pixel 3A / Nexus 4 racks), plus
+  regional trace presets;
 * :mod:`repro.fleet.scheduler` — pluggable carbon-aware routing policies
-  with a vectorized hourly path and a DES-backed latency-aware path;
-* :mod:`repro.fleet.dispatch` — the coupled energy-dispatch core: per-site
-  battery state-of-charge ledgers charging at clean hours and serving load
-  at dirty hours (UPS-as-carbon-buffer);
+  allocating over per-device-type cohort segments, with a vectorized
+  hourly path and a DES-backed latency-aware path;
+* :mod:`repro.fleet.dispatch` — the coupled energy-dispatch core:
+  per-device-type battery state-of-charge ledgers (one pack per cohort per
+  site) charging at clean hours and serving load at dirty hours
+  (UPS-as-carbon-buffer);
 * :mod:`repro.fleet.reporting` — fleet CCI / availability / replacement
   carbon reporting consumed by :mod:`repro.analysis`.
 """
@@ -25,18 +30,26 @@ from repro.fleet.dispatch import (
     EnergyLedger,
     ForecastDispatch,
     GridOnlyDispatch,
+    estimate_cohort_savings,
     estimate_fleet_savings,
     estimate_site_savings,
+    site_packs,
 )
 from repro.fleet.population import (
     CohortStep,
     DeviceCohort,
     FailureModel,
+    FleetPopulation,
     IntakeStream,
     ReplacementPolicy,
     steady_state_intake_rate,
 )
-from repro.fleet.reporting import FleetReport, SiteSummary, compare_reports
+from repro.fleet.reporting import (
+    CohortSummary,
+    FleetReport,
+    SiteSummary,
+    compare_reports,
+)
 from repro.fleet.scheduler import (
     POLICIES,
     SERVICE_DISTRIBUTIONS,
@@ -54,12 +67,16 @@ from repro.fleet.sites import (
     DEFAULT_REQUESTS_PER_DEVICE_S,
     REGIONAL_GENERATORS,
     FleetSite,
+    SiteCohort,
+    build_site_cohort,
     caiso_like_generator,
     default_intake_stream,
     ercot_like_generator,
     hydro_heavy_generator,
+    mixed_phone_site,
     phone_site,
     regional_trace,
+    site_from_cohorts,
     site_on_trace,
     two_site_asymmetric_fleet,
 )
@@ -68,14 +85,19 @@ __all__ = [
     # population
     "DeviceCohort",
     "CohortStep",
+    "FleetPopulation",
     "IntakeStream",
     "FailureModel",
     "ReplacementPolicy",
     "steady_state_intake_rate",
     # sites
     "FleetSite",
+    "SiteCohort",
+    "build_site_cohort",
     "phone_site",
+    "mixed_phone_site",
     "site_on_trace",
+    "site_from_cohorts",
     "default_intake_stream",
     "two_site_asymmetric_fleet",
     "regional_trace",
@@ -102,10 +124,13 @@ __all__ = [
     "CarbonBufferDispatch",
     "ForecastDispatch",
     "EnergyLedger",
+    "site_packs",
+    "estimate_cohort_savings",
     "estimate_site_savings",
     "estimate_fleet_savings",
     # reporting
     "FleetReport",
     "SiteSummary",
+    "CohortSummary",
     "compare_reports",
 ]

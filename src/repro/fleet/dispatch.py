@@ -1,13 +1,19 @@
-"""Coupled energy dispatch: per-site battery ledgers for the fleet loop.
+"""Coupled energy dispatch: per-device-type battery ledgers for the fleet loop.
 
 The paper studies smart charging (Section 4.3) and cluster operation as
 separate experiments.  This module closes that gap — UPS-as-carbon-buffer:
-each :class:`~repro.fleet.sites.FleetSite` carries an aggregate
-state-of-charge ledger (one pack fraction for the whole cohort, since every
-device holds its own battery at the same SoC), and a :class:`DispatchPolicy`
-co-decides with the routing policy, hour by hour, whether served load draws
-from the grid or from the batteries and whether idle headroom charges the
-packs — so clean hours fill batteries that dirty hours drain.
+every :class:`~repro.fleet.sites.SiteCohort` of every
+:class:`~repro.fleet.sites.FleetSite` carries its own aggregate
+state-of-charge ledger entry (one pack fraction per device type, since every
+device of a type holds its own battery at the cohort-wide SoC — a Pixel 3A
+pack and a Nexus 4 pack at the same site have different capacities, charge
+rates, and charge-time percentiles, so they are tracked separately), and a
+:class:`DispatchPolicy` co-decides with the routing policy, hour by hour,
+whether each cohort's served load draws from the grid or from its packs and
+whether its idle headroom charges them — so clean hours fill batteries that
+dirty hours drain.  Ledger columns are *packs* — ``(site, cohort)`` pairs in
+site-major order (:func:`site_packs`); a fleet of single-cohort sites has
+exactly one pack per site, reproducing the historical per-site ledger.
 
 The decision reuses the paper's charging heuristic at trace level
 (:func:`repro.charging.smart_charging.threshold_from_intensities`): the
@@ -46,13 +52,13 @@ realise after a full cycle-life crossing.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import units
 from repro.charging.smart_charging import threshold_from_intensities
-from repro.fleet.sites import FleetSite
+from repro.fleet.sites import FleetSite, SiteCohort
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.forecast imports the
     # DISPATCH_* constants from this module, so a top-level import would cycle.
@@ -64,6 +70,16 @@ if TYPE_CHECKING:  # imported lazily at runtime: repro.forecast imports the
 DISPATCH_HOLD = 0
 DISPATCH_CHARGE = 1
 DISPATCH_DISCHARGE = -1
+
+
+def site_packs(sites: Sequence[FleetSite]) -> List[Tuple[FleetSite, SiteCohort]]:
+    """Every ``(site, cohort)`` battery-pack pair, in site-major order.
+
+    The canonical pack ordering shared by the ledger, the dispatch policies,
+    and the fleet scheduler's per-cohort columns — a fleet of single-cohort
+    sites yields one pack per site in site order.
+    """
+    return [(site, entry) for site in sites for entry in site.cohorts]
 
 
 class DispatchPolicy(abc.ABC):
@@ -83,19 +99,20 @@ class DispatchPolicy(abc.ABC):
         previous_intensity: Optional[np.ndarray],
         sites: Sequence[FleetSite],
     ) -> np.ndarray:
-        """Per-site charge thresholds (g/kWh) for the coming day.
+        """Per-pack charge thresholds (g/kWh) for the coming day.
 
-        ``previous_intensity`` is the previous day's ``(H, S)`` intensity
-        matrix (``None`` on the first day).  ``nan`` entries opt a site out
-        of dispatch for the day.
+        Packs are the ``(site, cohort)`` pairs of :func:`site_packs`.
+        ``previous_intensity`` is the previous day's ``(H, C)`` per-pack
+        intensity matrix (``None`` on the first day).  ``nan`` entries opt a
+        pack out of dispatch for the day.
         """
 
     @abc.abstractmethod
     def day_modes(self, intensity: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
-        """Dispatch mode per ``(hour, site)``.
+        """Dispatch mode per ``(hour, pack)``.
 
-        ``intensity`` has shape ``(H, S)`` and ``thresholds`` shape ``(S,)``;
-        returns an ``(H, S)`` integer array of ``DISPATCH_*`` modes.
+        ``intensity`` has shape ``(H, C)`` and ``thresholds`` shape ``(C,)``;
+        returns an ``(H, C)`` integer array of ``DISPATCH_*`` modes.
         """
 
 
@@ -105,20 +122,22 @@ class GridOnlyDispatch(DispatchPolicy):
     name = "grid-only"
 
     def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
-        return np.full(len(sites), np.nan)
+        return np.full(len(site_packs(sites)), np.nan)
 
     def day_modes(self, intensity, thresholds) -> np.ndarray:
         return np.full(intensity.shape, DISPATCH_HOLD, dtype=np.int8)
 
 
 class CarbonBufferDispatch(DispatchPolicy):
-    """The paper's percentile heuristic applied to site aggregates.
+    """The paper's percentile heuristic applied per device-type pack.
 
-    Each day, each site's threshold is the P-th percentile of its previous
-    day's intensities (P from the device's charge-time fraction plus
-    ``percentile_margin``, or ``fixed_percentile`` when given).  Hours at or
-    below the threshold charge the pack from idle headroom; hours above it
-    serve device load from the pack down to ``min_state_of_charge``.
+    Each day, each pack's threshold is the P-th percentile of its site's
+    previous-day intensities (P from *that device type's* charge-time
+    fraction plus ``percentile_margin``, or ``fixed_percentile`` when
+    given — a Nexus 4 pack needs a different charge window than a Pixel 3A
+    pack on the same grid).  Hours at or below the threshold charge the pack
+    from idle headroom; hours above it serve that cohort's device load from
+    the pack down to ``min_state_of_charge``.
     """
 
     name = "carbon-buffer"
@@ -140,17 +159,18 @@ class CarbonBufferDispatch(DispatchPolicy):
         self.fixed_percentile = fixed_percentile
 
     def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
-        thresholds = np.full(len(sites), np.nan)
+        packs = site_packs(sites)
+        thresholds = np.full(len(packs), np.nan)
         if previous_intensity is None:
             return thresholds
-        for j, site in enumerate(sites):
-            battery = site.design.device.battery
+        for j, (site, entry) in enumerate(packs):
+            battery = entry.device.battery
             if battery is None:
                 continue
             threshold = threshold_from_intensities(
                 previous_intensity[:, j],
                 battery,
-                site.design.device.average_power_w(site.cohort.load_profile),
+                entry.device.average_power_w(entry.cohort.load_profile),
                 percentile_margin=self.percentile_margin,
                 fixed_percentile=self.fixed_percentile,
             )
@@ -247,31 +267,48 @@ class ForecastDispatch(DispatchPolicy):
         hours = intensity.shape[0]
         modes = self.fallback.day_modes(intensity, thresholds)
         day_start_s = self._day * hours * units.SECONDS_PER_HOUR
-        for j, site in enumerate(self._sites):
-            planned = self._plan_site_day(site, j, day_start_s, hours)
-            if planned is not None:
-                modes[:, j] = planned
+        pack_index = 0
+        for site_index, site in enumerate(self._sites):
+            for entry in site.cohorts:
+                planned = self._plan_pack_day(
+                    site, entry, pack_index, site_index, day_start_s, hours
+                )
+                if planned is not None:
+                    modes[:, pack_index] = planned
+                pack_index += 1
         self._day += 1
         return modes
 
-    # -- per-site planning -------------------------------------------------
+    # -- per-pack planning -------------------------------------------------
 
-    def _plan_site_day(
-        self, site: FleetSite, site_index: int, day_start_s: float, hours: int
+    def _plan_pack_day(
+        self,
+        site: FleetSite,
+        entry: SiteCohort,
+        pack_index: int,
+        site_index: int,
+        day_start_s: float,
+        hours: int,
     ) -> Optional[np.ndarray]:
-        """One site's planned modes for the day, or ``None`` to fall back."""
-        battery = site.design.device.battery
-        capacity_j = site.battery_capacity_j
+        """One pack's planned modes for the day, or ``None`` to fall back.
+
+        The forecast window is keyed on the *site* index — every pack at a
+        mixed site plans against the same forecast of their shared grid
+        (a noisy model must not perturb one physical quantity two ways) —
+        while SoC and capacity are per pack.
+        """
+        battery = entry.device.battery
+        capacity_j = entry.battery_capacity_j
         if battery is None or capacity_j <= 0:
             return None
-        demand_step_j = self._estimated_demand_j(site)
+        demand_step_j = self._estimated_demand_j(entry)
         charge_step_j = (
-            site.battery_charge_rate_w
+            entry.battery_charge_rate_w
             * (1.0 - self.demand_fraction)
             * units.SECONDS_PER_HOUR
         )
         soc = (
-            float(self._ledger.soc[site_index]) if self._ledger is not None else 1.0
+            float(self._ledger.soc[pack_index]) if self._ledger is not None else 1.0
         )
         planned = np.full(hours, DISPATCH_HOLD, dtype=np.int8)
         covered = 0
@@ -298,19 +335,23 @@ class ForecastDispatch(DispatchPolicy):
             )
         return planned if covered else None
 
-    def _estimated_demand_j(self, site: FleetSite) -> float:
-        """Estimated device energy (J) one hour of serving must deliver."""
-        served_rps = self.demand_fraction * site.capacity_rps
-        return max(0.0, site.device_power_w(served_rps)) * units.SECONDS_PER_HOUR
+    def _estimated_demand_j(self, entry: SiteCohort) -> float:
+        """Estimated device energy (J) one hour of serving one cohort must deliver."""
+        served_rps = self.demand_fraction * entry.capacity_rps
+        return max(0.0, entry.device_power_w(served_rps)) * units.SECONDS_PER_HOUR
 
 
 class EnergyLedger:
-    """Aggregate per-site battery state and the hourly dispatch physics.
+    """Per-device-type battery state and the hourly dispatch physics.
 
-    State-of-charge is a *fraction* per site: every live device carries its
-    own pack at the cohort-wide SoC, so the aggregate capacity follows the
-    live device count through churn while the fraction is preserved (a
-    failed device leaves with its pack; a fresh spare arrives charged).
+    Ledger columns are *packs*: one ``(site, cohort)`` entry per device type
+    per site (:func:`site_packs`), so a mixed Pixel 3A / Nexus 4 site tracks
+    two independent SoC fractions with their own capacities and charge
+    rates.  State-of-charge is a *fraction* per pack: every live device of a
+    type carries its own battery at the cohort-wide SoC, so the aggregate
+    capacity follows the live device count through churn while the fraction
+    is preserved (a failed device leaves with its pack; a fresh spare
+    arrives charged).
     """
 
     def __init__(
@@ -324,16 +365,19 @@ class EnergyLedger:
         if not min_state_of_charge <= initial_soc <= 1.0:
             raise ValueError("initial SoC must be within [min_soc, 1]")
         self.sites = list(sites)
+        self.packs = site_packs(self.sites)
         self.min_soc = min_state_of_charge
-        self.soc = np.full(len(self.sites), float(initial_soc))
+        self.soc = np.full(len(self.packs), float(initial_soc))
         self._has_battery = np.array(
-            [site.design.device.battery is not None for site in self.sites]
+            [entry.device.battery is not None for _, entry in self.packs]
         )
 
     def day_capabilities(self):
-        """Today's ``(capacity_j, charge_rate_w)`` arrays from live counts."""
-        capacity_j = np.array([site.battery_capacity_j for site in self.sites])
-        charge_rate_w = np.array([site.battery_charge_rate_w for site in self.sites])
+        """Today's ``(capacity_j, charge_rate_w)`` per-pack arrays from live counts."""
+        capacity_j = np.array([entry.battery_capacity_j for _, entry in self.packs])
+        charge_rate_w = np.array(
+            [entry.battery_charge_rate_w for _, entry in self.packs]
+        )
         return capacity_j, charge_rate_w
 
     def step(
@@ -347,12 +391,13 @@ class EnergyLedger:
     ):
         """Apply one hour of dispatch decisions; returns ``(battery_j, charge_j)``.
 
-        ``device_energy_j`` is the device-only energy each site must deliver
-        this hour (peripherals always stay on the grid); ``idle_fraction``
-        scales the aggregate charge rate — only idle headroom charges the
-        pack, devices busy serving requests do not.  Charging and
-        discharging are mutually exclusive by construction, discharge stops
-        at the SoC floor, and charging stops at a full pack.
+        All arrays are per pack.  ``device_energy_j`` is the device-only
+        energy each cohort must deliver this hour (peripherals always stay
+        on the grid); ``idle_fraction`` scales the aggregate charge rate —
+        only idle headroom charges the pack, devices busy serving requests
+        do not.  Charging and discharging are mutually exclusive by
+        construction, discharge stops at the SoC floor, and charging stops
+        at a full pack.
         """
         modes = np.asarray(modes)
         usable = self._has_battery & (capacity_j > 0)
@@ -377,29 +422,55 @@ class EnergyLedger:
         return battery_j, charge_j
 
 
-def estimate_site_savings(
-    site: FleetSite, min_state_of_charge: float = 0.25
+def estimate_cohort_savings(
+    site: FleetSite, entry: SiteCohort, min_state_of_charge: float = 0.25
 ) -> Optional[float]:
-    """Detached smart-charging study on one site's own context.
+    """Detached smart-charging study for one cohort on its site's trace.
 
     Runs the paper's per-device percentile study (the Fig. 7-style estimate)
-    against the site's device, grid trace, and load profile, returning the
-    median fractional daily savings — or ``None`` when the device has no
-    battery.  This is the single place that derives the trace/battery
-    context for the scenario runner's ``coupling="estimate"`` mode, so the
-    estimate and the coupled-dispatch mode share the same inputs.
+    against the cohort's device, the site's grid trace, and the cohort's
+    load profile, returning the median fractional daily savings — or
+    ``None`` when the device has no battery.
     """
-    if site.design.device.battery is None:
+    if entry.device.battery is None:
         return None
     from repro.charging import smart_charging_savings
 
     study = smart_charging_savings(
-        site.design.device,
+        entry.device,
         site.trace,
-        load_profile=site.cohort.load_profile,
+        load_profile=entry.cohort.load_profile,
         min_state_of_charge=min_state_of_charge,
     )
     return study.median_savings
+
+
+def estimate_site_savings(
+    site: FleetSite, min_state_of_charge: float = 0.25
+) -> Optional[float]:
+    """Detached smart-charging estimate for one (possibly mixed) site.
+
+    The single place that derives the trace/battery context for the scenario
+    runner's ``coupling="estimate"`` mode, so the estimate and the coupled
+    dispatch share one trace-level decision path.  Single-cohort sites
+    return their cohort's study directly (the historical behaviour); mixed
+    sites run one study per battery-backed cohort and weight the medians by
+    target deployment.  ``None`` when no cohort has a battery.
+    """
+    single = len(site.cohorts) == 1
+    weighted = 0.0
+    weight_total = 0
+    for entry in site.cohorts:
+        estimate = estimate_cohort_savings(site, entry, min_state_of_charge)
+        if estimate is None:
+            continue
+        if single:
+            return estimate
+        weighted += entry.target_size * estimate
+        weight_total += entry.target_size
+    if weight_total == 0:
+        return None
+    return weighted / weight_total
 
 
 def estimate_fleet_savings(

@@ -52,6 +52,22 @@ class SiteSummary:
 
 
 @dataclass(frozen=True)
+class CohortSummary:
+    """Aggregates for one device-type cohort of one site over the horizon."""
+
+    label: str
+    site: str
+    served_requests: float
+    replacement_carbon_g: float
+    availability: float
+    failures: int
+    battery_swaps: int
+    deployed: int
+    battery_discharge_kwh: float
+    device_energy_kwh: float
+
+
+@dataclass(frozen=True)
 class FleetReport:
     """Everything a fleet simulation measured.
 
@@ -98,6 +114,30 @@ class FleetReport:
     #: no forecast regret accounting was performed; the scenario runner fills
     #: it for forecast-dispatch runs.
     hindsight_avoided_g: Optional[float] = None
+    #: Per-device-type cohort series.  ``cohort_labels`` names each cohort
+    #: column (``site/device``, site-major order); ``cohort_site_index`` maps
+    #: each column to its site; hourly arrays have shape ``(T, C)`` and
+    #: daily arrays ``(D, C)``.  ``cohort_energy_kwh`` is *device-only*
+    #: energy (peripherals belong to the site); ``cohort_grid_kwh`` is grid
+    #: energy serving that cohort's device load, so per site
+    #: ``grid_kwh == sum(cohort_grid_kwh) + peripheral`` holds by
+    #: construction (battery-charging energy is tracked separately:
+    #: ``energy_kwh == grid_kwh + charge_kwh``).  ``None`` on reports built
+    #: before cohorts existed; the fleet simulation always fills them.
+    cohort_labels: Optional[Tuple[str, ...]] = None
+    cohort_site_index: Optional[np.ndarray] = None
+    cohort_target: Optional[np.ndarray] = None
+    cohort_served_rps: Optional[np.ndarray] = None
+    cohort_energy_kwh: Optional[np.ndarray] = None
+    cohort_grid_kwh: Optional[np.ndarray] = None
+    cohort_battery_kwh: Optional[np.ndarray] = None
+    cohort_charge_kwh: Optional[np.ndarray] = None
+    cohort_soc: Optional[np.ndarray] = None
+    cohort_active: Optional[np.ndarray] = None
+    cohort_replacement_carbon_g: Optional[np.ndarray] = None
+    cohort_battery_swaps: Optional[np.ndarray] = None
+    cohort_failures: Optional[np.ndarray] = None
+    cohort_deployed: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n_sites = len(self.site_names)
@@ -132,6 +172,62 @@ class FleetReport:
                 raise ValueError(
                     f"{name} has shape {array.shape}, expected "
                     f"({len(self.days)}, {n_sites})"
+                )
+        self._validate_cohort_series()
+
+    def _validate_cohort_series(self) -> None:
+        if self.cohort_labels is None:
+            return
+        n_cohorts = len(self.cohort_labels)
+        if n_cohorts < len(self.site_names):
+            raise ValueError(
+                f"{n_cohorts} cohort labels cannot cover "
+                f"{len(self.site_names)} sites"
+            )
+        for name, length in (
+            ("cohort_site_index", n_cohorts),
+            ("cohort_target", n_cohorts),
+        ):
+            array = getattr(self, name)
+            if array is None or array.shape != (length,):
+                shape = None if array is None else array.shape
+                raise ValueError(
+                    f"{name} has shape {shape}, expected ({length},)"
+                )
+        if self.cohort_site_index is not None:
+            site_index = np.asarray(self.cohort_site_index)
+            if site_index.min() < 0 or site_index.max() >= len(self.site_names):
+                raise ValueError(
+                    "cohort_site_index values must index into site_names"
+                )
+        for name in (
+            "cohort_served_rps",
+            "cohort_energy_kwh",
+            "cohort_grid_kwh",
+            "cohort_battery_kwh",
+            "cohort_charge_kwh",
+            "cohort_soc",
+        ):
+            array = getattr(self, name)
+            if array is None or array.shape != (len(self.hours), n_cohorts):
+                shape = None if array is None else array.shape
+                raise ValueError(
+                    f"{name} has shape {shape}, expected "
+                    f"({len(self.hours)}, {n_cohorts})"
+                )
+        for name in (
+            "cohort_active",
+            "cohort_replacement_carbon_g",
+            "cohort_battery_swaps",
+            "cohort_failures",
+            "cohort_deployed",
+        ):
+            array = getattr(self, name)
+            if array is None or array.shape != (len(self.days), n_cohorts):
+                shape = None if array is None else array.shape
+                raise ValueError(
+                    f"{name} has shape {shape}, expected "
+                    f"({len(self.days)}, {n_cohorts})"
                 )
 
     # ------------------------------------------------------------------
@@ -205,6 +301,57 @@ class FleetReport:
             return np.zeros(len(self.site_names))
         return self.battery_kwh.sum(axis=0)
 
+    # ------------------------------------------------------------------
+    # Per-device-type cohort accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def has_cohort_series(self) -> bool:
+        """True when the simulation tracked per-device-type cohort series."""
+        return self.cohort_labels is not None
+
+    @property
+    def n_cohorts(self) -> int:
+        """Cohort columns tracked (0 for pre-cohort reports)."""
+        return 0 if self.cohort_labels is None else len(self.cohort_labels)
+
+    def cohort_battery_discharge_kwh(self) -> np.ndarray:
+        """Per-cohort battery discharge throughput (kWh), shape ``(C,)``."""
+        if self.cohort_battery_kwh is None:
+            return np.zeros(self.n_cohorts)
+        return self.cohort_battery_kwh.sum(axis=0)
+
+    def cohort_summaries(self) -> List[CohortSummary]:
+        """Per-cohort aggregate rows, in site-major cohort order."""
+        if not self.has_cohort_series:
+            return []
+        discharge = self.cohort_battery_discharge_kwh()
+        summaries = []
+        for j, label in enumerate(self.cohort_labels):
+            site = self.site_names[int(self.cohort_site_index[j])]
+            target = float(self.cohort_target[j])
+            summaries.append(
+                CohortSummary(
+                    label=label,
+                    site=site,
+                    served_requests=float(
+                        self.cohort_served_rps[:, j].sum() * self.step_s
+                    ),
+                    replacement_carbon_g=float(
+                        self.cohort_replacement_carbon_g[:, j].sum()
+                    ),
+                    availability=float(
+                        np.mean(self.cohort_active[:, j] / target)
+                    ),
+                    failures=int(self.cohort_failures[:, j].sum()),
+                    battery_swaps=int(self.cohort_battery_swaps[:, j].sum()),
+                    deployed=int(self.cohort_deployed[:, j].sum()),
+                    battery_discharge_kwh=float(discharge[j]),
+                    device_energy_kwh=float(self.cohort_energy_kwh[:, j].sum()),
+                )
+            )
+        return summaries
+
     def site_carbon_avoided_g(self) -> np.ndarray:
         """Per-site operational carbon the dispatch ledger avoided (grams).
 
@@ -258,6 +405,20 @@ class FleetReport:
         """True when a hindsight-optimal counterfactual was recorded."""
         return self.hindsight_avoided_g is not None
 
+    def raw_forecast_regret_g(self) -> float:
+        """Signed regret (grams): hindsight-optimal minus realised avoided.
+
+        Unlike :meth:`forecast_regret_g` this is *not* clamped: the greedy
+        hindsight baseline ignores within-window setpoint ordering, so a
+        noisy forecast can occasionally luck into a plan the baseline
+        missed — and then the raw regret goes negative, which is worth
+        seeing rather than silently reading as zero.  ``0.0`` when no regret
+        accounting was performed.
+        """
+        if self.hindsight_avoided_g is None:
+            return 0.0
+        return self.hindsight_avoided_g - self.carbon_avoided_g()
+
     def forecast_regret_g(self) -> float:
         """Carbon (grams) left on the table versus the hindsight-optimal plan.
 
@@ -266,12 +427,13 @@ class FleetReport:
         regret by construction.  An imperfect forecast can, on rare windows,
         luck into a plan the greedy hindsight baseline missed; regret is
         clamped at zero so it reads as "how much a better forecast could
-        still recover", never as a negative debt.  ``0.0`` when no regret
+        still recover", never as a negative debt — the signed figure stays
+        visible as :meth:`raw_forecast_regret_g`.  ``0.0`` when no regret
         accounting was performed.
         """
         if self.hindsight_avoided_g is None:
             return 0.0
-        return max(0.0, self.hindsight_avoided_g - self.carbon_avoided_g())
+        return max(0.0, self.raw_forecast_regret_g())
 
     def served_fraction(self) -> float:
         """Fraction of offered demand that was served."""
@@ -358,6 +520,9 @@ class FleetReport:
         if self.has_regret_accounting:
             summary["hindsight_avoided_kg"] = self.hindsight_avoided_g / 1_000.0
             summary["forecast_regret_kg"] = self.forecast_regret_g() / 1_000.0
+            summary["forecast_regret_raw_kg"] = (
+                self.raw_forecast_regret_g() / 1_000.0
+            )
         return summary
 
 

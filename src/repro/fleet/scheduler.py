@@ -1,10 +1,16 @@
 """Carbon-aware multi-site request routing and the fleet simulation loop.
 
 Routing policies decide, hour by hour, how much of the fleet's request
-demand each site serves.  All three bundled policies are *capacity-feasible*
-(they never route more than a site can serve) and fully vectorized — an
-allocation for a whole year of hourly timesteps across all sites is a single
-NumPy pass:
+demand each *cohort segment* serves.  A segment is one
+:class:`~repro.fleet.sites.SiteCohort` of one site — sites mixing several
+device types expose one segment per type, each with its own capacity and
+marginal-CCI column, so carbon-aware routing can prefer the efficient
+device type *inside* a site, not just between sites.  A fleet of
+single-cohort sites has exactly one segment per site, reproducing the
+historical per-site allocation bit for bit.  All three bundled policies are
+*capacity-feasible* (they never route more than a segment can serve) and
+fully vectorized — an allocation for a whole year of hourly timesteps
+across all segments is a single NumPy pass:
 
 * :class:`RoundRobinRouting` — demand split proportional to live capacity,
   the carbon-oblivious baseline (DNS round-robin across healthy devices);
@@ -43,9 +49,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import units
-from repro.fleet.dispatch import DispatchPolicy
+from repro.fleet.dispatch import DispatchPolicy, site_packs
 from repro.fleet.reporting import FleetReport
-from repro.fleet.sites import FleetSite
+from repro.fleet.sites import FleetSite, SiteCohort
 from repro.microservices.calibration import SERVICE_TIME_SIGMA
 from repro.simulation.engine import Simulator, Timeout
 from repro.simulation.metrics import LatencyRecorder, LatencySummary, summarize
@@ -114,13 +120,13 @@ class DiurnalDemand:
 
 
 class RoutingPolicy(abc.ABC):
-    """Allocates hourly fleet demand across sites.
+    """Allocates hourly fleet demand across cohort segments.
 
     ``wear_derate`` enables battery-aware load shedding: the capacity the
-    policy sees for a site is scaled by ``1 - wear_derate * mean_battery_wear``
-    of its cohort, so heavily-cycled sites are offered less load and wear
-    out fewer replacement packs.  ``0`` (the default) reproduces the
-    wear-oblivious behaviour exactly.
+    policy sees for a segment is scaled by ``1 - wear_derate *
+    mean_battery_wear`` of its cohort, so heavily-cycled cohorts are offered
+    less load and wear out fewer replacement packs.  ``0`` (the default)
+    reproduces the wear-oblivious behaviour exactly.
     """
 
     name: str = "policy"
@@ -134,6 +140,10 @@ class RoutingPolicy(abc.ABC):
         """The capacity this policy offers to route toward one site."""
         return site.effective_capacity_rps(self.wear_derate)
 
+    def cohort_capacity_rps(self, entry: SiteCohort) -> float:
+        """The capacity this policy offers to route toward one cohort segment."""
+        return entry.effective_capacity_rps(self.wear_derate)
+
     @abc.abstractmethod
     def allocate(
         self,
@@ -142,13 +152,14 @@ class RoutingPolicy(abc.ABC):
         intensity: np.ndarray,
         marginal_g_per_request: np.ndarray,
     ) -> np.ndarray:
-        """Return served requests/s per ``(timestep, site)``.
+        """Return served requests/s per ``(timestep, segment)``.
 
         ``demand_rps`` has shape ``(T,)``; the three matrices have shape
-        ``(T, S)``.  Implementations must return a non-negative ``(T, S)``
-        allocation with per-site values bounded by ``capacity_rps`` and row
-        sums bounded by ``demand_rps`` (unmet demand is dropped and reported
-        by the simulation).
+        ``(T, C)`` for ``C`` cohort segments (``C == S`` when every site has
+        one cohort).  Implementations must return a non-negative ``(T, C)``
+        allocation with per-segment values bounded by ``capacity_rps`` and
+        row sums bounded by ``demand_rps`` (unmet demand is dropped and
+        reported by the simulation).
         """
 
     def request_key(self, site: FleetSite, now_s: float) -> Optional[float]:
@@ -262,14 +273,16 @@ class FleetSimulation:
     """Couples hourly carbon-aware routing with daily device-churn dynamics.
 
     Each simulated day steps through four phases: (1) the routing policy
-    allocates 24 hourly demand steps across the sites' live (wear-derated)
-    capacities and local grid intensities, (2) the dispatch policy — when
-    one is coupled in — co-decides per hour whether served device load draws
-    from grid or battery and whether idle headroom charges the packs,
-    (3) each site's operational carbon integrates the realised *wall* energy
-    (grid serving + battery charging) against its trace, and (4) each cohort
-    steps one day of aging, failures, battery wear, and spare deployment at
-    the utilisation the routing actually produced.
+    allocates 24 hourly demand steps across the cohort segments' live
+    (wear-derated) capacities, local grid intensities, and per-device-type
+    marginal-CCI terms, (2) the dispatch policy — when one is coupled in —
+    co-decides per hour whether each cohort's served device load draws from
+    grid or from its own battery pack and whether its idle headroom charges
+    the pack, (3) each site's operational carbon integrates the realised
+    *wall* energy (grid serving + battery charging) against its trace, and
+    (4) each cohort steps one day of aging, failures, battery wear, and
+    spare deployment at the utilisation the routing actually produced on
+    *that* device type, with its own independent RNG stream.
 
     Without a dispatch policy the batteries stay full (the decoupled
     baseline) and the grid/battery/charge series degenerate to
@@ -292,12 +305,35 @@ class FleetSimulation:
         self.policy = policy
         self.demand = demand
         self.dispatch = dispatch
+        #: Cohort segments in site-major order — the allocation columns.
+        self.segments = site_packs(self.sites)
+        #: Site index of each segment, and each site's first segment index
+        #: (the ``reduceat`` boundaries for per-site aggregation).
+        self._segment_site = np.array(
+            [
+                site_index
+                for site_index, site in enumerate(self.sites)
+                for _ in site.cohorts
+            ],
+            dtype=np.int64,
+        )
+        starts = []
+        cursor = 0
+        for site in self.sites:
+            starts.append(cursor)
+            cursor += len(site.cohorts)
+        self._site_starts = np.array(starts, dtype=np.int64)
+
+    def _per_site(self, array: np.ndarray) -> np.ndarray:
+        """Sum segment columns into site columns (identity for 1-cohort sites)."""
+        return np.add.reduceat(array, self._site_starts, axis=-1)
 
     def run(self, n_days: int) -> FleetReport:
         """Simulate ``n_days`` of virtual time and return the fleet report."""
         if n_days <= 0:
             raise ValueError("n_days must be positive")
         n_sites = len(self.sites)
+        n_cohorts = len(self.segments)
         hours_per_day = int(round(24.0 / HOURS_PER_STEP))
         step_s = HOURS_PER_STEP * units.SECONDS_PER_HOUR
         n_steps = n_days * hours_per_day
@@ -317,6 +353,22 @@ class FleetSimulation:
         failures = np.zeros((n_days, n_sites), dtype=np.int64)
         deployed = np.zeros((n_days, n_sites), dtype=np.int64)
 
+        cohort_served = np.zeros((n_steps, n_cohorts))
+        cohort_energy_kwh = np.zeros((n_steps, n_cohorts))
+        cohort_grid_kwh = np.zeros((n_steps, n_cohorts))
+        cohort_battery_kwh = np.zeros((n_steps, n_cohorts))
+        cohort_charge_kwh = np.zeros((n_steps, n_cohorts))
+        cohort_soc = np.ones((n_steps, n_cohorts))
+        cohort_active = np.zeros((n_days, n_cohorts), dtype=np.int64)
+        cohort_replacement_g = np.zeros((n_days, n_cohorts))
+        cohort_swaps = np.zeros((n_days, n_cohorts), dtype=np.int64)
+        cohort_failures = np.zeros((n_days, n_cohorts), dtype=np.int64)
+        cohort_deployed = np.zeros((n_days, n_cohorts), dtype=np.int64)
+
+        peripheral_kwh = np.array(
+            [site.peripheral_power_w for site in self.sites]
+        ) * (step_s / units.JOULES_PER_KWH)
+
         ledger = (
             self.dispatch.make_ledger(self.sites) if self.dispatch is not None else None
         )
@@ -327,14 +379,19 @@ class FleetSimulation:
             alloc, demand_rps, capacity, intensity = self._allocate_day(
                 day, hours_per_day, step_s
             )
-            served[rows] = alloc
+            cohort_served[rows] = alloc
+            served[rows] = self._per_site(alloc)
             dropped[rows] = demand_rps - alloc.sum(axis=1)
-            intensity_all[rows] = intensity
+            intensity_all[rows] = intensity[:, self._site_starts]
 
-            # Energy the sites need this day, from each site's power model.
-            total_kwh, device_kwh = self._site_energy_kwh(alloc, step_s)
+            # Device energy each cohort needs this day; site wall energy
+            # adds the (never battery-backed) peripheral draw once per site.
+            device_kwh = self._cohort_energy_kwh(alloc, step_s)
+            cohort_energy_kwh[rows] = device_kwh
+            total_kwh = self._per_site(device_kwh) + peripheral_kwh
 
             if ledger is None:
+                cohort_grid_kwh[rows] = device_kwh
                 grid_kwh[rows] = total_kwh
                 energy_kwh_all[rows] = total_kwh
             else:
@@ -342,23 +399,32 @@ class FleetSimulation:
                     ledger, alloc, intensity, device_kwh, step_s,
                     previous_intensity,
                 )
-                battery_kwh[rows] = day_battery
-                charge_kwh[rows] = day_charge
-                soc[rows] = day_soc
-                grid_kwh[rows] = total_kwh - day_battery
-                energy_kwh_all[rows] = grid_kwh[rows] + day_charge
+                cohort_battery_kwh[rows] = day_battery
+                cohort_charge_kwh[rows] = day_charge
+                cohort_soc[rows] = day_soc
+                cohort_grid_kwh[rows] = device_kwh - day_battery
+                battery_kwh[rows] = self._per_site(day_battery)
+                charge_kwh[rows] = self._per_site(day_charge)
+                soc[rows] = self._site_soc(day_soc, ledger)
+                grid_kwh[rows] = total_kwh - battery_kwh[rows]
+                energy_kwh_all[rows] = grid_kwh[rows] + charge_kwh[rows]
 
             # Operational carbon follows the wall energy the meter saw.
-            operational_g[rows] = energy_kwh_all[rows] * intensity
+            operational_g[rows] = energy_kwh_all[rows] * intensity_all[rows]
             previous_intensity = intensity
 
-            # Daily population step at the realised utilisation.
+            # Daily population step at the realised per-cohort utilisation.
             day_step = self._step_population(alloc)
-            active[day] = day_step["active"]
-            replacement_g[day] = day_step["replacement_carbon_g"]
-            battery_swaps[day] = day_step["battery_swaps"]
-            failures[day] = day_step["failures"]
-            deployed[day] = day_step["deployed"]
+            cohort_active[day] = day_step["active"]
+            cohort_replacement_g[day] = day_step["replacement_carbon_g"]
+            cohort_swaps[day] = day_step["battery_swaps"]
+            cohort_failures[day] = day_step["failures"]
+            cohort_deployed[day] = day_step["deployed"]
+            active[day] = self._per_site(day_step["active"])
+            replacement_g[day] = self._per_site(day_step["replacement_carbon_g"])
+            battery_swaps[day] = self._per_site(day_step["battery_swaps"])
+            failures[day] = self._per_site(day_step["failures"])
+            deployed[day] = self._per_site(day_step["deployed"])
 
         return FleetReport(
             policy_name=self.policy.name,
@@ -371,7 +437,10 @@ class FleetSimulation:
             days=np.arange(1, n_days + 1, dtype=float),
             active_devices=active,
             target_devices=np.array(
-                [site.cohort.policy.target_size for site in self.sites]
+                [
+                    sum(entry.target_size for entry in site.cohorts)
+                    for site in self.sites
+                ]
             ),
             replacement_carbon_g=replacement_g,
             battery_swaps=battery_swaps,
@@ -383,37 +452,56 @@ class FleetSimulation:
             battery_kwh=battery_kwh,
             charge_kwh=charge_kwh,
             soc=soc,
+            cohort_labels=tuple(
+                label for site in self.sites for label in site.cohort_labels()
+            ),
+            cohort_site_index=self._segment_site.copy(),
+            cohort_target=np.array(
+                [entry.target_size for _, entry in self.segments]
+            ),
+            cohort_served_rps=cohort_served,
+            cohort_energy_kwh=cohort_energy_kwh,
+            cohort_grid_kwh=cohort_grid_kwh,
+            cohort_battery_kwh=cohort_battery_kwh,
+            cohort_charge_kwh=cohort_charge_kwh,
+            cohort_soc=cohort_soc,
+            cohort_active=cohort_active,
+            cohort_replacement_carbon_g=cohort_replacement_g,
+            cohort_battery_swaps=cohort_swaps,
+            cohort_failures=cohort_failures,
+            cohort_deployed=cohort_deployed,
         )
 
     # -- per-day phases ----------------------------------------------------
 
     def _allocate_day(self, day: int, hours_per_day: int, step_s: float):
-        """Phase 1: route one day of hourly demand across the live sites."""
-        n_sites = len(self.sites)
+        """Phase 1: route one day of hourly demand across the live segments."""
+        n_cohorts = len(self.segments)
         times_s = (day * units.SECONDS_PER_DAY) + np.arange(hours_per_day) * step_s
         demand_rps = self.demand.series(hours_per_day, start_hour=day * 24.0)
-        capacity = np.empty((hours_per_day, n_sites))
-        intensity = np.empty((hours_per_day, n_sites))
-        marginal = np.empty((hours_per_day, n_sites))
-        for j, site in enumerate(self.sites):
-            capacity[:, j] = self.policy.site_capacity_rps(site)
-            intensity[:, j] = site.intensities_at(times_s)
-            marginal[:, j] = site.marginal_carbon_g_for_intensity(intensity[:, j])
+        capacity = np.empty((hours_per_day, n_cohorts))
+        intensity = np.empty((hours_per_day, n_cohorts))
+        marginal = np.empty((hours_per_day, n_cohorts))
+        site_intensity: Dict[int, np.ndarray] = {}
+        for j, (site, entry) in enumerate(self.segments):
+            site_index = int(self._segment_site[j])
+            if site_index not in site_intensity:
+                site_intensity[site_index] = site.intensities_at(times_s)
+            capacity[:, j] = self.policy.cohort_capacity_rps(entry)
+            intensity[:, j] = site_intensity[site_index]
+            marginal[:, j] = entry.marginal_carbon_g_for_intensity(intensity[:, j])
         alloc = self.policy.allocate(demand_rps, capacity, intensity, marginal)
         self._validate_allocation(alloc, demand_rps, capacity)
         return alloc, demand_rps, capacity, intensity
 
-    def _site_energy_kwh(self, alloc: np.ndarray, step_s: float):
-        """Total and device-only energy (kWh) each site needs per hour."""
-        total_kwh = np.empty_like(alloc)
+    def _cohort_energy_kwh(self, alloc: np.ndarray, step_s: float) -> np.ndarray:
+        """Device-only energy (kWh) each cohort needs per hour."""
         device_kwh = np.empty_like(alloc)
-        for j, site in enumerate(self.sites):
-            device_w = site.device_power_w(alloc[:, j])
-            device_kwh[:, j] = device_w * step_s / units.JOULES_PER_KWH
-            total_kwh[:, j] = (
-                (device_w + site.peripheral_power_w) * step_s / units.JOULES_PER_KWH
+        for j, (_, entry) in enumerate(self.segments):
+            device_kwh[:, j] = (
+                entry.device_power_w(alloc[:, j]) * step_s / units.JOULES_PER_KWH
             )
-        return total_kwh, device_kwh
+        return device_kwh
 
     def _dispatch_day(
         self,
@@ -424,7 +512,7 @@ class FleetSimulation:
         step_s: float,
         previous_intensity: Optional[np.ndarray],
     ):
-        """Phase 2: step the battery ledger through one day of dispatch."""
+        """Phase 2: step the per-pack battery ledger through one day of dispatch."""
         hours = alloc.shape[0]
         thresholds = self.dispatch.day_thresholds(previous_intensity, self.sites)
         modes = self.dispatch.day_modes(intensity, thresholds)
@@ -450,33 +538,61 @@ class FleetSimulation:
             soc[hour] = ledger.soc
         return battery, charge, soc
 
+    def _site_soc(self, pack_soc: np.ndarray, ledger) -> np.ndarray:
+        """Site-level SoC series: capacity-weighted mean over the site's packs.
+
+        Single-pack sites pass their pack's fraction through untouched (the
+        historical per-site series); mixed sites weight by today's pack
+        capacities, falling back to a plain mean when no pack holds energy.
+        """
+        n_sites = len(self.sites)
+        out = np.empty((pack_soc.shape[0], n_sites))
+        capacity_j, _ = ledger.day_capabilities()
+        for site_index in range(n_sites):
+            start = self._site_starts[site_index]
+            stop = (
+                self._site_starts[site_index + 1]
+                if site_index + 1 < n_sites
+                else pack_soc.shape[1]
+            )
+            if stop - start == 1:
+                out[:, site_index] = pack_soc[:, start]
+                continue
+            weights = capacity_j[start:stop]
+            total = weights.sum()
+            if total > 0:
+                out[:, site_index] = pack_soc[:, start:stop] @ weights / total
+            else:
+                out[:, site_index] = pack_soc[:, start:stop].mean(axis=1)
+        return out
+
     def _physical_utilization(self, alloc: np.ndarray) -> np.ndarray:
-        """Per-``(hour, site)`` utilisation against *non-derated* capacity.
+        """Per-``(hour, segment)`` utilisation against *non-derated* capacity.
 
         Battery cycling and charge headroom both follow what the devices
-        physically do, so utilisation is measured against
-        :attr:`~repro.fleet.sites.FleetSite.capacity_rps` regardless of any
+        physically do, so utilisation is measured against each cohort's
+        :attr:`~repro.fleet.sites.SiteCohort.capacity_rps` regardless of any
         routing-level wear derate.
         """
-        physical = np.array([site.capacity_rps for site in self.sites])
+        physical = np.array([entry.capacity_rps for _, entry in self.segments])
         with np.errstate(invalid="ignore", divide="ignore"):
             util = np.where(physical > 0, alloc / physical, 0.0)
         return np.clip(util, 0.0, 1.0)
 
     def _step_population(self, alloc: np.ndarray) -> Dict[str, np.ndarray]:
-        """Phase 4: one day of churn per cohort at the realised utilisation."""
-        n_sites = len(self.sites)
+        """Phase 4: one day of churn per cohort at its realised utilisation."""
+        n_cohorts = len(self.segments)
         out = {
-            "active": np.zeros(n_sites, dtype=np.int64),
-            "replacement_carbon_g": np.zeros(n_sites),
-            "battery_swaps": np.zeros(n_sites, dtype=np.int64),
-            "failures": np.zeros(n_sites, dtype=np.int64),
-            "deployed": np.zeros(n_sites, dtype=np.int64),
+            "active": np.zeros(n_cohorts, dtype=np.int64),
+            "replacement_carbon_g": np.zeros(n_cohorts),
+            "battery_swaps": np.zeros(n_cohorts, dtype=np.int64),
+            "failures": np.zeros(n_cohorts, dtype=np.int64),
+            "deployed": np.zeros(n_cohorts, dtype=np.int64),
         }
         utilization = self._physical_utilization(alloc)
-        for j, site in enumerate(self.sites):
+        for j, (_, entry) in enumerate(self.segments):
             mean_util = float(np.mean(utilization[:, j]))
-            step = site.cohort.step(1.0, utilization=mean_util)
+            step = entry.cohort.step(1.0, utilization=mean_util)
             out["active"][j] = step.active
             out["replacement_carbon_g"][j] = step.replacement_carbon_g
             out["battery_swaps"][j] = step.battery_swaps
@@ -492,7 +608,7 @@ class FleetSimulation:
         if np.any(alloc < -tol):
             raise ValueError("policy produced a negative allocation")
         if np.any(alloc > capacity + tol):
-            raise ValueError("policy allocated beyond site capacity")
+            raise ValueError("policy allocated beyond segment capacity")
         if np.any(alloc.sum(axis=1) > demand * (1 + tol) + tol):
             raise ValueError("policy served more than the offered demand")
 
@@ -527,9 +643,18 @@ def _effective_device_slots(policy: RoutingPolicy, site: FleetSite) -> int:
 
     The wear-derated capacity divided back into whole devices; rounded (not
     truncated) so the float division ``active * rate * 1.0 / rate`` cannot
-    drop a device to representation error when the derate is off.
+    drop a device to representation error when the derate is off.  Mixed
+    sites divide by the target-weighted mean per-device rate, so the slot
+    count still approximates the live device count.
     """
-    return max(1, int(round(policy.site_capacity_rps(site) / site.requests_per_device_s)))
+    return max(
+        1,
+        int(
+            round(
+                policy.site_capacity_rps(site) / site.nominal_requests_per_device_s
+            )
+        ),
+    )
 
 
 def simulate_latency_aware(
@@ -598,7 +723,9 @@ def simulate_latency_aware(
         )
         for site in sites
     }
-    service_s = {site.name: 1.0 / site.requests_per_device_s for site in sites}
+    service_s = {
+        site.name: 1.0 / site.nominal_requests_per_device_s for site in sites
+    }
 
     # The lognormal factor stream has mean exp(sigma^2/2); the correction
     # keeps the drawn mean at 1/rate so distributions differ in shape only.
@@ -622,7 +749,10 @@ def simulate_latency_aware(
             # has served the smallest share of its capacity so far.
             shares = [
                 routed_by_site[site.name]
-                / (effective_devices[site.name] * site.requests_per_device_s)
+                / (
+                    effective_devices[site.name]
+                    * site.nominal_requests_per_device_s
+                )
                 for site in sites
             ]
             best = int(np.argmin(shares))

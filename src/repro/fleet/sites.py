@@ -3,13 +3,24 @@
 A :class:`FleetSite` binds together the three things the fleet scheduler
 needs to know about a location:
 
-* a :class:`~repro.cluster.cloudlet.CloudletDesign` (device type,
-  peripherals, network topology) sized at the site's target fleet;
+* a :class:`~repro.cluster.cloudlet.CloudletDesign` (peripherals, network
+  topology, primary device type) sized at the site's target fleet;
 * the site's own :class:`~repro.grid.traces.GridTrace` — every site sees a
   *different* carbon-intensity time series, which is what makes carbon-aware
   routing pay off;
-* a :class:`~repro.fleet.population.DeviceCohort` modelling the devices
-  actually deployed there, with their intake/churn dynamics.
+* one or more :class:`SiteCohort` entries — typed
+  :class:`~repro.fleet.population.DeviceCohort` populations deployed there,
+  each with its own intake/churn dynamics, request rate, and battery pack.
+
+A junkyard cloudlet is built from whatever arrives, so the realistic rack is
+*mixed*: a site may hold a Pixel 3A cohort and a Nexus 4 cohort side by
+side.  Every per-device-type quantity (capacity, idle/peak power, dynamic
+energy per request, marginal CCI, aggregate battery pack) lives on
+:class:`SiteCohort`; the site aggregates across cohorts, and the scheduler
+and dispatch layers consume the per-cohort terms directly, so routing can
+prefer the efficient device type inside a site and the battery ledger can
+track each pack type separately.  A site built with a single cohort behaves
+exactly like the historical one-cohort ``FleetSite``.
 
 Three regional trace-generator presets accompany the paper's CAISO-like
 generator so multi-site scenarios span realistically different grids:
@@ -30,7 +41,7 @@ interface (see ROADMAP open items).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +55,7 @@ from repro.devices.specs import DeviceSpec
 from repro.fleet.population import (
     DeviceCohort,
     FailureModel,
+    FleetPopulation,
     IntakeStream,
     ReplacementPolicy,
     steady_state_intake_rate,
@@ -126,28 +138,34 @@ def regional_trace(region: str, n_days: int = 30, seed: int = 2021) -> GridTrace
 
 
 @dataclass
-class FleetSite:
-    """One cloudlet location participating in multi-site orchestration."""
+class SiteCohort:
+    """One typed device cohort deployed at a site.
 
-    name: str
-    design: CloudletDesign
-    trace: GridTrace
+    Binds a :class:`~repro.fleet.population.DeviceCohort` to the per-type
+    service rate it delivers and exposes every per-device-type quantity the
+    scheduler and dispatch layers consume: capacity, idle/peak power,
+    dynamic energy per request, marginal CCI, and the aggregate battery
+    pack.  A :class:`FleetSite` holds one entry per device type; the site's
+    *design share* of a cohort is its fraction of the site's target
+    deployment.
+    """
+
     cohort: DeviceCohort
     requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S
-    #: Round-trip network latency between the fleet's clients and this site;
-    #: the DES-backed scheduler path adds it once per request.
-    network_rtt_s: float = 0.010
 
     def __post_init__(self) -> None:
         if self.requests_per_device_s <= 0:
             raise ValueError("per-device request rate must be positive")
-        if self.network_rtt_s < 0:
-            raise ValueError("network RTT must be non-negative")
-        if self.design.device.name != self.cohort.device.name:
-            raise ValueError(
-                f"site {self.name!r}: design device {self.design.device.name!r} "
-                f"differs from cohort device {self.cohort.device.name!r}"
-            )
+
+    @property
+    def device(self) -> DeviceSpec:
+        """The device type this cohort deploys."""
+        return self.cohort.device
+
+    @property
+    def target_size(self) -> int:
+        """The deployment this cohort tries to keep active."""
+        return self.cohort.policy.target_size
 
     # -- capacity ----------------------------------------------------------
 
@@ -156,14 +174,13 @@ class FleetSite:
         """Current request capacity (requests/s) given the live population."""
         return self.cohort.active_count * self.requests_per_device_s
 
-    def effective_capacity_rps(self, wear_derate: float = 0.0) -> float:
-        """Capacity after battery-wear load shedding.
+    @property
+    def nominal_capacity_rps(self) -> float:
+        """Capacity at full target deployment (requests/s)."""
+        return self.target_size * self.requests_per_device_s
 
-        A routing policy with ``wear_derate = k`` treats the site as if its
-        capacity were scaled by ``1 - k * mean_battery_wear``: cohorts whose
-        packs are near end-of-life shed load, trading a little operational
-        carbon for fewer replacement packs (and their embodied carbon).
-        """
+    def effective_capacity_rps(self, wear_derate: float = 0.0) -> float:
+        """Capacity after battery-wear load shedding (see :class:`FleetSite`)."""
         if wear_derate <= 0.0:
             return self.capacity_rps
         derate = max(0.0, 1.0 - wear_derate * self.cohort.mean_battery_wear())
@@ -174,12 +191,12 @@ class FleetSite:
     @property
     def idle_power_w(self) -> float:
         """Per-device idle draw (W)."""
-        return self.design.device.power_model.idle_power_w
+        return self.device.power_model.idle_power_w
 
     @property
     def peak_power_w(self) -> float:
         """Per-device full-load draw (W)."""
-        return self.design.device.power_model.peak_power_w
+        return self.device.power_model.peak_power_w
 
     @property
     def dynamic_energy_per_request_j(self) -> float:
@@ -190,19 +207,215 @@ class FleetSite:
         """
         return (self.peak_power_w - self.idle_power_w) / self.requests_per_device_s
 
-    def power_w(self, served_rps):
-        """Total site draw (W) while serving ``served_rps`` requests/s.
+    def device_power_w(self, served_rps):
+        """Device-only cohort draw (W) while serving ``served_rps`` requests/s.
 
-        Active devices idle at their floor, each served request adds its
-        dynamic energy, and peripherals (fans, plugs, access points) draw
-        their constant overhead.  Accepts a scalar or an array of rates.
+        Active devices idle at their floor and each served request adds its
+        dynamic energy; peripherals belong to the site, not the cohort.
+        Accepts a scalar or an array of rates.
         """
         served = np.asarray(served_rps, dtype=float)
         if np.any(served < 0):
             raise ValueError("served rate must be non-negative")
-        device_floor = self.cohort.active_count * self.idle_power_w
-        dynamic = served * self.dynamic_energy_per_request_j
-        result = device_floor + dynamic + self.design.peripherals.total_power_w
+        result = (
+            self.cohort.active_count * self.idle_power_w
+            + served * self.dynamic_energy_per_request_j
+        )
+        return float(result) if np.isscalar(served_rps) else result
+
+    # -- aggregate battery pack (one ledger entry per cohort) --------------
+
+    @property
+    def battery_capacity_j(self) -> float:
+        """Usable aggregate battery capacity (J) of the live population."""
+        battery = self.device.battery
+        if battery is None:
+            return 0.0
+        return self.cohort.active_count * battery.capacity_joules
+
+    @property
+    def battery_charge_rate_w(self) -> float:
+        """Aggregate rated charge power (W) of the live population."""
+        battery = self.device.battery
+        if battery is None:
+            return 0.0
+        return self.cohort.active_count * battery.charge_rate_w
+
+    # -- carbon ------------------------------------------------------------
+
+    def marginal_carbon_g_for_intensity(self, intensity_g_per_kwh, include_wear: bool = True):
+        """Marginal carbon (g) of one request on this cohort at an intensity.
+
+        The per-device-type term carbon-aware routing ranks: dynamic energy
+        per request times grid intensity, plus (optionally) the amortised
+        battery-wear carbon.  Accepts a scalar or an array of intensities.
+        """
+        grams = (
+            self.dynamic_energy_per_request_j
+            * np.asarray(intensity_g_per_kwh, dtype=float)
+            / units.JOULES_PER_KWH
+        )
+        if include_wear:
+            grams = grams + self.battery_wear_g_per_request()
+        return float(grams) if np.isscalar(intensity_g_per_kwh) else grams
+
+    def battery_wear_g_per_request(self) -> float:
+        """Embodied battery carbon amortised per request served.
+
+        Every joule pushed through the battery consumes cycle life; once the
+        pack wears out its replacement re-introduces embodied carbon.  Cohorts
+        whose policy never swaps batteries carry no wear cost (the device is
+        retired and its successor arrives carbon-free, per the paper's
+        reuse convention).
+        """
+        battery = self.device.battery
+        if battery is None or not self.cohort.policy.swap_batteries:
+            return 0.0
+        wear_g_per_joule = units.kg_to_grams(battery.embodied_carbon_kgco2e) / (
+            battery.cycle_life * battery.capacity_joules
+        )
+        return wear_g_per_joule * self.dynamic_energy_per_request_j
+
+
+@dataclass
+class FleetSite:
+    """One cloudlet location participating in multi-site orchestration.
+
+    A site holds one or more typed cohorts.  The historical single-cohort
+    construction (``cohort=...`` plus ``requests_per_device_s=...``) still
+    works and is exactly equivalent to ``cohorts=(SiteCohort(...),)``; mixed
+    sites pass ``cohorts=`` directly.  Site-level properties aggregate
+    across cohorts (sums for capacity/power/battery, the best available
+    cohort for the marginal), while the per-type terms live on the
+    :class:`SiteCohort` entries the scheduler and dispatch layers iterate.
+    """
+
+    name: str
+    design: CloudletDesign
+    trace: GridTrace
+    cohort: Optional[DeviceCohort] = None
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S
+    #: Round-trip network latency between the fleet's clients and this site;
+    #: the DES-backed scheduler path adds it once per request.
+    network_rtt_s: float = 0.010
+    cohorts: Tuple[SiteCohort, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.network_rtt_s < 0:
+            raise ValueError("network RTT must be non-negative")
+        if self.cohorts:
+            if self.cohort is not None:
+                raise ValueError(
+                    f"site {self.name!r}: pass either cohort= or cohorts=, not both"
+                )
+            self.cohorts = tuple(self.cohorts)
+        else:
+            if self.cohort is None:
+                raise ValueError(f"site {self.name!r} needs at least one cohort")
+            self.cohorts = (
+                SiteCohort(
+                    cohort=self.cohort,
+                    requests_per_device_s=self.requests_per_device_s,
+                ),
+            )
+        # Back-compat aliases: the primary cohort is the first entry.
+        self.cohort = self.cohorts[0].cohort
+        self.requests_per_device_s = self.cohorts[0].requests_per_device_s
+        self.population = FleetPopulation([entry.cohort for entry in self.cohorts])
+        cohort_devices = [entry.device.name for entry in self.cohorts]
+        if self.design.device.name not in cohort_devices:
+            raise ValueError(
+                f"site {self.name!r}: design device {self.design.device.name!r} "
+                f"differs from cohort devices {cohort_devices}"
+            )
+
+    # -- cohort labelling --------------------------------------------------
+
+    def cohort_labels(self) -> Tuple[str, ...]:
+        """One stable label per cohort: ``site/device``."""
+        return tuple(
+            f"{self.name}/{entry.device.name}" for entry in self.cohorts
+        )
+
+    def design_shares(self) -> Tuple[float, ...]:
+        """Each cohort's fraction of the site's target deployment."""
+        total = sum(entry.target_size for entry in self.cohorts)
+        return tuple(entry.target_size / total for entry in self.cohorts)
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_rps(self) -> float:
+        """Current request capacity (requests/s) given the live populations."""
+        return sum(entry.capacity_rps for entry in self.cohorts)
+
+    def effective_capacity_rps(self, wear_derate: float = 0.0) -> float:
+        """Capacity after battery-wear load shedding.
+
+        A routing policy with ``wear_derate = k`` treats each cohort as if
+        its capacity were scaled by ``1 - k * mean_battery_wear``: cohorts
+        whose packs are near end-of-life shed load, trading a little
+        operational carbon for fewer replacement packs (and their embodied
+        carbon).
+        """
+        return sum(
+            entry.effective_capacity_rps(wear_derate) for entry in self.cohorts
+        )
+
+    @property
+    def nominal_requests_per_device_s(self) -> float:
+        """Target-weighted mean per-device rate (exact for one cohort)."""
+        if len(self.cohorts) == 1:
+            return self.cohorts[0].requests_per_device_s
+        total = sum(entry.target_size for entry in self.cohorts)
+        return (
+            sum(entry.nominal_capacity_rps for entry in self.cohorts) / total
+        )
+
+    # -- power (site-level; primary cohort for per-device figures) ---------
+
+    @property
+    def idle_power_w(self) -> float:
+        """Per-device idle draw of the primary cohort (W)."""
+        return self.cohorts[0].idle_power_w
+
+    @property
+    def peak_power_w(self) -> float:
+        """Per-device full-load draw of the primary cohort (W)."""
+        return self.cohorts[0].peak_power_w
+
+    @property
+    def dynamic_energy_per_request_j(self) -> float:
+        """Incremental energy per request of the primary cohort (J)."""
+        return self.cohorts[0].dynamic_energy_per_request_j
+
+    def split_served_rps(self, served_rps):
+        """Split a site-level served rate across cohorts by capacity share.
+
+        Used only by the site-level convenience :meth:`power_w`; the fleet
+        scheduler allocates per cohort directly and never aggregates first.
+        """
+        served = np.asarray(served_rps, dtype=float)
+        capacities = np.array([entry.capacity_rps for entry in self.cohorts])
+        total = capacities.sum()
+        if total <= 0:
+            return [served * 0.0 for _ in self.cohorts]
+        return [served * (capacity / total) for capacity in capacities]
+
+    def power_w(self, served_rps):
+        """Total site draw (W) while serving ``served_rps`` requests/s.
+
+        Active devices idle at their floor, each served request adds its
+        cohort's dynamic energy (site-level rates are split across cohorts
+        proportional to live capacity), and peripherals (fans, plugs, access
+        points) draw their constant overhead.  Accepts a scalar or an array.
+        """
+        served = np.asarray(served_rps, dtype=float)
+        if np.any(served < 0):
+            raise ValueError("served rate must be non-negative")
+        result = self.design.peripherals.total_power_w
+        for entry, share in zip(self.cohorts, self.split_served_rps(served)):
+            result = result + entry.device_power_w(share)
         return float(result) if np.isscalar(served_rps) else result
 
     @property
@@ -219,23 +432,17 @@ class FleetSite:
         """
         return self.power_w(served_rps) - self.peripheral_power_w
 
-    # -- aggregate battery pack (the dispatch ledger's view) ---------------
+    # -- aggregate battery pack (sum over the per-cohort ledgers) ----------
 
     @property
     def battery_capacity_j(self) -> float:
-        """Usable aggregate battery capacity (J) of the live population."""
-        battery = self.design.device.battery
-        if battery is None:
-            return 0.0
-        return self.cohort.active_count * battery.capacity_joules
+        """Usable aggregate battery capacity (J) across every cohort."""
+        return sum(entry.battery_capacity_j for entry in self.cohorts)
 
     @property
     def battery_charge_rate_w(self) -> float:
-        """Aggregate rated charge power (W) of the live population."""
-        battery = self.design.device.battery
-        if battery is None:
-            return 0.0
-        return self.cohort.active_count * battery.charge_rate_w
+        """Aggregate rated charge power (W) across every cohort."""
+        return sum(entry.battery_charge_rate_w for entry in self.cohorts)
 
     # -- carbon ------------------------------------------------------------
 
@@ -250,40 +457,31 @@ class FleetSite:
     def marginal_carbon_g_for_intensity(self, intensity_g_per_kwh, include_wear: bool = True):
         """Marginal carbon (g) of one request at a given grid intensity.
 
-        The single source of truth for the per-request marginal used by every
-        routing path (vectorized hourly, scalar DES) — accepts a scalar or an
-        array of intensities.  ``include_wear=False`` gives the energy-only
-        marginal (the greedy lowest-intensity ranking).
+        Site-level view: the *best* (lowest) cohort marginal, since the next
+        request routed here lands on the most efficient device type with
+        headroom.  The per-cohort terms live on :class:`SiteCohort`, which is
+        what the vectorized scheduler ranks; this aggregate serves the
+        per-request DES path and exploratory use.  ``include_wear=False``
+        gives the energy-only marginal (the greedy lowest-intensity ranking).
         """
-        grams = (
-            self.dynamic_energy_per_request_j
-            * np.asarray(intensity_g_per_kwh, dtype=float)
-            / units.JOULES_PER_KWH
-        )
-        if include_wear:
-            grams = grams + self.battery_wear_g_per_request()
-        return float(grams) if np.isscalar(intensity_g_per_kwh) else grams
+        marginals = [
+            entry.marginal_carbon_g_for_intensity(
+                intensity_g_per_kwh, include_wear=include_wear
+            )
+            for entry in self.cohorts
+        ]
+        if len(marginals) == 1:
+            return marginals[0]
+        best = np.minimum.reduce([np.asarray(m, dtype=float) for m in marginals])
+        return float(best) if np.isscalar(intensity_g_per_kwh) else best
 
     def marginal_carbon_g_per_request(self, time_s: float) -> float:
         """Marginal operational + wear carbon (g) of routing one request here."""
         return self.marginal_carbon_g_for_intensity(self.intensity_at(time_s))
 
     def battery_wear_g_per_request(self) -> float:
-        """Embodied battery carbon amortised per request served.
-
-        Every joule pushed through the battery consumes cycle life; once the
-        pack wears out its replacement re-introduces embodied carbon.  Sites
-        whose policy never swaps batteries carry no wear cost (the device is
-        retired and its successor arrives carbon-free, per the paper's
-        reuse convention).
-        """
-        battery = self.design.device.battery
-        if battery is None or not self.cohort.policy.swap_batteries:
-            return 0.0
-        wear_g_per_joule = units.kg_to_grams(battery.embodied_carbon_kgco2e) / (
-            battery.cycle_life * battery.capacity_joules
-        )
-        return wear_g_per_joule * self.dynamic_energy_per_request_j
+        """Amortised battery-wear carbon per request of the primary cohort."""
+        return self.cohorts[0].battery_wear_g_per_request()
 
 
 def default_intake_stream(
@@ -315,6 +513,83 @@ def default_intake_stream(
     )
 
 
+def site_from_cohorts(
+    name: str,
+    trace: GridTrace,
+    entries: Sequence[SiteCohort],
+    grid_label: str = "custom",
+    network_rtt_s: float = 0.010,
+) -> FleetSite:
+    """Build a (possibly mixed) smartphone cloudlet site from typed cohorts.
+
+    The cloudlet design follows the paper's recipe — smart plugs per phone,
+    fans sized per device type by the thermal model, a WiFi tree topology —
+    summed across cohorts, so a mixed Pixel 3A / Nexus 4 site carries
+    exactly the peripherals its two racks would carry side by side.  The
+    design's primary device (used for site-level per-device figures) is the
+    cohort with the largest target deployment, ties broken by entry order.
+    """
+    entries = tuple(entries)
+    if not entries:
+        raise ValueError("site needs at least one cohort")
+    total_devices = sum(entry.target_size for entry in entries)
+    primary = max(entries, key=lambda entry: entry.target_size)
+    total_fans = sum(
+        plan_cooling(entry.device, entry.target_size).fans for entry in entries
+    )
+    mix = " + ".join(
+        f"{entry.target_size}x {entry.device.name}" for entry in entries
+    )
+    peripherals = PeripheralSet.for_smartphone_cloudlet(
+        n_devices=total_devices, n_fans=total_fans, include_smart_plugs=True
+    )
+    design = CloudletDesign(
+        name=f"{name} ({mix})",
+        device=primary.device,
+        n_devices=total_devices,
+        energy_mix=EnergyMix(name=grid_label, trace=trace),
+        topology=wifi_tree_topology(),
+        peripherals=peripherals,
+        load_profile=primary.cohort.load_profile,
+        reused=True,
+    )
+    return FleetSite(
+        name=name,
+        design=design,
+        trace=trace,
+        cohorts=entries,
+        network_rtt_s=network_rtt_s,
+    )
+
+
+def build_site_cohort(
+    device: DeviceSpec,
+    n_devices: int,
+    seed: int = 0,
+    requests_per_device_s: float = DEFAULT_REQUESTS_PER_DEVICE_S,
+    load_profile: LoadProfile = LIGHT_MEDIUM,
+    intake: Optional[IntakeStream] = None,
+    failure_model: Optional[FailureModel] = None,
+    replacement_policy: Optional[ReplacementPolicy] = None,
+) -> SiteCohort:
+    """Build one typed :class:`SiteCohort` with the fleet's intake defaults."""
+    if n_devices <= 0:
+        raise ValueError("site needs a positive device count")
+    policy = replacement_policy or ReplacementPolicy(target_size=n_devices)
+    failures = failure_model or FailureModel()
+    if intake is None:
+        intake = default_intake_stream(device, policy, failures, load_profile)
+    cohort = DeviceCohort(
+        device=device,
+        policy=policy,
+        intake=intake,
+        failure_model=failures,
+        load_profile=load_profile,
+        seed=seed,
+    )
+    return SiteCohort(cohort=cohort, requests_per_device_s=requests_per_device_s)
+
+
 def site_on_trace(
     name: str,
     trace: GridTrace,
@@ -329,48 +604,31 @@ def site_on_trace(
     replacement_policy: Optional[ReplacementPolicy] = None,
     network_rtt_s: float = 0.010,
 ) -> FleetSite:
-    """Build a smartphone cloudlet site on an arbitrary grid trace.
+    """Build a single-cohort smartphone cloudlet site on an arbitrary trace.
 
     The cloudlet design follows the paper's recipe (smart plugs per phone,
     fans sized by the thermal model, a WiFi tree topology); the intake
     stream defaults to the steady-state replacement rate so the site can
     sustain its target size indefinitely.  ``trace`` may come from a regional
     preset, a measured CSV export (:meth:`~repro.grid.traces.GridTrace.from_csv`),
-    or any other :class:`~repro.grid.traces.GridTrace` source.
+    or any other :class:`~repro.grid.traces.GridTrace` source.  Mixed sites
+    go through :func:`site_from_cohorts` instead.
     """
-    if n_devices <= 0:
-        raise ValueError("site needs a positive device count")
-    policy = replacement_policy or ReplacementPolicy(target_size=n_devices)
-    failures = failure_model or FailureModel()
-    if intake is None:
-        intake = default_intake_stream(device, policy, failures, load_profile)
-    cooling = plan_cooling(device, n_devices)
-    design = CloudletDesign(
-        name=f"{name} ({n_devices}x {device.name})",
+    entry = build_site_cohort(
         device=device,
         n_devices=n_devices,
-        energy_mix=EnergyMix(name=grid_label, trace=trace),
-        topology=wifi_tree_topology(),
-        peripherals=PeripheralSet.for_smartphone_cloudlet(
-            n_devices=n_devices, n_fans=cooling.fans, include_smart_plugs=True
-        ),
-        load_profile=load_profile,
-        reused=True,
-    )
-    cohort = DeviceCohort(
-        device=device,
-        policy=policy,
-        intake=intake,
-        failure_model=failures,
-        load_profile=load_profile,
         seed=seed,
-    )
-    return FleetSite(
-        name=name,
-        design=design,
-        trace=trace,
-        cohort=cohort,
         requests_per_device_s=requests_per_device_s,
+        load_profile=load_profile,
+        intake=intake,
+        failure_model=failure_model,
+        replacement_policy=replacement_policy,
+    )
+    return site_from_cohorts(
+        name=name,
+        trace=trace,
+        entries=(entry,),
+        grid_label=grid_label,
         network_rtt_s=network_rtt_s,
     )
 
@@ -407,6 +665,45 @@ def phone_site(
         intake=intake,
         failure_model=failure_model,
         replacement_policy=replacement_policy,
+        network_rtt_s=network_rtt_s,
+    )
+
+
+def mixed_phone_site(
+    name: str,
+    region: str,
+    device_mix: Sequence,
+    n_trace_days: int = 30,
+    seed: int = 0,
+    network_rtt_s: float = 0.010,
+) -> FleetSite:
+    """Build one mixed-cohort cloudlet site on a regional grid preset.
+
+    ``device_mix`` lists ``(device, n_devices)`` or ``(device, n_devices,
+    requests_per_device_s)`` tuples, one per cohort.  Cohort ``k`` derives
+    its churn stream from ``seed`` for the first cohort (matching
+    :func:`phone_site` exactly) and from the pair ``(seed, k)`` for the
+    rest, so every cohort's RNG is independent and adding a cohort never
+    perturbs an existing one.
+    """
+    trace = regional_trace(region, n_days=n_trace_days, seed=2021 + seed)
+    entries = []
+    for index, item in enumerate(device_mix):
+        device, n_devices, *rest = item
+        rate = rest[0] if rest else DEFAULT_REQUESTS_PER_DEVICE_S
+        entries.append(
+            build_site_cohort(
+                device=device,
+                n_devices=n_devices,
+                seed=seed if index == 0 else (seed, index),
+                requests_per_device_s=rate,
+            )
+        )
+    return site_from_cohorts(
+        name=name,
+        trace=trace,
+        entries=entries,
+        grid_label=region,
         network_rtt_s=network_rtt_s,
     )
 

@@ -5,8 +5,10 @@ Where :mod:`repro.charging` and :mod:`repro.fleet.dispatch` react to the
 this package looks forward:
 
 * :mod:`repro.forecast.models` — :class:`ForecastModel` and the bundled
-  perfect / persistence / noisy-oracle forecasters, each turning a site's
-  :class:`~repro.grid.traces.GridTrace` into an hourly lookahead window;
+  perfect / persistence / noisy-oracle / CSV-ingested forecasters, each
+  producing an hourly lookahead intensity window (the first three from a
+  site's :class:`~repro.grid.traces.GridTrace`, :class:`CsvForecast` from
+  a measured day-ahead export);
 * :mod:`repro.forecast.planner` — :class:`LookaheadPlanner`, the greedy
   rank-by-forecast-intensity charge/discharge setpoint planner, plus
   :func:`hindsight_plan`, the same planner run on the true trace (the
@@ -18,7 +20,9 @@ The fleet couples these through
 """
 
 from repro.forecast.models import (
+    DAYAHEAD_SAMPLE_CSV,
     FORECAST_MODELS,
+    CsvForecast,
     ForecastModel,
     NoisyOracleForecast,
     PerfectForecast,
@@ -32,6 +36,8 @@ __all__ = [
     "PerfectForecast",
     "PersistenceForecast",
     "NoisyOracleForecast",
+    "CsvForecast",
+    "DAYAHEAD_SAMPLE_CSV",
     "FORECAST_MODELS",
     "forecast_model_by_name",
     "LookaheadPlanner",

@@ -13,7 +13,12 @@ fidelity axis the ROADMAP's "Dispatch lookahead" item asks about:
   information the paper's previous-day percentile heuristic consumes;
 * :class:`NoisyOracleForecast` — the truth degraded by seeded multiplicative
   lognormal noise with configurable sigma, interpolating between the two so
-  sweeps can show how savings decay as forecast skill erodes.
+  sweeps can show how savings decay as forecast skill erodes;
+* :class:`CsvForecast` — a *measured* day-ahead forecast read from a CSV
+  export (ElectricityMaps/WattTime-style), mirroring how measured intensity
+  CSVs feed :meth:`~repro.grid.traces.GridTrace.from_csv`: the file's
+  timestamped forecast series is sampled (with wrap-around) at the window's
+  hours, independent of the site's own trace.
 
 A model returns ``None`` when it cannot forecast a window (persistence on the
 first simulated day); consumers fall back to the non-forecast heuristic.
@@ -25,12 +30,18 @@ same way regardless of call order or process.
 from __future__ import annotations
 
 import abc
+import os
 from typing import Dict, Optional
 
 import numpy as np
 
 from repro import units
-from repro.grid.traces import GridTrace
+from repro.grid.traces import DATA_DIR, GridTrace
+
+#: A small checked-in sample of an hourly day-ahead intensity forecast (3
+#: days, same period as ``caiso_sample.csv``), in the column layout
+#: :class:`CsvForecast` defaults to.
+DAYAHEAD_SAMPLE_CSV = os.path.join(DATA_DIR, "caiso_dayahead_sample.csv")
 
 
 class ForecastModel(abc.ABC):
@@ -122,25 +133,72 @@ class NoisyOracleForecast(ForecastModel):
         return truth * factors
 
 
+class CsvForecast(ForecastModel):
+    """A measured day-ahead forecast loaded from a CSV export.
+
+    Real grid operators publish day-ahead intensity forecasts
+    (ElectricityMaps/WattTime-style exports) in exactly the timestamped-CSV
+    shape measured intensities arrive in, so this model ingests them through
+    the same parser (:meth:`~repro.grid.traces.GridTrace.from_csv`) and
+    serves windows by sampling the loaded series at the window's hour
+    starts, wrapping end-to-end like the simulation's own traces.  The
+    forecast is *independent of the site's trace* — its skill is whatever
+    the export's skill was — which is the point: it closes the loop from
+    synthetic forecast models to ingested ones.
+    """
+
+    name = "csv"
+
+    def __init__(
+        self,
+        path: str,
+        time_col: str = "timestamp",
+        intensity_col: str = "intensity_gco2_per_kwh",
+    ) -> None:
+        if not path:
+            raise ValueError("a CSV forecast needs a file path")
+        self.path = path
+        self.series = GridTrace.from_csv(
+            path, time_col=time_col, intensity_col=intensity_col
+        )
+
+    def window(self, trace, start_s, horizon_h, site_index=0):
+        times = self._hour_starts(start_s, horizon_h)
+        return self.series.intensities_at(times, wrap=True)
+
+
 #: Public model names resolvable by :func:`forecast_model_by_name` (and, with
 #: the sentinel ``"none"``, by :class:`~repro.scenarios.spec.ForecastSpec`).
 FORECAST_MODELS: Dict[str, type] = {
     PerfectForecast.name: PerfectForecast,
     PersistenceForecast.name: PersistenceForecast,
     NoisyOracleForecast.name: NoisyOracleForecast,
+    CsvForecast.name: CsvForecast,
 }
 
 
 def forecast_model_by_name(
-    name: str, noise_sigma: float = 0.1, seed: int = 0
+    name: str,
+    noise_sigma: float = 0.1,
+    seed: int = 0,
+    csv_path: Optional[str] = None,
+    time_col: str = "timestamp",
+    intensity_col: str = "intensity_gco2_per_kwh",
 ) -> ForecastModel:
     """Instantiate one of the bundled forecast models by its public name.
 
-    ``noise_sigma`` and ``seed`` only apply to the noisy oracle; the other
-    models ignore them (they carry no tunables).
+    ``noise_sigma`` and ``seed`` only apply to the noisy oracle, and the
+    CSV options only to the CSV ingester; the other models ignore them
+    (they carry no tunables).
     """
     if name == NoisyOracleForecast.name:
         return NoisyOracleForecast(noise_sigma=noise_sigma, seed=seed)
+    if name == CsvForecast.name:
+        if not csv_path:
+            raise ValueError(
+                "forecast model 'csv' needs csv_path naming the day-ahead export"
+            )
+        return CsvForecast(csv_path, time_col=time_col, intensity_col=intensity_col)
     try:
         cls = FORECAST_MODELS[name]
     except KeyError:

@@ -16,9 +16,10 @@ Bundled presets:
 * ``hydro-vs-ercot`` — the same two grids at low demand under greedy
   lowest-intensity routing, the regime where carbon-aware routing shows its
   largest win;
-* ``heterogeneous-cohorts`` — a Pixel 3A and a Nexus 4 cohort side by side
-  on the same Californian grid, where marginal-CCI routing must trade
-  device efficiency rather than grid cleanliness;
+* ``heterogeneous-cohorts`` — one *mixed* junkyard site holding a Pixel 3A
+  and a Nexus 4 cohort in the same rack (``SiteSpec.cohorts``), where
+  marginal-CCI routing trades device efficiency inside the site and each
+  device type carries its own battery ledger;
 * ``caiso-csv-sample`` — a single site driven by the checked-in measured-CSV
   sample, exercising the :meth:`~repro.grid.traces.GridTrace.from_csv`
   ingestion path;
@@ -176,21 +177,20 @@ register_scenario(
     ScenarioSpec(
         name="heterogeneous-cohorts",
         description=(
-            "A Pixel 3A and a Nexus 4 cohort side by side on the same "
-            "Californian grid: marginal-CCI routing trades device "
-            "efficiency instead of grid cleanliness"
+            "One true mixed junkyard site: a Pixel 3A and a Nexus 4 cohort "
+            "in the same rack on the same Californian grid — marginal-CCI "
+            "routing trades device efficiency inside the site, and each "
+            "device type carries its own battery ledger"
         ),
         sites=(
             SiteSpec(
-                name="pixel-cohort",
+                name="junkyard",
                 trace=TraceSpec(kind="regional", region="caiso-like"),
-                devices=DeviceMixSpec(device="Pixel 3A", count=120),
-            ),
-            SiteSpec(
-                name="nexus-cohort",
-                trace=TraceSpec(kind="regional", region="caiso-like"),
-                devices=DeviceMixSpec(
-                    device="Nexus 4", count=120, requests_per_device_s=8.0
+                cohorts=(
+                    DeviceMixSpec(device="Pixel 3A", count=120),
+                    DeviceMixSpec(
+                        device="Nexus 4", count=120, requests_per_device_s=8.0
+                    ),
                 ),
             ),
         ),

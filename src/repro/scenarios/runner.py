@@ -9,9 +9,12 @@ latency on the discrete-event engine, prices the realised churn through
 headroom — returning everything as one :class:`ScenarioResult`.
 
 Determinism: every stochastic component is seeded from ``spec.seed`` (site
-``i`` gets cohort seed ``seed + i`` and trace seed ``2021 + seed + i``,
-matching :func:`~repro.fleet.sites.phone_site`), so running the same spec
-twice yields identical results.
+``i``'s first cohort gets seed ``seed + i`` and its trace seed
+``2021 + seed + i``, matching :func:`~repro.fleet.sites.phone_site`; each
+further cohort ``k`` of a mixed site derives its independent stream from the
+pair ``(seed + i, k)``), so running the same spec twice yields identical
+results and a one-cohort site is seeded exactly as the historical
+single-cohort path was.
 """
 
 from __future__ import annotations
@@ -21,6 +24,9 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.cluster.peripherals import PeripheralSet
 from repro.devices.catalog import get_device
 from repro.economics.cost import FleetCostModel, OwnershipCost
 from repro.fleet.dispatch import (
@@ -40,13 +46,16 @@ from repro.fleet.scheduler import (
 )
 from repro.fleet.sites import (
     FleetSite,
+    SiteCohort,
+    build_site_cohort,
     default_intake_stream,
     regional_trace,
-    site_on_trace,
+    site_from_cohorts,
 )
 from repro.grid.traces import DATA_DIR, GridTrace
 from repro.scenarios.spec import (
     LOAD_PROFILE_REGISTRY,
+    DeviceMixSpec,
     ScenarioSpec,
     ScenarioValidationError,
     SiteSpec,
@@ -114,8 +123,14 @@ class ScenarioResult:
 
     @property
     def regret_g(self) -> float:
-        """Forecast regret (g): hindsight-optimal minus realised carbon avoided."""
+        """Forecast regret (g), clamped at zero (see :attr:`raw_regret_g`)."""
         return self.report.forecast_regret_g()
+
+    @property
+    def raw_regret_g(self) -> float:
+        """Signed forecast regret (g): negative when a noisy forecast lucked
+        past the greedy hindsight plan instead of being clamped to zero."""
+        return self.report.raw_forecast_regret_g()
 
     def summary_dict(self) -> Dict[str, object]:
         """Headline numbers, convenient for asserts, JSON dumps, and the CLI."""
@@ -194,22 +209,33 @@ class ScenarioRunner:
             duration_s=trace_spec.n_days * 86_400.0,
         )
 
-    def build_site(self, site: SiteSpec, index: int) -> FleetSite:
-        """Materialise one :class:`~repro.fleet.sites.FleetSite`."""
+    def build_cohort(
+        self, site: SiteSpec, mix: DeviceMixSpec, index: int, cohort_index: int
+    ) -> SiteCohort:
+        """Materialise one typed cohort of one site.
+
+        The first cohort derives its churn stream from ``seed + index``
+        (exactly the historical single-cohort seeding); each further cohort
+        ``k`` uses the pair ``(seed + index, k)``, so streams are mutually
+        independent and adding a cohort never perturbs an existing one.
+        """
         try:
-            device = get_device(site.devices.device)
+            device = get_device(mix.device)
         except KeyError as error:
-            raise ScenarioValidationError(
-                f"sites.{index}.devices.device: {error.args[0]}"
-            ) from None
+            where = (
+                f"sites.{index}.cohorts.{cohort_index}.device"
+                if site.cohorts
+                else f"sites.{index}.devices.device"
+            )
+            raise ScenarioValidationError(f"{where}: {error.args[0]}") from None
         churn = site.churn
-        load_profile = LOAD_PROFILE_REGISTRY[site.devices.load_profile]
+        load_profile = LOAD_PROFILE_REGISTRY[mix.load_profile]
         failure_model = FailureModel(
             annual_rate=churn.annual_failure_rate,
             age_acceleration_per_year=churn.age_acceleration_per_year,
         )
         replacement_policy = ReplacementPolicy(
-            target_size=site.devices.count,
+            target_size=mix.count,
             swap_batteries=churn.swap_batteries,
             max_battery_swaps=churn.max_battery_swaps,
         )
@@ -222,20 +248,31 @@ class ScenarioRunner:
             initial_spares=churn.initial_spares,
             poisson=churn.poisson_intake,
         )
-        return site_on_trace(
-            name=site.name,
-            trace=self.build_trace(site, index),
-            n_devices=site.devices.count,
+        base_seed = self.spec.seed + index
+        return build_site_cohort(
             device=device,
-            grid_label=(
-                site.trace.region if site.trace.kind == "regional" else site.trace.kind
-            ),
-            seed=self.spec.seed + index,
-            requests_per_device_s=site.devices.requests_per_device_s,
+            n_devices=mix.count,
+            seed=base_seed if cohort_index == 0 else (base_seed, cohort_index),
+            requests_per_device_s=mix.requests_per_device_s,
             load_profile=load_profile,
             intake=intake,
             failure_model=failure_model,
             replacement_policy=replacement_policy,
+        )
+
+    def build_site(self, site: SiteSpec, index: int) -> FleetSite:
+        """Materialise one (possibly mixed) :class:`~repro.fleet.sites.FleetSite`."""
+        entries = [
+            self.build_cohort(site, mix, index, cohort_index)
+            for cohort_index, mix in enumerate(site.device_mixes)
+        ]
+        return site_from_cohorts(
+            name=site.name,
+            trace=self.build_trace(site, index),
+            entries=entries,
+            grid_label=(
+                site.trace.region if site.trace.kind == "regional" else site.trace.kind
+            ),
             network_rtt_s=site.network_rtt_s,
         )
 
@@ -248,8 +285,9 @@ class ScenarioRunner:
     def nominal_capacity_rps(self) -> float:
         """Fleet capacity at full deployment (requests/s), from the spec alone."""
         return sum(
-            site.devices.count * site.devices.requests_per_device_s
+            mix.count * mix.requests_per_device_s
             for site in self.spec.sites
+            for mix in site.device_mixes
         )
 
     def build_demand(self) -> DiurnalDemand:
@@ -281,13 +319,33 @@ class ScenarioRunner:
         min_soc = self.spec.charging.min_state_of_charge
         if forecast.model == "none":
             return CarbonBufferDispatch(min_state_of_charge=min_soc)
-        return self._forecast_dispatch(
-            forecast_model_by_name(
+        return self._forecast_dispatch(self._forecast_model())
+
+    def _forecast_model(self):
+        """The forecast model the spec names, with CSV paths resolved.
+
+        A relative ``forecast.csv_path`` that does not exist locally falls
+        back to the bundled data directory, mirroring ``trace.csv_path``.
+        """
+        forecast = self.spec.forecast
+        csv_path = forecast.csv_path
+        if csv_path and not os.path.isabs(csv_path) and not os.path.exists(csv_path):
+            bundled = os.path.join(DATA_DIR, csv_path)
+            if os.path.exists(bundled):
+                csv_path = bundled
+        try:
+            return forecast_model_by_name(
                 forecast.model,
                 noise_sigma=forecast.noise_sigma,
                 seed=self.spec.seed,
+                csv_path=csv_path,
+                time_col=forecast.time_col,
+                intensity_col=forecast.intensity_col,
             )
-        )
+        except (OSError, ValueError) as error:
+            raise ScenarioValidationError(
+                f"forecast.csv_path: cannot load {forecast.csv_path!r}: {error}"
+            ) from None
 
     def _forecast_dispatch(self, model) -> ForecastDispatch:
         """A :class:`ForecastDispatch` for ``model``, parameterized by the spec.
@@ -372,39 +430,83 @@ class ScenarioRunner:
             hindsight_avoided = hindsight.carbon_avoided_g()
         return dataclasses.replace(report, hindsight_avoided_g=hindsight_avoided)
 
+    def _cost_model(self, site: FleetSite, entry, peripherals) -> FleetCostModel:
+        """A cost model for one cohort, priced from the scenario's economics."""
+        economics = self.spec.economics
+        return FleetCostModel(
+            device=entry.device,
+            n_devices=entry.target_size,
+            peripherals=peripherals,
+            load_profile=entry.cohort.load_profile,
+            electricity_usd_per_kwh=economics.electricity_usd_per_kwh,
+            battery_replacement_usd=economics.battery_replacement_usd,
+            battery_swap_labor_min=economics.battery_swap_labor_min,
+            labor_usd_per_hour=economics.labor_usd_per_hour,
+            intake_acquisition_usd=economics.intake_acquisition_usd,
+        )
+
     def _price_churn(
         self, sites: List[FleetSite], report: FleetReport
     ) -> Dict[str, OwnershipCost]:
+        """Per-site ownership + churn dollars, churn priced per device type.
+
+        Single-cohort sites take the historical path (one cost model, one
+        ``scenario_cost`` call).  Mixed sites price each cohort's swap parts,
+        swap labor, spare acquisition, and dispatched battery wear with
+        *that cohort's* device and pack (a Nexus 4 swap is not a Pixel 3A
+        swap), then combine: purchases sum per cohort, the site's realised
+        wall energy and its peripherals bill are charged once.
+        """
         economics = self.spec.economics
         if not economics.enabled:
             return {}
         costs: Dict[str, OwnershipCost] = {}
+        cohort_discharge = (
+            report.cohort_battery_discharge_kwh()
+            if report.has_cohort_series
+            else None
+        )
+        cohort_summaries = report.cohort_summaries()
         for index, summary in enumerate(report.site_summaries()):
             site = sites[index]
-            model = FleetCostModel(
-                device=site.design.device,
-                n_devices=site.cohort.policy.target_size,
-                peripherals=site.design.peripherals,
-                load_profile=site.cohort.load_profile,
-                electricity_usd_per_kwh=economics.electricity_usd_per_kwh,
-                battery_replacement_usd=economics.battery_replacement_usd,
-                battery_swap_labor_min=economics.battery_swap_labor_min,
-                labor_usd_per_hour=economics.labor_usd_per_hour,
-                intake_acquisition_usd=economics.intake_acquisition_usd,
-            )
             realised_kwh = (
                 float(report.energy_kwh[:, index].sum())
                 if report.energy_kwh is not None
                 else None
             )
-            costs[summary.name] = model.scenario_cost(
-                duration_days=self.spec.duration_days,
-                battery_swaps=summary.battery_swaps,
-                devices_deployed=summary.deployed,
-                energy_kwh=realised_kwh,
-                battery_throughput_kwh=float(
-                    report.site_battery_discharge_kwh()[index]
-                ),
+            if len(site.cohorts) == 1 or not report.has_cohort_series:
+                model = self._cost_model(
+                    site, site.cohorts[0], site.design.peripherals
+                )
+                costs[summary.name] = model.scenario_cost(
+                    duration_days=self.spec.duration_days,
+                    battery_swaps=summary.battery_swaps,
+                    devices_deployed=summary.deployed,
+                    energy_kwh=realised_kwh,
+                    battery_throughput_kwh=float(
+                        report.site_battery_discharge_kwh()[index]
+                    ),
+                )
+                continue
+            purchase_usd = 0.0
+            maintenance_usd = 0.0
+            cohort_offset = int(np.searchsorted(report.cohort_site_index, index))
+            for k, entry in enumerate(site.cohorts):
+                j = cohort_offset + k
+                cohort_summary = cohort_summaries[j]
+                model = self._cost_model(site, entry, PeripheralSet.empty())
+                purchase_usd += entry.target_size * entry.device.purchase_price_usd
+                maintenance_usd += model.churn_cost_usd(
+                    cohort_summary.battery_swaps, cohort_summary.deployed
+                )
+                maintenance_usd += model.battery_wear_cost_usd(
+                    float(cohort_discharge[j])
+                )
+            costs[summary.name] = OwnershipCost(
+                purchase_usd=purchase_usd,
+                peripherals_usd=site.design.peripherals.total_cost_usd,
+                energy_usd=(realised_kwh or 0.0) * economics.electricity_usd_per_kwh,
+                maintenance_usd=maintenance_usd,
             )
         return costs
 
@@ -414,9 +516,7 @@ class ScenarioRunner:
         routing = self.spec.routing
         if routing.latency_probe_s <= 0:
             return None
-        live_capacity = sum(
-            site.cohort.active_count * site.requests_per_device_s for site in sites
-        )
+        live_capacity = sum(site.capacity_rps for site in sites)
         if live_capacity <= 0:
             return None
         summary, _ = simulate_latency_aware(

@@ -170,19 +170,44 @@ class ChurnSpec:
 
 @dataclass(frozen=True)
 class SiteSpec:
-    """One cloudlet location: its grid, devices, churn policy, and network."""
+    """One cloudlet location: its grid, device cohorts, churn, and network.
+
+    A site deploys one or more typed device cohorts.  The historical single
+    ``devices`` field stays the one-cohort spelling; a *mixed* site lists
+    its per-type populations in ``cohorts`` instead (one
+    :class:`DeviceMixSpec` each — a junkyard rack of Pixel 3As next to
+    Nexus 4s is one site, not two co-located ones).  When ``cohorts`` is
+    non-empty it is the complete device description and ``devices`` is
+    ignored; the ``churn`` policy applies to every cohort (each with its own
+    independently seeded stream), with per-cohort target sizes from the
+    cohort counts.  Dotted-path overrides reach into the list as
+    ``sites.0.cohorts.1.count``.
+    """
 
     name: str
     trace: TraceSpec = field(default_factory=TraceSpec)
     devices: DeviceMixSpec = field(default_factory=DeviceMixSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     network_rtt_s: float = 0.010
+    cohorts: Tuple[DeviceMixSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ScenarioValidationError("name must be non-empty")
         if self.network_rtt_s < 0:
             raise ScenarioValidationError("network_rtt_s must be non-negative")
+        if not isinstance(self.cohorts, tuple):
+            object.__setattr__(self, "cohorts", tuple(self.cohorts))
+
+    @property
+    def device_mixes(self) -> Tuple[DeviceMixSpec, ...]:
+        """The site's device cohorts: ``cohorts`` when given, else ``devices``."""
+        return self.cohorts if self.cohorts else (self.devices,)
+
+    @property
+    def total_devices(self) -> int:
+        """Target device count summed across the site's cohorts."""
+        return sum(mix.count for mix in self.device_mixes)
 
 
 @dataclass(frozen=True)
@@ -316,11 +341,14 @@ class ForecastSpec:
     :class:`~repro.fleet.dispatch.ForecastDispatch` (see
     :mod:`repro.forecast.models`): ``"none"`` keeps the previous-day
     percentile heuristic (:class:`~repro.fleet.dispatch.CarbonBufferDispatch`),
-    ``"perfect"`` the oracle, ``"persistence"`` yesterday-repeats, and
+    ``"perfect"`` the oracle, ``"persistence"`` yesterday-repeats,
     ``"noisy"`` the oracle degraded by multiplicative lognormal noise of
-    ``noise_sigma`` (seeded from the scenario seed).  ``horizon_h`` is the
-    lookahead window the planner ranks and ``refresh_h`` how often it
-    re-plans (receding horizon); both in hours.
+    ``noise_sigma`` (seeded from the scenario seed), and ``"csv"`` a
+    measured day-ahead export read from ``csv_path`` (resolved against the
+    bundled data directory when a bare filename, exactly like
+    ``trace.csv_path``).  ``horizon_h`` is the lookahead window the planner
+    ranks and ``refresh_h`` how often it re-plans (receding horizon); both
+    in hours.
 
     A live forecast only acts through the coupled battery dispatch, so
     ``model != "none"`` requires ``charging.coupling == "dispatch"`` — the
@@ -332,6 +360,9 @@ class ForecastSpec:
     horizon_h: int = 24
     noise_sigma: float = 0.0
     refresh_h: int = 24
+    csv_path: Optional[str] = None
+    time_col: str = "timestamp"
+    intensity_col: str = "intensity_gco2_per_kwh"
 
     def __post_init__(self) -> None:
         if self.model not in FORECAST_MODEL_NAMES:
@@ -339,6 +370,8 @@ class ForecastSpec:
                 f"model must be one of {', '.join(FORECAST_MODEL_NAMES)}; "
                 f"got {self.model!r}"
             )
+        if self.model == "csv" and not self.csv_path:
+            raise ScenarioValidationError("csv_path is required when model='csv'")
         if self.horizon_h < 1:
             raise ScenarioValidationError("horizon_h must be >= 1")
         if not 1 <= self.refresh_h <= self.horizon_h:

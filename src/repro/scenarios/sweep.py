@@ -14,6 +14,16 @@ spec hash (the SHA-256 of the cell's canonical JSON): identical cells share
 one simulation, worker results are reassembled by key into row-major grid
 order, and — because every simulation is fully seeded — a parallel sweep is
 bitwise-identical to the serial one regardless of completion order.
+
+Hindsight-twin sharing: a forecast-dispatch cell's regret accounting needs a
+perfect-forecast twin simulation, and that twin depends only on the
+forecast-*stripped* spec (fleet, demand, routing, horizon — not the model or
+its noise).  A sweep whose axes vary only forecast quality would therefore
+re-simulate an identical twin per cell; instead the sweep groups cells by
+the hash of their perfect-forecast twin spec, simulates one twin per group
+(reusing a grid cell's own run when the twin *is* a grid cell), and injects
+the shared ``hindsight_avoided_g`` into the rest — bitwise-identical to
+per-cell twins because every simulation is fully seeded.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.fleet.scheduler import policy_by_name
-from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.runner import ScenarioResult, ScenarioRunner, run_scenario
 from repro.scenarios.spec import (
     ScenarioSpec,
     ScenarioValidationError,
@@ -101,22 +111,87 @@ def spec_hash(spec: ScenarioSpec) -> str:
     return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
 
 
-def _run_spec_json(text: str) -> ScenarioResult:
+def _run_spec_json(
+    text: str, hindsight_avoided_g: Optional[float] = None
+) -> ScenarioResult:
     """Process-pool entry point: rebuild the cell's spec and run it.
 
     Ships the spec as JSON rather than a pickled object so a worker always
     re-validates through the same :meth:`ScenarioSpec.from_json` path the
-    CLI and registry use.
+    CLI and registry use.  ``hindsight_avoided_g`` injects a shared
+    hindsight-twin figure for the regret accounting.
     """
-    return run_scenario(ScenarioSpec.from_json(text))
+    return ScenarioRunner(
+        ScenarioSpec.from_json(text), hindsight_avoided_g=hindsight_avoided_g
+    ).run()
 
 
-def _run_cells(specs: Sequence[ScenarioSpec], jobs: Optional[int]) -> List[ScenarioResult]:
+#: What a hindsight twin's ``carbon_avoided_g`` does *not* depend on: the
+#: forecast model/noise it replaces, plus the side analyses (DES latency
+#: probe, dollar pricing) whose results the twin run would discard.  The
+#: same canonical form keys twin *reuse*, so a perfect grid cell covers any
+#: twin that matches it after this normalisation.
+_TWIN_CANONICAL_OVERRIDES = {
+    "forecast.model": "perfect",
+    "forecast.noise_sigma": 0.0,
+    "routing.latency_probe_s": 0.0,
+    "economics.enabled": False,
+}
+
+
+def _hindsight_twin(spec: ScenarioSpec) -> Optional[ScenarioSpec]:
+    """The perfect-forecast twin whose run prices ``spec``'s regret.
+
+    ``None`` when the cell needs no twin: no coupled dispatch, no forecast,
+    or a perfect forecast (which is its own hindsight plan).  The twin
+    strips exactly what the hindsight figure ignores — the forecast model
+    and its noise, the latency probe, the economics — and keeps everything
+    it *does* depend on (fleet, demand, routing, horizon, refresh, seed).
+    """
+    if spec.charging.coupling != "dispatch":
+        return None
+    if spec.forecast.model in ("none", "perfect"):
+        return None
+    return spec.with_overrides(_TWIN_CANONICAL_OVERRIDES)
+
+
+def _run_unique(
+    unique: Dict[str, ScenarioSpec],
+    jobs: Optional[int],
+    hindsight: Optional[Dict[str, float]] = None,
+) -> Dict[str, ScenarioResult]:
+    """Run each unique spec once, serially or over a process pool."""
+    hindsight = hindsight or {}
+    if jobs is None or jobs == 1 or len(unique) <= 1:
+        return {
+            key: ScenarioRunner(
+                cell_spec, hindsight_avoided_g=hindsight.get(key)
+            ).run()
+            for key, cell_spec in unique.items()
+        }
+    with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
+        futures = {
+            key: pool.submit(
+                _run_spec_json, cell_spec.to_json(), hindsight.get(key)
+            )
+            for key, cell_spec in unique.items()
+        }
+        return {key: future.result() for key, future in futures.items()}
+
+
+def _run_cells(
+    specs: Sequence[ScenarioSpec],
+    jobs: Optional[int],
+    share_hindsight: bool = True,
+) -> List[ScenarioResult]:
     """Run every cell spec, serially or over a process pool, in grid order.
 
     Cells are keyed by spec hash either way: cells that hash equal share one
     simulation, and results are reassembled in grid order, so the serial and
-    parallel paths return identical tables.
+    parallel paths return identical tables.  With ``share_hindsight`` (the
+    default), forecast cells that share a forecast-stripped twin run one
+    hindsight simulation per group instead of one per cell — results are
+    bitwise-identical either way.
     """
     if jobs is not None and jobs < 1:
         raise ScenarioValidationError(f"jobs must be >= 1, got {jobs}")
@@ -124,20 +199,69 @@ def _run_cells(specs: Sequence[ScenarioSpec], jobs: Optional[int]) -> List[Scena
     unique: Dict[str, ScenarioSpec] = {}
     for key, cell_spec in zip(keys, specs):
         unique.setdefault(key, cell_spec)
-    if jobs is None or jobs == 1 or len(unique) <= 1:
-        results = {key: run_scenario(cell_spec) for key, cell_spec in unique.items()}
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
-            futures = {
-                key: pool.submit(_run_spec_json, cell_spec.to_json())
-                for key, cell_spec in unique.items()
-            }
-            results = {key: future.result() for key, future in futures.items()}
+
+    twin_keys: Dict[str, str] = {}
+    twins: Dict[str, ScenarioSpec] = {}
+    if share_hindsight:
+        for key, cell_spec in unique.items():
+            twin = _hindsight_twin(cell_spec)
+            if twin is None:
+                continue
+            twin_key = spec_hash(twin)
+            twin_keys[key] = twin_key
+            twins.setdefault(twin_key, twin)
+
+    if not twin_keys:
+        results = _run_unique(unique, jobs)
+        return [results[key] for key in keys]
+
+    # A perfect-forecast grid cell covers any twin that matches it after
+    # canonical normalisation (sigma/probe/economics stripped — none affect
+    # carbon_avoided_g): map the canonical hash to the cell's key so the
+    # twin reuses its run instead of simulating again.
+    covered_by: Dict[str, str] = {}
+    for key, cell_spec in unique.items():
+        if key in twin_keys:
+            continue
+        if (
+            cell_spec.charging.coupling == "dispatch"
+            and cell_spec.forecast.model == "perfect"
+        ):
+            canonical = spec_hash(
+                cell_spec.with_overrides(_TWIN_CANONICAL_OVERRIDES)
+            )
+            covered_by.setdefault(canonical, key)
+
+    # Phase A: the twins plus every cell that needs no injection (a twin a
+    # grid cell already covers is simulated exactly once, as that cell).
+    phase_a = {
+        twin_key: twin
+        for twin_key, twin in twins.items()
+        if twin_key not in covered_by
+    }
+    phase_a.update(
+        {key: cell_spec for key, cell_spec in unique.items() if key not in twin_keys}
+    )
+    results = _run_unique(phase_a, jobs)
+    hindsight = {
+        key: results[
+            covered_by.get(twin_key, twin_key)
+        ].report.carbon_avoided_g()
+        for key, twin_key in twin_keys.items()
+    }
+
+    # Phase B: the forecast cells, each pricing regret against its group's
+    # shared hindsight figure instead of re-simulating the twin.
+    phase_b = {key: unique[key] for key in twin_keys}
+    results.update(_run_unique(phase_b, jobs, hindsight=hindsight))
     return [results[key] for key in keys]
 
 
 def sweep_scenario(
-    spec: ScenarioSpec, axes: Mapping[str, Sequence[Any]], jobs: Optional[int] = None
+    spec: ScenarioSpec,
+    axes: Mapping[str, Sequence[Any]],
+    jobs: Optional[int] = None,
+    share_hindsight: bool = True,
 ) -> SweepResult:
     """Run ``spec`` over the cartesian grid of ``axes`` overrides.
 
@@ -152,6 +276,12 @@ def sweep_scenario(
     (``None`` or ``1`` runs serially in-process).  Cell order, and every
     number in every cell, is identical either way: simulations are fully
     seeded and results are reassembled by spec hash into grid order.
+
+    ``share_hindsight`` groups forecast-dispatch cells by their
+    forecast-stripped twin spec and simulates one hindsight twin per group
+    (see the module docstring); ``False`` re-simulates a twin per cell.
+    The results are bitwise-identical — the flag exists for that assertion
+    and for profiling.
     """
     if not axes:
         raise ScenarioValidationError("a sweep needs at least one --set axis")
@@ -177,7 +307,9 @@ def sweep_scenario(
             raise ScenarioValidationError(f"routing.policy: {error}") from None
     cells = [
         SweepCell(overrides=tuple(overrides.items()), result=result)
-        for overrides, result in zip(grid, _run_cells(specs, jobs))
+        for overrides, result in zip(
+            grid, _run_cells(specs, jobs, share_hindsight=share_hindsight)
+        )
     ]
     return SweepResult(
         base=spec,

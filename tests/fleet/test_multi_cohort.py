@@ -1,0 +1,403 @@
+"""Heterogeneous in-site cohorts: equivalence, per-type ledgers, churn.
+
+The acceptance properties of the multi-cohort refactor:
+
+* a site built with one ``SiteCohort`` is *bitwise* identical to the
+  historical single-cohort construction (same allocation, energy, churn,
+  and dispatch series);
+* a true mixed site is equivalent to the two co-located single-cohort
+  sites it replaces — identical per-cohort series, aggregate totals equal
+  up to float summation order;
+* per-device-type battery ledgers conserve energy and respect SoC bounds
+  pack by pack;
+* per-cohort churn runs on independent seeded streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import NEXUS_4, PIXEL_3A
+from repro.fleet import (
+    CarbonBufferDispatch,
+    DeviceCohort,
+    DiurnalDemand,
+    FleetPopulation,
+    FleetSimulation,
+    FleetSite,
+    GreedyLowestIntensityRouting,
+    CapacityAwareMarginalCciRouting,
+    ReplacementPolicy,
+    SiteCohort,
+    build_site_cohort,
+    mixed_phone_site,
+    phone_site,
+    site_from_cohorts,
+    site_packs,
+)
+from repro.fleet.sites import regional_trace
+
+N_DAYS = 5
+DEMAND = DiurnalDemand(mean_rps=500.0)
+
+
+def _pixel_entry(seed=3, n=30):
+    return build_site_cohort(PIXEL_3A, n, seed=seed)
+
+
+def _nexus_entry(seed=(3, 1), n=30):
+    return build_site_cohort(NEXUS_4, n, seed=seed, requests_per_device_s=8.0)
+
+
+def _trace(seed=2024):
+    return regional_trace("caiso-like", n_days=N_DAYS, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# One-cohort equivalence: cohorts=(entry,) == the historical cohort= path
+# ---------------------------------------------------------------------------
+
+
+class TestSingleCohortEquivalence:
+    @staticmethod
+    def _reports():
+        legacy_site = phone_site("solo", "caiso-like", n_devices=40, seed=7,
+                                 n_trace_days=N_DAYS)
+        modern = phone_site("solo", "caiso-like", n_devices=40, seed=7,
+                            n_trace_days=N_DAYS)
+        modern_site = FleetSite(
+            name="solo",
+            design=modern.design,
+            trace=modern.trace,
+            cohorts=(
+                SiteCohort(
+                    cohort=modern.cohort,
+                    requests_per_device_s=modern.requests_per_device_s,
+                ),
+            ),
+        )
+        legacy = FleetSimulation(
+            [legacy_site], GreedyLowestIntensityRouting(), DEMAND,
+            dispatch=CarbonBufferDispatch(),
+        ).run(N_DAYS)
+        cohorts = FleetSimulation(
+            [modern_site], GreedyLowestIntensityRouting(), DEMAND,
+            dispatch=CarbonBufferDispatch(),
+        ).run(N_DAYS)
+        return legacy, cohorts
+
+    def test_reports_are_bitwise_identical(self):
+        legacy, cohorts = self._reports()
+        for name in (
+            "served_rps", "dropped_rps", "operational_g", "energy_kwh",
+            "grid_kwh", "battery_kwh", "charge_kwh", "soc",
+            "active_devices", "replacement_carbon_g", "battery_swaps",
+            "failures", "deployed", "intensity_g_per_kwh",
+        ):
+            assert np.array_equal(getattr(legacy, name), getattr(cohorts, name)), name
+        assert legacy.fleet_cci_g_per_request() == cohorts.fleet_cci_g_per_request()
+        assert legacy.summary_dict() == cohorts.summary_dict()
+
+    def test_single_cohort_site_series_match_cohort_series(self):
+        legacy, _ = self._reports()
+        assert legacy.has_cohort_series
+        assert np.array_equal(legacy.cohort_served_rps, legacy.served_rps)
+        assert np.array_equal(legacy.cohort_battery_kwh, legacy.battery_kwh)
+        assert np.array_equal(legacy.cohort_soc, legacy.soc)
+        assert np.array_equal(legacy.cohort_active, legacy.active_devices)
+
+
+# ---------------------------------------------------------------------------
+# Mixed site == the two co-located single-cohort sites it replaces
+# ---------------------------------------------------------------------------
+
+
+class TestMixedSiteEquivalence:
+    @staticmethod
+    def _run(sites, policy_cls=CapacityAwareMarginalCciRouting, dispatch=True):
+        return FleetSimulation(
+            sites, policy_cls(), DEMAND,
+            dispatch=CarbonBufferDispatch() if dispatch else None,
+        ).run(N_DAYS)
+
+    def _pair(self):
+        """The same cohorts as one mixed site and as co-located twins."""
+        mixed = self._run([
+            site_from_cohorts(
+                "mixed", _trace(), [_pixel_entry(), _nexus_entry()],
+            )
+        ])
+        split = self._run([
+            site_from_cohorts("pixel", _trace(), [_pixel_entry()]),
+            site_from_cohorts("nexus", _trace(), [_nexus_entry()]),
+        ])
+        return mixed, split
+
+    def test_cohort_series_identical(self):
+        """Routing, dispatch, and churn see identical per-type columns."""
+        mixed, split = self._pair()
+        assert mixed.cohort_labels == ("mixed/Pixel 3A", "mixed/Nexus 4")
+        assert split.cohort_labels == ("pixel/Pixel 3A", "nexus/Nexus 4")
+        for name in (
+            "cohort_served_rps", "cohort_energy_kwh", "cohort_grid_kwh",
+            "cohort_battery_kwh", "cohort_charge_kwh", "cohort_soc",
+            "cohort_active", "cohort_failures", "cohort_battery_swaps",
+            "cohort_deployed", "cohort_replacement_carbon_g",
+        ):
+            assert np.array_equal(getattr(mixed, name), getattr(split, name)), name
+        assert np.array_equal(mixed.dropped_rps, split.dropped_rps)
+
+    def test_aggregate_totals_match(self):
+        mixed, split = self._pair()
+        assert mixed.total_served_requests == pytest.approx(
+            split.total_served_requests, rel=1e-12
+        )
+        # Peripherals sum across cohorts exactly as across co-located sites,
+        # so the wall energy and operational carbon agree too.
+        assert mixed.energy_kwh.sum() == pytest.approx(
+            split.energy_kwh.sum(), rel=1e-12
+        )
+        assert mixed.total_operational_carbon_g == pytest.approx(
+            split.total_operational_carbon_g, rel=1e-12
+        )
+        assert mixed.fleet_cci_g_per_request() == pytest.approx(
+            split.fleet_cci_g_per_request(), rel=1e-12
+        )
+
+    def test_marginal_cci_prefers_efficient_type_inside_the_site(self):
+        """Pixel serves more than its capacity share under marginal-CCI."""
+        mixed, _ = self._pair()
+        served = mixed.cohort_served_rps.sum(axis=0)
+        capacity = np.array([30 * 20.0, 30 * 8.0])
+        share_served = served / served.sum()
+        share_capacity = capacity / capacity.sum()
+        assert share_served[0] > share_capacity[0]
+
+    def test_round_robin_splits_by_capacity_share(self):
+        from repro.fleet import RoundRobinRouting
+
+        report = self._run(
+            [site_from_cohorts("m", _trace(), [_pixel_entry(), _nexus_entry()])],
+            policy_cls=RoundRobinRouting, dispatch=False,
+        )
+        served = report.cohort_served_rps.sum(axis=0)
+        # Stable populations at low demand: shares track live capacity.
+        assert served[0] / served[1] == pytest.approx(20.0 / 8.0, rel=0.05)
+
+
+# ---------------------------------------------------------------------------
+# Per-device-type battery ledgers
+# ---------------------------------------------------------------------------
+
+
+class TestPerTypeLedger:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        def build():
+            return [site_from_cohorts(
+                "mixed", _trace(), [_pixel_entry(), _nexus_entry()],
+            )]
+        return {
+            "none": FleetSimulation(
+                build(), GreedyLowestIntensityRouting(), DEMAND
+            ).run(N_DAYS),
+            "dispatch": FleetSimulation(
+                build(), GreedyLowestIntensityRouting(), DEMAND,
+                dispatch=CarbonBufferDispatch(),
+            ).run(N_DAYS),
+        }
+
+    def test_two_packs_for_one_mixed_site(self):
+        site = site_from_cohorts("mixed", _trace(), [_pixel_entry(), _nexus_entry()])
+        packs = site_packs([site])
+        assert len(packs) == 2
+        assert packs[0][1].device.name == "Pixel 3A"
+        assert packs[1][1].device.name == "Nexus 4"
+
+    def test_per_pack_energy_conservation(self, reports):
+        """Each cohort's device energy splits into grid + its own battery."""
+        baseline = reports["none"]
+        dispatched = reports["dispatch"]
+        assert np.allclose(
+            baseline.cohort_energy_kwh,
+            dispatched.cohort_grid_kwh + dispatched.cohort_battery_kwh,
+        )
+
+    def test_per_pack_soc_bounds(self, reports):
+        soc = reports["dispatch"].cohort_soc
+        assert np.all(soc >= CarbonBufferDispatch().min_state_of_charge - 1e-9)
+        assert np.all(soc <= 1.0 + 1e-9)
+
+    def test_no_pack_charges_and_discharges_simultaneously(self, reports):
+        report = reports["dispatch"]
+        assert not np.any(
+            (report.cohort_battery_kwh > 0) & (report.cohort_charge_kwh > 0)
+        )
+
+    def test_both_device_types_cycle_their_packs(self, reports):
+        discharge = reports["dispatch"].cohort_battery_discharge_kwh()
+        assert discharge.shape == (2,)
+        assert np.all(discharge > 0)
+
+    def test_site_series_aggregate_the_packs(self, reports):
+        report = reports["dispatch"]
+        assert np.allclose(
+            report.battery_kwh[:, 0],
+            report.cohort_battery_kwh.sum(axis=1),
+        )
+        assert np.allclose(
+            report.charge_kwh[:, 0],
+            report.cohort_charge_kwh.sum(axis=1),
+        )
+        # Site wall energy = device energy + peripherals - battery + charge.
+        assert np.allclose(
+            report.energy_kwh, report.grid_kwh + report.charge_kwh
+        )
+
+    def test_site_soc_is_capacity_weighted(self, reports):
+        report = reports["dispatch"]
+        soc = report.soc[:, 0]
+        low = report.cohort_soc.min(axis=1)
+        high = report.cohort_soc.max(axis=1)
+        assert np.all(soc >= low - 1e-12)
+        assert np.all(soc <= high + 1e-12)
+
+    def test_dispatch_still_avoids_carbon_on_a_mixed_site(self, reports):
+        assert reports["dispatch"].carbon_avoided_g() > 0
+        assert (
+            reports["dispatch"].total_operational_carbon_g
+            <= reports["none"].total_operational_carbon_g
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-cohort churn: determinism and stream independence
+# ---------------------------------------------------------------------------
+
+
+class TestPerCohortChurn:
+    def test_mixed_site_churn_is_deterministic(self):
+        def run():
+            site = mixed_phone_site(
+                "m", "caiso-like",
+                [(PIXEL_3A, 25), (NEXUS_4, 25, 8.0)],
+                n_trace_days=N_DAYS, seed=11,
+            )
+            return FleetSimulation(
+                [site], GreedyLowestIntensityRouting(), DEMAND
+            ).run(N_DAYS)
+
+        first, second = run(), run()
+        assert np.array_equal(first.cohort_active, second.cohort_active)
+        assert np.array_equal(first.cohort_failures, second.cohort_failures)
+        assert np.array_equal(
+            first.cohort_replacement_carbon_g, second.cohort_replacement_carbon_g
+        )
+
+    def test_cohort_streams_are_independent(self):
+        """Re-seeding cohort B never consumes cohort A's random draws."""
+        def population(b_seed):
+            a = DeviceCohort(PIXEL_3A, ReplacementPolicy(target_size=50), seed=5)
+            b = DeviceCohort(NEXUS_4, ReplacementPolicy(target_size=50), seed=b_seed)
+            return FleetPopulation([a, b])
+
+        first = population(b_seed=1)
+        second = population(b_seed=99)
+        for _ in range(30):
+            first.step_all(1.0, [0.5, 0.5])
+            second.step_all(1.0, [0.5, 0.5])
+        a_first, a_second = first.cohorts[0], second.cohorts[0]
+        assert [s.failures for s in a_first.history] == [
+            s.failures for s in a_second.history
+        ]
+        assert [s.active for s in a_first.history] == [
+            s.active for s in a_second.history
+        ]
+
+    def test_population_aggregates(self):
+        pop = FleetPopulation([
+            DeviceCohort(PIXEL_3A, ReplacementPolicy(target_size=10), seed=0),
+            DeviceCohort(NEXUS_4, ReplacementPolicy(target_size=20), seed=1),
+        ])
+        assert pop.active_count == 30
+        assert pop.target_size == 30
+        assert len(pop) == 2
+        with pytest.raises(ValueError, match="utilisations"):
+            pop.step_all(1.0, [0.5])
+        with pytest.raises(ValueError, match="at least one cohort"):
+            FleetPopulation([])
+
+
+# ---------------------------------------------------------------------------
+# Site construction and validation
+# ---------------------------------------------------------------------------
+
+
+class TestMixedSiteConstruction:
+    def test_peripherals_sum_across_cohorts(self):
+        mixed = site_from_cohorts("m", _trace(), [_pixel_entry(), _nexus_entry()])
+        pixel = site_from_cohorts("p", _trace(), [_pixel_entry()])
+        nexus = site_from_cohorts("n", _trace(), [_nexus_entry()])
+        assert mixed.peripheral_power_w == pytest.approx(
+            pixel.peripheral_power_w + nexus.peripheral_power_w
+        )
+
+    def test_capacity_and_battery_aggregate(self):
+        mixed = site_from_cohorts("m", _trace(), [_pixel_entry(), _nexus_entry()])
+        assert mixed.capacity_rps == pytest.approx(30 * 20.0 + 30 * 8.0)
+        assert mixed.battery_capacity_j == pytest.approx(
+            sum(entry.battery_capacity_j for entry in mixed.cohorts)
+        )
+        assert mixed.design_shares() == (0.5, 0.5)
+        assert mixed.nominal_requests_per_device_s == pytest.approx(14.0)
+
+    def test_marginal_is_the_best_cohort(self):
+        mixed = site_from_cohorts("m", _trace(), [_pixel_entry(), _nexus_entry()])
+        per_cohort = [
+            entry.marginal_carbon_g_for_intensity(300.0)
+            for entry in mixed.cohorts
+        ]
+        assert mixed.marginal_carbon_g_for_intensity(300.0) == min(per_cohort)
+
+    def test_cohort_and_cohorts_are_mutually_exclusive(self):
+        site = site_from_cohorts("m", _trace(), [_pixel_entry()])
+        with pytest.raises(ValueError, match="not both"):
+            FleetSite(
+                name="bad", design=site.design, trace=site.trace,
+                cohort=site.cohort, cohorts=site.cohorts,
+            )
+
+    def test_design_device_must_match_some_cohort(self):
+        pixel = site_from_cohorts("p", _trace(), [_pixel_entry()])
+        with pytest.raises(ValueError, match="differs from cohort"):
+            FleetSite(
+                name="bad", design=pixel.design, trace=pixel.trace,
+                cohorts=(_nexus_entry(),),
+            )
+
+
+class TestForecastDispatchOnMixedSites:
+    def test_packs_of_one_site_share_one_forecast_stream(self):
+        """The forecast is keyed per site: a noisy model must not perturb
+        one physical grid two different ways for two co-located packs."""
+        from repro.fleet import ForecastDispatch
+        from repro.forecast import PerfectForecast
+
+        seen = []
+
+        class Recording(PerfectForecast):
+            def window(self, trace, start_s, horizon_h, site_index=0):
+                seen.append(site_index)
+                return super().window(trace, start_s, horizon_h, site_index)
+
+        sites = [
+            site_from_cohorts("mixed", _trace(), [_pixel_entry(), _nexus_entry()]),
+            site_from_cohorts("solo", _trace(seed=2030), [_pixel_entry(seed=9)]),
+        ]
+        dispatch = ForecastDispatch(Recording())
+        FleetSimulation(
+            sites, GreedyLowestIntensityRouting(), DEMAND, dispatch=dispatch
+        ).run(2)
+        # Three packs, two sites: windows are requested with the *site*
+        # index, so only {0, 1} appear — never a pack index 2.
+        assert set(seen) == {0, 1}
+        assert seen.count(0) == 2 * seen.count(1)  # two packs share site 0

@@ -108,8 +108,12 @@ class TestNoisyOracleForecast:
 
 class TestRegistry:
     def test_every_bundled_model_resolves(self):
+        from repro.forecast.models import DAYAHEAD_SAMPLE_CSV
+
         for name in FORECAST_MODELS:
-            model = forecast_model_by_name(name, noise_sigma=0.2, seed=5)
+            model = forecast_model_by_name(
+                name, noise_sigma=0.2, seed=5, csv_path=DAYAHEAD_SAMPLE_CSV
+            )
             assert model.name == name
 
     def test_noisy_carries_its_parameters(self):

@@ -78,9 +78,10 @@ def test_register_duplicate_requires_overwrite():
         _REGISTRY.pop(spec.name, None)
 
 
-def test_heterogeneous_preset_mixes_device_types():
+def test_heterogeneous_preset_mixes_device_types_in_one_site():
     spec = get_scenario("heterogeneous-cohorts")
-    devices = {site.devices.device for site in spec.sites}
+    assert len(spec.sites) == 1  # one true mixed site, not co-located twins
+    devices = {mix.device for mix in spec.sites[0].device_mixes}
     assert devices == {"Pixel 3A", "Nexus 4"}
 
 

@@ -190,3 +190,95 @@ class TestParseSweepOverride:
     def test_missing_equals_rejected(self):
         with pytest.raises(ScenarioValidationError, match="dotted.path"):
             parse_sweep_override("routing.policy")
+
+
+class TestHindsightTwinSharing:
+    """Forecast cells sharing one hindsight twin per forecast-stripped group."""
+
+    @staticmethod
+    def _forecast_spec():
+        from repro.scenarios import get_scenario
+
+        return get_scenario("forecast-buffer").with_overrides(
+            {
+                "duration_days": 2,
+                "sites.0.devices.count": 10,
+                "sites.1.devices.count": 10,
+                "routing.latency_probe_s": 0,
+                "forecast.model": "noisy",
+                "forecast.noise_sigma": 0.3,
+            }
+        )
+
+    def test_shared_twins_are_bitwise_identical_to_per_cell_twins(self):
+        axes = {"forecast.noise_sigma": [0.3, 0.6]}
+        shared = sweep_scenario(self._forecast_spec(), axes)
+        per_cell = sweep_scenario(
+            self._forecast_spec(), axes, share_hindsight=False
+        )
+        for ours, theirs in zip(shared.cells, per_cell.cells):
+            assert ours.result.summary_dict() == theirs.result.summary_dict()
+            assert (
+                ours.result.report.hindsight_avoided_g
+                == theirs.result.report.hindsight_avoided_g
+            )
+            assert np.array_equal(
+                ours.result.report.battery_kwh, theirs.result.report.battery_kwh
+            )
+
+    def test_sharing_simulates_fewer_fleets(self):
+        """One twin per group instead of one per cell."""
+        from repro.fleet.scheduler import FleetSimulation
+
+        counts = []
+
+        def counted(run):
+            def wrapper(self, n_days):
+                counts[-1] += 1
+                return run(self, n_days)
+
+            return wrapper
+
+        original = FleetSimulation.run
+        FleetSimulation.run = counted(original)
+        try:
+            axes = {"forecast.noise_sigma": [0.3, 0.6]}
+            counts.append(0)
+            sweep_scenario(self._forecast_spec(), axes)
+            with_sharing = counts[-1]
+            counts.append(0)
+            sweep_scenario(self._forecast_spec(), axes, share_hindsight=False)
+            without_sharing = counts[-1]
+        finally:
+            FleetSimulation.run = original
+        # Sharing: one perfect twin + one main run per cell = 3.
+        # Per-cell: each of the two cells pays main + its own twin = 4.
+        assert with_sharing == 3
+        assert without_sharing == 4
+
+    def test_twin_reuses_a_grid_cell_when_it_is_one(self):
+        """A grid that contains the perfect cell needs no extra twin run."""
+        from repro.fleet.scheduler import FleetSimulation
+
+        counts = {"n": 0}
+        original = FleetSimulation.run
+
+        def wrapper(self, n_days):
+            counts["n"] += 1
+            return original(self, n_days)
+
+        FleetSimulation.run = wrapper
+        try:
+            sweep = sweep_scenario(
+                self._forecast_spec(),
+                {"forecast.model": ["perfect", "noisy"]},
+            )
+        finally:
+            FleetSimulation.run = original
+        # perfect cell (its own hindsight, 1 run) doubles as the noisy
+        # cell's twin; the noisy cell adds one more run.
+        assert counts["n"] == 2
+        perfect, noisy = sweep.cells
+        assert noisy.result.report.hindsight_avoided_g == pytest.approx(
+            perfect.result.report.carbon_avoided_g()
+        )
