@@ -5,11 +5,19 @@ phones across geo-distributed sites simulates >= 1 year of virtual time
 (hourly scheduling, daily churn) deterministically and inside a strict
 wall-clock budget, and the carbon-aware policies strictly beat round-robin
 on operational carbon in the asymmetric two-site scenario.
+
+Timed cases run with telemetry spans *enabled*, so the wall-clock budget
+doubles as the instrumentation-overhead bar, and each labelled case's
+wall clock + per-phase breakdown lands in ``BENCH_fleet_scaling.json`` at
+the repo root for cross-PR trajectory tracking.
 """
 
+import json
+import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.fleet import (
     CapacityAwareMarginalCciRouting,
@@ -21,6 +29,7 @@ from repro.fleet import (
     two_site_asymmetric_fleet,
 )
 from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S
+from repro.telemetry import Telemetry
 
 #: 2 sites x 5,000 devices = 10,000-device fleet.
 DEVICES_PER_SITE = 5_000
@@ -32,21 +41,65 @@ DEMAND = DiurnalDemand(
     mean_rps=0.9 * DEVICES_PER_SITE * DEFAULT_REQUESTS_PER_DEVICE_S
 )
 
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_fleet_scaling.json",
+)
 
-def _run(policy, seed: int = 42, dispatch=None):
+#: Labelled-case records accumulated by ``_run`` and flushed at module exit.
+_CASES = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Flush every labelled case to ``BENCH_fleet_scaling.json`` on teardown."""
+    yield
+    if not _CASES:
+        return
+    payload = {
+        "benchmark": "fleet_scaling",
+        "devices": 2 * DEVICES_PER_SITE,
+        "n_days": N_DAYS,
+        "wall_clock_budget_s": WALL_CLOCK_BUDGET_S,
+        "cases": _CASES,
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _run(policy, seed: int = 42, dispatch=None, case=None):
+    """Run one 10k-device year; a ``case`` label records it for the JSON."""
+    telemetry = Telemetry() if case else None
+    start = time.perf_counter()
     simulation = FleetSimulation(
         two_site_asymmetric_fleet(DEVICES_PER_SITE, seed=seed),
         policy,
         DEMAND,
         dispatch=dispatch,
+        telemetry=telemetry,
     )
-    return simulation.run(N_DAYS)
+    result = simulation.run(N_DAYS)
+    elapsed = time.perf_counter() - start
+    if case:
+        _CASES.append(
+            {
+                "case": case,
+                "wall_s": round(elapsed, 4),
+                "phases": [
+                    {"path": path, "calls": calls, "total_s": round(total, 4)}
+                    for path, (calls, total) in sorted(
+                        telemetry.phase_totals().items()
+                    )
+                ],
+                "counters": dict(telemetry.counters),
+            }
+        )
+    return result, elapsed
 
 
 def test_fleet_year_within_wall_clock_budget(report):
-    start = time.perf_counter()
-    result = _run(GreedyLowestIntensityRouting())
-    elapsed = time.perf_counter() - start
+    result, elapsed = _run(GreedyLowestIntensityRouting(), case="greedy-year")
 
     report(
         "Fleet scaling (10k devices, 1 year, greedy policy)",
@@ -67,11 +120,13 @@ def test_fleet_year_within_wall_clock_budget(report):
 
 def test_fleet_year_with_dispatch_within_wall_clock_budget(report):
     """The battery ledger stays inside the same budget as the plain loop."""
-    start = time.perf_counter()
-    result = _run(GreedyLowestIntensityRouting(), dispatch=CarbonBufferDispatch())
-    elapsed = time.perf_counter() - start
+    result, elapsed = _run(
+        GreedyLowestIntensityRouting(),
+        dispatch=CarbonBufferDispatch(),
+        case="greedy-year-dispatch",
+    )
 
-    baseline = _run(GreedyLowestIntensityRouting())
+    baseline, _ = _run(GreedyLowestIntensityRouting())
     avoided = result.carbon_avoided_g()
     report(
         "Fleet scaling with energy dispatch (10k devices, 1 year)",
@@ -92,15 +147,15 @@ def test_fleet_year_with_dispatch_within_wall_clock_budget(report):
 
 
 def test_fleet_year_is_deterministic(report):
-    first = _run(CapacityAwareMarginalCciRouting(), seed=7)
-    second = _run(CapacityAwareMarginalCciRouting(), seed=7)
+    first, _ = _run(CapacityAwareMarginalCciRouting(), seed=7, case="marginal-year")
+    second, _ = _run(CapacityAwareMarginalCciRouting(), seed=7)
 
     assert first.fleet_cci_g_per_request() == second.fleet_cci_g_per_request()
     assert np.array_equal(first.served_rps, second.served_rps)
     assert np.array_equal(first.active_devices, second.active_devices)
     assert np.array_equal(first.replacement_carbon_g, second.replacement_carbon_g)
 
-    different_seed = _run(CapacityAwareMarginalCciRouting(), seed=8)
+    different_seed, _ = _run(CapacityAwareMarginalCciRouting(), seed=8)
     assert not np.array_equal(
         different_seed.failures, first.failures
     ), "different seeds should produce different churn trajectories"
@@ -112,9 +167,9 @@ def test_fleet_year_is_deterministic(report):
 
 
 def test_carbon_aware_beats_round_robin(report):
-    baseline = _run(RoundRobinRouting())
-    greedy = _run(GreedyLowestIntensityRouting())
-    marginal = _run(CapacityAwareMarginalCciRouting())
+    baseline, _ = _run(RoundRobinRouting(), case="round-robin-year")
+    greedy, _ = _run(GreedyLowestIntensityRouting())
+    marginal, _ = _run(CapacityAwareMarginalCciRouting())
 
     # Identical service delivered...
     assert np.isclose(

@@ -30,6 +30,9 @@ The library models the full pipeline the paper builds:
 * :mod:`repro.scenarios` — the declarative experiment layer: serializable
   :class:`ScenarioSpec` trees, a :class:`ScenarioRunner` resolving them
   against every subsystem, and a named-preset registry;
+* :mod:`repro.telemetry` — zero-dependency observability: nested wall-clock
+  spans, simulation counters, run manifests, a JSONL sink, and the
+  profiling CLI — all guaranteed never to perturb a simulation;
 * :mod:`repro.analysis` — per-figure and per-table data builders plus text
   reports.
 
@@ -97,6 +100,7 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
 )
+from repro.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 
 __version__ = "1.2.0"
 
@@ -145,6 +149,10 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "run_scenario",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
     # grid
     "GridTrace",
     "CaisoLikeTraceGenerator",

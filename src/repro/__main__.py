@@ -11,6 +11,9 @@ Usage::
     python -m repro sweep scenario carbon-buffer \
         --set routing.policy=round-robin,greedy-lowest-intensity \
         --set demand.fraction_of_capacity=0.3,0.6
+    python -m repro profile scenario carbon-buffer     # per-phase breakdown
+    python -m repro run scenario carbon-buffer --telemetry out.jsonl
+    python -m repro telemetry validate out.jsonl
 
 Each figure/table target maps to a zero-argument builder that computes the
 underlying data and returns the text to print (registry pattern, so adding a
@@ -275,18 +278,21 @@ def _resolve_scenario(name: str):
         return None
 
 
-def _sweep_scenario(name: str, set_args, jobs=None) -> int:
+def _sweep_scenario(name: str, set_args, jobs=None, telemetry_path=None) -> int:
     """Resolve a scenario and run it over a cartesian --set grid."""
     from repro.analysis import render_sweep_result
     from repro.scenarios import (
         ScenarioValidationError,
         parse_sweep_override,
+        spec_hash,
         sweep_scenario,
     )
+    from repro.telemetry import Telemetry, dump_run
 
     spec = _resolve_scenario(name)
     if spec is None:
         return 2
+    telemetry = Telemetry() if telemetry_path else None
     try:
         axes = {}
         for text in set_args or []:
@@ -297,35 +303,107 @@ def _sweep_scenario(name: str, set_args, jobs=None) -> int:
                     f"--set {key}=v1,v2"
                 )
             axes[key] = values
-        sweep = sweep_scenario(spec, axes, jobs=jobs)
+        sweep = sweep_scenario(spec, axes, jobs=jobs, telemetry=telemetry)
     except ScenarioValidationError as error:
         print(f"invalid sweep configuration: {error}")
         return 2
     print(render_sweep_result(sweep))
+    if telemetry is not None:
+        dump_run(
+            telemetry_path,
+            telemetry,
+            name=f"sweep:{name}",
+            spec_sha256=spec_hash(spec),
+            seed=spec.seed,
+            extra={"axes": {key: list(values) for key, values in axes.items()}},
+        )
+        print(f"\ntelemetry written to {telemetry_path}")
     return 0
 
 
-def _run_scenario(name: str, set_args) -> int:
-    """Resolve, override, run, and render one registered scenario."""
-    from repro.analysis import render_scenario_result
-    from repro.scenarios import (
-        ScenarioRunner,
-        ScenarioValidationError,
-        parse_override,
-    )
+def _build_spec(name: str, set_args):
+    """Resolve a scenario preset and apply --set overrides; None on error."""
+    from repro.scenarios import ScenarioValidationError, parse_override
 
     spec = _resolve_scenario(name)
     if spec is None:
-        return 2
+        return None
     try:
         overrides = dict(parse_override(text) for text in set_args or [])
         if overrides:
             spec = spec.with_overrides(overrides)
-        result = ScenarioRunner(spec).run()
+    except ScenarioValidationError as error:
+        print(f"invalid scenario configuration: {error}")
+        return None
+    return spec
+
+
+def _run_scenario(name: str, set_args, telemetry_path=None) -> int:
+    """Resolve, override, run, and render one registered scenario."""
+    from repro.analysis import render_scenario_result
+    from repro.scenarios import ScenarioRunner, ScenarioValidationError, spec_hash
+    from repro.telemetry import Telemetry, dump_run
+
+    spec = _build_spec(name, set_args)
+    if spec is None:
+        return 2
+    telemetry = Telemetry() if telemetry_path else None
+    try:
+        result = ScenarioRunner(spec, telemetry=telemetry).run()
     except ScenarioValidationError as error:
         print(f"invalid scenario configuration: {error}")
         return 2
     print(render_scenario_result(result))
+    if telemetry is not None:
+        dump_run(
+            telemetry_path,
+            telemetry,
+            name=spec.name,
+            spec_sha256=spec_hash(spec),
+            seed=spec.seed,
+        )
+        print(f"\ntelemetry written to {telemetry_path}")
+    return 0
+
+
+def _profile_scenario(name: str, set_args) -> int:
+    """Run one scenario instrumented and print the per-phase breakdown."""
+    from repro.scenarios import ScenarioRunner, ScenarioValidationError, spec_hash
+    from repro.telemetry import Telemetry, build_manifest, render_profile
+
+    spec = _build_spec(name, set_args)
+    if spec is None:
+        return 2
+    telemetry = Telemetry()
+    try:
+        ScenarioRunner(spec, telemetry=telemetry).run()
+    except ScenarioValidationError as error:
+        print(f"invalid scenario configuration: {error}")
+        return 2
+    manifest = build_manifest(
+        telemetry, name=spec.name, spec_sha256=spec_hash(spec), seed=spec.seed
+    )
+    print(render_profile(manifest))
+    return 0
+
+
+def _validate_telemetry(path: str) -> int:
+    """Check a --telemetry JSONL file against the manifest/span schemas."""
+    from repro.telemetry import TelemetryValidationError, read_jsonl
+
+    try:
+        manifest, spans = read_jsonl(path)
+    except OSError as error:
+        print(f"cannot read {path}: {error}")
+        return 2
+    except TelemetryValidationError as error:
+        print(f"invalid telemetry file {path}: {error}")
+        return 1
+    print(
+        f"{path}: valid ({manifest['schema']}) — run {manifest['name']!r}, "
+        f"{len(spans)} spans, {len(manifest['children'])} children, "
+        f"{len(manifest['counters'])} counters"
+    )
     return 0
 
 
@@ -369,6 +447,15 @@ def main(argv=None) -> int:
         metavar="dotted.path=value",
         help="override a scenario spec field (repeatable; scenario runs only)",
     )
+    run_parser.add_argument(
+        "--telemetry",
+        metavar="out.jsonl",
+        default=None,
+        help=(
+            "instrument the run and write a telemetry JSONL file "
+            "(manifest line, then one record per span; scenario runs only)"
+        ),
+    )
     sweep_parser = subparsers.add_parser(
         "sweep",
         help=(
@@ -394,6 +481,35 @@ def main(argv=None) -> int:
             "(results are identical to a serial sweep)"
         ),
     )
+    sweep_parser.add_argument(
+        "--telemetry",
+        metavar="out.jsonl",
+        default=None,
+        help=(
+            "instrument the sweep and write a telemetry JSONL file "
+            "(per-cell manifests nest as children of the sweep manifest)"
+        ),
+    )
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help=(
+            "run a scenario instrumented and print its per-phase "
+            "time breakdown via: profile scenario <name>"
+        ),
+    )
+    profile_parser.add_argument("targets", nargs="+", metavar="target")
+    profile_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="dotted.path=value",
+        help="override a scenario spec field (repeatable)",
+    )
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="inspect telemetry files via: telemetry validate <out.jsonl>",
+    )
+    telemetry_parser.add_argument("targets", nargs="+", metavar="target")
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -406,18 +522,45 @@ def main(argv=None) -> int:
         if len(args.targets) != 2 or args.targets[0] != "scenario":
             print(
                 "usage: python -m repro sweep scenario <name> "
-                "--set dotted.path=v1,v2 [--set ...] [--jobs N]"
+                "--set dotted.path=v1,v2 [--set ...] [--jobs N] "
+                "[--telemetry out.jsonl]"
             )
             return 2
-        return _sweep_scenario(args.targets[1], args.overrides, jobs=args.jobs)
+        return _sweep_scenario(
+            args.targets[1],
+            args.overrides,
+            jobs=args.jobs,
+            telemetry_path=args.telemetry,
+        )
+    if args.command == "profile":
+        if len(args.targets) != 2 or args.targets[0] != "scenario":
+            print(
+                "usage: python -m repro profile scenario <name> "
+                "[--set dotted.path=value ...]"
+            )
+            return 2
+        return _profile_scenario(args.targets[1], args.overrides)
+    if args.command == "telemetry":
+        if len(args.targets) != 2 or args.targets[0] != "validate":
+            print("usage: python -m repro telemetry validate <out.jsonl>")
+            return 2
+        return _validate_telemetry(args.targets[1])
 
     if args.targets and args.targets[0] == "scenario":
         if len(args.targets) != 2:
             print("usage: python -m repro run scenario <name> [--set key=value ...]")
             return 2
-        return _run_scenario(args.targets[1], args.overrides)
+        return _run_scenario(
+            args.targets[1], args.overrides, telemetry_path=args.telemetry
+        )
     if args.overrides:
         print("--set only applies to scenario runs (python -m repro run scenario <name>)")
+        return 2
+    if args.telemetry:
+        print(
+            "--telemetry only applies to scenario runs "
+            "(python -m repro run scenario <name> --telemetry out.jsonl)"
+        )
         return 2
     return _run_targets(args.targets)
 

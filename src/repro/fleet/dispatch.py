@@ -250,6 +250,11 @@ class ForecastDispatch(DispatchPolicy):
         self._ledger: Optional[EnergyLedger] = None
         self._sites: List[FleetSite] = []
         self._day = 0
+        #: Per-run observability counter: (pack, day) pairs that fell back to
+        #: the percentile heuristic because the model was blind for the whole
+        #: day (e.g. a persistence forecast's first day).  Battery-less packs
+        #: — which never had a plan to fall back from — do not count.
+        self.fallback_pack_days = 0
 
     def make_ledger(self, sites: Sequence[FleetSite]) -> "EnergyLedger":
         """A fresh ledger — and a reset of the policy's per-run plan state."""
@@ -257,6 +262,7 @@ class ForecastDispatch(DispatchPolicy):
             sites, min_state_of_charge=self.min_state_of_charge
         )
         self._day = 0
+        self.fallback_pack_days = 0
         return self._ledger
 
     def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
@@ -321,7 +327,9 @@ class ForecastDispatch(DispatchPolicy):
             )
             if window is None:
                 if offset == 0:
-                    return None  # whole day blind: the fallback heuristic runs
+                    # Whole day blind: the fallback heuristic runs this pack.
+                    self.fallback_pack_days += 1
+                    return None
                 break  # keep the planned prefix, hold the blind remainder
             demand_j = np.full(self.horizon_h, demand_step_j)
             plan = self.planner.plan_window(

@@ -138,6 +138,15 @@ class FleetReport:
     cohort_battery_swaps: Optional[np.ndarray] = None
     cohort_failures: Optional[np.ndarray] = None
     cohort_deployed: Optional[np.ndarray] = None
+    #: Dispatch setpoints the energy ledger clipped for infeasibility: hours
+    #: where the policy asked a pack to discharge but the SoC floor (or the
+    #: forced recharge below it) kept the pack from delivering the full
+    #: device energy.  ``clipped_energy_kwh`` is the total shortfall the
+    #: grid silently served instead.  Zero for runs without a dispatch
+    #: policy; the planner otherwise gets no signal that its plan was
+    #: infeasible, so these are the observability for that gap.
+    clipped_setpoints: int = 0
+    clipped_energy_kwh: float = 0.0
 
     def __post_init__(self) -> None:
         n_sites = len(self.site_names)
@@ -517,6 +526,11 @@ class FleetReport:
         if self.has_dispatch_series and self.total_battery_discharge_kwh > 0:
             summary["battery_discharge_kwh"] = self.total_battery_discharge_kwh
             summary["carbon_avoided_kg"] = self.carbon_avoided_g() / 1_000.0
+        if self.has_dispatch_series and (
+            self.total_battery_discharge_kwh > 0 or self.clipped_setpoints > 0
+        ):
+            summary["clipped_setpoints"] = int(self.clipped_setpoints)
+            summary["clipped_energy_kwh"] = float(self.clipped_energy_kwh)
         if self.has_regret_accounting:
             summary["hindsight_avoided_kg"] = self.hindsight_avoided_g / 1_000.0
             summary["forecast_regret_kg"] = self.forecast_regret_g() / 1_000.0

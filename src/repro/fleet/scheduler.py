@@ -49,13 +49,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import units
-from repro.fleet.dispatch import DispatchPolicy, site_packs
+from repro.fleet.dispatch import DISPATCH_DISCHARGE, DispatchPolicy, site_packs
 from repro.fleet.reporting import FleetReport
 from repro.fleet.sites import FleetSite, SiteCohort
 from repro.microservices.calibration import SERVICE_TIME_SIGMA
 from repro.simulation.engine import Simulator, Timeout
 from repro.simulation.metrics import LatencyRecorder, LatencySummary, summarize
 from repro.simulation.random_streams import RandomStreams
+from repro.telemetry import ensure_telemetry
 
 #: Service-time distributions :func:`simulate_latency_aware` can draw from.
 #: ``deterministic`` reproduces the historical fixed ``1/rate`` service time;
@@ -295,6 +296,7 @@ class FleetSimulation:
         policy: RoutingPolicy,
         demand: DiurnalDemand,
         dispatch: Optional[DispatchPolicy] = None,
+        telemetry=None,
     ) -> None:
         if not sites:
             raise ValueError("a fleet needs at least one site")
@@ -305,6 +307,9 @@ class FleetSimulation:
         self.policy = policy
         self.demand = demand
         self.dispatch = dispatch
+        #: Instrumentation context; the no-op default costs nothing and
+        #: telemetry never touches RNG or numeric state (locked by tests).
+        self.telemetry = ensure_telemetry(telemetry)
         #: Cohort segments in site-major order — the allocation columns.
         self.segments = site_packs(self.sites)
         #: Site index of each segment, and each site's first segment index
@@ -373,20 +378,32 @@ class FleetSimulation:
             self.dispatch.make_ledger(self.sites) if self.dispatch is not None else None
         )
         previous_intensity: Optional[np.ndarray] = None
+        tele = self.telemetry
+        clipped_setpoints = 0
+        clipped_energy_kwh = 0.0
 
         for day in range(n_days):
             rows = slice(day * hours_per_day, (day + 1) * hours_per_day)
-            alloc, demand_rps, capacity, intensity = self._allocate_day(
-                day, hours_per_day, step_s
-            )
+            with tele.span("allocate_day"):
+                alloc, demand_rps, capacity, intensity = self._allocate_day(
+                    day, hours_per_day, step_s
+                )
             cohort_served[rows] = alloc
             served[rows] = self._per_site(alloc)
             dropped[rows] = demand_rps - alloc.sum(axis=1)
             intensity_all[rows] = intensity[:, self._site_starts]
+            if tele.enabled:
+                # "Segments touched": (hour, segment) cells the waterfill
+                # actually routed load through this day.
+                tele.count(
+                    "routing.waterfill_segments_touched",
+                    int(np.count_nonzero(alloc)),
+                )
 
             # Device energy each cohort needs this day; site wall energy
             # adds the (never battery-backed) peripheral draw once per site.
-            device_kwh = self._cohort_energy_kwh(alloc, step_s)
+            with tele.span("site_energy_kwh"):
+                device_kwh = self._cohort_energy_kwh(alloc, step_s)
             cohort_energy_kwh[rows] = device_kwh
             total_kwh = self._per_site(device_kwh) + peripheral_kwh
 
@@ -395,10 +412,19 @@ class FleetSimulation:
                 grid_kwh[rows] = total_kwh
                 energy_kwh_all[rows] = total_kwh
             else:
-                day_battery, day_charge, day_soc = self._dispatch_day(
-                    ledger, alloc, intensity, device_kwh, step_s,
-                    previous_intensity,
-                )
+                with tele.span("dispatch_day"):
+                    (
+                        day_battery,
+                        day_charge,
+                        day_soc,
+                        day_clipped,
+                        day_clipped_kwh,
+                    ) = self._dispatch_day(
+                        ledger, alloc, intensity, device_kwh, step_s,
+                        previous_intensity,
+                    )
+                clipped_setpoints += day_clipped
+                clipped_energy_kwh += day_clipped_kwh
                 cohort_battery_kwh[rows] = day_battery
                 cohort_charge_kwh[rows] = day_charge
                 cohort_soc[rows] = day_soc
@@ -414,7 +440,8 @@ class FleetSimulation:
             previous_intensity = intensity
 
             # Daily population step at the realised per-cohort utilisation.
-            day_step = self._step_population(alloc)
+            with tele.span("step_population"):
+                day_step = self._step_population(alloc)
             cohort_active[day] = day_step["active"]
             cohort_replacement_g[day] = day_step["replacement_carbon_g"]
             cohort_swaps[day] = day_step["battery_swaps"]
@@ -425,6 +452,14 @@ class FleetSimulation:
             battery_swaps[day] = self._per_site(day_step["battery_swaps"])
             failures[day] = self._per_site(day_step["failures"])
             deployed[day] = self._per_site(day_step["deployed"])
+
+        if tele.enabled and self.dispatch is not None:
+            tele.count("dispatch.clipped_setpoints", clipped_setpoints)
+            tele.count("dispatch.clipped_kwh", clipped_energy_kwh)
+            tele.count(
+                "dispatch.fallback_pack_days",
+                getattr(self.dispatch, "fallback_pack_days", 0),
+            )
 
         return FleetReport(
             policy_name=self.policy.name,
@@ -470,6 +505,8 @@ class FleetSimulation:
             cohort_battery_swaps=cohort_swaps,
             cohort_failures=cohort_failures,
             cohort_deployed=cohort_deployed,
+            clipped_setpoints=clipped_setpoints,
+            clipped_energy_kwh=clipped_energy_kwh,
         )
 
     # -- per-day phases ----------------------------------------------------
@@ -492,6 +529,15 @@ class FleetSimulation:
             marginal[:, j] = entry.marginal_carbon_g_for_intensity(intensity[:, j])
         alloc = self.policy.allocate(demand_rps, capacity, intensity, marginal)
         self._validate_allocation(alloc, demand_rps, capacity)
+        if self.telemetry.enabled and self.policy.wear_derate > 0:
+            # Request capacity the wear derate withheld from routing today
+            # (rps x seconds = requests) — the shedding that is otherwise
+            # invisible in the report's served/dropped series.
+            physical = sum(entry.capacity_rps for _, entry in self.segments)
+            withheld_rps = max(0.0, physical - float(capacity[0].sum()))
+            self.telemetry.count(
+                "routing.wear_shed_requests", withheld_rps * hours_per_day * step_s
+            )
         return alloc, demand_rps, capacity, intensity
 
     def _cohort_energy_kwh(self, alloc: np.ndarray, step_s: float) -> np.ndarray:
@@ -512,7 +558,16 @@ class FleetSimulation:
         step_s: float,
         previous_intensity: Optional[np.ndarray],
     ):
-        """Phase 2: step the per-pack battery ledger through one day of dispatch."""
+        """Phase 2: step the per-pack battery ledger through one day of dispatch.
+
+        Beyond the ledger series, the phase counts *clipped setpoints*: hours
+        where the policy asked a pack to discharge but the ledger's physics
+        (SoC floor, or the forced recharge below it) could not deliver the
+        full device energy.  The planner gets no signal when its plan is
+        infeasible — the clip count and the clipped energy are that signal,
+        surfaced via :class:`~repro.fleet.reporting.FleetReport` and the
+        telemetry counters.
+        """
         hours = alloc.shape[0]
         thresholds = self.dispatch.day_thresholds(previous_intensity, self.sites)
         modes = self.dispatch.day_modes(intensity, thresholds)
@@ -524,6 +579,9 @@ class FleetSimulation:
         battery = np.zeros_like(alloc)
         charge = np.zeros_like(alloc)
         soc = np.empty_like(alloc)
+        clip_tol_j = 1e-9
+        clipped = 0
+        clipped_j = 0.0
         for hour in range(hours):
             battery_j, charge_j = ledger.step(
                 modes[hour],
@@ -533,10 +591,19 @@ class FleetSimulation:
                 charge_rate_w,
                 idle_fraction[hour],
             )
+            shortfall_j = np.where(
+                modes[hour] == DISPATCH_DISCHARGE,
+                np.maximum(device_j[hour] - battery_j, 0.0),
+                0.0,
+            )
+            infeasible = shortfall_j > clip_tol_j
+            if infeasible.any():
+                clipped += int(np.count_nonzero(infeasible))
+                clipped_j += float(shortfall_j[infeasible].sum())
             battery[hour] = battery_j / units.JOULES_PER_KWH
             charge[hour] = charge_j / units.JOULES_PER_KWH
             soc[hour] = ledger.soc
-        return battery, charge, soc
+        return battery, charge, soc, clipped, clipped_j / units.JOULES_PER_KWH
 
     def _site_soc(self, pack_soc: np.ndarray, ledger) -> np.ndarray:
         """Site-level SoC series: capacity-weighted mean over the site's packs.

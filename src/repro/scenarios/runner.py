@@ -62,6 +62,7 @@ from repro.scenarios.spec import (
     TraceSpec,
 )
 from repro.simulation.metrics import LatencySummary
+from repro.telemetry import ensure_telemetry
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,11 @@ class ScenarioResult:
     charging_savings: Dict[str, float]
     charging_mode: str = "none"
     forecast_model: str = "none"
+    #: Snapshot of the run's telemetry counters and gauges (``None`` when
+    #: the runner was not instrumented).  Counters only — span timings live
+    #: in the :class:`~repro.telemetry.Telemetry` object / JSONL sink, not
+    #: in the result, so results stay comparable across machines.
+    telemetry: Optional[Dict[str, float]] = None
 
     # -- headline metrics --------------------------------------------------
 
@@ -153,6 +159,8 @@ class ScenarioResult:
             summary["forecast_model"] = self.forecast_model
         for site, savings in self.charging_savings.items():
             summary[f"smart_charging_savings[{site}]"] = savings
+        if self.telemetry is not None:
+            summary["telemetry"] = dict(self.telemetry)
         return summary
 
 
@@ -166,13 +174,25 @@ class ScenarioRunner:
     quality (e.g. :func:`~repro.analysis.figures.fig12_forecast_regret`) can
     run the perfect-forecast cell once and share its result instead of
     re-simulating an identical twin per cell.
+
+    ``telemetry`` optionally instruments the run: the runner brackets its
+    stages with spans (``build_sites`` / ``main_run`` / ``hindsight_twin`` /
+    ``economics`` / ``latency_probe`` / ``charging_savings``), the main
+    fleet simulation records its per-day phases and counters into the same
+    context, and the result carries a counter snapshot
+    (:attr:`ScenarioResult.telemetry`).  Telemetry never perturbs the
+    simulation: instrumented and un-instrumented runs are bitwise-identical.
     """
 
     def __init__(
-        self, spec: ScenarioSpec, hindsight_avoided_g: Optional[float] = None
+        self,
+        spec: ScenarioSpec,
+        hindsight_avoided_g: Optional[float] = None,
+        telemetry=None,
     ) -> None:
         self.spec = spec
         self.hindsight_avoided_g = hindsight_avoided_g
+        self.telemetry = ensure_telemetry(telemetry)
 
     # -- resolution --------------------------------------------------------
 
@@ -380,26 +400,57 @@ class ScenarioRunner:
     def run(self) -> ScenarioResult:
         """Run the scenario end-to-end and return the unified result."""
         spec = self.spec
+        tele = self.telemetry
         try:
             policy = policy_by_name(
                 spec.routing.policy, wear_derate=spec.routing.wear_derate
             )
         except ValueError as error:
             raise ScenarioValidationError(f"routing.policy: {error}") from None
-        sites = self.build_sites()
-        simulation = FleetSimulation(
-            sites, policy, self.build_demand(), dispatch=self.build_dispatch()
-        )
-        report = self._account_regret(simulation.run(spec.duration_days), policy)
+        with tele.span("scenario"):
+            with tele.span("build_sites"):
+                sites = self.build_sites()
+            if tele.enabled:
+                tele.gauge("fleet.n_sites", len(sites))
+                tele.gauge(
+                    "fleet.n_cohorts", sum(len(site.cohorts) for site in sites)
+                )
+                tele.gauge(
+                    "fleet.n_devices",
+                    sum(
+                        entry.target_size
+                        for site in sites
+                        for entry in site.cohorts
+                    ),
+                )
+            simulation = FleetSimulation(
+                sites,
+                policy,
+                self.build_demand(),
+                dispatch=self.build_dispatch(),
+                telemetry=tele,
+            )
+            with tele.span("main_run"):
+                report = simulation.run(spec.duration_days)
+            report = self._account_regret(report, policy)
+            with tele.span("economics"):
+                site_costs = self._price_churn(sites, report)
+            with tele.span("latency_probe"):
+                latency = self._probe_latency(sites, policy)
+            with tele.span("charging_savings"):
+                charging_savings = self._charging_savings(sites, report)
         return ScenarioResult(
             spec=spec,
             report=report,
-            site_costs=self._price_churn(sites, report),
-            latency=self._probe_latency(sites, policy),
-            charging_savings=self._charging_savings(sites, report),
+            site_costs=site_costs,
+            latency=latency,
+            charging_savings=charging_savings,
             charging_mode=spec.charging.coupling,
             forecast_model=(
                 spec.forecast.model if spec.charging.coupling == "dispatch" else "none"
+            ),
+            telemetry=(
+                {**tele.counters, **tele.gauges} if tele.enabled else None
             ),
         )
 
@@ -421,12 +472,16 @@ class ScenarioRunner:
         elif spec.forecast.model == "perfect":
             hindsight_avoided = report.carbon_avoided_g()
         else:
-            hindsight = FleetSimulation(
-                self.build_sites(),
-                policy,
-                self.build_demand(),
-                dispatch=self._forecast_dispatch(PerfectForecast()),
-            ).run(spec.duration_days)
+            # The twin runs un-instrumented (its phases land under the
+            # hindsight_twin span, its counters would pollute the main
+            # run's) — the span prices the stage's total cost.
+            with self.telemetry.span("hindsight_twin"):
+                hindsight = FleetSimulation(
+                    self.build_sites(),
+                    policy,
+                    self.build_demand(),
+                    dispatch=self._forecast_dispatch(PerfectForecast()),
+                ).run(spec.duration_days)
             hindsight_avoided = hindsight.carbon_avoided_g()
         return dataclasses.replace(report, hindsight_avoided_g=hindsight_avoided)
 

@@ -42,6 +42,7 @@ from repro.scenarios.spec import (
     ScenarioValidationError,
     decode_override_value,
 )
+from repro.telemetry import Telemetry, build_manifest, ensure_telemetry
 
 
 @dataclass(frozen=True)
@@ -111,19 +112,43 @@ def spec_hash(spec: ScenarioSpec) -> str:
     return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
 
 
+def _cell_manifest(
+    telemetry: Telemetry, spec: ScenarioSpec, key: str
+) -> Dict[str, Any]:
+    """The per-cell manifest a sweep reassembles: timings + counters for one cell."""
+    return build_manifest(
+        telemetry,
+        name=f"{spec.name}[{key[:12]}]",
+        spec_sha256=key,
+        seed=spec.seed,
+        extra={"duration_days": spec.duration_days},
+    )
+
+
 def _run_spec_json(
-    text: str, hindsight_avoided_g: Optional[float] = None
-) -> ScenarioResult:
+    text: str,
+    hindsight_avoided_g: Optional[float] = None,
+    with_telemetry: bool = False,
+) -> Tuple[ScenarioResult, Optional[Dict[str, Any]]]:
     """Process-pool entry point: rebuild the cell's spec and run it.
 
     Ships the spec as JSON rather than a pickled object so a worker always
     re-validates through the same :meth:`ScenarioSpec.from_json` path the
     CLI and registry use.  ``hindsight_avoided_g`` injects a shared
-    hindsight-twin figure for the regret accounting.
+    hindsight-twin figure for the regret accounting.  With
+    ``with_telemetry`` the worker instruments its run and ships the cell
+    manifest back for the parent to reassemble (spans stay in the child
+    manifest — a worker's clock is not comparable to the parent's).
     """
-    return ScenarioRunner(
-        ScenarioSpec.from_json(text), hindsight_avoided_g=hindsight_avoided_g
+    spec = ScenarioSpec.from_json(text)
+    telemetry = Telemetry() if with_telemetry else None
+    result = ScenarioRunner(
+        spec, hindsight_avoided_g=hindsight_avoided_g, telemetry=telemetry
     ).run()
+    manifest = (
+        _cell_manifest(telemetry, spec, spec_hash(spec)) if with_telemetry else None
+    )
+    return result, manifest
 
 
 #: What a hindsight twin's ``carbon_avoided_g`` does *not* depend on: the
@@ -159,30 +184,71 @@ def _run_unique(
     unique: Dict[str, ScenarioSpec],
     jobs: Optional[int],
     hindsight: Optional[Dict[str, float]] = None,
-) -> Dict[str, ScenarioResult]:
-    """Run each unique spec once, serially or over a process pool."""
+    with_telemetry: bool = False,
+) -> Dict[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]]:
+    """Run each unique spec once, serially or over a process pool.
+
+    Returns ``key -> (result, manifest)`` where the manifest is ``None``
+    unless ``with_telemetry``; the serial path builds the same per-cell
+    child :class:`Telemetry` a pool worker would, so both paths produce
+    identical manifests (modulo wall-clock timings).
+    """
     hindsight = hindsight or {}
     if jobs is None or jobs == 1 or len(unique) <= 1:
-        return {
-            key: ScenarioRunner(
-                cell_spec, hindsight_avoided_g=hindsight.get(key)
+        out: Dict[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]] = {}
+        for key, cell_spec in unique.items():
+            child = Telemetry() if with_telemetry else None
+            result = ScenarioRunner(
+                cell_spec, hindsight_avoided_g=hindsight.get(key), telemetry=child
             ).run()
-            for key, cell_spec in unique.items()
-        }
+            manifest = (
+                _cell_manifest(child, cell_spec, key) if with_telemetry else None
+            )
+            out[key] = (result, manifest)
+        return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
         futures = {
             key: pool.submit(
-                _run_spec_json, cell_spec.to_json(), hindsight.get(key)
+                _run_spec_json,
+                cell_spec.to_json(),
+                hindsight.get(key),
+                with_telemetry,
             )
             for key, cell_spec in unique.items()
         }
         return {key: future.result() for key, future in futures.items()}
 
 
+def _fold_sweep_telemetry(
+    telemetry: Telemetry,
+    keys: Sequence[str],
+    pairs: Mapping[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]],
+    dedicated_twins: Sequence[str] = (),
+) -> None:
+    """Fold per-cell manifests into the sweep's telemetry, in grid order.
+
+    Children (and therefore the folded counter sums) follow the grid's
+    first-occurrence order — never worker completion order — then any
+    dedicated hindsight-twin runs in group order, so a parallel sweep's
+    merged telemetry is identical to the serial one's.
+    """
+    if not telemetry.enabled:
+        return
+    seen: set = set()
+    for key in list(keys) + list(dedicated_twins):
+        if key in seen:
+            continue
+        seen.add(key)
+        manifest = pairs[key][1]
+        if manifest is not None:
+            telemetry.add_child(manifest)
+
+
 def _run_cells(
     specs: Sequence[ScenarioSpec],
     jobs: Optional[int],
     share_hindsight: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[ScenarioResult]:
     """Run every cell spec, serially or over a process pool, in grid order.
 
@@ -192,7 +258,13 @@ def _run_cells(
     default), forecast cells that share a forecast-stripped twin run one
     hindsight simulation per group instead of one per cell — results are
     bitwise-identical either way.
+
+    With an enabled ``telemetry``, each unique simulation is instrumented
+    (workers ship their manifests back), per-cell manifests become the
+    sweep telemetry's children in deterministic grid order, and the
+    dedup/twin-sharing bookkeeping is recorded as ``sweep.*`` counters.
     """
+    telemetry = ensure_telemetry(telemetry)
     if jobs is not None and jobs < 1:
         raise ScenarioValidationError(f"jobs must be >= 1, got {jobs}")
     keys = [spec_hash(cell_spec) for cell_spec in specs]
@@ -211,9 +283,16 @@ def _run_cells(
             twin_keys[key] = twin_key
             twins.setdefault(twin_key, twin)
 
+    if telemetry.enabled:
+        telemetry.count("sweep.cells", len(keys))
+        telemetry.count("sweep.unique_cells", len(unique))
+        telemetry.count("sweep.dedup_hits", len(keys) - len(unique))
+        telemetry.count("sweep.twin_groups", len(twins))
+
     if not twin_keys:
-        results = _run_unique(unique, jobs)
-        return [results[key] for key in keys]
+        pairs = _run_unique(unique, jobs, with_telemetry=telemetry.enabled)
+        _fold_sweep_telemetry(telemetry, keys, pairs)
+        return [pairs[key][0] for key in keys]
 
     # A perfect-forecast grid cell covers any twin that matches it after
     # canonical normalisation (sigma/probe/economics stripped — none affect
@@ -234,18 +313,17 @@ def _run_cells(
 
     # Phase A: the twins plus every cell that needs no injection (a twin a
     # grid cell already covers is simulated exactly once, as that cell).
-    phase_a = {
-        twin_key: twin
-        for twin_key, twin in twins.items()
-        if twin_key not in covered_by
-    }
+    dedicated_twins = [
+        twin_key for twin_key in twins if twin_key not in covered_by
+    ]
+    phase_a = {twin_key: twins[twin_key] for twin_key in dedicated_twins}
     phase_a.update(
         {key: cell_spec for key, cell_spec in unique.items() if key not in twin_keys}
     )
-    results = _run_unique(phase_a, jobs)
+    pairs = _run_unique(phase_a, jobs, with_telemetry=telemetry.enabled)
     hindsight = {
-        key: results[
-            covered_by.get(twin_key, twin_key)
+        key: pairs[covered_by.get(twin_key, twin_key)][
+            0
         ].report.carbon_avoided_g()
         for key, twin_key in twin_keys.items()
     }
@@ -253,8 +331,24 @@ def _run_cells(
     # Phase B: the forecast cells, each pricing regret against its group's
     # shared hindsight figure instead of re-simulating the twin.
     phase_b = {key: unique[key] for key in twin_keys}
-    results.update(_run_unique(phase_b, jobs, hindsight=hindsight))
-    return [results[key] for key in keys]
+    pairs.update(
+        _run_unique(
+            phase_b, jobs, hindsight=hindsight, with_telemetry=telemetry.enabled
+        )
+    )
+    if telemetry.enabled:
+        # Twin needs met without a fresh dedicated twin simulation: group
+        # sharing plus perfect grid cells whose own runs double as twins.
+        telemetry.count(
+            "sweep.twin_cache_hits", len(twin_keys) - len(dedicated_twins)
+        )
+    _fold_sweep_telemetry(
+        telemetry,
+        keys,
+        pairs,
+        dedicated_twins=[t for t in dedicated_twins if t not in keys],
+    )
+    return [pairs[key][0] for key in keys]
 
 
 def sweep_scenario(
@@ -262,6 +356,7 @@ def sweep_scenario(
     axes: Mapping[str, Sequence[Any]],
     jobs: Optional[int] = None,
     share_hindsight: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> SweepResult:
     """Run ``spec`` over the cartesian grid of ``axes`` overrides.
 
@@ -282,6 +377,12 @@ def sweep_scenario(
     (see the module docstring); ``False`` re-simulates a twin per cell.
     The results are bitwise-identical — the flag exists for that assertion
     and for profiling.
+
+    ``telemetry`` (default: the no-op null) instruments the sweep: per-cell
+    run manifests become its children in grid order and dedup/twin-sharing
+    bookkeeping lands in ``sweep.*`` counters.  Telemetry never feeds back
+    into the simulations, so an instrumented sweep's numbers are
+    bitwise-identical to an uninstrumented one's.
     """
     if not axes:
         raise ScenarioValidationError("a sweep needs at least one --set axis")
@@ -305,11 +406,14 @@ def sweep_scenario(
             )
         except ValueError as error:
             raise ScenarioValidationError(f"routing.policy: {error}") from None
+    tele = ensure_telemetry(telemetry)
+    with tele.span("sweep"):
+        results = _run_cells(
+            specs, jobs, share_hindsight=share_hindsight, telemetry=tele
+        )
     cells = [
         SweepCell(overrides=tuple(overrides.items()), result=result)
-        for overrides, result in zip(
-            grid, _run_cells(specs, jobs, share_hindsight=share_hindsight)
-        )
+        for overrides, result in zip(grid, results)
     ]
     return SweepResult(
         base=spec,

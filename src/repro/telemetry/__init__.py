@@ -1,0 +1,68 @@
+"""Telemetry: spans, counters, run manifests, and profiling for the hot layers.
+
+The observability groundwork for scaling work (see ROADMAP): a
+zero-dependency :class:`Telemetry` context records nested wall-clock spans
+(``with tele.span("dispatch_day")``), monotonic counters, and gauges; a run
+manifest captures what ran (spec hash, seed, ``repro`` version) and what it
+cost (per-phase timings, peak RSS); a JSONL sink persists and validates
+runs; and :func:`render_profile` turns a manifest into the per-phase
+breakdown behind ``python -m repro profile scenario <name>``.
+
+Instrumented layers — :class:`~repro.fleet.scheduler.FleetSimulation`'s
+per-day phases, :class:`~repro.scenarios.runner.ScenarioRunner`'s stages,
+and :func:`~repro.scenarios.sweep.sweep_scenario`'s per-cell workers — all
+default to :data:`NULL_TELEMETRY`, a shared no-op, so un-instrumented
+callers pay nothing.  Telemetry never touches RNG or numeric state: a
+telemetry-on run is bitwise-identical to a telemetry-off run (locked by
+tests for every bundled preset).
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    ensure_telemetry,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    TelemetryValidationError,
+    build_manifest,
+    peak_rss_bytes,
+    phase_rows,
+    validate_manifest,
+)
+from repro.telemetry.profile import render_profile
+from repro.telemetry.sink import (
+    dump_run,
+    read_jsonl,
+    span_record,
+    validate_jsonl,
+    validate_span_record,
+    write_jsonl,
+)
+
+__all__ = [
+    # core
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Span",
+    "ensure_telemetry",
+    # manifest
+    "MANIFEST_SCHEMA",
+    "TelemetryValidationError",
+    "build_manifest",
+    "phase_rows",
+    "peak_rss_bytes",
+    "validate_manifest",
+    # sink
+    "write_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+    "span_record",
+    "validate_span_record",
+    "dump_run",
+    # profile
+    "render_profile",
+]

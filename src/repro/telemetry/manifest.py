@@ -1,0 +1,172 @@
+"""Run manifests: the one JSON record that says what a run was and cost.
+
+A manifest captures everything a later reader needs to interpret (and trust)
+a recorded run: what was simulated (scenario name, SHA-256 of the canonical
+spec JSON, seed), with what code (``repro`` version), and what it cost
+(wall-clock, per-phase span totals, peak RSS).  Sweep runs nest one child
+manifest per grid cell under ``children`` — workers build their manifests in
+their own process and the parent reassembles them in grid order.
+
+The schema is versioned (:data:`MANIFEST_SCHEMA`) and deliberately flat so a
+``jq``/pandas consumer needs no library support; :func:`validate_manifest`
+is the single checker the tests, the CLI validator, and CI all share.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from repro.telemetry.core import NullTelemetry, Telemetry
+
+#: Schema identifier stamped on (and required of) every manifest record.
+MANIFEST_SCHEMA = "repro-telemetry/1"
+
+
+class TelemetryValidationError(ValueError):
+    """A telemetry record does not conform to the manifest schema."""
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes, or ``None``.
+
+    Uses the stdlib ``resource`` module (absent on some platforms — then
+    ``None``, never a crash).  Linux reports ``ru_maxrss`` in kilobytes,
+    macOS in bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
+
+
+def _repro_version() -> str:
+    # Imported lazily: repro/__init__ transitively imports this module, so a
+    # top-level "from repro import __version__" would see a half-built package.
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def phase_rows(telemetry: "Telemetry | NullTelemetry") -> List[Dict[str, object]]:
+    """Per-phase aggregate rows: path, calls, total seconds, fraction.
+
+    Fractions are of the summed *top-level* span time (depth-1 paths), so
+    nested phases can exceed no parent and the table reads as a breakdown.
+    """
+    totals = telemetry.phase_totals()
+    top_total = sum(
+        total for path, (_, total) in totals.items() if "/" not in path
+    )
+    rows = []
+    for path, (calls, total) in totals.items():
+        rows.append(
+            {
+                "path": path,
+                "calls": calls,
+                "total_s": total,
+                "fraction": (total / top_total) if top_total > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def build_manifest(
+    telemetry: "Telemetry | NullTelemetry",
+    name: str,
+    spec_sha256: Optional[str] = None,
+    seed: Optional[int] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the manifest record for one finished run.
+
+    ``extra`` merges additional scalar context (e.g. ``duration_days``)
+    under the ``context`` key.  The record is plain JSON-serialisable data.
+    """
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": "manifest",
+        "name": name,
+        "repro_version": _repro_version(),
+        "spec_sha256": spec_sha256,
+        "seed": seed,
+        "wall_s": telemetry.wall_s(),
+        "phases": phase_rows(telemetry),
+        "counters": dict(telemetry.counters),
+        "gauges": dict(telemetry.gauges),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "children": list(telemetry.children),
+    }
+    if extra:
+        manifest["context"] = dict(extra)
+    return manifest
+
+
+_REQUIRED_FIELDS = {
+    "schema": str,
+    "kind": str,
+    "name": str,
+    "repro_version": str,
+    "wall_s": (int, float),
+    "phases": list,
+    "counters": dict,
+    "gauges": dict,
+    "children": list,
+}
+
+_PHASE_FIELDS = {
+    "path": str,
+    "calls": int,
+    "total_s": (int, float),
+    "fraction": (int, float),
+}
+
+
+def validate_manifest(record: Dict[str, object]) -> None:
+    """Check one manifest record against the schema; raise on any violation."""
+    if not isinstance(record, dict):
+        raise TelemetryValidationError(
+            f"manifest must be a JSON object, got {type(record).__name__}"
+        )
+    if record.get("schema") != MANIFEST_SCHEMA:
+        raise TelemetryValidationError(
+            f"manifest schema must be {MANIFEST_SCHEMA!r}, "
+            f"got {record.get('schema')!r}"
+        )
+    if record.get("kind") != "manifest":
+        raise TelemetryValidationError(
+            f"manifest kind must be 'manifest', got {record.get('kind')!r}"
+        )
+    for field, expected in _REQUIRED_FIELDS.items():
+        if field not in record:
+            raise TelemetryValidationError(f"manifest is missing field {field!r}")
+        if not isinstance(record[field], expected):
+            raise TelemetryValidationError(
+                f"manifest field {field!r} has type "
+                f"{type(record[field]).__name__}, expected {expected}"
+            )
+    if record["wall_s"] < 0:
+        raise TelemetryValidationError("manifest wall_s must be >= 0")
+    for row in record["phases"]:
+        if not isinstance(row, dict):
+            raise TelemetryValidationError("phase rows must be JSON objects")
+        for field, expected in _PHASE_FIELDS.items():
+            if field not in row or not isinstance(row[field], expected):
+                raise TelemetryValidationError(
+                    f"phase row {row!r} is missing or mistypes {field!r}"
+                )
+        if row["total_s"] < 0 or row["calls"] < 1:
+            raise TelemetryValidationError(
+                f"phase row {row['path']!r} has negative time or zero calls"
+            )
+    for name, value in record["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            raise TelemetryValidationError(
+                f"counter {name!r} must be a non-negative number, got {value!r}"
+            )
+    for child in record["children"]:
+        validate_manifest(child)

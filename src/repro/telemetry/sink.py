@@ -1,0 +1,137 @@
+"""JSONL sink: persist one run's telemetry and read it back.
+
+The file format is one JSON record per line.  Line 1 is the run manifest
+(:mod:`repro.telemetry.manifest`); every further line is a span record::
+
+    {"kind": "span", "path": "scenario/main_run/dispatch_day",
+     "depth": 3, "start_s": 0.412, "duration_s": 0.0021, "index": 17}
+
+Spans are written in completion order (children before parents), exactly as
+recorded.  :func:`read_jsonl` and :func:`validate_jsonl` round-trip and
+check the same format, so the schema test, the CLI validator, and CI all
+agree on what a valid file is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.telemetry.core import NullTelemetry, Span, Telemetry
+from repro.telemetry.manifest import (
+    TelemetryValidationError,
+    build_manifest,
+    validate_manifest,
+)
+
+_SPAN_FIELDS = {
+    "path": str,
+    "depth": int,
+    "start_s": (int, float),
+    "duration_s": (int, float),
+    "index": int,
+}
+
+
+def span_record(span: Span) -> Dict[str, object]:
+    """The JSONL record for one span."""
+    return {
+        "kind": "span",
+        "path": span.path,
+        "depth": span.depth,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "index": span.index,
+    }
+
+
+def _span_from_record(record: Dict[str, object]) -> Span:
+    return Span(
+        path=record["path"],
+        depth=record["depth"],
+        start_s=record["start_s"],
+        duration_s=record["duration_s"],
+        index=record["index"],
+    )
+
+
+def validate_span_record(record: Dict[str, object]) -> None:
+    """Check one span record; raise :class:`TelemetryValidationError` on violation."""
+    if record.get("kind") != "span":
+        raise TelemetryValidationError(
+            f"span record kind must be 'span', got {record.get('kind')!r}"
+        )
+    for field, expected in _SPAN_FIELDS.items():
+        if field not in record or not isinstance(record[field], expected):
+            raise TelemetryValidationError(
+                f"span record is missing or mistypes {field!r}: {record!r}"
+            )
+    if record["duration_s"] < 0 or record["depth"] < 1 or record["index"] < 0:
+        raise TelemetryValidationError(f"span record out of range: {record!r}")
+
+
+def write_jsonl(
+    path: str, telemetry: "Telemetry | NullTelemetry", manifest: Dict[str, object]
+) -> None:
+    """Write one run's manifest plus its spans as JSONL at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
+        for span in telemetry.iter_spans():
+            handle.write(json.dumps(span_record(span), sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, object], List[Span]]:
+    """Read a telemetry JSONL file back as ``(manifest, spans)``.
+
+    Validates as it reads — a malformed file raises
+    :class:`TelemetryValidationError` naming the offending line.
+    """
+    manifest: Dict[str, object] = {}
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TelemetryValidationError(
+                    f"{path}:{line_no}: not valid JSON: {error}"
+                ) from None
+            try:
+                if line_no == 1:
+                    validate_manifest(record)
+                    manifest = record
+                else:
+                    validate_span_record(record)
+                    spans.append(_span_from_record(record))
+            except TelemetryValidationError as error:
+                raise TelemetryValidationError(
+                    f"{path}:{line_no}: {error}"
+                ) from None
+    if not manifest:
+        raise TelemetryValidationError(f"{path}: empty telemetry file")
+    return manifest, spans
+
+
+def validate_jsonl(path: str) -> Dict[str, object]:
+    """Validate a telemetry JSONL file; return its manifest on success."""
+    manifest, _ = read_jsonl(path)
+    return manifest
+
+
+def dump_run(
+    path: str,
+    telemetry: "Telemetry | NullTelemetry",
+    name: str,
+    spec_sha256=None,
+    seed=None,
+    extra=None,
+) -> Dict[str, object]:
+    """Build the manifest for a finished run and write the JSONL in one step."""
+    manifest = build_manifest(
+        telemetry, name=name, spec_sha256=spec_sha256, seed=seed, extra=extra
+    )
+    write_jsonl(path, telemetry, manifest)
+    return manifest

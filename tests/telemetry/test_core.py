@@ -1,0 +1,129 @@
+"""Span nesting, counter, and null-object invariants for repro.telemetry."""
+
+import pytest
+
+from repro.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, ensure_telemetry
+
+
+def test_nested_spans_record_full_paths_and_depths():
+    tele = Telemetry()
+    with tele.span("scenario"):
+        with tele.span("main_run"):
+            with tele.span("dispatch_day"):
+                pass
+            with tele.span("dispatch_day"):
+                pass
+        with tele.span("economics"):
+            pass
+    paths = [span.path for span in tele.spans]
+    assert paths == [
+        "scenario/main_run/dispatch_day",
+        "scenario/main_run/dispatch_day",
+        "scenario/main_run",
+        "scenario/economics",
+        "scenario",
+    ]
+    assert [span.depth for span in tele.spans] == [3, 3, 2, 2, 1]
+
+
+def test_spans_complete_children_before_parents():
+    tele = Telemetry()
+    with tele.span("outer"):
+        with tele.span("inner"):
+            pass
+    by_path = {span.path: span for span in tele.spans}
+    assert by_path["outer/inner"].index < by_path["outer"].index
+    # Completion order is the list order and the index order.
+    assert [span.index for span in tele.spans] == [0, 1]
+
+
+def test_span_timing_is_sane():
+    tele = Telemetry()
+    with tele.span("outer"):
+        with tele.span("inner"):
+            pass
+    inner = next(s for s in tele.spans if s.name == "inner")
+    outer = next(s for s in tele.spans if s.name == "outer")
+    assert inner.duration_s >= 0
+    assert outer.duration_s >= inner.duration_s
+    assert outer.start_s <= inner.start_s
+    assert inner.end_s <= outer.end_s + 1e-9
+    assert tele.wall_s() >= outer.end_s
+
+
+def test_span_name_rejects_separators_and_empty():
+    tele = Telemetry()
+    with pytest.raises(ValueError):
+        tele.span("a/b")
+    with pytest.raises(ValueError):
+        tele.span("")
+
+
+def test_phase_totals_aggregate_by_full_path():
+    tele = Telemetry()
+    for _ in range(3):
+        with tele.span("main_run"):
+            with tele.span("step"):
+                pass
+    with tele.span("twin"):
+        with tele.span("step"):
+            pass
+    totals = tele.phase_totals()
+    assert totals["main_run/step"][0] == 3
+    assert totals["twin/step"][0] == 1
+    assert totals["main_run"][0] == 3
+    # Identical leaf names under different parents never blur.
+    assert "step" not in totals
+
+
+def test_counters_are_monotonic_and_reject_negative_increments():
+    tele = Telemetry()
+    tele.count("hits")
+    tele.count("hits", 2)
+    tele.count("energy_kwh", 0.5)
+    assert tele.counters == {"hits": 3, "energy_kwh": 0.5}
+    with pytest.raises(ValueError):
+        tele.count("hits", -1)
+
+
+def test_gauges_are_last_write_wins():
+    tele = Telemetry()
+    tele.gauge("n_devices", 100)
+    tele.gauge("n_devices", 250)
+    assert tele.gauges == {"n_devices": 250}
+
+
+def test_add_child_folds_counters_and_keeps_manifest():
+    tele = Telemetry()
+    tele.count("cells", 1)
+    child = {"name": "cell-a", "counters": {"cells": 2, "spans": 7}}
+    tele.add_child(child)
+    assert tele.counters == {"cells": 3, "spans": 7}
+    assert tele.children == [child]
+
+
+def test_null_telemetry_is_inert_and_shared():
+    null = NULL_TELEMETRY
+    assert isinstance(null, NullTelemetry)
+    assert null.enabled is False
+    span = null.span("anything")
+    with span:
+        with null.span("nested"):
+            pass
+    # One shared re-entrant handle, nothing recorded anywhere.
+    assert null.span("other") is span
+    null.count("ignored", 5)
+    null.gauge("ignored", 5)
+    null.add_child({"counters": {"x": 1}})
+    assert list(null.iter_spans()) == []
+    assert null.phase_totals() == {}
+    assert dict(null.counters) == {}
+    assert dict(null.gauges) == {}
+    assert list(null.children) == []
+    assert null.wall_s() == 0.0
+
+
+def test_ensure_telemetry_normalises_none():
+    assert ensure_telemetry(None) is NULL_TELEMETRY
+    tele = Telemetry()
+    assert ensure_telemetry(tele) is tele

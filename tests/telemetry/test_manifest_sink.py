@@ -1,0 +1,138 @@
+"""Manifest schema and JSONL sink round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    Telemetry,
+    TelemetryValidationError,
+    build_manifest,
+    dump_run,
+    peak_rss_bytes,
+    phase_rows,
+    read_jsonl,
+    render_profile,
+    span_record,
+    validate_jsonl,
+    validate_manifest,
+    validate_span_record,
+)
+
+
+def _sample_telemetry():
+    tele = Telemetry()
+    with tele.span("scenario"):
+        with tele.span("main_run"):
+            with tele.span("dispatch_day"):
+                pass
+    tele.count("dispatch.clipped_setpoints", 4)
+    tele.gauge("fleet.n_devices", 128)
+    return tele
+
+
+def test_build_manifest_is_valid_and_complete():
+    tele = _sample_telemetry()
+    manifest = build_manifest(
+        tele, name="unit", spec_sha256="ab" * 32, seed=7, extra={"days": 2}
+    )
+    validate_manifest(manifest)
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["kind"] == "manifest"
+    assert manifest["name"] == "unit"
+    assert manifest["spec_sha256"] == "ab" * 32
+    assert manifest["seed"] == 7
+    assert manifest["context"] == {"days": 2}
+    assert manifest["counters"] == {"dispatch.clipped_setpoints": 4}
+    assert manifest["gauges"] == {"fleet.n_devices": 128}
+    assert manifest["wall_s"] >= 0
+    paths = [row["path"] for row in manifest["phases"]]
+    assert "scenario" in paths and "scenario/main_run/dispatch_day" in paths
+    # The whole record must be plain JSON.
+    json.dumps(manifest)
+
+
+def test_phase_fractions_are_relative_to_top_level_time():
+    tele = _sample_telemetry()
+    rows = {row["path"]: row for row in phase_rows(tele)}
+    assert rows["scenario"]["fraction"] == pytest.approx(1.0)
+    assert 0.0 <= rows["scenario/main_run"]["fraction"] <= 1.0
+
+
+def test_validate_manifest_rejects_malformed_records():
+    tele = _sample_telemetry()
+    good = build_manifest(tele, name="unit")
+    with pytest.raises(TelemetryValidationError):
+        validate_manifest({**good, "schema": "repro-telemetry/0"})
+    with pytest.raises(TelemetryValidationError):
+        validate_manifest({k: v for k, v in good.items() if k != "counters"})
+    with pytest.raises(TelemetryValidationError):
+        validate_manifest({**good, "counters": {"bad": -1}})
+    with pytest.raises(TelemetryValidationError):
+        validate_manifest({**good, "wall_s": "fast"})
+    # Children are validated recursively.
+    with pytest.raises(TelemetryValidationError):
+        validate_manifest({**good, "children": [{"kind": "manifest"}]})
+
+
+def test_validate_span_record_rejects_out_of_range():
+    tele = _sample_telemetry()
+    record = span_record(tele.spans[0])
+    validate_span_record(record)
+    with pytest.raises(TelemetryValidationError):
+        validate_span_record({**record, "kind": "manifest"})
+    with pytest.raises(TelemetryValidationError):
+        validate_span_record({**record, "duration_s": -0.5})
+    with pytest.raises(TelemetryValidationError):
+        validate_span_record({k: v for k, v in record.items() if k != "depth"})
+
+
+def test_jsonl_round_trip(tmp_path):
+    tele = _sample_telemetry()
+    path = str(tmp_path / "run.jsonl")
+    manifest = dump_run(path, tele, name="round-trip", seed=3)
+    read_manifest, spans = read_jsonl(path)
+    assert read_manifest == json.loads(json.dumps(manifest))
+    assert [s.path for s in spans] == [s.path for s in tele.spans]
+    assert [s.index for s in spans] == [s.index for s in tele.spans]
+    assert spans[0].duration_s == pytest.approx(tele.spans[0].duration_s)
+    assert validate_jsonl(path)["name"] == "round-trip"
+
+
+def test_jsonl_rejects_corrupt_lines(tmp_path):
+    tele = _sample_telemetry()
+    path = str(tmp_path / "run.jsonl")
+    dump_run(path, tele, name="corrupt")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("{not json\n")
+    with pytest.raises(TelemetryValidationError, match=":5:"):
+        read_jsonl(path)
+
+
+def test_jsonl_rejects_bad_first_line_and_empty_file(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"kind": "span"}) + "\n")
+    with pytest.raises(TelemetryValidationError, match=":1:"):
+        read_jsonl(path)
+    empty = str(tmp_path / "empty.jsonl")
+    open(empty, "w").close()
+    with pytest.raises(TelemetryValidationError, match="empty"):
+        read_jsonl(empty)
+
+
+def test_peak_rss_is_reported_on_posix():
+    peak = peak_rss_bytes()
+    assert peak is None or peak > 1024 * 1024
+
+
+def test_render_profile_lists_phases_and_counters():
+    tele = _sample_telemetry()
+    manifest = build_manifest(tele, name="render-me", seed=11)
+    text = render_profile(manifest)
+    assert "render-me" in text
+    assert "dispatch_day" in text
+    assert "dispatch.clipped_setpoints" in text
+    assert "fleet.n_devices" in text
+    assert "100.0%" in text

@@ -136,3 +136,100 @@ def test_set_rejected_for_figure_targets(capsys):
 def test_run_fast_figure_target(capsys):
     assert main(["run", "fig1"]) == 0
     assert "Figure 1" in capsys.readouterr().out
+
+
+FAST_SCENARIO_ARGS = [
+    "--set",
+    "duration_days=2",
+    "--set",
+    "sites.0.devices.count=10",
+    "--set",
+    "sites.1.devices.count=10",
+    "--set",
+    "routing.latency_probe_s=0",
+]
+
+
+def test_run_scenario_telemetry_writes_valid_jsonl(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out_path = str(tmp_path / "run.jsonl")
+    code = main(
+        ["run", "scenario", "carbon-buffer"]
+        + FAST_SCENARIO_ARGS
+        + ["--telemetry", out_path]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"telemetry written to {out_path}" in out
+    manifest, spans = read_jsonl(out_path)
+    assert manifest["name"] == "carbon-buffer"
+    assert manifest["seed"] is not None
+    assert len(manifest["spec_sha256"]) == 64
+    assert any(span.path == "scenario/main_run" for span in spans)
+
+
+def test_sweep_telemetry_nests_cell_manifests(capsys, tmp_path):
+    from repro.telemetry import read_jsonl
+
+    out_path = str(tmp_path / "sweep.jsonl")
+    code = main(
+        [
+            "sweep",
+            "scenario",
+            "carbon-buffer",
+            "--set",
+            "routing.policy=round-robin,greedy-lowest-intensity",
+        ]
+        + FAST_SCENARIO_ARGS
+        + ["--telemetry", out_path]
+    )
+    assert code == 0
+    assert "telemetry written to" in capsys.readouterr().out
+    manifest, _ = read_jsonl(out_path)
+    assert manifest["name"] == "sweep:carbon-buffer"
+    assert len(manifest["children"]) == 2
+    assert manifest["counters"]["sweep.cells"] == 2
+    assert "routing.policy" in manifest["context"]["axes"]
+
+
+def test_telemetry_flag_rejected_for_figure_targets(capsys):
+    assert main(["run", "fig1", "--telemetry", "out.jsonl"]) == 2
+    assert "--telemetry" in capsys.readouterr().out
+
+
+def test_profile_scenario_prints_phase_breakdown(capsys):
+    code = main(["profile", "scenario", "carbon-buffer"] + FAST_SCENARIO_ARGS)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profile: carbon-buffer" in out
+    assert "spec sha256:" in out
+    assert "main_run" in out and "dispatch_day" in out
+    assert "counters:" in out and "dispatch.clipped_setpoints" in out
+
+
+def test_profile_requires_scenario_form(capsys):
+    assert main(["profile", "carbon-buffer"]) == 2
+    assert "usage: python -m repro profile scenario" in capsys.readouterr().out
+
+
+def test_telemetry_validate_accepts_good_and_rejects_bad(capsys, tmp_path):
+    out_path = str(tmp_path / "run.jsonl")
+    assert (
+        main(
+            ["run", "scenario", "carbon-buffer"]
+            + FAST_SCENARIO_ARGS
+            + ["--telemetry", out_path]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["telemetry", "validate", out_path]) == 0
+    assert "valid" in capsys.readouterr().out
+
+    bad_path = tmp_path / "bad.jsonl"
+    bad_path.write_text("{not json\n")
+    assert main(["telemetry", "validate", str(bad_path)]) == 1
+    assert "invalid telemetry file" in capsys.readouterr().out
+
+    assert main(["telemetry", "validate", str(tmp_path / "missing.jsonl")]) == 2
