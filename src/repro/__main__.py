@@ -14,6 +14,12 @@ Usage::
     python -m repro profile scenario carbon-buffer     # per-phase breakdown
     python -m repro run scenario carbon-buffer --telemetry out.jsonl
     python -m repro telemetry validate out.jsonl
+    python -m repro sweep scenario carbon-buffer \
+        --set demand.fraction_of_capacity=0.3,0.6 --store experiment-store
+    python -m repro store ls                           # stored experiments
+    python -m repro store show <hash-prefix>
+    python -m repro store report scenario carbon-buffer \
+        --set demand.fraction_of_capacity=0.3,0.6      # table, zero simulation
 
 Each figure/table target maps to a zero-argument builder that computes the
 underlying data and returns the text to print (registry pattern, so adding a
@@ -278,12 +284,38 @@ def _resolve_scenario(name: str):
         return None
 
 
-def _sweep_scenario(name: str, set_args, jobs=None, telemetry_path=None) -> int:
+def _open_store(store_dir):
+    """An :class:`~repro.store.ExperimentStore` at ``store_dir`` (or None)."""
+    if store_dir is None:
+        return None
+    from repro.store import ExperimentStore
+
+    return ExperimentStore(store_dir)
+
+
+def _parse_axes(set_args):
+    """Parse --set sweep axes, rejecting duplicates."""
+    from repro.scenarios import ScenarioValidationError, parse_sweep_override
+
+    axes = {}
+    for text in set_args or []:
+        key, values = parse_sweep_override(text)
+        if key in axes:
+            raise ScenarioValidationError(
+                f"duplicate sweep axis {key!r}; list every value in one "
+                f"--set {key}=v1,v2"
+            )
+        axes[key] = values
+    return axes
+
+
+def _sweep_scenario(
+    name: str, set_args, jobs=None, telemetry_path=None, store_dir=None
+) -> int:
     """Resolve a scenario and run it over a cartesian --set grid."""
     from repro.analysis import render_sweep_result
     from repro.scenarios import (
         ScenarioValidationError,
-        parse_sweep_override,
         spec_hash,
         sweep_scenario,
     )
@@ -293,21 +325,18 @@ def _sweep_scenario(name: str, set_args, jobs=None, telemetry_path=None) -> int:
     if spec is None:
         return 2
     telemetry = Telemetry() if telemetry_path else None
+    store = _open_store(store_dir)
     try:
-        axes = {}
-        for text in set_args or []:
-            key, values = parse_sweep_override(text)
-            if key in axes:
-                raise ScenarioValidationError(
-                    f"duplicate sweep axis {key!r}; list every value in one "
-                    f"--set {key}=v1,v2"
-                )
-            axes[key] = values
-        sweep = sweep_scenario(spec, axes, jobs=jobs, telemetry=telemetry)
+        axes = _parse_axes(set_args)
+        sweep = sweep_scenario(
+            spec, axes, jobs=jobs, telemetry=telemetry, store=store
+        )
     except ScenarioValidationError as error:
         print(f"invalid sweep configuration: {error}")
         return 2
     print(render_sweep_result(sweep))
+    if store is not None:
+        print(f"\nexperiment store: {store_dir} ({len(store)} entries)")
     if telemetry is not None:
         dump_run(
             telemetry_path,
@@ -338,8 +367,14 @@ def _build_spec(name: str, set_args):
     return spec
 
 
-def _run_scenario(name: str, set_args, telemetry_path=None) -> int:
-    """Resolve, override, run, and render one registered scenario."""
+def _run_scenario(name: str, set_args, telemetry_path=None, store_dir=None) -> int:
+    """Resolve, override, run, and render one registered scenario.
+
+    With ``store_dir``, the run is store-backed: a stored entry for the
+    spec's content hash is loaded instead of simulated (bitwise-identical
+    — every simulation is fully seeded), and a fresh run persists its
+    result for the next invocation.
+    """
     from repro.analysis import render_scenario_result
     from repro.scenarios import ScenarioRunner, ScenarioValidationError, spec_hash
     from repro.telemetry import Telemetry, dump_run
@@ -348,12 +383,22 @@ def _run_scenario(name: str, set_args, telemetry_path=None) -> int:
     if spec is None:
         return 2
     telemetry = Telemetry() if telemetry_path else None
+    store = _open_store(store_dir)
+    cached = store.get_entry_or_none(spec.sha256()) if store is not None else None
     try:
-        result = ScenarioRunner(spec, telemetry=telemetry).run()
+        if cached is not None:
+            result = cached.result
+        else:
+            result = ScenarioRunner(spec, telemetry=telemetry).run()
+            if store is not None:
+                store.put(result)
     except ScenarioValidationError as error:
         print(f"invalid scenario configuration: {error}")
         return 2
     print(render_scenario_result(result))
+    if store is not None:
+        state = "loaded from" if cached is not None else "stored in"
+        print(f"\n{state} experiment store {store_dir} ({spec.sha256()[:12]})")
     if telemetry is not None:
         dump_run(
             telemetry_path,
@@ -385,6 +430,70 @@ def _profile_scenario(name: str, set_args) -> int:
     )
     print(render_profile(manifest))
     return 0
+
+
+def _store_command(targets, store_dir, set_args) -> int:
+    """Dispatch ``store ls | show <hash> | gc | report ...`` subcommands."""
+    from repro.analysis import render_scenario_result, render_store_summary
+    from repro.scenarios import ScenarioValidationError
+    from repro.store import (
+        STORE_REPORTS,
+        ExperimentStore,
+        StoreError,
+        render_grid_report,
+        render_store_report,
+    )
+
+    usage = (
+        "usage: python -m repro store <ls | show <hash> | gc | "
+        "report <name> | report scenario <name> --set dotted.path=v1,v2> "
+        "[--store DIR]"
+    )
+    store = ExperimentStore(store_dir)
+    action = targets[0]
+    try:
+        if action == "ls" and len(targets) == 1:
+            print(f"experiment store: {store_dir}")
+            print(render_store_summary(store.entries()))
+            return 0
+        if action == "show" and len(targets) == 2:
+            entry = store.get_entry(store.resolve(targets[1]))
+            print(
+                f"entry {entry.key}\n"
+                f"  scenario: {entry.scenario} (seed {entry.seed}, "
+                f"{entry.duration_days} days)\n"
+                f"  repro version: {entry.repro_version}, manifest: "
+                f"{'yes' if entry.manifest is not None else 'no'}\n"
+            )
+            print(render_scenario_result(entry.result))
+            return 0
+        if action == "gc" and len(targets) == 1:
+            removed = store.gc()
+            print(
+                f"removed {len(removed)} file(s); "
+                f"{len(store)} valid entr(y/ies) remain"
+            )
+            for path in removed:
+                print(f"  {path}")
+            return 0
+        if action == "report" and len(targets) == 2:
+            print(render_store_report(targets[1], store))
+            return 0
+        if action == "report" and len(targets) == 3 and targets[1] == "scenario":
+            spec = _resolve_scenario(targets[2])
+            if spec is None:
+                return 2
+            print(render_grid_report(store, spec, _parse_axes(set_args)))
+            return 0
+    except ScenarioValidationError as error:
+        print(f"invalid store report configuration: {error}")
+        return 2
+    except StoreError as error:
+        print(f"store error: {error}")
+        return 1
+    print(usage)
+    print("registered reports: " + ", ".join(sorted(STORE_REPORTS)))
+    return 2
 
 
 def _validate_telemetry(path: str) -> int:
@@ -456,6 +565,16 @@ def main(argv=None) -> int:
             "(manifest line, then one record per span; scenario runs only)"
         ),
     )
+    run_parser.add_argument(
+        "--store",
+        dest="store_dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "back the run with an experiment store at DIR: load the result "
+            "if its spec hash is stored, persist it otherwise (scenario runs only)"
+        ),
+    )
     sweep_parser = subparsers.add_parser(
         "sweep",
         help=(
@@ -490,6 +609,17 @@ def main(argv=None) -> int:
             "(per-cell manifests nest as children of the sweep manifest)"
         ),
     )
+    sweep_parser.add_argument(
+        "--store",
+        dest="store_dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "back the sweep with an experiment store at DIR: cached cells "
+            "load instead of simulating, fresh cells persist as they "
+            "complete (interrupted sweeps resume)"
+        ),
+    )
     profile_parser = subparsers.add_parser(
         "profile",
         help=(
@@ -510,6 +640,28 @@ def main(argv=None) -> int:
         help="inspect telemetry files via: telemetry validate <out.jsonl>",
     )
     telemetry_parser.add_argument("targets", nargs="+", metavar="target")
+    store_parser = subparsers.add_parser(
+        "store",
+        help=(
+            "inspect the experiment store via: store ls | show <hash> | gc | "
+            "report <name> | report scenario <name> --set dotted.path=v1,v2"
+        ),
+    )
+    store_parser.add_argument("targets", nargs="+", metavar="target")
+    store_parser.add_argument(
+        "--store",
+        dest="store_dir",
+        metavar="DIR",
+        default="experiment-store",
+        help="experiment store directory (default: experiment-store)",
+    )
+    store_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="dotted.path=v1,v2",
+        help="grid axes for: store report scenario <name> (repeatable)",
+    )
 
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
@@ -531,6 +683,7 @@ def main(argv=None) -> int:
             args.overrides,
             jobs=args.jobs,
             telemetry_path=args.telemetry,
+            store_dir=args.store_dir,
         )
     if args.command == "profile":
         if len(args.targets) != 2 or args.targets[0] != "scenario":
@@ -545,13 +698,18 @@ def main(argv=None) -> int:
             print("usage: python -m repro telemetry validate <out.jsonl>")
             return 2
         return _validate_telemetry(args.targets[1])
+    if args.command == "store":
+        return _store_command(args.targets, args.store_dir, args.overrides)
 
     if args.targets and args.targets[0] == "scenario":
         if len(args.targets) != 2:
             print("usage: python -m repro run scenario <name> [--set key=value ...]")
             return 2
         return _run_scenario(
-            args.targets[1], args.overrides, telemetry_path=args.telemetry
+            args.targets[1],
+            args.overrides,
+            telemetry_path=args.telemetry,
+            store_dir=args.store_dir,
         )
     if args.overrides:
         print("--set only applies to scenario runs (python -m repro run scenario <name>)")
@@ -560,6 +718,12 @@ def main(argv=None) -> int:
         print(
             "--telemetry only applies to scenario runs "
             "(python -m repro run scenario <name> --telemetry out.jsonl)"
+        )
+        return 2
+    if args.store_dir:
+        print(
+            "--store only applies to scenario runs "
+            "(python -m repro run scenario <name> --store DIR)"
         )
         return 2
     return _run_targets(args.targets)

@@ -256,6 +256,44 @@ def render_scenario_result(result) -> str:
     return "\n".join(lines)
 
 
+def render_store_summary(entries) -> str:
+    """Render experiment-store entries as a one-row-per-experiment table.
+
+    ``entries`` is an iterable of
+    :class:`~repro.store.StoredExperiment` in listing order; the table
+    shows each entry's key prefix, scenario, provenance, and headline
+    metrics, so ``python -m repro store ls`` reads like a lab notebook.
+    """
+    headers = [
+        "Key",
+        "Scenario",
+        "Seed",
+        "Days",
+        "CCI (g/req)",
+        "$/request",
+        "Op. carbon (kg)",
+        "Version",
+    ]
+    rows = []
+    for entry in entries:
+        result = entry.result
+        rows.append(
+            [
+                entry.key[:12],
+                entry.scenario,
+                str(entry.seed),
+                str(entry.duration_days),
+                f"{result.cci_g_per_request:.3e}",
+                f"{result.usd_per_request:.3e}",
+                f"{result.report.total_operational_carbon_g / 1e3:.2f}",
+                entry.repro_version,
+            ]
+        )
+    if not rows:
+        return "experiment store is empty"
+    return format_table(headers, rows) + f"\n{len(rows)} stored experiment(s)"
+
+
 def render_sweep_result(sweep) -> str:
     """Render a :class:`~repro.scenarios.sweep.SweepResult` for the CLI.
 

@@ -1,0 +1,46 @@
+"""Crash-safe file writing shared by every layer that persists artifacts.
+
+The durable experiment store and the telemetry JSONL sink both promise that a
+killed process never leaves a half-written file behind: a reader either sees
+the complete previous contents or the complete new contents, nothing in
+between.  The standard POSIX recipe delivers that promise — write the full
+payload to a temporary file in the *same directory* (so the final rename
+cannot cross filesystems), flush and fsync it, then :func:`os.replace` it
+over the destination, which is atomic on every platform Python supports.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temporary file lives next to the destination (``.<name>.<random>.tmp``
+    in the same directory) and is fsynced before :func:`os.replace` swaps it
+    in, so a crash at any point leaves either the old file or the new file —
+    never a truncated hybrid.  On failure the temporary file is removed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    handle, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as tmp:
+            tmp.write(text)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_lines(path: str, lines, encoding: str = "utf-8") -> None:
+    """Atomically write an iterable of lines (newlines appended) to ``path``."""
+    atomic_write_text(path, "".join(f"{line}\n" for line in lines), encoding)

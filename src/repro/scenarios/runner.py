@@ -163,6 +163,28 @@ class ScenarioResult:
             summary["telemetry"] = dict(self.telemetry)
         return summary
 
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding with exact round-trip (arrays included).
+
+        Delegates to :mod:`repro.store.serialize` (imported lazily — the
+        runner must stay importable without the store and vice versa);
+        :meth:`from_dict` inverts it bitwise, which is what lets the
+        experiment store substitute a loaded result for a simulation.
+        """
+        from repro.store.serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioResult":
+        """Invert :meth:`to_dict` (raises
+        :class:`~repro.store.SerializationError` on a bad payload)."""
+        from repro.store.serialize import result_from_dict
+
+        return result_from_dict(payload)
+
 
 class ScenarioRunner:
     """Builds and runs the fleet experiment a :class:`ScenarioSpec` describes.

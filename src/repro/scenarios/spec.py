@@ -20,6 +20,7 @@ and seed — with no live objects inside, so every scenario is *data*:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import typing
 from dataclasses import dataclass, field
@@ -460,6 +461,21 @@ class ScenarioSpec:
         """Serialize to a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def sha256(self) -> str:
+        """The spec's canonical content hash (SHA-256 of its sorted JSON).
+
+        Semantically identical specs hash identically regardless of how they
+        were spelled: dict key order never matters (``to_json`` sorts keys),
+        omitted fields equal explicitly restated defaults (both resolve to
+        the same dataclass value), and numeric fields are canonicalized by
+        declared type (``_to_plain`` emits ``1.0``, not ``1``, for a float
+        field), so a spec built with ``count=10, fraction_of_capacity=1``
+        keys the same store entry as its JSON round-trip.  This is the key
+        for sweep-cell deduplication and the durable experiment store.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         """Deserialize from :meth:`to_json` output."""
@@ -527,12 +543,36 @@ def parse_override(text: str) -> Tuple[str, Any]:
 
 def _to_plain(value: Any) -> Any:
     if dataclasses.is_dataclass(value):
+        hints = typing.get_type_hints(type(value))
         return {
-            spec_field.name: _to_plain(getattr(value, spec_field.name))
+            spec_field.name: _canonical_scalar(
+                _to_plain(getattr(value, spec_field.name)),
+                hints.get(spec_field.name),
+            )
             for spec_field in dataclasses.fields(value)
         }
     if isinstance(value, tuple):
         return [_to_plain(item) for item in value]
+    return value
+
+
+def _canonical_scalar(value: Any, hint: Any) -> Any:
+    """Coerce a plain value to its declared numeric type.
+
+    A frozen dataclass accepts ``DemandSpec(fraction_of_capacity=1)`` (an
+    int for a float field) without complaint, but ``json.dumps`` spells the
+    two as ``1`` versus ``1.0`` — so semantically identical specs would
+    serialize (and therefore hash) differently.  Canonicalizing here makes
+    ``to_dict``/``to_json`` output depend only on the spec's *meaning*:
+    every float-typed field (plain or ``Optional``) serializes as a float.
+    """
+    if typing.get_origin(hint) is Union:
+        inner = [arg for arg in typing.get_args(hint) if arg is not type(None)]
+        if value is None or not inner:
+            return value
+        hint = inner[0]
+    if hint is float and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
     return value
 
 

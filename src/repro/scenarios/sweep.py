@@ -28,7 +28,6 @@ per-cell twins because every simulation is fully seeded.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 from concurrent.futures import ProcessPoolExecutor
@@ -105,11 +104,15 @@ class SweepResult:
 def spec_hash(spec: ScenarioSpec) -> str:
     """A stable content hash of one spec (SHA-256 of its canonical JSON).
 
-    ``to_json`` sorts keys, so two specs hash equal exactly when they are
-    equal as data — the key the parallel sweep uses to dedupe identical
-    cells and to reassemble worker results in deterministic grid order.
+    Delegates to :meth:`ScenarioSpec.sha256`: keys are sorted and numeric
+    fields canonicalized by declared type, so two specs hash equal exactly
+    when they are equal as *data* — regardless of dict key order, of
+    defaults being omitted versus restated, or of ints standing in for
+    floats.  This key dedupes identical sweep cells, reassembles worker
+    results in deterministic grid order, and addresses entries in the
+    durable :class:`~repro.store.ExperimentStore`.
     """
-    return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+    return spec.sha256()
 
 
 def _cell_manifest(
@@ -185,6 +188,7 @@ def _run_unique(
     jobs: Optional[int],
     hindsight: Optional[Dict[str, float]] = None,
     with_telemetry: bool = False,
+    persist: Optional[Any] = None,
 ) -> Dict[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]]:
     """Run each unique spec once, serially or over a process pool.
 
@@ -192,6 +196,12 @@ def _run_unique(
     unless ``with_telemetry``; the serial path builds the same per-cell
     child :class:`Telemetry` a pool worker would, so both paths produce
     identical manifests (modulo wall-clock timings).
+
+    ``persist`` is an optional ``(key, result, manifest)`` callback invoked
+    as each cell's result materialises in *this* process (per completed run
+    serially; as futures are collected in key order under a pool), so a
+    store-backed sweep checkpoints finished cells even when a later cell —
+    or the process itself — dies.
     """
     hindsight = hindsight or {}
     if jobs is None or jobs == 1 or len(unique) <= 1:
@@ -204,6 +214,8 @@ def _run_unique(
             manifest = (
                 _cell_manifest(child, cell_spec, key) if with_telemetry else None
             )
+            if persist is not None:
+                persist(key, result, manifest)
             out[key] = (result, manifest)
         return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
@@ -216,7 +228,13 @@ def _run_unique(
             )
             for key, cell_spec in unique.items()
         }
-        return {key: future.result() for key, future in futures.items()}
+        out = {}
+        for key, future in futures.items():
+            result, manifest = future.result()
+            if persist is not None:
+                persist(key, result, manifest)
+            out[key] = (result, manifest)
+        return out
 
 
 def _fold_sweep_telemetry(
@@ -249,6 +267,7 @@ def _run_cells(
     jobs: Optional[int],
     share_hindsight: bool = True,
     telemetry: Optional[Telemetry] = None,
+    store: Optional[Any] = None,
 ) -> List[ScenarioResult]:
     """Run every cell spec, serially or over a process pool, in grid order.
 
@@ -263,6 +282,14 @@ def _run_cells(
     (workers ship their manifests back), per-cell manifests become the
     sweep telemetry's children in deterministic grid order, and the
     dedup/twin-sharing bookkeeping is recorded as ``sweep.*`` counters.
+
+    With a ``store`` (an :class:`~repro.store.ExperimentStore`), cells whose
+    spec hash already has an entry are *loaded* instead of simulated, every
+    freshly simulated cell (hindsight twins included) is persisted as soon
+    as its result reaches this process, and the hit/miss/write bookkeeping
+    lands in ``store.*`` counters — because every simulation is fully
+    seeded, a cache-hit sweep is bitwise-identical to a from-scratch one,
+    and a sweep killed mid-grid resumes from the completed cells.
     """
     telemetry = ensure_telemetry(telemetry)
     if jobs is not None and jobs < 1:
@@ -283,21 +310,53 @@ def _run_cells(
             twin_keys[key] = twin_key
             twins.setdefault(twin_key, twin)
 
+    # Store lookup: every unique cell already persisted loads instead of
+    # simulating.  ``pairs`` accumulates key -> (result, manifest) from
+    # whatever source — store, phase A, or phase B.
+    pairs: Dict[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]] = {}
+    if store is not None:
+        for key in unique:
+            entry = store.get_entry_or_none(key)
+            if entry is not None:
+                pairs[key] = (entry.result, entry.manifest)
+    pending = {key: spec for key, spec in unique.items() if key not in pairs}
+
+    writes = 0
+
+    def persist(key: str, result: ScenarioResult, manifest) -> None:
+        nonlocal writes
+        if store is not None:
+            store.put(result, manifest=manifest)
+            writes += 1
+
     if telemetry.enabled:
         telemetry.count("sweep.cells", len(keys))
         telemetry.count("sweep.unique_cells", len(unique))
         telemetry.count("sweep.dedup_hits", len(keys) - len(unique))
         telemetry.count("sweep.twin_groups", len(twins))
+        if store is not None:
+            telemetry.count("store.hits", len(pairs))
+            telemetry.count("store.misses", len(pending))
 
-    if not twin_keys:
-        pairs = _run_unique(unique, jobs, with_telemetry=telemetry.enabled)
+    # Forecast cells loaded from the store carry their hindsight figure
+    # already, so only *pending* forecast cells still need a twin.
+    needed_twin_cells = [key for key in pending if key in twin_keys]
+    if not needed_twin_cells:
+        pairs.update(
+            _run_unique(
+                pending, jobs, with_telemetry=telemetry.enabled, persist=persist
+            )
+        )
+        if telemetry.enabled and store is not None:
+            telemetry.count("store.writes", writes)
         _fold_sweep_telemetry(telemetry, keys, pairs)
         return [pairs[key][0] for key in keys]
 
     # A perfect-forecast grid cell covers any twin that matches it after
     # canonical normalisation (sigma/probe/economics stripped — none affect
     # carbon_avoided_g): map the canonical hash to the cell's key so the
-    # twin reuses its run instead of simulating again.
+    # twin reuses its run instead of simulating again.  Cached grid cells
+    # count — their loaded results price twins without any simulation.
     covered_by: Dict[str, str] = {}
     for key, cell_spec in unique.items():
         if key in twin_keys:
@@ -311,42 +370,70 @@ def _run_cells(
             )
             covered_by.setdefault(canonical, key)
 
-    # Phase A: the twins plus every cell that needs no injection (a twin a
-    # grid cell already covers is simulated exactly once, as that cell).
-    dedicated_twins = [
-        twin_key for twin_key in twins if twin_key not in covered_by
+    # Each needed twin resolves, in order of preference, to: a grid cell
+    # covering it, a stored entry from an earlier sweep, or (last resort) a
+    # dedicated phase-A simulation — which is then persisted like any cell.
+    needed_twins = [
+        twin_key
+        for twin_key in twins
+        if twin_key in {twin_keys[key] for key in needed_twin_cells}
     ]
+    twin_store_hits = 0
+    dedicated_twins = []
+    for twin_key in needed_twins:
+        if twin_key in covered_by:
+            continue
+        entry = store.get_entry_or_none(twin_key) if store is not None else None
+        if entry is not None:
+            pairs[twin_key] = (entry.result, entry.manifest)
+            twin_store_hits += 1
+        else:
+            dedicated_twins.append(twin_key)
+
+    # Phase A: the dedicated twins plus every pending cell that needs no
+    # injection (a twin a grid cell already covers is simulated exactly
+    # once, as that cell).
     phase_a = {twin_key: twins[twin_key] for twin_key in dedicated_twins}
     phase_a.update(
-        {key: cell_spec for key, cell_spec in unique.items() if key not in twin_keys}
+        {key: cell_spec for key, cell_spec in pending.items() if key not in twin_keys}
     )
-    pairs = _run_unique(phase_a, jobs, with_telemetry=telemetry.enabled)
+    pairs.update(
+        _run_unique(phase_a, jobs, with_telemetry=telemetry.enabled, persist=persist)
+    )
     hindsight = {
-        key: pairs[covered_by.get(twin_key, twin_key)][
+        key: pairs[covered_by.get(twin_keys[key], twin_keys[key])][
             0
         ].report.carbon_avoided_g()
-        for key, twin_key in twin_keys.items()
+        for key in needed_twin_cells
     }
 
-    # Phase B: the forecast cells, each pricing regret against its group's
-    # shared hindsight figure instead of re-simulating the twin.
-    phase_b = {key: unique[key] for key in twin_keys}
+    # Phase B: the pending forecast cells, each pricing regret against its
+    # group's shared hindsight figure instead of re-simulating the twin.
+    phase_b = {key: pending[key] for key in needed_twin_cells}
     pairs.update(
         _run_unique(
-            phase_b, jobs, hindsight=hindsight, with_telemetry=telemetry.enabled
+            phase_b,
+            jobs,
+            hindsight=hindsight,
+            with_telemetry=telemetry.enabled,
+            persist=persist,
         )
     )
     if telemetry.enabled:
         # Twin needs met without a fresh dedicated twin simulation: group
-        # sharing plus perfect grid cells whose own runs double as twins.
+        # sharing, perfect grid cells whose own runs double as twins, and
+        # twins loaded back from the store.
         telemetry.count(
-            "sweep.twin_cache_hits", len(twin_keys) - len(dedicated_twins)
+            "sweep.twin_cache_hits", len(needed_twin_cells) - len(dedicated_twins)
         )
+        if store is not None:
+            telemetry.count("store.twin_hits", twin_store_hits)
+            telemetry.count("store.writes", writes)
     _fold_sweep_telemetry(
         telemetry,
         keys,
         pairs,
-        dedicated_twins=[t for t in dedicated_twins if t not in keys],
+        dedicated_twins=[t for t in needed_twins if t in pairs and t not in keys],
     )
     return [pairs[key][0] for key in keys]
 
@@ -357,6 +444,7 @@ def sweep_scenario(
     jobs: Optional[int] = None,
     share_hindsight: bool = True,
     telemetry: Optional[Telemetry] = None,
+    store: Optional[Any] = None,
 ) -> SweepResult:
     """Run ``spec`` over the cartesian grid of ``axes`` overrides.
 
@@ -383,6 +471,13 @@ def sweep_scenario(
     bookkeeping lands in ``sweep.*`` counters.  Telemetry never feeds back
     into the simulations, so an instrumented sweep's numbers are
     bitwise-identical to an uninstrumented one's.
+
+    ``store`` (an :class:`~repro.store.ExperimentStore`) makes the sweep
+    durable and resumable: cells whose spec hash is already stored load
+    instead of simulating, freshly simulated cells persist the moment they
+    complete, and hit/miss/write bookkeeping lands in ``store.*`` counters.
+    Because every simulation is fully seeded, a store-backed sweep —
+    cached, resumed, or from scratch — returns bitwise-identical results.
     """
     if not axes:
         raise ScenarioValidationError("a sweep needs at least one --set axis")
@@ -409,7 +504,7 @@ def sweep_scenario(
     tele = ensure_telemetry(telemetry)
     with tele.span("sweep"):
         results = _run_cells(
-            specs, jobs, share_hindsight=share_hindsight, telemetry=tele
+            specs, jobs, share_hindsight=share_hindsight, telemetry=tele, store=store
         )
     cells = [
         SweepCell(overrides=tuple(overrides.items()), result=result)

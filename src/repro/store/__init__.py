@@ -1,0 +1,56 @@
+"""Durable experiment store: content-addressed results and stored-grid reports.
+
+``ExperimentStore`` maps canonical spec hashes to atomically written JSON
+entries holding the full :class:`~repro.scenarios.runner.ScenarioResult`
+(exact round-trip, arrays included), the telemetry manifest of the run
+that produced it, and provenance.  ``sweep_scenario(..., store=...)``
+loads cached cells instead of simulating, persists fresh ones the moment
+they complete, and so makes sweeps resumable and re-runs free; the report
+layer renders tables over stored results without any simulation.
+"""
+
+from repro.store.core import (
+    ENTRY_SCHEMA,
+    ExperimentStore,
+    StoredExperiment,
+    StoreError,
+    validate_entry,
+)
+from repro.store.report import (
+    STORE_REPORTS,
+    register_store_report,
+    render_grid_report,
+    render_store_report,
+    sweep_from_store,
+)
+from repro.store.serialize import (
+    RESULT_SCHEMA,
+    SerializationError,
+    decode_array,
+    encode_array,
+    report_from_dict,
+    report_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "ENTRY_SCHEMA",
+    "RESULT_SCHEMA",
+    "STORE_REPORTS",
+    "ExperimentStore",
+    "SerializationError",
+    "StoreError",
+    "StoredExperiment",
+    "decode_array",
+    "encode_array",
+    "register_store_report",
+    "render_grid_report",
+    "render_store_report",
+    "report_from_dict",
+    "report_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "sweep_from_store",
+    "validate_entry",
+]

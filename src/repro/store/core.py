@@ -1,0 +1,257 @@
+"""The content-addressed experiment store.
+
+An :class:`ExperimentStore` is a directory mapping canonical spec hashes
+(:meth:`~repro.scenarios.spec.ScenarioSpec.sha256` — SHA-256 of the spec's
+canonical JSON) to one JSON entry each, holding the fully serialized
+:class:`~repro.scenarios.runner.ScenarioResult`, the run's telemetry
+manifest when it was instrumented, and provenance (repro version, seed,
+duration).  Because every simulation is fully seeded, the entry for a hash
+never goes stale: re-running the spec reproduces the stored result
+bitwise, so loading is always as good as simulating.
+
+Layout::
+
+    <root>/results/<64-hex-sha256>.json
+
+Writes are atomic (temp file + rename via
+:func:`repro.ioutils.atomic_write_text`), so a sweep killed mid-grid
+leaves only complete entries behind — a later sweep resumes from them and
+fills in the rest.  :meth:`ExperimentStore.gc` sweeps up the two kinds of
+debris that can still accumulate (orphaned ``*.tmp`` files from a crash
+between create and rename, and entries corrupted by forces outside the
+store), leaving every remaining entry loadable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro import __version__
+from repro.ioutils import atomic_write_text
+from repro.store.serialize import (
+    RESULT_SCHEMA,
+    SerializationError,
+    result_from_dict,
+    result_to_dict,
+)
+
+#: Schema tag stamped into every store entry.
+ENTRY_SCHEMA = "repro-store/1"
+
+_KEY_LENGTH = 64
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+class StoreError(Exception):
+    """A store operation failed: missing key, ambiguous prefix, bad entry."""
+
+
+def _is_key(text: str) -> bool:
+    return len(text) == _KEY_LENGTH and set(text) <= _HEX_DIGITS
+
+
+def validate_entry(payload: Any) -> None:
+    """Check one store entry's envelope; raise :class:`StoreError` on violation.
+
+    The envelope only — the ``result`` payload is validated by
+    :func:`~repro.store.serialize.result_from_dict` when it is decoded.
+    """
+    if not isinstance(payload, dict):
+        raise StoreError(f"entry must be a mapping, got {type(payload).__name__}")
+    if payload.get("schema") != ENTRY_SCHEMA:
+        raise StoreError(
+            f"entry schema must be {ENTRY_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    key = payload.get("spec_sha256")
+    if not isinstance(key, str) or not _is_key(key):
+        raise StoreError(f"entry spec_sha256 must be a 64-hex digest, got {key!r}")
+    for field, kinds in (
+        ("scenario", str),
+        ("seed", int),
+        ("duration_days", int),
+        ("repro_version", str),
+        ("result", dict),
+    ):
+        if not isinstance(payload.get(field), kinds):
+            raise StoreError(f"entry is missing or mistypes {field!r}")
+    if payload["result"].get("schema") != RESULT_SCHEMA:
+        raise StoreError(
+            f"entry result schema must be {RESULT_SCHEMA!r}, "
+            f"got {payload['result'].get('schema')!r}"
+        )
+    manifest = payload.get("manifest")
+    if manifest is not None and not isinstance(manifest, dict):
+        raise StoreError("entry manifest must be a mapping or null")
+
+
+@dataclass(frozen=True)
+class StoredExperiment:
+    """One loaded store entry: the result plus its provenance."""
+
+    key: str
+    scenario: str
+    seed: int
+    duration_days: int
+    repro_version: str
+    result: Any
+    manifest: Optional[Dict[str, Any]]
+
+
+class ExperimentStore:
+    """A content-addressed, crash-safe, on-disk store of scenario results."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    @property
+    def results_dir(self) -> str:
+        return os.path.join(self.root, "results")
+
+    def path_for(self, key: str) -> str:
+        """The entry path for one spec hash (whether or not it exists)."""
+        if not _is_key(key):
+            raise StoreError(f"not a spec hash: {key!r}")
+        return os.path.join(self.results_dir, f"{key}.json")
+
+    # -- writing -----------------------------------------------------------
+
+    def put(self, result, manifest: Optional[Dict[str, Any]] = None) -> str:
+        """Persist one result under its spec's content hash; return the key.
+
+        Idempotent: the same result re-persists to an identical file (the
+        entry carries no timestamps), so concurrent or repeated sweeps
+        over the same grid converge instead of conflicting.  The write is
+        atomic — a reader never observes a partial entry.
+        """
+        key = result.spec.sha256()
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "kind": "experiment",
+            "spec_sha256": key,
+            "scenario": result.spec.name,
+            "seed": result.spec.seed,
+            "duration_days": result.spec.duration_days,
+            "repro_version": __version__,
+            "result": result_to_dict(result),
+            "manifest": manifest,
+        }
+        os.makedirs(self.results_dir, exist_ok=True)
+        atomic_write_text(
+            self.path_for(key), json.dumps(entry, sort_keys=True) + "\n"
+        )
+        return key
+
+    # -- reading -----------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return _is_key(key) and os.path.exists(self.path_for(key))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> List[str]:
+        """Every stored spec hash, sorted (deterministic listing order)."""
+        if not os.path.isdir(self.results_dir):
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.results_dir)
+            if name.endswith(".json") and _is_key(name[: -len(".json")])
+        )
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique key prefix (CLI convenience) to the full hash."""
+        prefix = prefix.lower()
+        if _is_key(prefix):
+            return prefix
+        matches = [key for key in self.keys() if key.startswith(prefix)]
+        if not matches:
+            raise StoreError(f"no stored entry matches {prefix!r}")
+        if len(matches) > 1:
+            raise StoreError(
+                f"{prefix!r} is ambiguous: matches {len(matches)} entries "
+                f"({', '.join(key[:12] for key in matches[:4])}...)"
+            )
+        return matches[0]
+
+    def get_entry(self, key: str) -> StoredExperiment:
+        """Load one entry by full key; :class:`StoreError` if missing or bad."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise StoreError(f"no stored entry for {key}") from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(f"cannot read entry {key}: {error}") from None
+        validate_entry(payload)
+        if payload["spec_sha256"] != key:
+            raise StoreError(
+                f"entry {key} claims spec_sha256 {payload['spec_sha256']}"
+            )
+        try:
+            result = result_from_dict(payload["result"])
+        except SerializationError as error:
+            raise StoreError(f"entry {key} does not decode: {error}") from None
+        if result.spec.sha256() != key:
+            raise StoreError(
+                f"entry {key} decodes to a spec hashing "
+                f"{result.spec.sha256()} — content-address violated"
+            )
+        return StoredExperiment(
+            key=key,
+            scenario=payload["scenario"],
+            seed=payload["seed"],
+            duration_days=payload["duration_days"],
+            repro_version=payload["repro_version"],
+            result=result,
+            manifest=payload["manifest"],
+        )
+
+    def get_entry_or_none(self, key: str) -> Optional[StoredExperiment]:
+        """Like :meth:`get_entry`, but a missing *or corrupt* entry is a miss.
+
+        This is the sweep's lookup: a corrupt entry (truncated by forces
+        the atomic writer cannot control) simply re-simulates and
+        overwrites, so a store never wedges a sweep.
+        """
+        try:
+            return self.get_entry(key)
+        except StoreError:
+            return None
+
+    def entries(self) -> Iterator[StoredExperiment]:
+        """Iterate every loadable entry in key order (corrupt ones skipped)."""
+        for key in self.keys():
+            entry = self.get_entry_or_none(key)
+            if entry is not None:
+                yield entry
+
+    # -- maintenance -------------------------------------------------------
+
+    def gc(self) -> List[str]:
+        """Remove orphaned temp files and unloadable entries; return their paths.
+
+        Every path left under ``results/`` after ``gc`` is a loadable
+        entry.  Valid entries are never touched.
+        """
+        removed: List[str] = []
+        if not os.path.isdir(self.results_dir):
+            return removed
+        for name in sorted(os.listdir(self.results_dir)):
+            path = os.path.join(self.results_dir, name)
+            if not os.path.isfile(path):
+                continue
+            stem = name[: -len(".json")] if name.endswith(".json") else None
+            if stem is not None and _is_key(stem):
+                if self.get_entry_or_none(stem) is not None:
+                    continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+        return removed

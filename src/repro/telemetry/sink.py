@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Tuple
 
+from repro.ioutils import atomic_write_lines
 from repro.telemetry.core import NullTelemetry, Span, Telemetry
 from repro.telemetry.manifest import (
     TelemetryValidationError,
@@ -73,11 +74,19 @@ def validate_span_record(record: Dict[str, object]) -> None:
 def write_jsonl(
     path: str, telemetry: "Telemetry | NullTelemetry", manifest: Dict[str, object]
 ) -> None:
-    """Write one run's manifest plus its spans as JSONL at ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(manifest, sort_keys=True) + "\n")
-        for span in telemetry.iter_spans():
-            handle.write(json.dumps(span_record(span), sort_keys=True) + "\n")
+    """Write one run's manifest plus its spans as JSONL at ``path``.
+
+    The write is atomic (temp file + rename via
+    :func:`repro.ioutils.atomic_write_lines`): a run killed mid-write never
+    leaves a truncated, unvalidatable telemetry file behind — readers see
+    either the previous complete file or the new one.
+    """
+    lines = [json.dumps(manifest, sort_keys=True)]
+    lines.extend(
+        json.dumps(span_record(span), sort_keys=True)
+        for span in telemetry.iter_spans()
+    )
+    atomic_write_lines(path, lines)
 
 
 def read_jsonl(path: str) -> Tuple[Dict[str, object], List[Span]]:

@@ -260,3 +260,70 @@ class TestServiceDistributionField:
 
         with pytest.raises(ScenarioValidationError, match="service_distribution"):
             DemandSpec(service_distribution="pareto")
+
+
+class TestSpecHashCanonicalization:
+    """Semantically identical specs must hash identically.
+
+    The hash content-addresses the experiment store and dedupes sweep
+    cells, so any representational wobble — dict key order, defaults
+    restated vs omitted, ints standing in for floats — would silently
+    fork cache entries and re-simulate work that is already stored.
+    """
+
+    def test_dict_key_order_is_irrelevant(self):
+        def reversed_keys(value):
+            if isinstance(value, dict):
+                return {
+                    key: reversed_keys(value[key]) for key in reversed(list(value))
+                }
+            if isinstance(value, list):
+                return [reversed_keys(item) for item in value]
+            return value
+
+        spec = get_scenario("carbon-buffer")
+        shuffled = ScenarioSpec.from_dict(reversed_keys(spec.to_dict()))
+        assert shuffled.sha256() == spec.sha256()
+
+    def test_omitted_defaults_hash_like_explicit_defaults(self):
+        base = small_spec()
+        explicit = small_spec(
+            demand=DemandSpec(),
+            routing=RoutingSpec(),
+            charging=ChargingSpec(),
+            duration_days=ScenarioSpec.duration_days,
+            seed=ScenarioSpec.seed,
+        )
+        assert explicit.sha256() == base.sha256()
+
+    def test_override_restating_a_default_hashes_identically(self):
+        spec = get_scenario("carbon-buffer")
+        restated = spec.with_overrides({"seed": spec.seed})
+        assert restated.sha256() == spec.sha256()
+        restated_float = spec.with_overrides(
+            {"demand.fraction_of_capacity": spec.demand.fraction_of_capacity}
+        )
+        assert restated_float.sha256() == spec.sha256()
+
+    def test_int_for_float_field_hashes_like_the_float(self):
+        # Dataclasses accept an int where a float is declared; JSON would
+        # spell them differently (1 vs 1.0) without canonicalization.
+        with_int = small_spec(demand=DemandSpec(fraction_of_capacity=1))
+        with_float = small_spec(demand=DemandSpec(fraction_of_capacity=1.0))
+        assert with_int.sha256() == with_float.sha256()
+
+    def test_hash_round_trips_through_dict_and_json(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert ScenarioSpec.from_dict(spec.to_dict()).sha256() == spec.sha256()
+            assert ScenarioSpec.from_json(spec.to_json()).sha256() == spec.sha256()
+
+    def test_different_specs_hash_differently(self):
+        spec = get_scenario("carbon-buffer")
+        assert spec.with_overrides({"seed": spec.seed + 1}).sha256() != spec.sha256()
+
+    def test_sweep_spec_hash_delegates(self):
+        from repro.scenarios import spec_hash
+
+        spec = get_scenario("carbon-buffer")
+        assert spec_hash(spec) == spec.sha256()

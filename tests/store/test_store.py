@@ -1,0 +1,125 @@
+"""ExperimentStore unit behaviour: addressing, atomicity, gc, provenance."""
+
+import json
+import os
+
+import pytest
+
+from repro import __version__
+from repro.scenarios import ScenarioRunner, get_scenario
+from repro.store import ENTRY_SCHEMA, ExperimentStore, StoreError, validate_entry
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = get_scenario("paper-baseline").with_overrides({"duration_days": 2})
+    return ScenarioRunner(spec).run()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ExperimentStore(str(tmp_path / "es"))
+
+
+def test_put_then_get_round_trips_with_provenance(store, result):
+    key = store.put(result, manifest={"schema": "repro-telemetry/1"})
+    assert key == result.spec.sha256()
+    assert key in store
+    assert len(store) == 1
+
+    entry = store.get_entry(key)
+    assert entry.key == key
+    assert entry.scenario == result.spec.name
+    assert entry.seed == result.spec.seed
+    assert entry.duration_days == result.spec.duration_days
+    assert entry.repro_version == __version__
+    assert entry.manifest == {"schema": "repro-telemetry/1"}
+    assert entry.result.summary_dict() == result.summary_dict()
+
+
+def test_put_is_idempotent_and_byte_stable(store, result):
+    key = store.put(result)
+    first = open(store.path_for(key), "rb").read()
+    assert store.put(result) == key
+    assert open(store.path_for(key), "rb").read() == first
+
+
+def test_entry_files_validate_and_carry_the_schema(store, result):
+    key = store.put(result)
+    with open(store.path_for(key), "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_entry(payload)
+    assert payload["schema"] == ENTRY_SCHEMA
+    assert payload["spec_sha256"] == key
+
+
+def test_missing_and_corrupt_entries(store, result):
+    key = result.spec.sha256()
+    with pytest.raises(StoreError, match="no stored entry"):
+        store.get_entry(key)
+    assert store.get_entry_or_none(key) is None
+
+    # A corrupt file (outside the atomic writer's control) is a miss for
+    # the sweep path and an error for the strict path.
+    store.put(result)
+    with open(store.path_for(key), "w", encoding="utf-8") as handle:
+        handle.write('{"schema": "repro-store/1"')
+    with pytest.raises(StoreError):
+        store.get_entry(key)
+    assert store.get_entry_or_none(key) is None
+
+
+def test_content_address_is_enforced(store, result):
+    key = store.put(result)
+    # A valid entry copied under the wrong name must not load.
+    other = key[:-4] + ("0000" if not key.endswith("0000") else "1111")
+    os.rename(store.path_for(key), store.path_for(other))
+    with pytest.raises(StoreError):
+        store.get_entry(other)
+    assert store.get_entry_or_none(other) is None
+
+
+def test_keys_are_sorted_and_prefixes_resolve(store, result):
+    spec2 = result.spec.with_overrides({"seed": 7})
+    result2 = ScenarioRunner(spec2).run()
+    k1, k2 = store.put(result), store.put(result2)
+    assert store.keys() == sorted([k1, k2])
+    assert store.resolve(k1[:10]) == k1
+    assert store.resolve(k2) == k2
+    with pytest.raises(StoreError, match="no stored entry"):
+        store.resolve("zzzz")  # matches no hex key
+    common = os.path.commonprefix([k1, k2])
+    if common:
+        with pytest.raises(StoreError, match="ambiguous"):
+            store.resolve(common)
+
+
+def test_gc_removes_debris_and_keeps_valid_entries(store, result):
+    key = store.put(result)
+    results_dir = store.results_dir
+    tmp = os.path.join(results_dir, ".orphan.json.abc123.tmp")
+    open(tmp, "w").close()
+    corrupt = store.path_for("f" * 64)
+    with open(corrupt, "w") as handle:
+        handle.write("not json")
+
+    removed = store.gc()
+    assert sorted(removed) == sorted([tmp, corrupt])
+    assert not os.path.exists(tmp) and not os.path.exists(corrupt)
+    assert store.keys() == [key]
+    assert store.get_entry(key).result.summary_dict() == result.summary_dict()
+    assert store.gc() == []
+
+
+def test_empty_store_lists_nothing(store):
+    assert store.keys() == []
+    assert len(store) == 0
+    assert list(store.entries()) == []
+    assert store.gc() == []
+
+
+def test_path_for_rejects_non_hashes(store):
+    with pytest.raises(StoreError, match="not a spec hash"):
+        store.path_for("../escape")
+    with pytest.raises(StoreError, match="not a spec hash"):
+        store.path_for("abc")

@@ -136,3 +136,28 @@ def test_render_profile_lists_phases_and_counters():
     assert "dispatch.clipped_setpoints" in text
     assert "fleet.n_devices" in text
     assert "100.0%" in text
+
+
+def test_jsonl_write_is_atomic(tmp_path, monkeypatch):
+    """An interrupted dump never truncates an existing telemetry file."""
+    import os
+
+    tele = _sample_telemetry()
+    path = str(tmp_path / "run.jsonl")
+    dump_run(path, tele, name="first")
+    first_manifest, first_spans = read_jsonl(path)
+
+    def broken_replace(src, dst):
+        raise OSError("killed mid-write")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError, match="killed mid-write"):
+        dump_run(path, tele, name="second")
+    monkeypatch.undo()
+
+    # The previous complete file is intact and still validates; the failed
+    # attempt left no temp debris next to it.
+    manifest, spans = read_jsonl(path)
+    assert manifest == first_manifest
+    assert [s.path for s in spans] == [s.path for s in first_spans]
+    assert os.listdir(tmp_path) == ["run.jsonl"]

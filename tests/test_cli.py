@@ -233,3 +233,154 @@ def test_telemetry_validate_accepts_good_and_rejects_bad(capsys, tmp_path):
     assert "invalid telemetry file" in capsys.readouterr().out
 
     assert main(["telemetry", "validate", str(tmp_path / "missing.jsonl")]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Experiment store
+# ---------------------------------------------------------------------------
+
+STORE_SWEEP_ARGS = [
+    "sweep",
+    "scenario",
+    "carbon-buffer",
+    "--set",
+    "duration_days=2",
+    "--set",
+    "demand.fraction_of_capacity=0.3,0.6",
+]
+
+
+def test_sweep_with_store_caches_second_pass(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    t1, t2 = str(tmp_path / "t1.jsonl"), str(tmp_path / "t2.jsonl")
+    assert main(STORE_SWEEP_ARGS + ["--store", store_dir, "--telemetry", t1]) == 0
+    first = capsys.readouterr().out
+    assert f"experiment store: {store_dir} (2 entries)" in first
+
+    assert main(STORE_SWEEP_ARGS + ["--store", store_dir, "--telemetry", t2]) == 0
+    second = capsys.readouterr().out
+
+    import json
+
+    manifest1 = json.loads(open(t1).readline())
+    manifest2 = json.loads(open(t2).readline())
+    assert manifest1["counters"]["store.misses"] == 2
+    assert manifest1["counters"]["store.writes"] == 2
+    assert manifest2["counters"]["store.hits"] == 2
+    assert manifest2["counters"]["store.misses"] == 0
+    # Identical table either way: cached cells are bitwise-identical.
+    assert first.split("telemetry written")[0].split("experiment store")[0] == (
+        second.split("telemetry written")[0].split("experiment store")[0]
+    )
+
+
+def test_run_scenario_with_store_hits_on_rerun(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    args = [
+        "run",
+        "scenario",
+        "carbon-buffer",
+        "--set",
+        "duration_days=2",
+        "--store",
+        store_dir,
+    ]
+    assert main(args) == 0
+    assert "stored in experiment store" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "loaded from experiment store" in capsys.readouterr().out
+
+
+def test_store_ls_show_and_gc(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    assert main(STORE_SWEEP_ARGS + ["--store", store_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["store", "ls", "--store", store_dir]) == 0
+    listing = capsys.readouterr().out
+    assert "carbon-buffer" in listing and "2 stored experiment(s)" in listing
+
+    from repro.store import ExperimentStore
+
+    key = ExperimentStore(store_dir).keys()[0]
+    assert main(["store", "show", key[:10], "--store", store_dir]) == 0
+    shown = capsys.readouterr().out
+    assert f"entry {key}" in shown and "fleet CCI" in shown
+
+    import os
+
+    open(os.path.join(store_dir, "results", ".debris.json.x.tmp"), "w").close()
+    assert main(["store", "gc", "--store", store_dir]) == 0
+    assert "removed 1 file(s)" in capsys.readouterr().out
+
+
+def test_store_report_scenario_renders_from_store_alone(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    assert main(STORE_SWEEP_ARGS + ["--store", store_dir]) == 0
+    sweep_table = capsys.readouterr().out.split("\nexperiment store")[0]
+
+    import pytest as _pytest
+    from repro.scenarios import ScenarioRunner
+
+    def explode(self):
+        raise AssertionError("store report must not simulate")
+
+    monkey = _pytest.MonkeyPatch()
+    monkey.setattr(ScenarioRunner, "run", explode)
+    try:
+        assert main(
+            [
+                "store",
+                "report",
+                "scenario",
+                "carbon-buffer",
+                "--set",
+                "duration_days=2",
+                "--set",
+                "demand.fraction_of_capacity=0.3,0.6",
+                "--store",
+                store_dir,
+            ]
+        ) == 0
+        assert capsys.readouterr().out.strip() == sweep_table.strip()
+        assert main(["store", "report", "summary", "--store", store_dir]) == 0
+        assert "carbon-buffer" in capsys.readouterr().out
+    finally:
+        monkey.undo()
+
+
+def test_store_report_missing_cells_fails_loudly(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    assert (
+        main(
+            [
+                "store",
+                "report",
+                "scenario",
+                "carbon-buffer",
+                "--set",
+                "duration_days=2",
+                "--store",
+                store_dir,
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "store error" in out and "--store" in out
+
+
+def test_store_show_unknown_hash_errors(capsys, tmp_path):
+    assert main(["store", "show", "abc123", "--store", str(tmp_path / "es")]) == 1
+    assert "store error" in capsys.readouterr().out
+
+
+def test_store_usage_on_bad_form(capsys, tmp_path):
+    assert main(["store", "frobnicate", "--store", str(tmp_path / "es")]) == 2
+    out = capsys.readouterr().out
+    assert "usage:" in out and "registered reports:" in out
+
+
+def test_store_flag_rejected_for_figure_targets(capsys):
+    assert main(["run", "fig1", "--store", "somewhere"]) == 2
+    assert "--store only applies to scenario runs" in capsys.readouterr().out

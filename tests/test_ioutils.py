@@ -1,0 +1,55 @@
+"""Crash-safety of the shared atomic writer (store + telemetry sink)."""
+
+import os
+
+import pytest
+
+from repro.ioutils import atomic_write_lines, atomic_write_text
+
+
+def test_writes_content_and_replaces_existing(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "first")
+    assert path.read_text() == "first"
+    atomic_write_text(str(path), "second")
+    assert path.read_text() == "second"
+    assert os.listdir(tmp_path) == ["out.txt"]  # no temp debris
+
+
+def test_write_lines_appends_newlines(tmp_path):
+    path = tmp_path / "out.jsonl"
+    atomic_write_lines(str(path), ["a", "b"])
+    assert path.read_text() == "a\nb\n"
+
+
+def test_failed_write_leaves_previous_content_and_no_temp(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    atomic_write_text(str(path), "precious")
+
+    def broken_replace(src, dst):
+        raise OSError("disk detached")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    with pytest.raises(OSError, match="disk detached"):
+        atomic_write_text(str(path), "half-finished")
+    monkeypatch.undo()
+
+    assert path.read_text() == "precious"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_temp_file_lives_in_the_destination_directory(tmp_path, monkeypatch):
+    # The rename is only atomic within one filesystem, so the temp file
+    # must be created next to the destination, never in a global tmpdir.
+    seen = {}
+    import tempfile as tempfile_module
+
+    original = tempfile_module.mkstemp
+
+    def spying_mkstemp(*args, **kwargs):
+        seen["dir"] = kwargs.get("dir")
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr("repro.ioutils.tempfile.mkstemp", spying_mkstemp)
+    atomic_write_text(str(tmp_path / "nested.txt"), "x")
+    assert seen["dir"] == str(tmp_path)
