@@ -88,10 +88,28 @@ class DispatchPolicy(abc.ABC):
     name: str = "dispatch"
     #: SoC floor the ledger never discharges below (backup-power margin).
     min_state_of_charge: float = 0.25
+    #: True when :meth:`day_modes` is a pure function of its arguments (no
+    #: live ledger reads, no per-run state): the scheduler may then compute
+    #: every day's modes up front and advance the ledger over the whole run
+    #: in one :meth:`EnergyLedger.step_block` call.  Policies that plan
+    #: against live SoC (e.g. :class:`ForecastDispatch`) must leave this
+    #: False so modes and ledger stepping interleave day by day.
+    stateless_day_modes: bool = False
 
     def make_ledger(self, sites: Sequence[FleetSite]) -> "EnergyLedger":
         """A fresh ledger for one simulation run."""
         return EnergyLedger(sites, min_state_of_charge=self.min_state_of_charge)
+
+    def set_pack_counts(self, counts: Optional[np.ndarray]) -> None:
+        """Pin per-pack device counts for count-dependent planning terms.
+
+        The deferred dispatch replay runs *after* population churn has moved
+        on, so policies that read live cohort capabilities (capacity,
+        battery size, charge rate) must use these recorded day-start counts
+        instead.  ``None`` restores live reads.  Stateless policies ignore
+        the hint — their modes never touch counts.
+        """
+        return None
 
     @abc.abstractmethod
     def day_thresholds(
@@ -120,6 +138,7 @@ class GridOnlyDispatch(DispatchPolicy):
     """The decoupled baseline: batteries stay full, everything is grid power."""
 
     name = "grid-only"
+    stateless_day_modes = True
 
     def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
         return np.full(len(site_packs(sites)), np.nan)
@@ -141,6 +160,7 @@ class CarbonBufferDispatch(DispatchPolicy):
     """
 
     name = "carbon-buffer"
+    stateless_day_modes = True
 
     def __init__(
         self,
@@ -250,6 +270,19 @@ class ForecastDispatch(DispatchPolicy):
         self._ledger: Optional[EnergyLedger] = None
         self._sites: List[FleetSite] = []
         self._day = 0
+        #: Unexecuted plan tails carried across day boundaries: when
+        #: ``refresh_h`` spans multiple days, a plan's hours beyond midnight
+        #: wait here and execute before the next forecast refresh — planning
+        #: cadence follows ``refresh_h``, not the simulation's day batching.
+        self._pending: Dict[int, np.ndarray] = {}
+        #: Fleet-global index of this policy's first site.  Sharded dispatch
+        #: replay hands each worker a contiguous site slice; forecast windows
+        #: stay keyed on the global site index so a noisy model draws the
+        #: same noise under any shard layout.
+        self.site_offset = 0
+        #: Recorded day-start device counts (:meth:`set_pack_counts`), or
+        #: ``None`` for live cohort reads.
+        self._pack_counts: Optional[np.ndarray] = None
         #: Per-run observability counter: (pack, day) pairs that fell back to
         #: the percentile heuristic because the model was blind for the whole
         #: day (e.g. a persistence forecast's first day).  Battery-less packs
@@ -262,8 +295,13 @@ class ForecastDispatch(DispatchPolicy):
             sites, min_state_of_charge=self.min_state_of_charge
         )
         self._day = 0
+        self._pending = {}
+        self._pack_counts = None
         self.fallback_pack_days = 0
         return self._ledger
+
+    def set_pack_counts(self, counts: Optional[np.ndarray]) -> None:
+        self._pack_counts = counts
 
     def day_thresholds(self, previous_intensity, sites) -> np.ndarray:
         self._sites = list(sites)
@@ -298,35 +336,65 @@ class ForecastDispatch(DispatchPolicy):
     ) -> Optional[np.ndarray]:
         """One pack's planned modes for the day, or ``None`` to fall back.
 
-        The forecast window is keyed on the *site* index — every pack at a
-        mixed site plans against the same forecast of their shared grid
-        (a noisy model must not perturb one physical quantity two ways) —
-        while SoC and capacity are per pack.
+        The forecast window is keyed on the *fleet-global site* index — every
+        pack at a mixed site plans against the same forecast of their shared
+        grid (a noisy model must not perturb one physical quantity two ways)
+        — while SoC and capacity are per pack.
+
+        A plan tail left over from an earlier refresh window (``refresh_h``
+        spanning midnight) executes before any new forecast is requested, so
+        planning cadence is set by ``refresh_h`` alone: ``refresh_h=48``
+        calls the model every other day instead of silently replanning at
+        every midnight (locked by a planner-call-count regression test).
         """
         battery = entry.device.battery
-        capacity_j = entry.battery_capacity_j
+        count = (
+            None if self._pack_counts is None else int(self._pack_counts[pack_index])
+        )
+        capacity_j = (
+            entry.battery_capacity_j
+            if count is None
+            else entry.battery_capacity_j_at(count)
+        )
         if battery is None or capacity_j <= 0:
             return None
-        demand_step_j = self._estimated_demand_j(entry)
-        charge_step_j = (
+        demand_step_j = self._estimated_demand_j(entry, count)
+        charge_rate_w = (
             entry.battery_charge_rate_w
-            * (1.0 - self.demand_fraction)
-            * units.SECONDS_PER_HOUR
+            if count is None
+            else entry.battery_charge_rate_w_at(count)
+        )
+        charge_step_j = (
+            charge_rate_w * (1.0 - self.demand_fraction) * units.SECONDS_PER_HOUR
         )
         soc = (
             float(self._ledger.soc[pack_index]) if self._ledger is not None else 1.0
         )
         planned = np.full(hours, DISPATCH_HOLD, dtype=np.int8)
         covered = 0
-        for offset in range(0, hours, self.refresh_h):
+        pending = self._pending.pop(pack_index, None)
+        if pending is not None and pending.size:
+            take = min(pending.size, hours)
+            planned[:take] = pending[:take]
+            if pending.size > take:
+                self._pending[pack_index] = pending[take:]
+            covered = take
+            soc = self.planner.project_state_of_charge(
+                planned[:take],
+                np.full(take, demand_step_j),
+                capacity_j,
+                charge_step_j,
+                soc,
+            )
+        while covered < hours:
             window = self.model.window(
                 site.trace,
-                day_start_s + offset * units.SECONDS_PER_HOUR,
+                day_start_s + covered * units.SECONDS_PER_HOUR,
                 self.horizon_h,
-                site_index=site_index,
+                site_index=self.site_offset + site_index,
             )
             if window is None:
-                if offset == 0:
+                if covered == 0:
                     # Whole day blind: the fallback heuristic runs this pack.
                     self.fallback_pack_days += 1
                     return None
@@ -335,18 +403,30 @@ class ForecastDispatch(DispatchPolicy):
             plan = self.planner.plan_window(
                 window, demand_j, capacity_j, charge_step_j, soc
             )
-            take = min(self.refresh_h, hours - offset)
-            planned[offset : offset + take] = plan[:take]
-            covered = offset + take
+            chunk = np.asarray(plan)[: self.refresh_h]
+            take = min(self.refresh_h, hours - covered)
+            planned[covered : covered + take] = chunk[:take]
+            if take < chunk.shape[0]:
+                self._pending[pack_index] = np.array(
+                    chunk[take:], dtype=np.int8, copy=True
+                )
             soc = self.planner.project_state_of_charge(
-                plan[:take], demand_j[:take], capacity_j, charge_step_j, soc
+                chunk[:take], demand_j[:take], capacity_j, charge_step_j, soc
             )
+            covered += take
         return planned if covered else None
 
-    def _estimated_demand_j(self, entry: SiteCohort) -> float:
+    def _estimated_demand_j(
+        self, entry: SiteCohort, count: Optional[int] = None
+    ) -> float:
         """Estimated device energy (J) one hour of serving one cohort must deliver."""
-        served_rps = self.demand_fraction * entry.capacity_rps
-        return max(0.0, entry.device_power_w(served_rps)) * units.SECONDS_PER_HOUR
+        if count is None:
+            served_rps = self.demand_fraction * entry.capacity_rps
+            power_w = entry.device_power_w(served_rps)
+        else:
+            served_rps = self.demand_fraction * entry.capacity_rps_at(count)
+            power_w = entry.device_power_w_at(count, served_rps)
+        return max(0.0, power_w) * units.SECONDS_PER_HOUR
 
 
 class EnergyLedger:
@@ -380,12 +460,36 @@ class EnergyLedger:
             [entry.device.battery is not None for _, entry in self.packs]
         )
 
-    def day_capabilities(self):
-        """Today's ``(capacity_j, charge_rate_w)`` per-pack arrays from live counts."""
-        capacity_j = np.array([entry.battery_capacity_j for _, entry in self.packs])
-        charge_rate_w = np.array(
-            [entry.battery_charge_rate_w for _, entry in self.packs]
-        )
+    def day_capabilities(self, counts: Optional[np.ndarray] = None):
+        """One day's ``(capacity_j, charge_rate_w)`` per-pack arrays.
+
+        With ``counts=None`` the capabilities come from the live cohort
+        populations (the historical behaviour).  The deferred dispatch
+        replay instead passes the day-start device counts it recorded while
+        churn was still live; both paths share one per-count expression on
+        :class:`~repro.fleet.sites.SiteCohort`, so a recorded count
+        reproduces the live read bit for bit.
+        """
+        if counts is None:
+            capacity_j = np.array(
+                [entry.battery_capacity_j for _, entry in self.packs]
+            )
+            charge_rate_w = np.array(
+                [entry.battery_charge_rate_w for _, entry in self.packs]
+            )
+        else:
+            capacity_j = np.array(
+                [
+                    entry.battery_capacity_j_at(int(counts[j]))
+                    for j, (_, entry) in enumerate(self.packs)
+                ]
+            )
+            charge_rate_w = np.array(
+                [
+                    entry.battery_charge_rate_w_at(int(counts[j]))
+                    for j, (_, entry) in enumerate(self.packs)
+                ]
+            )
         return capacity_j, charge_rate_w
 
     def step(
@@ -428,6 +532,114 @@ class EnergyLedger:
             delta = np.where(capacity_j > 0, (charge_j - battery_j) / capacity_j, 0.0)
         self.soc = np.clip(self.soc + delta, 0.0, 1.0)
         return battery_j, charge_j
+
+    def step_block(
+        self,
+        modes: np.ndarray,
+        device_energy_j: np.ndarray,
+        step_s: float,
+        capacity_j: np.ndarray,
+        charge_rate_w: np.ndarray,
+        idle_fraction: np.ndarray,
+    ):
+        """Advance all packs over a block of hours in one vectorized pass.
+
+        Bitwise-exact batching of :meth:`step`: every input is an ``(H, C)``
+        matrix (or broadcastable to one — capabilities may vary per row when
+        the block spans churn days), and the return is the per-row
+        ``(battery_j, charge_j, soc)`` series :meth:`step` would have
+        produced hour by hour, with ``self.soc`` left at the final row.
+
+        The fast path assumes no physics constraint binds: candidate
+        discharge is the full device energy, candidate charge the full
+        deliverable power, and the SoC trajectory is the running cumulative
+        sum of the per-hour deltas (NumPy's ``cumsum`` accumulates strictly
+        left-to-right, so the partial sums are bitwise-identical to
+        sequential stepping).  Columns where any row violates an assumption
+        — SoC clipping at either bound, the below-floor forced recharge, a
+        discharge truncated at the floor, or a charge truncated at a full
+        pack — fall back to exact sequential stepping for that column only;
+        every ledger operation is elementwise per pack, so the hybrid
+        result is identical to stepping all columns sequentially.
+        """
+        modes = np.asarray(modes)
+        n_rows, n_packs = modes.shape
+        capacity_j = np.broadcast_to(
+            np.asarray(capacity_j, dtype=float), (n_rows, n_packs)
+        )
+        charge_rate_w = np.broadcast_to(
+            np.asarray(charge_rate_w, dtype=float), (n_rows, n_packs)
+        )
+        device_energy_j = np.broadcast_to(
+            np.asarray(device_energy_j, dtype=float), (n_rows, n_packs)
+        )
+        idle_fraction = np.broadcast_to(
+            np.asarray(idle_fraction, dtype=float), (n_rows, n_packs)
+        )
+        usable = self._has_battery[None, :] & (capacity_j > 0)
+        deliverable_j = charge_rate_w * np.clip(idle_fraction, 0.0, 1.0) * step_s
+
+        discharging = usable & (modes == DISPATCH_DISCHARGE)
+        charging = usable & (modes == DISPATCH_CHARGE)
+        battery_j = np.where(discharging, device_energy_j, 0.0)
+        charge_j = np.where(charging, deliverable_j, 0.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            delta = np.where(
+                capacity_j > 0, (charge_j - battery_j) / capacity_j, 0.0
+            )
+        # Cumulative partial sums seeded with the entry SoC: cumsum row k+1
+        # is (((soc0 + d0) + d1) + ...) + dk — the exact sequential chain.
+        stacked = np.empty((n_rows + 1, n_packs))
+        stacked[0] = self.soc
+        stacked[1:] = delta
+        trajectory = np.cumsum(stacked, axis=0)
+        before = trajectory[:-1]
+        soc = trajectory[1:]
+
+        available_j = np.clip(before - self.min_soc, 0.0, None) * capacity_j
+        headroom_j = np.clip(1.0 - before, 0.0, None) * capacity_j
+        violated = (
+            ((soc < 0.0) | (soc > 1.0))  # clip would bind
+            | (usable & (before < self.min_soc) & (modes != DISPATCH_CHARGE))
+            | (discharging & (device_energy_j > available_j))
+            | (charging & (deliverable_j > headroom_j))
+        )
+        bad = np.nonzero(violated.any(axis=0))[0]
+        if bad.size:
+            state = stacked[0, bad].copy()
+            for row in range(n_rows):
+                row_modes = modes[row, bad]
+                row_usable = usable[row, bad]
+                row_capacity = capacity_j[row, bad]
+                row_modes = np.where(
+                    row_usable & (state < self.min_soc), DISPATCH_CHARGE, row_modes
+                )
+                row_discharging = row_usable & (row_modes == DISPATCH_DISCHARGE)
+                row_available = np.clip(state - self.min_soc, 0.0, None) * row_capacity
+                row_battery = np.where(
+                    row_discharging,
+                    np.minimum(device_energy_j[row, bad], row_available),
+                    0.0,
+                )
+                row_charging = row_usable & (row_modes == DISPATCH_CHARGE)
+                row_headroom = np.clip(1.0 - state, 0.0, None) * row_capacity
+                row_charge = np.where(
+                    row_charging,
+                    np.minimum(row_headroom, deliverable_j[row, bad]),
+                    0.0,
+                )
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    row_delta = np.where(
+                        row_capacity > 0,
+                        (row_charge - row_battery) / row_capacity,
+                        0.0,
+                    )
+                state = np.clip(state + row_delta, 0.0, 1.0)
+                battery_j[row, bad] = row_battery
+                charge_j[row, bad] = row_charge
+                soc[row, bad] = state
+        self.soc = soc[-1].copy()
+        return battery_j, charge_j, soc
 
 
 def estimate_cohort_savings(

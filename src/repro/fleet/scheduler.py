@@ -49,7 +49,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import units
-from repro.fleet.dispatch import DISPATCH_DISCHARGE, DispatchPolicy, site_packs
+from repro.fleet.dispatch import DispatchPolicy, site_packs
+from repro.fleet.execution import execute_dispatch
 from repro.fleet.reporting import FleetReport
 from repro.fleet.sites import FleetSite, SiteCohort
 from repro.microservices.calibration import SERVICE_TIME_SIGMA
@@ -288,6 +289,21 @@ class FleetSimulation:
     Without a dispatch policy the batteries stay full (the decoupled
     baseline) and the grid/battery/charge series degenerate to
     ``grid == energy``, ``battery == charge == 0``, ``soc == 1``.
+
+    Execution is two-pass.  Pass A is the irreducibly serial day loop:
+    capacity follows churn and churn follows realised utilisation, so
+    allocation and population stepping must alternate day by day — but the
+    purely time-indexed inputs (demand series, grid intensities, marginal
+    CCI) are hoisted and precomputed ``block_days`` days at a time
+    (bitwise-identical: they are elementwise functions of exactly
+    representable hour indices).  Pass B replays the entire dispatch
+    timeline afterwards from what Pass A recorded, through the ledger's
+    vectorized :meth:`~repro.fleet.dispatch.EnergyLedger.step_block`,
+    optionally sharded across ``shards`` worker processes by contiguous
+    site ranges (see :mod:`repro.fleet.execution`).  ``block_days`` and
+    ``shards`` are pure performance knobs: every setting produces
+    bitwise-identical reports, counters, and RNG streams (locked by
+    ``tests/fleet/test_execution_identity.py``).
     """
 
     def __init__(
@@ -297,9 +313,17 @@ class FleetSimulation:
         demand: DiurnalDemand,
         dispatch: Optional[DispatchPolicy] = None,
         telemetry=None,
+        block_days: int = 1,
+        shards: int = 1,
     ) -> None:
         if not sites:
             raise ValueError("a fleet needs at least one site")
+        if block_days < 1:
+            raise ValueError(f"block_days must be >= 1, got {block_days}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.block_days = int(block_days)
+        self.shards = int(shards)
         names = [site.name for site in sites]
         if len(set(names)) != len(names):
             raise ValueError(f"site names must be unique, got {names}")
@@ -343,115 +367,165 @@ class FleetSimulation:
         step_s = HOURS_PER_STEP * units.SECONDS_PER_HOUR
         n_steps = n_days * hours_per_day
 
-        served = np.zeros((n_steps, n_sites))
-        dropped = np.zeros(n_steps)
-        operational_g = np.zeros((n_steps, n_sites))
-        energy_kwh_all = np.zeros((n_steps, n_sites))
-        intensity_all = np.zeros((n_steps, n_sites))
-        grid_kwh = np.zeros((n_steps, n_sites))
-        battery_kwh = np.zeros((n_steps, n_sites))
-        charge_kwh = np.zeros((n_steps, n_sites))
-        soc = np.ones((n_steps, n_sites))
+        # Pass A recordings: what the deferred dispatch replay will consume.
+        alloc_all = np.empty((n_steps, n_cohorts))
+        demand_all = np.empty(n_steps)
+        intensity_packs = np.empty((n_steps, n_cohorts))
+        utilization_all = np.empty((n_steps, n_cohorts))
+        counts_day = np.zeros((n_days, n_cohorts), dtype=np.int64)
+
         active = np.zeros((n_days, n_sites), dtype=np.int64)
         replacement_g = np.zeros((n_days, n_sites))
         battery_swaps = np.zeros((n_days, n_sites), dtype=np.int64)
         failures = np.zeros((n_days, n_sites), dtype=np.int64)
         deployed = np.zeros((n_days, n_sites), dtype=np.int64)
-
-        cohort_served = np.zeros((n_steps, n_cohorts))
-        cohort_energy_kwh = np.zeros((n_steps, n_cohorts))
-        cohort_grid_kwh = np.zeros((n_steps, n_cohorts))
-        cohort_battery_kwh = np.zeros((n_steps, n_cohorts))
-        cohort_charge_kwh = np.zeros((n_steps, n_cohorts))
-        cohort_soc = np.ones((n_steps, n_cohorts))
         cohort_active = np.zeros((n_days, n_cohorts), dtype=np.int64)
         cohort_replacement_g = np.zeros((n_days, n_cohorts))
         cohort_swaps = np.zeros((n_days, n_cohorts), dtype=np.int64)
         cohort_failures = np.zeros((n_days, n_cohorts), dtype=np.int64)
         cohort_deployed = np.zeros((n_days, n_cohorts), dtype=np.int64)
 
+        tele = self.telemetry
+
+        # -- Pass A: the serial coordinator loop ---------------------------
+        # Allocation and churn are irreducibly day-sequential (capacity for
+        # day d+1 depends on churn at day d, churn depends on realised
+        # utilisation), but the time-indexed inputs hoist: one precompute
+        # per block covers demand, intensity, and marginal CCI for every
+        # day in it (calls=0: setup time folds into the phase without
+        # inflating its invocation count).
+        for block_start in range(0, n_days, self.block_days):
+            block_stop = min(block_start + self.block_days, n_days)
+            with tele.span("allocate_day", calls=0):
+                block_demand, block_intensity, block_marginal = (
+                    self._precompute_block(
+                        block_start, block_stop, hours_per_day, step_s
+                    )
+                )
+            block_rows = slice(
+                block_start * hours_per_day, block_stop * hours_per_day
+            )
+            demand_all[block_rows] = block_demand
+            intensity_packs[block_rows] = block_intensity
+            for day in range(block_start, block_stop):
+                offset = (day - block_start) * hours_per_day
+                local = slice(offset, offset + hours_per_day)
+                rows = slice(day * hours_per_day, (day + 1) * hours_per_day)
+                with tele.span("allocate_day"):
+                    alloc = self._allocate_day(
+                        hours_per_day,
+                        step_s,
+                        block_demand[local],
+                        block_intensity[local],
+                        block_marginal[local],
+                    )
+                alloc_all[rows] = alloc
+                if tele.enabled:
+                    # "Segments touched": (hour, segment) cells the
+                    # waterfill actually routed load through this day.
+                    tele.count(
+                        "routing.waterfill_segments_touched",
+                        int(np.count_nonzero(alloc)),
+                    )
+                # Day-start counts — what the legacy per-day loop's live
+                # capability reads saw — recorded before churn moves them.
+                counts_day[day] = [
+                    entry.cohort.active_count for _, entry in self.segments
+                ]
+
+                # Daily population step at the realised utilisation; the
+                # same matrix feeds dispatch idle headroom in Pass B.
+                with tele.span("step_population"):
+                    utilization = self._physical_utilization(alloc)
+                    day_step = self._step_population(utilization)
+                utilization_all[rows] = utilization
+                cohort_active[day] = day_step["active"]
+                cohort_replacement_g[day] = day_step["replacement_carbon_g"]
+                cohort_swaps[day] = day_step["battery_swaps"]
+                cohort_failures[day] = day_step["failures"]
+                cohort_deployed[day] = day_step["deployed"]
+                active[day] = self._per_site(day_step["active"])
+                replacement_g[day] = self._per_site(
+                    day_step["replacement_carbon_g"]
+                )
+                battery_swaps[day] = self._per_site(day_step["battery_swaps"])
+                failures[day] = self._per_site(day_step["failures"])
+                deployed[day] = self._per_site(day_step["deployed"])
+
+        # -- Pass B: whole-run vectorized reductions and dispatch replay ---
+        cohort_served = alloc_all
+        served = self._per_site(alloc_all)
+        dropped = demand_all - alloc_all.sum(axis=1)
+        intensity_all = intensity_packs[:, self._site_starts]
+
+        # Device energy each cohort needs per hour; site wall energy adds
+        # the (never battery-backed) peripheral draw once per site.
         peripheral_kwh = np.array(
             [site.peripheral_power_w for site in self.sites]
         ) * (step_s / units.JOULES_PER_KWH)
+        with tele.span("site_energy_kwh", calls=n_days):
+            device_kwh = self._cohort_energy_kwh(
+                alloc_all, counts_day, hours_per_day, step_s
+            )
+        cohort_energy_kwh = device_kwh
+        total_kwh = self._per_site(device_kwh) + peripheral_kwh
 
-        ledger = (
-            self.dispatch.make_ledger(self.sites) if self.dispatch is not None else None
-        )
-        previous_intensity: Optional[np.ndarray] = None
-        tele = self.telemetry
         clipped_setpoints = 0
         clipped_energy_kwh = 0.0
-
-        for day in range(n_days):
-            rows = slice(day * hours_per_day, (day + 1) * hours_per_day)
-            with tele.span("allocate_day"):
-                alloc, demand_rps, capacity, intensity = self._allocate_day(
-                    day, hours_per_day, step_s
+        if self.dispatch is None:
+            cohort_grid_kwh = device_kwh
+            cohort_battery_kwh = np.zeros((n_steps, n_cohorts))
+            cohort_charge_kwh = np.zeros((n_steps, n_cohorts))
+            cohort_soc = np.ones((n_steps, n_cohorts))
+            grid_kwh = total_kwh
+            battery_kwh = np.zeros((n_steps, n_sites))
+            charge_kwh = np.zeros((n_steps, n_sites))
+            soc = np.ones((n_steps, n_sites))
+            energy_kwh_all = total_kwh
+        else:
+            # Idle headroom is physical: a device the routing derate shed
+            # is sitting idle and can charge.
+            idle_fraction = 1.0 - utilization_all
+            device_j = device_kwh * units.JOULES_PER_KWH
+            with tele.span("dispatch_day", calls=n_days):
+                (
+                    battery_j,
+                    charge_j,
+                    pack_soc,
+                    shortfall_j,
+                    _,
+                    shard_manifests,
+                ) = execute_dispatch(
+                    self.sites,
+                    self.dispatch,
+                    intensity_packs,
+                    device_j,
+                    idle_fraction,
+                    counts_day,
+                    step_s,
+                    self._site_starts,
+                    shards=self.shards,
+                    telemetry_enabled=tele.enabled,
                 )
-            cohort_served[rows] = alloc
-            served[rows] = self._per_site(alloc)
-            dropped[rows] = demand_rps - alloc.sum(axis=1)
-            intensity_all[rows] = intensity[:, self._site_starts]
-            if tele.enabled:
-                # "Segments touched": (hour, segment) cells the waterfill
-                # actually routed load through this day.
-                tele.count(
-                    "routing.waterfill_segments_touched",
-                    int(np.count_nonzero(alloc)),
-                )
+            for manifest in shard_manifests:
+                tele.add_child(manifest)
+            cohort_battery_kwh = battery_j / units.JOULES_PER_KWH
+            cohort_charge_kwh = charge_j / units.JOULES_PER_KWH
+            cohort_soc = pack_soc
+            cohort_grid_kwh = device_kwh - cohort_battery_kwh
+            battery_kwh = self._per_site(cohort_battery_kwh)
+            charge_kwh = self._per_site(cohort_charge_kwh)
+            soc = self._site_soc(
+                pack_soc, self._pack_capacity_rows(counts_day, hours_per_day)
+            )
+            grid_kwh = total_kwh - battery_kwh
+            energy_kwh_all = grid_kwh + charge_kwh
+            clipped_setpoints, clipped_energy_kwh = self._clip_accounting(
+                shortfall_j, hours_per_day
+            )
 
-            # Device energy each cohort needs this day; site wall energy
-            # adds the (never battery-backed) peripheral draw once per site.
-            with tele.span("site_energy_kwh"):
-                device_kwh = self._cohort_energy_kwh(alloc, step_s)
-            cohort_energy_kwh[rows] = device_kwh
-            total_kwh = self._per_site(device_kwh) + peripheral_kwh
-
-            if ledger is None:
-                cohort_grid_kwh[rows] = device_kwh
-                grid_kwh[rows] = total_kwh
-                energy_kwh_all[rows] = total_kwh
-            else:
-                with tele.span("dispatch_day"):
-                    (
-                        day_battery,
-                        day_charge,
-                        day_soc,
-                        day_clipped,
-                        day_clipped_kwh,
-                    ) = self._dispatch_day(
-                        ledger, alloc, intensity, device_kwh, step_s,
-                        previous_intensity,
-                    )
-                clipped_setpoints += day_clipped
-                clipped_energy_kwh += day_clipped_kwh
-                cohort_battery_kwh[rows] = day_battery
-                cohort_charge_kwh[rows] = day_charge
-                cohort_soc[rows] = day_soc
-                cohort_grid_kwh[rows] = device_kwh - day_battery
-                battery_kwh[rows] = self._per_site(day_battery)
-                charge_kwh[rows] = self._per_site(day_charge)
-                soc[rows] = self._site_soc(day_soc, ledger)
-                grid_kwh[rows] = total_kwh - battery_kwh[rows]
-                energy_kwh_all[rows] = grid_kwh[rows] + charge_kwh[rows]
-
-            # Operational carbon follows the wall energy the meter saw.
-            operational_g[rows] = energy_kwh_all[rows] * intensity_all[rows]
-            previous_intensity = intensity
-
-            # Daily population step at the realised per-cohort utilisation.
-            with tele.span("step_population"):
-                day_step = self._step_population(alloc)
-            cohort_active[day] = day_step["active"]
-            cohort_replacement_g[day] = day_step["replacement_carbon_g"]
-            cohort_swaps[day] = day_step["battery_swaps"]
-            cohort_failures[day] = day_step["failures"]
-            cohort_deployed[day] = day_step["deployed"]
-            active[day] = self._per_site(day_step["active"])
-            replacement_g[day] = self._per_site(day_step["replacement_carbon_g"])
-            battery_swaps[day] = self._per_site(day_step["battery_swaps"])
-            failures[day] = self._per_site(day_step["failures"])
-            deployed[day] = self._per_site(day_step["deployed"])
+        # Operational carbon follows the wall energy the meter saw.
+        operational_g = energy_kwh_all * intensity_all
 
         if tele.enabled and self.dispatch is not None:
             tele.count("dispatch.clipped_setpoints", clipped_setpoints)
@@ -511,22 +585,52 @@ class FleetSimulation:
 
     # -- per-day phases ----------------------------------------------------
 
-    def _allocate_day(self, day: int, hours_per_day: int, step_s: float):
-        """Phase 1: route one day of hourly demand across the live segments."""
+    def _precompute_block(
+        self, start_day: int, stop_day: int, hours_per_day: int, step_s: float
+    ):
+        """Hoisted time-indexed inputs for days ``[start_day, stop_day)``.
+
+        Demand, per-pack intensity, and marginal CCI depend only on the hour
+        index — never on live population state — so one call covers a whole
+        block.  Hour timestamps and start hours are exactly representable
+        integers and every series is elementwise in them, so any block size
+        is bitwise-identical to the historical per-day calls.
+        """
         n_cohorts = len(self.segments)
-        times_s = (day * units.SECONDS_PER_DAY) + np.arange(hours_per_day) * step_s
-        demand_rps = self.demand.series(hours_per_day, start_hour=day * 24.0)
-        capacity = np.empty((hours_per_day, n_cohorts))
-        intensity = np.empty((hours_per_day, n_cohorts))
-        marginal = np.empty((hours_per_day, n_cohorts))
+        n_hours = (stop_day - start_day) * hours_per_day
+        times_s = (
+            start_day * units.SECONDS_PER_DAY + np.arange(n_hours) * step_s
+        )
+        demand_rps = self.demand.series(n_hours, start_hour=start_day * 24.0)
+        intensity = np.empty((n_hours, n_cohorts))
+        marginal = np.empty((n_hours, n_cohorts))
         site_intensity: Dict[int, np.ndarray] = {}
         for j, (site, entry) in enumerate(self.segments):
             site_index = int(self._segment_site[j])
             if site_index not in site_intensity:
                 site_intensity[site_index] = site.intensities_at(times_s)
-            capacity[:, j] = self.policy.cohort_capacity_rps(entry)
             intensity[:, j] = site_intensity[site_index]
             marginal[:, j] = entry.marginal_carbon_g_for_intensity(intensity[:, j])
+        return demand_rps, intensity, marginal
+
+    def _allocate_day(
+        self,
+        hours_per_day: int,
+        step_s: float,
+        demand_rps: np.ndarray,
+        intensity: np.ndarray,
+        marginal: np.ndarray,
+    ) -> np.ndarray:
+        """Phase 1: route one day of hourly demand across the live segments.
+
+        Only the capacity matrix is computed here — it reads the *live*
+        (churn-following) cohort populations, which is exactly why this
+        phase cannot hoist with the block precompute that feeds it.
+        """
+        n_cohorts = len(self.segments)
+        capacity = np.empty((hours_per_day, n_cohorts))
+        for j, (_, entry) in enumerate(self.segments):
+            capacity[:, j] = self.policy.cohort_capacity_rps(entry)
         alloc = self.policy.allocate(demand_rps, capacity, intensity, marginal)
         self._validate_allocation(alloc, demand_rps, capacity)
         if self.telemetry.enabled and self.policy.wear_derate > 0:
@@ -538,99 +642,142 @@ class FleetSimulation:
             self.telemetry.count(
                 "routing.wear_shed_requests", withheld_rps * hours_per_day * step_s
             )
-        return alloc, demand_rps, capacity, intensity
+        return alloc
 
-    def _cohort_energy_kwh(self, alloc: np.ndarray, step_s: float) -> np.ndarray:
-        """Device-only energy (kWh) each cohort needs per hour."""
-        device_kwh = np.empty_like(alloc)
-        for j, (_, entry) in enumerate(self.segments):
-            device_kwh[:, j] = (
-                entry.device_power_w(alloc[:, j]) * step_s / units.JOULES_PER_KWH
-            )
-        return device_kwh
-
-    def _dispatch_day(
+    def _cohort_energy_kwh(
         self,
-        ledger,
         alloc: np.ndarray,
-        intensity: np.ndarray,
-        device_kwh: np.ndarray,
+        counts_day: np.ndarray,
+        hours_per_day: int,
         step_s: float,
-        previous_intensity: Optional[np.ndarray],
-    ):
-        """Phase 2: step the per-pack battery ledger through one day of dispatch.
+    ) -> np.ndarray:
+        """Device-only energy (kWh) each cohort needs per hour, whole run.
 
-        Beyond the ledger series, the phase counts *clipped setpoints*: hours
-        where the policy asked a pack to discharge but the ledger's physics
-        (SoC floor, or the forced recharge below it) could not deliver the
-        full device energy.  The planner gets no signal when its plan is
-        infeasible — the clip count and the clipped energy are that signal,
-        surfaced via :class:`~repro.fleet.reporting.FleetReport` and the
-        telemetry counters.
+        The vectorized twin of per-day
+        :meth:`~repro.fleet.sites.SiteCohort.device_power_w` calls: idle
+        floor follows the recorded day-start counts, each served request
+        adds its dynamic energy.  Same per-element expression, so bitwise-
+        identical to the historical per-day column loop.
         """
-        hours = alloc.shape[0]
-        thresholds = self.dispatch.day_thresholds(previous_intensity, self.sites)
-        modes = self.dispatch.day_modes(intensity, thresholds)
-        capacity_j, charge_rate_w = ledger.day_capabilities()
-        # Idle headroom is physical: a device the routing derate shed is
-        # sitting idle and can charge.
-        idle_fraction = 1.0 - self._physical_utilization(alloc)
-        device_j = device_kwh * units.JOULES_PER_KWH
-        battery = np.zeros_like(alloc)
-        charge = np.zeros_like(alloc)
-        soc = np.empty_like(alloc)
-        clip_tol_j = 1e-9
-        clipped = 0
-        clipped_j = 0.0
-        for hour in range(hours):
-            battery_j, charge_j = ledger.step(
-                modes[hour],
-                device_j[hour],
-                step_s,
-                capacity_j,
-                charge_rate_w,
-                idle_fraction[hour],
-            )
-            shortfall_j = np.where(
-                modes[hour] == DISPATCH_DISCHARGE,
-                np.maximum(device_j[hour] - battery_j, 0.0),
-                0.0,
-            )
-            infeasible = shortfall_j > clip_tol_j
-            if infeasible.any():
-                clipped += int(np.count_nonzero(infeasible))
-                clipped_j += float(shortfall_j[infeasible].sum())
-            battery[hour] = battery_j / units.JOULES_PER_KWH
-            charge[hour] = charge_j / units.JOULES_PER_KWH
-            soc[hour] = ledger.soc
-        return battery, charge, soc, clipped, clipped_j / units.JOULES_PER_KWH
+        if np.any(alloc < 0):
+            raise ValueError("served rate must be non-negative")
+        idle_w = np.array([entry.idle_power_w for _, entry in self.segments])
+        dynamic_j = np.array(
+            [entry.dynamic_energy_per_request_j for _, entry in self.segments]
+        )
+        counts_rows = np.repeat(
+            counts_day.astype(float), hours_per_day, axis=0
+        )
+        power_w = counts_rows * idle_w[None, :] + alloc * dynamic_j[None, :]
+        return power_w * step_s / units.JOULES_PER_KWH
 
-    def _site_soc(self, pack_soc: np.ndarray, ledger) -> np.ndarray:
+    def _pack_capacity_rows(
+        self, counts_day: np.ndarray, hours_per_day: int
+    ) -> np.ndarray:
+        """Per-``(hour, pack)`` battery capacity from the recorded day counts."""
+        n_days = counts_day.shape[0]
+        capacity_day = np.empty((n_days, len(self.segments)))
+        for j, (_, entry) in enumerate(self.segments):
+            for day in range(n_days):
+                capacity_day[day, j] = entry.battery_capacity_j_at(
+                    int(counts_day[day, j])
+                )
+        return np.repeat(capacity_day, hours_per_day, axis=0)
+
+    def _clip_accounting(
+        self, shortfall_j: np.ndarray, hours_per_day: int
+    ) -> Tuple[int, float]:
+        """Clipped-setpoint count and clipped energy (kWh) from the replay.
+
+        *Clipped setpoints* are hours where the policy asked a pack to
+        discharge but the ledger's physics (SoC floor, or the forced
+        recharge below it) could not deliver the full device energy.  The
+        planner gets no signal when its plan is infeasible — the clip count
+        and energy are that signal, surfaced via
+        :class:`~repro.fleet.reporting.FleetReport` and the telemetry
+        counters.  Accumulation replicates the historical per-day loop
+        exactly: masked joule sums per hot hour in hour order, one kWh
+        conversion per day in day order.
+        """
+        clip_tol_j = 1e-9
+        infeasible = shortfall_j > clip_tol_j
+        hot_rows = np.nonzero(infeasible.any(axis=1))[0]
+        n_days = shortfall_j.shape[0] // hours_per_day
+        day_counts = [0] * n_days
+        day_joules = [0.0] * n_days
+        for row in hot_rows:
+            day = int(row) // hours_per_day
+            mask = infeasible[row]
+            day_counts[day] += int(np.count_nonzero(mask))
+            day_joules[day] += float(shortfall_j[row][mask].sum())
+        clipped = 0
+        clipped_kwh = 0.0
+        for day in range(n_days):
+            clipped += day_counts[day]
+            clipped_kwh += day_joules[day] / units.JOULES_PER_KWH
+        return clipped, clipped_kwh
+
+    def _site_soc(
+        self, pack_soc: np.ndarray, capacity_rows: np.ndarray
+    ) -> np.ndarray:
         """Site-level SoC series: capacity-weighted mean over the site's packs.
 
         Single-pack sites pass their pack's fraction through untouched (the
-        historical per-site series); mixed sites weight by today's pack
-        capacities, falling back to a plain mean when no pack holds energy.
+        historical per-site series, bit for bit); mixed sites weight by the
+        per-row pack capacities via segment-wise ``np.add.reduceat``,
+        falling back to a plain mean on rows where no pack holds energy.
+        ``capacity_rows`` is the ``(n_steps, n_packs)`` capacity matrix from
+        :meth:`_pack_capacity_rows`.
+        """
+        n_packs = pack_soc.shape[1]
+        sizes = np.diff(np.append(self._site_starts, n_packs))
+        weighted = np.add.reduceat(
+            pack_soc * capacity_rows, self._site_starts, axis=-1
+        )
+        totals = np.add.reduceat(capacity_rows, self._site_starts, axis=-1)
+        plain = np.add.reduceat(pack_soc, self._site_starts, axis=-1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(
+                totals > 0, weighted / totals, plain / sizes[None, :]
+            )
+        single = sizes == 1
+        if np.any(single):
+            out[:, single] = pack_soc[:, self._site_starts[single]]
+        return out
+
+    def _site_soc_loop(
+        self, pack_soc: np.ndarray, capacity_rows: np.ndarray
+    ) -> np.ndarray:
+        """Reference per-site loop for :meth:`_site_soc` (kept for tests).
+
+        Accumulates each site's weighted sum left to right — the same
+        reduction order ``np.add.reduceat`` uses — so the vectorized path
+        can be pinned bitwise against it on mixed and single-pack sites.
         """
         n_sites = len(self.sites)
+        n_packs = pack_soc.shape[1]
         out = np.empty((pack_soc.shape[0], n_sites))
-        capacity_j, _ = ledger.day_capabilities()
         for site_index in range(n_sites):
-            start = self._site_starts[site_index]
+            start = int(self._site_starts[site_index])
             stop = (
-                self._site_starts[site_index + 1]
+                int(self._site_starts[site_index + 1])
                 if site_index + 1 < n_sites
-                else pack_soc.shape[1]
+                else n_packs
             )
             if stop - start == 1:
                 out[:, site_index] = pack_soc[:, start]
                 continue
-            weights = capacity_j[start:stop]
-            total = weights.sum()
-            if total > 0:
-                out[:, site_index] = pack_soc[:, start:stop] @ weights / total
-            else:
-                out[:, site_index] = pack_soc[:, start:stop].mean(axis=1)
+            weighted = pack_soc[:, start] * capacity_rows[:, start]
+            total = capacity_rows[:, start].copy()
+            plain = pack_soc[:, start].copy()
+            for j in range(start + 1, stop):
+                weighted = weighted + pack_soc[:, j] * capacity_rows[:, j]
+                total = total + capacity_rows[:, j]
+                plain = plain + pack_soc[:, j]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out[:, site_index] = np.where(
+                    total > 0, weighted / total, plain / (stop - start)
+                )
         return out
 
     def _physical_utilization(self, alloc: np.ndarray) -> np.ndarray:
@@ -646,8 +793,13 @@ class FleetSimulation:
             util = np.where(physical > 0, alloc / physical, 0.0)
         return np.clip(util, 0.0, 1.0)
 
-    def _step_population(self, alloc: np.ndarray) -> Dict[str, np.ndarray]:
-        """Phase 4: one day of churn per cohort at its realised utilisation."""
+    def _step_population(self, utilization: np.ndarray) -> Dict[str, np.ndarray]:
+        """Phase 4: one day of churn per cohort at its realised utilisation.
+
+        Takes the day's ``(hours, segment)`` utilisation matrix directly so
+        the caller can share one :meth:`_physical_utilization` pass between
+        churn and the recorded dispatch idle headroom.
+        """
         n_cohorts = len(self.segments)
         out = {
             "active": np.zeros(n_cohorts, dtype=np.int64),
@@ -656,7 +808,6 @@ class FleetSimulation:
             "failures": np.zeros(n_cohorts, dtype=np.int64),
             "deployed": np.zeros(n_cohorts, dtype=np.int64),
         }
-        utilization = self._physical_utilization(alloc)
         for j, (_, entry) in enumerate(self.segments):
             mean_util = float(np.mean(utilization[:, j]))
             step = entry.cohort.step(1.0, utilization=mean_util)

@@ -172,7 +172,16 @@ class SiteCohort:
     @property
     def capacity_rps(self) -> float:
         """Current request capacity (requests/s) given the live population."""
-        return self.cohort.active_count * self.requests_per_device_s
+        return self.capacity_rps_at(self.cohort.active_count)
+
+    def capacity_rps_at(self, active_count: int) -> float:
+        """Request capacity (requests/s) at an explicit device count.
+
+        The count-parameterised twin of :attr:`capacity_rps` — the deferred
+        replay path records each day's live count and re-derives the exact
+        same capability later, so the two must share one expression.
+        """
+        return active_count * self.requests_per_device_s
 
     @property
     def nominal_capacity_rps(self) -> float:
@@ -214,11 +223,19 @@ class SiteCohort:
         dynamic energy; peripherals belong to the site, not the cohort.
         Accepts a scalar or an array of rates.
         """
+        return self.device_power_w_at(self.cohort.active_count, served_rps)
+
+    def device_power_w_at(self, active_count: int, served_rps):
+        """Device-only cohort draw (W) at an explicit device count.
+
+        Shares one expression with :meth:`device_power_w` so the deferred
+        replay path (recorded day counts) is bitwise-identical to live reads.
+        """
         served = np.asarray(served_rps, dtype=float)
         if np.any(served < 0):
             raise ValueError("served rate must be non-negative")
         result = (
-            self.cohort.active_count * self.idle_power_w
+            active_count * self.idle_power_w
             + served * self.dynamic_energy_per_request_j
         )
         return float(result) if np.isscalar(served_rps) else result
@@ -228,18 +245,26 @@ class SiteCohort:
     @property
     def battery_capacity_j(self) -> float:
         """Usable aggregate battery capacity (J) of the live population."""
+        return self.battery_capacity_j_at(self.cohort.active_count)
+
+    def battery_capacity_j_at(self, active_count: int) -> float:
+        """Aggregate battery capacity (J) at an explicit device count."""
         battery = self.device.battery
         if battery is None:
             return 0.0
-        return self.cohort.active_count * battery.capacity_joules
+        return active_count * battery.capacity_joules
 
     @property
     def battery_charge_rate_w(self) -> float:
         """Aggregate rated charge power (W) of the live population."""
+        return self.battery_charge_rate_w_at(self.cohort.active_count)
+
+    def battery_charge_rate_w_at(self, active_count: int) -> float:
+        """Aggregate rated charge power (W) at an explicit device count."""
         battery = self.device.battery
         if battery is None:
             return 0.0
-        return self.cohort.active_count * battery.charge_rate_w
+        return active_count * battery.charge_rate_w
 
     # -- carbon ------------------------------------------------------------
 

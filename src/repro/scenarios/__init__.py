@@ -57,6 +57,7 @@ from repro.scenarios.spec import (
     DemandSpec,
     DeviceMixSpec,
     EconomicsSpec,
+    ExecutionSpec,
     ForecastSpec,
     RoutingSpec,
     ScenarioSpec,
@@ -78,6 +79,7 @@ __all__ = [
     "ChargingSpec",
     "ForecastSpec",
     "EconomicsSpec",
+    "ExecutionSpec",
     "ScenarioValidationError",
     "parse_override",
     "TRACE_KINDS",

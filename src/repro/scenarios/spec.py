@@ -407,6 +407,29 @@ class EconomicsSpec:
             raise ScenarioValidationError("intake_acquisition_usd must be non-negative")
 
 
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How (not what) to simulate: batching and sharding knobs.
+
+    Pure performance knobs for :class:`~repro.fleet.scheduler.FleetSimulation`
+    — ``block_days`` sizes the vectorized day-batches the fleet loop
+    precomputes at once, ``shards`` fans the deferred dispatch replay out
+    across a process pool.  Every setting is bitwise-identical to every
+    other (locked by tests), which is why :meth:`ScenarioSpec.sha256`
+    excludes this block: the same experiment run with different execution
+    knobs keys the same store entry.
+    """
+
+    block_days: int = 1
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.block_days < 1:
+            raise ScenarioValidationError("block_days must be >= 1")
+        if self.shards < 1:
+            raise ScenarioValidationError("shards must be >= 1")
+
+
 # ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
@@ -424,6 +447,7 @@ class ScenarioSpec:
     charging: ChargingSpec = field(default_factory=ChargingSpec)
     forecast: ForecastSpec = field(default_factory=ForecastSpec)
     economics: EconomicsSpec = field(default_factory=EconomicsSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     duration_days: int = 30
     seed: int = 0
 
@@ -472,8 +496,15 @@ class ScenarioSpec:
         field), so a spec built with ``count=10, fraction_of_capacity=1``
         keys the same store entry as its JSON round-trip.  This is the key
         for sweep-cell deduplication and the durable experiment store.
+
+        The ``execution`` block is excluded: batching/sharding knobs change
+        how a run executes, never what it computes (bitwise, locked by
+        tests), so the same experiment hashes identically at any block size
+        or shard count and store entries stay shareable across them.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        payload = self.to_dict()
+        payload.pop("execution", None)
+        canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod

@@ -41,7 +41,12 @@ class Span:
     allocate_day"``); ``index`` is the global completion order (children
     complete before their parents); ``start_s`` is relative to the owning
     :class:`Telemetry` object's creation, so spans from one run are
-    mutually comparable without wall-clock epochs.
+    mutually comparable without wall-clock epochs.  ``calls`` is the number
+    of logical invocations this span stands for: a batched loop opens *one*
+    span per block and scales ``calls`` by the days it covered, so per-phase
+    call totals stay comparable across block sizes while span overhead is
+    amortised (``calls=0`` folds pure setup time into a phase without
+    inflating its call count).
     """
 
     path: str
@@ -49,6 +54,7 @@ class Span:
     start_s: float
     duration_s: float
     index: int
+    calls: int = 1
 
     @property
     def name(self) -> str:
@@ -63,12 +69,13 @@ class Span:
 class _SpanHandle:
     """The live context manager one ``tele.span(name)`` call hands out."""
 
-    __slots__ = ("_telemetry", "_name", "_start")
+    __slots__ = ("_telemetry", "_name", "_start", "_calls")
 
-    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+    def __init__(self, telemetry: "Telemetry", name: str, calls: int = 1) -> None:
         self._telemetry = telemetry
         self._name = name
         self._start = 0.0
+        self._calls = calls
 
     def __enter__(self) -> "_SpanHandle":
         self._telemetry._stack.append(self._name)
@@ -81,7 +88,7 @@ class _SpanHandle:
         path = "/".join(tele._stack)
         depth = len(tele._stack)
         tele._stack.pop()
-        tele._record(path, depth, self._start, end - self._start)
+        tele._record(path, depth, self._start, end - self._start, self._calls)
 
 
 class _NullSpan:
@@ -120,16 +127,25 @@ class Telemetry:
 
     # -- spans -------------------------------------------------------------
 
-    def span(self, name: str) -> _SpanHandle:
-        """A context manager timing one named, possibly nested, phase."""
+    def span(self, name: str, calls: int = 1) -> _SpanHandle:
+        """A context manager timing one named, possibly nested, phase.
+
+        ``calls`` is the logical invocation count the span stands for — a
+        batched loop records one span per block with ``calls`` scaled by the
+        days covered (``calls=0`` contributes time but no invocations).
+        """
         if not name or "/" in name:
             raise ValueError(
                 f"span name must be a non-empty path segment without '/', "
                 f"got {name!r}"
             )
-        return _SpanHandle(self, name)
+        if calls < 0:
+            raise ValueError(f"span calls must be >= 0, got {calls}")
+        return _SpanHandle(self, name, calls)
 
-    def _record(self, path: str, depth: int, start: float, duration: float) -> None:
+    def _record(
+        self, path: str, depth: int, start: float, duration: float, calls: int = 1
+    ) -> None:
         self.spans.append(
             Span(
                 path=path,
@@ -137,6 +153,7 @@ class Telemetry:
                 start_s=start - self._origin,
                 duration_s=duration,
                 index=len(self.spans),
+                calls=calls,
             )
         )
 
@@ -154,7 +171,7 @@ class Telemetry:
         totals: Dict[str, Tuple[int, float]] = {}
         for span in self.spans:
             calls, total = totals.get(span.path, (0, 0.0))
-            totals[span.path] = (calls + 1, total + span.duration_s)
+            totals[span.path] = (calls + span.calls, total + span.duration_s)
         return totals
 
     # -- counters and gauges ----------------------------------------------
@@ -201,7 +218,7 @@ class NullTelemetry:
     gauges: Dict[str, float] = {}
     children: Tuple[()] = ()
 
-    def span(self, name: str) -> _NullSpan:
+    def span(self, name: str, calls: int = 1) -> _NullSpan:
         return _NULL_SPAN
 
     def wall_s(self) -> float:

@@ -74,19 +74,36 @@ def render_profile(manifest: Dict[str, object]) -> str:
         lines.append(f"peak RSS: {peak / 2**20:.1f} MiB")
     lines.append("")
 
+    # Per-phase throughput: each call of a fleet-loop phase covers one
+    # simulated day across the whole fleet, so device-days per wall second
+    # is gauge(fleet.n_devices) x calls / total_s — the scaling figure of
+    # merit ("how close is this phase to a million devices?").
+    n_devices = manifest.get("gauges", {}).get("fleet.n_devices")
+
     rows = []
     for row in _sorted_phase_rows(list(manifest.get("phases", []))):
         depth = row["path"].count("/")
+        calls = row["calls"]
+        total_s = row["total_s"]
+        if n_devices and calls and total_s > 0:
+            throughput = f"{n_devices * calls / total_s:,.0f}"
+        else:
+            throughput = "-"
         rows.append(
             [
                 "  " * depth + row["path"].rsplit("/", 1)[-1],
-                str(row["calls"]),
-                f"{row['total_s']:.4f}",
+                str(calls),
+                f"{total_s:.4f}",
                 f"{row['fraction']:.1%}",
+                throughput,
             ]
         )
     if rows:
-        lines.append(_format_table(["phase", "calls", "total (s)", "share"], rows))
+        lines.append(
+            _format_table(
+                ["phase", "calls", "total (s)", "share", "device-days/s"], rows
+            )
+        )
     else:
         lines.append("(no spans recorded)")
 

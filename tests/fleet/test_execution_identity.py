@@ -1,0 +1,177 @@
+"""Bitwise identity of the batched / sharded execution path.
+
+``execution.block_days`` and ``execution.shards`` are pure performance
+knobs: the hard acceptance gate of the vectorized day-batching + site-
+sharding work is that **every** configuration reproduces the per-day,
+serial reference (``block_days=1, shards=1``) bit for bit — every
+:class:`~repro.fleet.reporting.FleetReport` field (including the clip
+accounting), the headline metrics, and the telemetry counters.  The matrix
+here locks that for every registry preset at blocks {1, 7, 366} x shards
+{1, 2}, and sweeps the charging coupling modes on the canonical two-site
+scenario.
+
+The same module pins the satellite pieces of the batched path: the
+``reduceat``-based :meth:`~repro.fleet.scheduler.FleetSimulation._site_soc`
+against its per-site loop reference, and the contiguous site partition the
+shard pool runs over.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CarbonBufferDispatch,
+    CapacityAwareMarginalCciRouting,
+    DiurnalDemand,
+    FleetSimulation,
+    mixed_phone_site,
+    phone_site,
+)
+from repro.fleet.execution import partition_sites
+from repro.fleet.reporting import FleetReport
+from repro.scenarios import ScenarioRunner, get_scenario, scenario_names
+from repro.telemetry import Telemetry
+
+#: Keep every preset fast: two days, no DES latency probe.
+FAST = {"duration_days": 2, "routing.latency_probe_s": 0.0}
+
+#: The non-reference execution configs, covering blocks {7, 366} and
+#: shards {1, 2} against the (1, 1) baseline.
+CONFIGS = [(7, 1), (366, 1), (1, 2), (366, 2)]
+
+
+def _run(preset, overrides):
+    spec = get_scenario(preset).with_overrides({**FAST, **overrides})
+    runner = ScenarioRunner(spec, telemetry=Telemetry())
+    return runner.run()
+
+
+def _assert_identical(baseline, result, label):
+    for field in dataclasses.fields(FleetReport):
+        expected = getattr(baseline.report, field.name)
+        actual = getattr(result.report, field.name)
+        if isinstance(expected, np.ndarray):
+            assert expected.shape == actual.shape, f"{label}: {field.name}"
+            assert np.array_equal(expected, actual), f"{label}: {field.name}"
+        else:
+            assert expected == actual, f"{label}: {field.name}"
+    assert baseline.cci_g_per_request == result.cci_g_per_request, label
+    assert baseline.usd_per_request == result.usd_per_request, label
+    assert baseline.telemetry == result.telemetry, f"{label}: telemetry"
+
+
+class TestRegistryPresetIdentity:
+    @pytest.mark.parametrize("preset", scenario_names())
+    def test_batched_and_sharded_runs_match_the_serial_reference(self, preset):
+        baseline = _run(preset, {})
+        assert baseline.spec.execution.block_days == 1
+        assert baseline.spec.execution.shards == 1
+        for block_days, shards in CONFIGS:
+            result = _run(
+                preset,
+                {
+                    "execution.block_days": block_days,
+                    "execution.shards": shards,
+                },
+            )
+            _assert_identical(
+                baseline, result, f"{preset} block={block_days} shards={shards}"
+            )
+
+
+class TestCouplingModeIdentity:
+    @pytest.mark.parametrize("coupling", ["none", "estimate", "dispatch"])
+    def test_every_coupling_mode_matches_the_serial_reference(self, coupling):
+        overrides = {
+            "charging.policy": "none" if coupling == "none" else "smart",
+            "charging.coupling": coupling,
+        }
+        baseline = _run("two-site-asymmetric", overrides)
+        result = _run(
+            "two-site-asymmetric",
+            {**overrides, "execution.block_days": 366, "execution.shards": 2},
+        )
+        _assert_identical(baseline, result, f"coupling={coupling}")
+
+
+class TestExecutionValidation:
+    def test_block_days_and_shards_must_be_positive(self):
+        sites = [phone_site("solo", "caiso-like", 10, n_trace_days=2)]
+        demand = DiurnalDemand(mean_rps=50.0)
+        policy = CapacityAwareMarginalCciRouting()
+        with pytest.raises(ValueError, match="block_days"):
+            FleetSimulation(sites, policy, demand, block_days=0)
+        with pytest.raises(ValueError, match="shards"):
+            FleetSimulation(sites, policy, demand, shards=0)
+
+
+class TestSitePartition:
+    def test_near_even_contiguous_ranges(self):
+        site_starts = np.array([0, 2, 3, 5, 6], dtype=np.int64)
+        ranges = partition_sites(5, site_starts, 8, 2)
+        assert ranges == [(0, 0, 3, 0, 5), (1, 3, 5, 5, 8)]
+
+    def test_shards_clamp_to_site_count(self):
+        site_starts = np.array([0, 1], dtype=np.int64)
+        ranges = partition_sites(2, site_starts, 2, 16)
+        assert len(ranges) == 2
+        assert ranges[0] == (0, 0, 1, 0, 1)
+        assert ranges[1] == (1, 1, 2, 1, 2)
+
+    def test_single_shard_covers_everything(self):
+        site_starts = np.array([0, 3], dtype=np.int64)
+        assert partition_sites(2, site_starts, 5, 1) == [(0, 0, 2, 0, 5)]
+
+
+class TestSiteSocVectorization:
+    """`_site_soc` (segment-wise reduceat) vs the per-site loop reference."""
+
+    @staticmethod
+    def _simulation():
+        from repro.devices.catalog import NEXUS_4, PIXEL_3A
+
+        sites = [
+            mixed_phone_site(
+                "mixed",
+                "caiso-like",
+                [(PIXEL_3A, 20), (NEXUS_4, 12, 8.0)],
+                n_trace_days=2,
+            ),
+            phone_site("solo", "hydro-heavy", 15, seed=1, n_trace_days=2),
+        ]
+        return FleetSimulation(
+            sites,
+            CapacityAwareMarginalCciRouting(),
+            DiurnalDemand(mean_rps=300.0),
+            dispatch=CarbonBufferDispatch(),
+        )
+
+    def test_matches_loop_reference_on_mixed_and_single_pack_sites(self):
+        simulation = self._simulation()
+        rng = np.random.default_rng(7)
+        pack_soc = rng.uniform(0.25, 1.0, size=(48, 3))
+        capacity_rows = rng.uniform(1e6, 5e7, size=(48, 3))
+        vectorized = simulation._site_soc(pack_soc, capacity_rows)
+        loop = simulation._site_soc_loop(pack_soc, capacity_rows)
+        assert np.array_equal(vectorized, loop)
+
+    def test_single_pack_site_passes_through_exactly(self):
+        simulation = self._simulation()
+        rng = np.random.default_rng(11)
+        pack_soc = rng.uniform(0.25, 1.0, size=(24, 3))
+        capacity_rows = rng.uniform(1e6, 5e7, size=(24, 3))
+        out = simulation._site_soc(pack_soc, capacity_rows)
+        assert np.array_equal(out[:, 1], pack_soc[:, 2])
+
+    def test_zero_capacity_rows_fall_back_to_plain_mean(self):
+        simulation = self._simulation()
+        rng = np.random.default_rng(13)
+        pack_soc = rng.uniform(0.25, 1.0, size=(24, 3))
+        capacity_rows = np.zeros((24, 3))
+        vectorized = simulation._site_soc(pack_soc, capacity_rows)
+        loop = simulation._site_soc_loop(pack_soc, capacity_rows)
+        assert np.array_equal(vectorized, loop)
+        expected = (pack_soc[:, 0] + pack_soc[:, 1]) / 2
+        assert np.array_equal(vectorized[:, 0], expected)

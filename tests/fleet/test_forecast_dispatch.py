@@ -115,6 +115,75 @@ class TestForecastDispatch:
             ForecastDispatch(PerfectForecast(), min_state_of_charge=1.0)
 
 
+class _CountingForecast:
+    """Wraps a forecast model and counts ``window`` calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def window(self, trace, start_s, horizon_h, site_index=0):
+        self.calls += 1
+        return self.inner.window(
+            trace, start_s, horizon_h, site_index=site_index
+        )
+
+
+class TestMultiDayRefreshCadence:
+    """Planning cadence follows ``refresh_h`` even when it spans days.
+
+    A 48-hour refresh used to re-plan every simulated day anyway (the plan
+    tail beyond midnight was discarded); pending tails now carry across
+    day boundaries, so the planner is consulted exactly once per refresh
+    window — these tests pin the call counts.
+    """
+
+    N_PACKS = 2  # two single-cohort sites
+
+    def _counted_run(self, horizon_h, refresh_h, n_days=4):
+        model = _CountingForecast(PerfectForecast())
+        dispatch = ForecastDispatch(
+            model, horizon_h=horizon_h, refresh_h=refresh_h
+        )
+        sites = two_site_asymmetric_fleet(N_DEVICES, seed=6, n_trace_days=7)
+        report = FleetSimulation(
+            sites, GreedyLowestIntensityRouting(), DEMAND, dispatch=dispatch
+        ).run(n_days)
+        return model, report
+
+    def test_daily_refresh_plans_once_per_day(self):
+        model, _ = self._counted_run(horizon_h=24, refresh_h=24)
+        assert model.calls == 4 * self.N_PACKS
+
+    def test_intra_day_refresh_plans_per_window(self):
+        model, _ = self._counted_run(horizon_h=24, refresh_h=6)
+        assert model.calls == 4 * (24 // 6) * self.N_PACKS
+
+    def test_multi_day_refresh_plans_once_per_window(self):
+        """refresh_h=48 over 4 days: days 0 and 2 plan, days 1 and 3 replay."""
+        model, report = self._counted_run(horizon_h=48, refresh_h=48)
+        assert model.calls == 2 * self.N_PACKS
+        assert report.total_battery_discharge_kwh > 0
+        assert np.all(report.soc >= 0.25 - 1e-9)
+        assert np.all(report.soc <= 1.0 + 1e-9)
+
+    def test_multi_day_refresh_is_deterministic(self):
+        _, first = self._counted_run(horizon_h=48, refresh_h=48)
+        _, second = self._counted_run(horizon_h=48, refresh_h=48)
+        assert np.array_equal(first.battery_kwh, second.battery_kwh)
+        assert np.array_equal(first.soc, second.soc)
+
+    def test_sub_day_refresh_matches_daily_replans(self):
+        """A refresh dividing 24h never stores a pending tail, so the
+        carried-tail rework must leave its series untouched relative to a
+        fresh policy object run twice (state resets via make_ledger)."""
+        dispatch = ForecastDispatch(PerfectForecast(), horizon_h=24, refresh_h=24)
+        first = _run(dispatch)
+        second = _run(ForecastDispatch(PerfectForecast()))
+        assert np.array_equal(first.battery_kwh, second.battery_kwh)
+        assert np.array_equal(first.charge_kwh, second.charge_kwh)
+
+
 class TestRegretAccounting:
     def test_regret_defaults_to_zero_without_accounting(self, reports):
         report = reports["perfect"]

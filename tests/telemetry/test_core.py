@@ -127,3 +127,40 @@ def test_ensure_telemetry_normalises_none():
     assert ensure_telemetry(None) is NULL_TELEMETRY
     tele = Telemetry()
     assert ensure_telemetry(tele) is tele
+
+
+# ---------------------------------------------------------------------------
+# Batched spans: one span standing for many logical invocations
+# ---------------------------------------------------------------------------
+
+
+def test_span_calls_scale_phase_totals():
+    tele = Telemetry()
+    with tele.span("dispatch_day", calls=366):
+        pass
+    with tele.span("dispatch_day", calls=366):
+        pass
+    calls, total = tele.phase_totals()["dispatch_day"]
+    assert calls == 732
+    assert total >= 0.0
+    assert all(span.calls == 366 for span in tele.iter_spans())
+
+
+def test_zero_call_span_folds_setup_time_without_invocations():
+    tele = Telemetry()
+    with tele.span("allocate_day", calls=0):
+        pass
+    for _ in range(3):
+        with tele.span("allocate_day"):
+            pass
+    calls, _ = tele.phase_totals()["allocate_day"]
+    assert calls == 3
+
+
+def test_span_calls_default_to_one_and_reject_negatives():
+    tele = Telemetry()
+    with tele.span("phase"):
+        pass
+    assert tele.spans[0].calls == 1
+    with pytest.raises(ValueError, match="calls"):
+        tele.span("phase", calls=-1)
