@@ -24,6 +24,12 @@ Usage::
     python -m repro store show <hash-prefix>
     python -m repro store report scenario carbon-buffer \
         --set demand.fraction_of_capacity=0.3,0.6      # table, zero simulation
+    python -m repro telemetry trace out.jsonl -o trace.json
+        # Chrome trace_event JSON for Perfetto / chrome://tracing
+    python -m repro diff <hash-a> <hash-b>             # field-by-field delta
+    python -m repro run scenario carbon-buffer --progress      # live heartbeat
+    python -m repro run scenario carbon-buffer --audit # invariant checks
+    python -m repro bench check --case greedy-year     # regression gate
 
 Each figure/table target maps to a zero-argument builder that computes the
 underlying data and returns the text to print (registry pattern, so adding a
@@ -313,8 +319,29 @@ def _parse_axes(set_args):
     return axes
 
 
+def _open_progress(progress_arg, total_days=None):
+    """A live :class:`ProgressReporter` for ``--progress`` (or None).
+
+    ``-`` (the bare-flag default) reports to stderr; any other value is a
+    path that receives one JSON heartbeat per line.
+    """
+    if progress_arg is None:
+        return None
+    from repro.telemetry.observatory import ProgressReporter
+
+    return ProgressReporter(
+        total_days=total_days,
+        path=None if progress_arg == "-" else progress_arg,
+    )
+
+
 def _sweep_scenario(
-    name: str, set_args, jobs=None, telemetry_path=None, store_dir=None
+    name: str,
+    set_args,
+    jobs=None,
+    telemetry_path=None,
+    store_dir=None,
+    progress_arg=None,
 ) -> int:
     """Resolve a scenario and run it over a cartesian --set grid."""
     from repro.analysis import render_sweep_result
@@ -330,14 +357,19 @@ def _sweep_scenario(
         return 2
     telemetry = Telemetry() if telemetry_path else None
     store = _open_store(store_dir)
+    progress = _open_progress(progress_arg)
     try:
         axes = _parse_axes(set_args)
         sweep = sweep_scenario(
-            spec, axes, jobs=jobs, telemetry=telemetry, store=store
+            spec, axes, jobs=jobs, telemetry=telemetry, store=store,
+            progress=progress,
         )
     except ScenarioValidationError as error:
         print(f"invalid sweep configuration: {error}")
         return 2
+    finally:
+        if progress is not None:
+            progress.close()
     print(render_sweep_result(sweep))
     if store is not None:
         print(f"\nexperiment store: {store_dir} ({len(store)} entries)")
@@ -371,39 +403,79 @@ def _build_spec(name: str, set_args):
     return spec
 
 
-def _run_scenario(name: str, set_args, telemetry_path=None, store_dir=None) -> int:
+def _run_scenario(
+    name: str,
+    set_args,
+    telemetry_path=None,
+    store_dir=None,
+    progress_arg=None,
+    audit=False,
+) -> int:
     """Resolve, override, run, and render one registered scenario.
 
     With ``store_dir``, the run is store-backed: a stored entry for the
     spec's content hash is loaded instead of simulated (bitwise-identical
     — every simulation is fully seeded), and a fresh run persists its
-    result for the next invocation.
+    result for the next invocation.  ``--audit`` checks conservation
+    invariants on the finished run and fails the command on violations;
+    ``--progress`` emits live heartbeats while the simulation runs.
+    Neither changes a single output bit.
     """
     from repro.analysis import render_scenario_result
     from repro.scenarios import ScenarioRunner, ScenarioValidationError, spec_hash
-    from repro.telemetry import Telemetry, dump_run
+    from repro.telemetry import Telemetry, build_manifest, dump_run
 
+    if audit:
+        set_args = list(set_args or []) + ["execution.audit=true"]
     spec = _build_spec(name, set_args)
     if spec is None:
         return 2
-    telemetry = Telemetry() if telemetry_path else None
+    progress = _open_progress(progress_arg, total_days=spec.duration_days)
+    if progress is not None:
+        from repro.telemetry.observatory import ProgressTelemetry
+
+        # ProgressTelemetry is-a Telemetry, so --telemetry still dumps.
+        telemetry = ProgressTelemetry(progress)
+    else:
+        telemetry = Telemetry() if telemetry_path else None
     store = _open_store(store_dir)
     cached = store.get_entry_or_none(spec.sha256()) if store is not None else None
+    runner = None
     try:
         if cached is not None:
             result = cached.result
         else:
-            result = ScenarioRunner(spec, telemetry=telemetry).run()
+            runner = ScenarioRunner(spec, telemetry=telemetry)
+            result = runner.run()
             if store is not None:
-                store.put(result)
+                manifest = None
+                if telemetry is not None:
+                    manifest = build_manifest(
+                        telemetry,
+                        name=spec.name,
+                        spec_sha256=spec_hash(spec),
+                        seed=spec.seed,
+                    )
+                store.put(result, manifest=manifest)
     except ScenarioValidationError as error:
         print(f"invalid scenario configuration: {error}")
         return 2
+    finally:
+        if progress is not None:
+            progress.close()
     print(render_scenario_result(result))
     if store is not None:
         state = "loaded from" if cached is not None else "stored in"
         print(f"\n{state} experiment store {store_dir} ({spec.sha256()[:12]})")
-    if telemetry is not None:
+    exit_code = 0
+    if spec.execution.audit:
+        if runner is None or runner.last_audit is None:
+            print("\naudit skipped (result loaded from store, not simulated)")
+        else:
+            print("\n" + runner.last_audit.render())
+            if not runner.last_audit.ok:
+                exit_code = 1
+    if telemetry_path:
         dump_run(
             telemetry_path,
             telemetry,
@@ -412,7 +484,7 @@ def _run_scenario(name: str, set_args, telemetry_path=None, store_dir=None) -> i
             seed=spec.seed,
         )
         print(f"\ntelemetry written to {telemetry_path}")
-    return 0
+    return exit_code
 
 
 def _profile_scenario(name: str, set_args) -> int:
@@ -470,6 +542,11 @@ def _store_command(targets, store_dir, set_args) -> int:
                 f"{'yes' if entry.manifest is not None else 'no'}\n"
             )
             print(render_scenario_result(entry.result))
+            if entry.manifest is not None:
+                from repro.telemetry import render_profile
+
+                print()
+                print(render_profile(entry.manifest))
             return 0
         if action == "gc" and len(targets) == 1:
             removed = store.gc()
@@ -518,6 +595,111 @@ def _validate_telemetry(path: str) -> int:
         f"{len(manifest['counters'])} counters"
     )
     return 0
+
+
+def _trace_telemetry(path: str, out) -> int:
+    """Convert a telemetry JSONL file to Chrome trace_event JSON."""
+    from repro.telemetry import TelemetryValidationError
+    from repro.telemetry.observatory import export_chrome_trace, trace_track_count
+
+    if out is None:
+        stem = path[: -len(".jsonl")] if path.endswith(".jsonl") else path
+        out = stem + ".trace.json"
+    try:
+        trace = export_chrome_trace(path, out)
+    except OSError as error:
+        print(f"cannot read {path}: {error}")
+        return 2
+    except TelemetryValidationError as error:
+        print(f"invalid telemetry file {path}: {error}")
+        return 1
+    print(
+        f"{out}: {len(trace['traceEvents'])} events, "
+        f"{trace_track_count(trace)} track(s) — load in Perfetto or "
+        "chrome://tracing"
+    )
+    return 0
+
+
+def _diff_command(target_a: str, target_b: str, store_dir) -> int:
+    """Diff two runs (store hashes or telemetry JSONL paths) field by field."""
+    import os
+
+    from repro.store import StoreError
+    from repro.telemetry import TelemetryValidationError
+    from repro.telemetry.observatory import (
+        DiffError,
+        diff_runs,
+        load_run_source,
+        render_diff,
+    )
+
+    # Only touch the store when a target is not a file on disk, so diffing
+    # two JSONL files never creates an experiment-store directory.
+    store = None
+    if not (os.path.exists(target_a) and os.path.exists(target_b)):
+        store = _open_store(store_dir)
+    try:
+        diff = diff_runs(
+            load_run_source(target_a, store=store),
+            load_run_source(target_b, store=store),
+        )
+    except (DiffError, StoreError, TelemetryValidationError, OSError) as error:
+        print(f"diff error: {error}")
+        return 2
+    print(render_diff(diff))
+    return 0 if diff.all_equal else 1
+
+
+def _bench_command(action, bench_json, history_path, cases, threshold, window) -> int:
+    """Dispatch ``bench record | check | log`` against the history file."""
+    from repro.telemetry.observatory import (
+        BenchHistoryError,
+        append_history,
+        bench_records,
+        check_bench,
+        load_bench_json,
+        read_history,
+        render_history,
+    )
+    from repro.telemetry.observatory.bench import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+    )
+
+    if threshold is None:
+        threshold = DEFAULT_THRESHOLD
+    if window is None:
+        window = DEFAULT_WINDOW
+    try:
+        if action == "log":
+            history = read_history(history_path)
+            if not history:
+                print(f"no benchmark history at {history_path}")
+                return 0
+            print(render_history(history, case=cases[0] if cases else None))
+            return 0
+        payload = load_bench_json(bench_json)
+        if action == "record":
+            records = bench_records(payload)
+            append_history(history_path, records)
+            print(
+                f"recorded {len(records)} case(s) from {bench_json} "
+                f"to {history_path}"
+            )
+            return 0
+        # action == "check"
+        history = read_history(history_path)
+        ok, lines = check_bench(
+            payload, history, cases=cases or None,
+            threshold=threshold, window=window,
+        )
+        for line in lines:
+            print(line)
+        return 0 if ok else 1
+    except (BenchHistoryError, OSError) as error:
+        print(f"bench error: {error}")
+        return 2
 
 
 def _run_targets(targets) -> int:
@@ -579,6 +761,26 @@ def main(argv=None) -> int:
             "if its spec hash is stored, persist it otherwise (scenario runs only)"
         ),
     )
+    run_parser.add_argument(
+        "--progress",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="out.jsonl",
+        help=(
+            "emit live progress heartbeats (days simulated, device-days/s, "
+            "ETA) to stderr, or as JSON lines to a path (scenario runs only)"
+        ),
+    )
+    run_parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "check conservation invariants (energy balance, SoC bounds, "
+            "allocation <= capacity) on the finished run; violations fail "
+            "the command (scenario runs only)"
+        ),
+    )
     sweep_parser = subparsers.add_parser(
         "sweep",
         help=(
@@ -624,6 +826,17 @@ def main(argv=None) -> int:
             "complete (interrupted sweeps resume)"
         ),
     )
+    sweep_parser.add_argument(
+        "--progress",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="out.jsonl",
+        help=(
+            "emit live progress heartbeats (sweep cells done, ETA) to "
+            "stderr, or as JSON lines to a path"
+        ),
+    )
     profile_parser = subparsers.add_parser(
         "profile",
         help=(
@@ -641,9 +854,84 @@ def main(argv=None) -> int:
     )
     telemetry_parser = subparsers.add_parser(
         "telemetry",
-        help="inspect telemetry files via: telemetry validate <out.jsonl>",
+        help=(
+            "inspect telemetry files via: telemetry validate <out.jsonl> | "
+            "telemetry trace <out.jsonl> [-o trace.json]"
+        ),
     )
     telemetry_parser.add_argument("targets", nargs="+", metavar="target")
+    telemetry_parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="trace.json",
+        help=(
+            "output path for: telemetry trace "
+            "(default: <input stem>.trace.json)"
+        ),
+    )
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help=(
+            "compare two runs field by field via: diff <A> <B> where each "
+            "side is a store hash prefix or a telemetry JSONL path"
+        ),
+    )
+    diff_parser.add_argument("targets", nargs=2, metavar="run")
+    diff_parser.add_argument(
+        "--store",
+        dest="store_dir",
+        metavar="DIR",
+        default="experiment-store",
+        help="experiment store for hash lookups (default: experiment-store)",
+    )
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help=(
+            "benchmark history via: bench record | bench check | bench log "
+            "(append-only BENCH_history.jsonl, rolling-baseline regression gate)"
+        ),
+    )
+    bench_parser.add_argument(
+        "action", choices=("record", "check", "log"), metavar="action",
+        help="record (append snapshot), check (gate vs rolling baseline), log",
+    )
+    bench_parser.add_argument(
+        "--bench-json",
+        default="BENCH_fleet_scaling.json",
+        metavar="PATH",
+        help="benchmark snapshot to record/check (default: BENCH_fleet_scaling.json)",
+    )
+    bench_parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="append-only history file (default: BENCH_history.jsonl)",
+    )
+    bench_parser.add_argument(
+        "--case",
+        dest="cases",
+        action="append",
+        metavar="NAME",
+        help=(
+            "restrict check/log to a case (repeatable); a checked case "
+            "with no history fails the gate"
+        ),
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed slowdown vs the rolling baseline (default: 0.25)",
+    )
+    bench_parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="history records per case in the rolling baseline (default: 5)",
+    )
     store_parser = subparsers.add_parser(
         "store",
         help=(
@@ -679,7 +967,7 @@ def main(argv=None) -> int:
             print(
                 "usage: python -m repro sweep scenario <name> "
                 "--set dotted.path=v1,v2 [--set ...] [--jobs N] "
-                "[--telemetry out.jsonl]"
+                "[--telemetry out.jsonl] [--progress [out.jsonl]]"
             )
             return 2
         return _sweep_scenario(
@@ -688,6 +976,7 @@ def main(argv=None) -> int:
             jobs=args.jobs,
             telemetry_path=args.telemetry,
             store_dir=args.store_dir,
+            progress_arg=args.progress,
         )
     if args.command == "profile":
         if len(args.targets) != 2 or args.targets[0] != "scenario":
@@ -698,10 +987,26 @@ def main(argv=None) -> int:
             return 2
         return _profile_scenario(args.targets[1], args.overrides)
     if args.command == "telemetry":
-        if len(args.targets) != 2 or args.targets[0] != "validate":
-            print("usage: python -m repro telemetry validate <out.jsonl>")
-            return 2
-        return _validate_telemetry(args.targets[1])
+        if len(args.targets) == 2 and args.targets[0] == "validate":
+            return _validate_telemetry(args.targets[1])
+        if len(args.targets) == 2 and args.targets[0] == "trace":
+            return _trace_telemetry(args.targets[1], args.out)
+        print(
+            "usage: python -m repro telemetry validate <out.jsonl> | "
+            "telemetry trace <out.jsonl> [-o trace.json]"
+        )
+        return 2
+    if args.command == "diff":
+        return _diff_command(args.targets[0], args.targets[1], args.store_dir)
+    if args.command == "bench":
+        return _bench_command(
+            args.action,
+            args.bench_json,
+            args.history,
+            args.cases,
+            args.threshold,
+            args.window,
+        )
     if args.command == "store":
         return _store_command(args.targets, args.store_dir, args.overrides)
 
@@ -714,6 +1019,8 @@ def main(argv=None) -> int:
             args.overrides,
             telemetry_path=args.telemetry,
             store_dir=args.store_dir,
+            progress_arg=args.progress,
+            audit=args.audit,
         )
     if args.overrides:
         print("--set only applies to scenario runs (python -m repro run scenario <name>)")
@@ -728,6 +1035,18 @@ def main(argv=None) -> int:
         print(
             "--store only applies to scenario runs "
             "(python -m repro run scenario <name> --store DIR)"
+        )
+        return 2
+    if args.progress is not None:
+        print(
+            "--progress only applies to scenario runs "
+            "(python -m repro run scenario <name> --progress)"
+        )
+        return 2
+    if args.audit:
+        print(
+            "--audit only applies to scenario runs "
+            "(python -m repro run scenario <name> --audit)"
         )
         return 2
     return _run_targets(args.targets)

@@ -315,6 +315,7 @@ class FleetSimulation:
         telemetry=None,
         block_days: int = 1,
         shards: int = 1,
+        audit: bool = False,
     ) -> None:
         if not sites:
             raise ValueError("a fleet needs at least one site")
@@ -324,6 +325,13 @@ class FleetSimulation:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.block_days = int(block_days)
         self.shards = int(shards)
+        #: Opt-in invariant audit: after Pass B, re-derive the conservation
+        #: laws the report must obey (see
+        #: :mod:`repro.telemetry.observatory.audit`).  The auditor only
+        #: reads finished matrices — results are bitwise-identical either
+        #: way, and a disabled audit never even imports the module.
+        self.audit = bool(audit)
+        self.audit_report = None
         names = [site.name for site in sites]
         if len(set(names)) != len(names):
             raise ValueError(f"site names must be unique, got {names}")
@@ -472,6 +480,7 @@ class FleetSimulation:
 
         clipped_setpoints = 0
         clipped_energy_kwh = 0.0
+        shortfall_j = None
         if self.dispatch is None:
             cohort_grid_kwh = device_kwh
             cohort_battery_kwh = np.zeros((n_steps, n_cohorts))
@@ -534,6 +543,37 @@ class FleetSimulation:
                 "dispatch.fallback_pack_days",
                 getattr(self.dispatch, "fallback_pack_days", 0),
             )
+
+        if self.audit:
+            from repro.telemetry.observatory.audit import audit_fleet_run
+
+            with tele.span("audit"):
+                self.audit_report = audit_fleet_run(
+                    alloc=alloc_all,
+                    demand=demand_all,
+                    capacity_rows=self._physical_capacity_rows(
+                        counts_day, hours_per_day
+                    ),
+                    energy_kwh=energy_kwh_all,
+                    grid_kwh=grid_kwh,
+                    battery_kwh=battery_kwh,
+                    charge_kwh=charge_kwh,
+                    total_kwh=total_kwh,
+                    cohort_energy_kwh=cohort_energy_kwh,
+                    cohort_grid_kwh=cohort_grid_kwh,
+                    cohort_battery_kwh=cohort_battery_kwh,
+                    cohort_charge_kwh=cohort_charge_kwh,
+                    cohort_soc=cohort_soc,
+                    min_soc=(
+                        getattr(self.dispatch, "min_state_of_charge", None)
+                        if self.dispatch is not None
+                        else None
+                    ),
+                    shortfall_j=shortfall_j,
+                    clipped_setpoints=clipped_setpoints,
+                    clipped_energy_kwh=clipped_energy_kwh,
+                    telemetry=tele if tele.enabled else None,
+                )
 
         return FleetReport(
             policy_name=self.policy.name,
@@ -670,6 +710,24 @@ class FleetSimulation:
         )
         power_w = counts_rows * idle_w[None, :] + alloc * dynamic_j[None, :]
         return power_w * step_s / units.JOULES_PER_KWH
+
+    def _physical_capacity_rows(
+        self, counts_day: np.ndarray, hours_per_day: int
+    ) -> np.ndarray:
+        """Per-``(hour, segment)`` physical request capacity (requests/s).
+
+        Rebuilt from the recorded day-start counts — the same counts the
+        allocation saw — so the audit's feasibility check compares against
+        the capacity that actually applied, not today's live population.
+        """
+        n_days = counts_day.shape[0]
+        capacity_day = np.empty((n_days, len(self.segments)))
+        for j, (_, entry) in enumerate(self.segments):
+            for day in range(n_days):
+                capacity_day[day, j] = entry.capacity_rps_at(
+                    int(counts_day[day, j])
+                )
+        return np.repeat(capacity_day, hours_per_day, axis=0)
 
     def _pack_capacity_rows(
         self, counts_day: np.ndarray, hours_per_day: int

@@ -215,6 +215,10 @@ class ScenarioRunner:
         self.spec = spec
         self.hindsight_avoided_g = hindsight_avoided_g
         self.telemetry = ensure_telemetry(telemetry)
+        #: The invariant-audit outcome of the last :meth:`run`
+        #: (:class:`~repro.telemetry.observatory.audit.AuditReport`), or
+        #: ``None`` when ``spec.execution.audit`` is off.
+        self.last_audit = None
 
     # -- resolution --------------------------------------------------------
 
@@ -453,9 +457,13 @@ class ScenarioRunner:
                 telemetry=tele,
                 block_days=spec.execution.block_days,
                 shards=spec.execution.shards,
+                audit=spec.execution.audit,
             )
             with tele.span("main_run"):
                 report = simulation.run(spec.duration_days)
+            # The hindsight twin is never audited: only the main run's
+            # matrices feed the report the user sees.
+            self.last_audit = simulation.audit_report
             report = self._account_regret(report, policy)
             with tele.span("economics"):
                 site_costs = self._price_churn(sites, report)

@@ -409,19 +409,22 @@ class EconomicsSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """How (not what) to simulate: batching and sharding knobs.
+    """How (not what) to simulate: batching, sharding, and audit knobs.
 
-    Pure performance knobs for :class:`~repro.fleet.scheduler.FleetSimulation`
-    — ``block_days`` sizes the vectorized day-batches the fleet loop
-    precomputes at once, ``shards`` fans the deferred dispatch replay out
-    across a process pool.  Every setting is bitwise-identical to every
-    other (locked by tests), which is why :meth:`ScenarioSpec.sha256`
-    excludes this block: the same experiment run with different execution
-    knobs keys the same store entry.
+    Pure performance/observation knobs for
+    :class:`~repro.fleet.scheduler.FleetSimulation` — ``block_days`` sizes
+    the vectorized day-batches the fleet loop precomputes at once,
+    ``shards`` fans the deferred dispatch replay out across a process
+    pool, and ``audit`` turns on the post-run conservation-invariant
+    checks of :mod:`repro.telemetry.observatory.audit`.  Every setting is
+    bitwise-identical to every other (locked by tests), which is why
+    :meth:`ScenarioSpec.sha256` excludes this block: the same experiment
+    run with different execution knobs keys the same store entry.
     """
 
     block_days: int = 1
     shards: int = 1
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.block_days < 1:

@@ -189,6 +189,7 @@ def _run_unique(
     hindsight: Optional[Dict[str, float]] = None,
     with_telemetry: bool = False,
     persist: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> Dict[str, Tuple[ScenarioResult, Optional[Dict[str, Any]]]]:
     """Run each unique spec once, serially or over a process pool.
 
@@ -202,6 +203,12 @@ def _run_unique(
     serially; as futures are collected in key order under a pool), so a
     store-backed sweep checkpoints finished cells even when a later cell —
     or the process itself — dies.
+
+    ``progress`` is an optional
+    :class:`~repro.telemetry.observatory.progress.ProgressReporter`; its
+    ``cell_done`` ticks as each result reaches this process.  Progress
+    observes completions only — it never feeds anything back, so results
+    are bitwise-identical with or without it.
     """
     hindsight = hindsight or {}
     if jobs is None or jobs == 1 or len(unique) <= 1:
@@ -216,6 +223,8 @@ def _run_unique(
             )
             if persist is not None:
                 persist(key, result, manifest)
+            if progress is not None:
+                progress.cell_done()
             out[key] = (result, manifest)
         return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(unique))) as pool:
@@ -233,6 +242,8 @@ def _run_unique(
             result, manifest = future.result()
             if persist is not None:
                 persist(key, result, manifest)
+            if progress is not None:
+                progress.cell_done()
             out[key] = (result, manifest)
         return out
 
@@ -268,6 +279,7 @@ def _run_cells(
     share_hindsight: bool = True,
     telemetry: Optional[Telemetry] = None,
     store: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> List[ScenarioResult]:
     """Run every cell spec, serially or over a process pool, in grid order.
 
@@ -298,6 +310,8 @@ def _run_cells(
     unique: Dict[str, ScenarioSpec] = {}
     for key, cell_spec in zip(keys, specs):
         unique.setdefault(key, cell_spec)
+    if progress is not None:
+        progress.set_total_cells(len(unique))
 
     twin_keys: Dict[str, str] = {}
     twins: Dict[str, ScenarioSpec] = {}
@@ -319,6 +333,8 @@ def _run_cells(
             entry = store.get_entry_or_none(key)
             if entry is not None:
                 pairs[key] = (entry.result, entry.manifest)
+    if progress is not None and pairs:
+        progress.cell_done(len(pairs))  # store hits complete instantly
     pending = {key: spec for key, spec in unique.items() if key not in pairs}
 
     writes = 0
@@ -344,7 +360,11 @@ def _run_cells(
     if not needed_twin_cells:
         pairs.update(
             _run_unique(
-                pending, jobs, with_telemetry=telemetry.enabled, persist=persist
+                pending,
+                jobs,
+                with_telemetry=telemetry.enabled,
+                persist=persist,
+                progress=progress,
             )
         )
         if telemetry.enabled and store is not None:
@@ -397,8 +417,16 @@ def _run_cells(
     phase_a.update(
         {key: cell_spec for key, cell_spec in pending.items() if key not in twin_keys}
     )
+    if progress is not None and dedicated_twins:
+        progress.add_total_cells(len(dedicated_twins))
     pairs.update(
-        _run_unique(phase_a, jobs, with_telemetry=telemetry.enabled, persist=persist)
+        _run_unique(
+            phase_a,
+            jobs,
+            with_telemetry=telemetry.enabled,
+            persist=persist,
+            progress=progress,
+        )
     )
     hindsight = {
         key: pairs[covered_by.get(twin_keys[key], twin_keys[key])][
@@ -417,6 +445,7 @@ def _run_cells(
             hindsight=hindsight,
             with_telemetry=telemetry.enabled,
             persist=persist,
+            progress=progress,
         )
     )
     if telemetry.enabled:
@@ -445,6 +474,7 @@ def sweep_scenario(
     share_hindsight: bool = True,
     telemetry: Optional[Telemetry] = None,
     store: Optional[Any] = None,
+    progress: Optional[Any] = None,
 ) -> SweepResult:
     """Run ``spec`` over the cartesian grid of ``axes`` overrides.
 
@@ -478,6 +508,13 @@ def sweep_scenario(
     complete, and hit/miss/write bookkeeping lands in ``store.*`` counters.
     Because every simulation is fully seeded, a store-backed sweep —
     cached, resumed, or from scratch — returns bitwise-identical results.
+
+    ``progress`` (a
+    :class:`~repro.telemetry.observatory.progress.ProgressReporter`) emits
+    live heartbeats as cells complete — store hits tick immediately,
+    dedicated hindsight twins extend the total when they are discovered.
+    Progress observes; it never feeds back, so results are identical with
+    or without it.
     """
     if not axes:
         raise ScenarioValidationError("a sweep needs at least one --set axis")
@@ -504,7 +541,12 @@ def sweep_scenario(
     tele = ensure_telemetry(telemetry)
     with tele.span("sweep"):
         results = _run_cells(
-            specs, jobs, share_hindsight=share_hindsight, telemetry=tele, store=store
+            specs,
+            jobs,
+            share_hindsight=share_hindsight,
+            telemetry=tele,
+            store=store,
+            progress=progress,
         )
     cells = [
         SweepCell(overrides=tuple(overrides.items()), result=result)

@@ -15,6 +15,12 @@ default to :data:`NULL_TELEMETRY`, a shared no-op, so un-instrumented
 callers pay nothing.  Telemetry never touches RNG or numeric state: a
 telemetry-on run is bitwise-identical to a telemetry-off run (locked by
 tests for every bundled preset).
+
+Tools built *on top of* the records live in
+:mod:`repro.telemetry.observatory` (imported explicitly, so the hot-path
+``repro.telemetry`` import stays minimal): Chrome-trace export, run
+diffing, live progress reporting, benchmark history, and the invariant
+audit mode.
 """
 
 from repro.telemetry.core import (

@@ -124,6 +124,7 @@ class Telemetry:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.children: List[dict] = []
+        self.events: List[dict] = []
 
     # -- spans -------------------------------------------------------------
 
@@ -186,6 +187,18 @@ class Telemetry:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
         self.gauges[name] = value
 
+    def event(self, kind: str, **data: object) -> None:
+        """Append one structured event record (e.g. an audit violation).
+
+        Events are ordered, arbitrary-payload annotations — the channel for
+        rare, noteworthy occurrences that neither a counter (no payload) nor
+        a span (no semantics) can carry.  They land in the manifest under
+        the optional ``events`` key.
+        """
+        if not kind:
+            raise ValueError("event kind must be a non-empty string")
+        self.events.append({"kind": kind, **data})
+
     # -- child manifests (process-pool reassembly) -------------------------
 
     def add_child(self, manifest: dict) -> None:
@@ -217,6 +230,7 @@ class NullTelemetry:
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     children: Tuple[()] = ()
+    events: Tuple[()] = ()
 
     def span(self, name: str, calls: int = 1) -> _NullSpan:
         return _NULL_SPAN
@@ -231,6 +245,9 @@ class NullTelemetry:
         return None
 
     def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def event(self, kind: str, **data: object) -> None:
         return None
 
     def add_child(self, manifest: dict) -> None:

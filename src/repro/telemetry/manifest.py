@@ -101,6 +101,9 @@ def build_manifest(
         "peak_rss_bytes": peak_rss_bytes(),
         "children": list(telemetry.children),
     }
+    events = getattr(telemetry, "events", ())
+    if events:
+        manifest["events"] = [dict(event) for event in events]
     if extra:
         manifest["context"] = dict(extra)
     return manifest
@@ -167,6 +170,15 @@ def validate_manifest(record: Dict[str, object]) -> None:
         if not isinstance(value, (int, float)) or value < 0:
             raise TelemetryValidationError(
                 f"counter {name!r} must be a non-negative number, got {value!r}"
+            )
+    # Optional (additive to repro-telemetry/1): structured event records.
+    events = record.get("events", [])
+    if not isinstance(events, list):
+        raise TelemetryValidationError("manifest events must be a list")
+    for event in events:
+        if not isinstance(event, dict) or not isinstance(event.get("kind"), str):
+            raise TelemetryValidationError(
+                f"event records must be objects with a string 'kind': {event!r}"
             )
     for child in record["children"]:
         validate_manifest(child)

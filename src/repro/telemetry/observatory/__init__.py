@@ -1,0 +1,81 @@
+"""The run observatory: comparison and live-inspection tools for runs.
+
+PR 6's telemetry records what one run did; this package is everything
+built *on top of* those records:
+
+* :mod:`~repro.telemetry.observatory.trace` — Chrome ``trace_event``
+  export of a telemetry JSONL (``python -m repro telemetry trace``);
+* :mod:`~repro.telemetry.observatory.diffing` — field-by-field diffing
+  of two runs, store hashes or JSONL files (``python -m repro diff``);
+* :mod:`~repro.telemetry.observatory.progress` — live heartbeat
+  reporting during ``run``/``sweep`` (``--progress``);
+* :mod:`~repro.telemetry.observatory.bench` — the append-only benchmark
+  history and its rolling regression gate (``python -m repro bench``);
+* :mod:`~repro.telemetry.observatory.audit` — opt-in conservation
+  invariant checks over a finished run (``--audit``).
+
+Everything here observes; nothing mutates simulation state.  Runs with
+any observatory feature enabled are bitwise-identical to plain runs.
+"""
+
+from repro.telemetry.observatory.audit import (
+    AuditReport,
+    AuditViolation,
+    audit_fleet_run,
+)
+from repro.telemetry.observatory.bench import (
+    BenchHistoryError,
+    append_history,
+    bench_records,
+    check_bench,
+    git_sha,
+    load_bench_json,
+    read_history,
+    render_history,
+    rolling_baseline,
+)
+from repro.telemetry.observatory.diffing import (
+    DiffError,
+    DiffField,
+    RunDiff,
+    RunSource,
+    diff_runs,
+    load_run_source,
+    render_diff,
+)
+from repro.telemetry.observatory.progress import (
+    ProgressReporter,
+    ProgressTelemetry,
+)
+from repro.telemetry.observatory.trace import (
+    chrome_trace,
+    export_chrome_trace,
+    trace_track_count,
+)
+
+__all__ = [
+    "AuditReport",
+    "AuditViolation",
+    "audit_fleet_run",
+    "BenchHistoryError",
+    "append_history",
+    "bench_records",
+    "check_bench",
+    "git_sha",
+    "load_bench_json",
+    "read_history",
+    "render_history",
+    "rolling_baseline",
+    "DiffError",
+    "DiffField",
+    "RunDiff",
+    "RunSource",
+    "diff_runs",
+    "load_run_source",
+    "render_diff",
+    "ProgressReporter",
+    "ProgressTelemetry",
+    "chrome_trace",
+    "export_chrome_trace",
+    "trace_track_count",
+]

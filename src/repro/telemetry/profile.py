@@ -72,6 +72,16 @@ def render_profile(manifest: Dict[str, object]) -> str:
     peak = manifest.get("peak_rss_bytes")
     if peak:
         lines.append(f"peak RSS: {peak / 2**20:.1f} MiB")
+    # Shard/cell workers build their manifests in their own process, so the
+    # parent's RSS says nothing about a worker's footprint — surface the
+    # worst child next to the parent figure.
+    child_rss = [
+        child["peak_rss_bytes"]
+        for child in manifest.get("children", [])
+        if isinstance(child.get("peak_rss_bytes"), (int, float))
+    ]
+    if child_rss:
+        lines.append(f"peak RSS (max shard): {max(child_rss) / 2**20:.1f} MiB")
     lines.append("")
 
     # Per-phase throughput: each call of a fleet-loop phase covers one
@@ -129,8 +139,14 @@ def render_profile(manifest: Dict[str, object]) -> str:
         lines.append("")
         lines.append(f"children: {len(children)} cell manifest(s)")
         for child in children:
+            rss = child.get("peak_rss_bytes")
+            rss_note = (
+                f", peak RSS {rss / 2**20:.1f} MiB"
+                if isinstance(rss, (int, float))
+                else ""
+            )
             lines.append(
                 f"  {child.get('name')}: {child.get('wall_s', 0.0):.3f} s, "
-                f"{len(child.get('phases', []))} phases"
+                f"{len(child.get('phases', []))} phases{rss_note}"
             )
     return "\n".join(lines)

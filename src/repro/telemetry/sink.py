@@ -43,16 +43,19 @@ def span_record(span: Span) -> Dict[str, object]:
         "start_s": span.start_s,
         "duration_s": span.duration_s,
         "index": span.index,
+        "calls": span.calls,
     }
 
 
 def _span_from_record(record: Dict[str, object]) -> Span:
+    # "calls" is additive to the format; files written before it default to 1.
     return Span(
         path=record["path"],
         depth=record["depth"],
         start_s=record["start_s"],
         duration_s=record["duration_s"],
         index=record["index"],
+        calls=record.get("calls", 1),
     )
 
 
@@ -69,6 +72,11 @@ def validate_span_record(record: Dict[str, object]) -> None:
             )
     if record["duration_s"] < 0 or record["depth"] < 1 or record["index"] < 0:
         raise TelemetryValidationError(f"span record out of range: {record!r}")
+    calls = record.get("calls", 1)
+    if not isinstance(calls, int) or calls < 0:
+        raise TelemetryValidationError(
+            f"span record 'calls' must be an int >= 0: {record!r}"
+        )
 
 
 def write_jsonl(

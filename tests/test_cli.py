@@ -384,3 +384,187 @@ def test_store_usage_on_bad_form(capsys, tmp_path):
 def test_store_flag_rejected_for_figure_targets(capsys):
     assert main(["run", "fig1", "--store", "somewhere"]) == 2
     assert "--store only applies to scenario runs" in capsys.readouterr().out
+
+
+def test_store_show_renders_profile_when_manifest_stored(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    out_path = str(tmp_path / "run.jsonl")
+    assert (
+        main(
+            ["run", "scenario", "carbon-buffer"]
+            + FAST_SCENARIO_ARGS
+            + ["--store", store_dir, "--telemetry", out_path]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    from repro.store import ExperimentStore
+
+    key = ExperimentStore(store_dir).keys()[0]
+    assert main(["store", "show", key[:10], "--store", store_dir]) == 0
+    shown = capsys.readouterr().out
+    assert "manifest: yes" in shown
+    assert "profile: carbon-buffer" in shown
+    assert "main_run" in shown and "counters:" in shown
+
+
+# ---------------------------------------------------------------------------
+# Run observatory: trace, diff, progress, audit, bench
+# ---------------------------------------------------------------------------
+
+
+def test_telemetry_trace_exports_one_track_per_shard(capsys, tmp_path):
+    import json
+
+    jsonl = str(tmp_path / "sharded.jsonl")
+    assert (
+        main(
+            ["run", "scenario", "carbon-buffer"]
+            + FAST_SCENARIO_ARGS
+            + ["--set", "execution.shards=2", "--telemetry", jsonl]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    out = str(tmp_path / "trace.json")
+    assert main(["telemetry", "trace", jsonl, "-o", out]) == 0
+    assert "track(s)" in capsys.readouterr().out
+    with open(out, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    assert trace["displayTimeUnit"] == "ms"
+    tracks = {(e["pid"], e["tid"]) for e in trace["traceEvents"]}
+    assert len(tracks) == 3  # main + 2 dispatch shards
+    assert all(e["ph"] in ("X", "M") for e in trace["traceEvents"])
+
+    # Default output path derives from the input stem.
+    assert main(["telemetry", "trace", jsonl]) == 0
+    capsys.readouterr()
+    import os
+
+    assert os.path.exists(str(tmp_path / "sharded.trace.json"))
+
+
+def test_telemetry_trace_missing_and_bad_form(capsys, tmp_path):
+    assert main(["telemetry", "trace", str(tmp_path / "missing.jsonl")]) == 2
+    capsys.readouterr()
+    assert main(["telemetry", "frobnicate", "x"]) == 2
+    assert "telemetry trace" in capsys.readouterr().out
+
+
+def test_diff_identical_store_entries_is_bitwise_equal(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    base = ["run", "scenario", "carbon-buffer"] + FAST_SCENARIO_ARGS
+    # Two entries with identical physics: the description changes the spec
+    # hash but feeds nothing into the simulation.
+    assert main(base + ["--store", store_dir]) == 0
+    assert main(base + ["--set", "description=twin", "--store", store_dir]) == 0
+    capsys.readouterr()
+    from repro.store import ExperimentStore
+
+    key_a, key_b = sorted(ExperimentStore(store_dir).keys())
+    assert main(["diff", key_a[:12], key_b[:12], "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "runs are identical on every compared field" in out
+    assert "fleet_cci_g_per_request" in out
+
+
+def test_diff_flags_differing_runs_and_bad_targets(capsys, tmp_path):
+    store_dir = str(tmp_path / "es")
+    base = ["run", "scenario", "carbon-buffer"] + FAST_SCENARIO_ARGS
+    assert main(base + ["--store", store_dir]) == 0
+    assert main(base + ["--set", "seed=9", "--store", store_dir]) == 0
+    capsys.readouterr()
+    from repro.store import ExperimentStore
+
+    key_a, key_b = ExperimentStore(store_dir).keys()[:2]
+    assert main(["diff", key_a[:12], key_b[:12], "--store", store_dir]) == 1
+    assert "differ" in capsys.readouterr().out
+    assert main(["diff", "nope1", "nope2", "--store", store_dir]) == 2
+    assert "diff error" in capsys.readouterr().out
+
+
+def test_run_audit_passes_and_prints_report(capsys, tmp_path):
+    args = ["run", "scenario", "carbon-buffer"] + FAST_SCENARIO_ARGS
+    assert main(args + ["--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "audit: all 13 invariant checks passed (0 violations)" in out
+
+    # A store-cached result was never simulated, so there is nothing to audit.
+    store_dir = str(tmp_path / "es")
+    assert main(args + ["--audit", "--store", store_dir]) == 0
+    capsys.readouterr()
+    assert main(args + ["--audit", "--store", store_dir]) == 0
+    assert "audit skipped" in capsys.readouterr().out
+
+
+def test_run_progress_writes_heartbeat_jsonl(capsys, tmp_path):
+    import json
+
+    progress_path = str(tmp_path / "progress.jsonl")
+    assert (
+        main(
+            ["run", "scenario", "carbon-buffer"]
+            + FAST_SCENARIO_ARGS
+            + ["--progress", progress_path]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    with open(progress_path, "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle]
+    assert records, "progress file must contain at least the final heartbeat"
+    final = records[-1]
+    assert final["kind"] == "progress"
+    assert final["days_done"] == 2 and final["total_days"] == 2
+    assert final["fraction"] == 1.0
+
+
+def test_progress_and_audit_rejected_for_figure_targets(capsys):
+    assert main(["run", "fig1", "--progress"]) == 2
+    assert "--progress only applies" in capsys.readouterr().out
+    assert main(["run", "fig1", "--audit"]) == 2
+    assert "--audit only applies" in capsys.readouterr().out
+
+
+def test_bench_record_check_log_round_trip(capsys, tmp_path):
+    import json
+
+    bench_json = str(tmp_path / "bench.json")
+    history = str(tmp_path / "history.jsonl")
+    payload = {
+        "benchmark": "fleet_scaling",
+        "cases": [
+            {"case": "greedy-year", "wall_s": 1.0, "device_days_per_s": 1e6}
+        ],
+    }
+    with open(bench_json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+    record_args = ["bench", "record", "--bench-json", bench_json, "--history", history]
+    assert main(record_args) == 0
+    assert "recorded 1 case(s)" in capsys.readouterr().out
+    assert main(record_args) == 0
+    capsys.readouterr()
+
+    check_args = ["bench", "check", "--bench-json", bench_json, "--history", history]
+    assert main(check_args + ["--case", "greedy-year"]) == 0
+    assert "[OK]" in capsys.readouterr().out
+
+    # Inject a >25% regression into the snapshot: the gate fails.
+    payload["cases"][0]["wall_s"] = 1.3
+    with open(bench_json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    assert main(check_args) == 1
+    assert "[REGRESSION]" in capsys.readouterr().out
+
+    assert main(["bench", "log", "--history", history]) == 0
+    log_out = capsys.readouterr().out
+    assert "greedy-year" in log_out and "wall (s)" in log_out
+
+
+def test_bench_errors_are_reported(capsys, tmp_path):
+    missing = str(tmp_path / "missing.json")
+    assert main(["bench", "check", "--bench-json", missing]) == 2
+    assert "bench error" in capsys.readouterr().out
+    assert main(["bench", "log", "--history", str(tmp_path / "none.jsonl")]) == 0
+    assert "no benchmark history" in capsys.readouterr().out
