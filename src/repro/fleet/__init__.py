@@ -8,6 +8,11 @@ grid mixes, with request routing policies that exploit the differences.
 * :mod:`repro.fleet.population` — vectorized device cohorts (intake,
   battery aging, stochastic churn, replacement policies), grouped per site
   by :class:`FleetPopulation` with independent seeded streams;
+* :mod:`repro.fleet.churn` — the bucketed churn engine
+  (:class:`BucketedCohort`): deploy-day cohort buckets with one binomial
+  draw per bucket, distributionally equivalent to the per-device
+  reference at O(days) instead of O(devices) per step, selected via
+  ``churn.sampler`` on the scenario spec;
 * :mod:`repro.fleet.sites` — multi-site cloudlets, each a
   :class:`~repro.cluster.cloudlet.CloudletDesign` bound to its own
   :class:`~repro.grid.traces.GridTrace` and holding one or more typed
@@ -24,6 +29,11 @@ grid mixes, with request routing policies that exploit the differences.
   carbon reporting consumed by :mod:`repro.analysis`.
 """
 
+from repro.fleet.churn import (
+    CHURN_SAMPLERS,
+    BucketedCohort,
+    cohort_class_for_sampler,
+)
 from repro.fleet.dispatch import (
     CarbonBufferDispatch,
     DispatchPolicy,
@@ -90,6 +100,10 @@ __all__ = [
     "FailureModel",
     "ReplacementPolicy",
     "steady_state_intake_rate",
+    # churn
+    "BucketedCohort",
+    "CHURN_SAMPLERS",
+    "cohort_class_for_sampler",
     # sites
     "FleetSite",
     "SiteCohort",

@@ -141,8 +141,13 @@ class DeviceCohort:
     State is held in flat NumPy arrays (one slot per device ever deployed);
     an ``active`` mask distinguishes live devices from failed/retired ones.
     Arrays grow amortised-doubling style, so a year of daily steps over a
-    10,000-device fleet allocates only a handful of times.
+    10,000-device fleet allocates only a handful of times; callers that
+    know the run length can pass ``capacity_hint`` (e.g. ``target_size +
+    n_days x expected intake``) to skip the doubling copies entirely.
     """
+
+    #: Engine name surfaced via the ``churn.sampler`` telemetry gauge.
+    sampler_name = "device"
 
     def __init__(
         self,
@@ -153,6 +158,7 @@ class DeviceCohort:
         load_profile: LoadProfile = LIGHT_MEDIUM,
         seed: int = 0,
         initial_size: Optional[int] = None,
+        capacity_hint: Optional[int] = None,
     ) -> None:
         self.device = device
         self.policy = policy
@@ -165,7 +171,7 @@ class DeviceCohort:
         self.spares = self.intake.initial_spares
         self.history: List[CohortStep] = []
 
-        capacity = max(16, 2 * policy.target_size)
+        capacity = max(16, 2 * policy.target_size, capacity_hint or 0)
         self._age_days = np.zeros(capacity)
         self._battery_cycles = np.zeros(capacity)
         self._battery_swaps = np.zeros(capacity, dtype=np.int64)
@@ -254,6 +260,26 @@ class DeviceCohort:
         self._fractional_arrivals -= whole
         return whole
 
+    def _failure_probabilities(self, ages: np.ndarray, dt_days: float) -> np.ndarray:
+        """Per-device failure probabilities, deduplicated over integer ages.
+
+        With daily stepping every age is a whole number, so instead of an
+        ``np.exp`` per device we evaluate the hazard once per distinct age
+        (a table of at most ``max_age + 1`` entries) and gather.  The hazard
+        is elementwise, so equal float inputs produce bitwise-equal
+        outputs — the gathered result is identical to the direct call.
+        Non-integer ages (fractional ``dt_days``) fall back to the direct
+        per-device evaluation.
+        """
+        if ages.shape[0]:
+            ages_int = ages.astype(np.int64)
+            if np.array_equal(ages_int, ages):
+                table = self.failure_model.failure_probability(
+                    np.arange(int(ages_int.max()) + 1, dtype=float), dt_days
+                )
+                return table[ages_int]
+        return self.failure_model.failure_probability(ages, dt_days)
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
@@ -286,7 +312,7 @@ class DeviceCohort:
         ages = self._age_days[:n]
 
         # 1. Stochastic hardware failures (age-dependent hazard).
-        p_fail = self.failure_model.failure_probability(ages, dt_days)
+        p_fail = self._failure_probabilities(ages, dt_days)
         draws = self._rng.random(n)
         failed = active & (draws < p_fail)
         failures = int(np.count_nonzero(failed))
@@ -300,8 +326,15 @@ class DeviceCohort:
         if battery is not None:
             draw_w = self.average_draw_w(utilization)
             cycles_per_day = battery.daily_cycles(draw_w)
-            self._battery_cycles[:n][active] += cycles_per_day * dt_days
-            worn = active & (self._battery_cycles[:n] >= battery.cycle_life)
+            # Zero draw accrues no cycles, and no *active* device carries
+            # cycles >= cycle_life across a step boundary (worn devices are
+            # swapped or retired the step they cross), so the whole wear
+            # block is a no-op — skipping it is bitwise-safe.
+            if cycles_per_day != 0.0:
+                self._battery_cycles[:n][active] += cycles_per_day * dt_days
+                worn = active & (self._battery_cycles[:n] >= battery.cycle_life)
+            else:
+                worn = np.zeros_like(active)
             if worn.any():
                 swaps_used = self._battery_swaps[:n]
                 if self.policy.swap_batteries:

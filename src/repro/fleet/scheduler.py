@@ -392,6 +392,7 @@ class FleetSimulation:
         cohort_swaps = np.zeros((n_days, n_cohorts), dtype=np.int64)
         cohort_failures = np.zeros((n_days, n_cohorts), dtype=np.int64)
         cohort_deployed = np.zeros((n_days, n_cohorts), dtype=np.int64)
+        cohort_retirements = np.zeros((n_days, n_cohorts), dtype=np.int64)
 
         tele = self.telemetry
 
@@ -452,6 +453,7 @@ class FleetSimulation:
                 cohort_swaps[day] = day_step["battery_swaps"]
                 cohort_failures[day] = day_step["failures"]
                 cohort_deployed[day] = day_step["deployed"]
+                cohort_retirements[day] = day_step["retirements"]
                 active[day] = self._per_site(day_step["active"])
                 replacement_g[day] = self._per_site(
                     day_step["replacement_carbon_g"]
@@ -459,6 +461,26 @@ class FleetSimulation:
                 battery_swaps[day] = self._per_site(day_step["battery_swaps"])
                 failures[day] = self._per_site(day_step["failures"])
                 deployed[day] = self._per_site(day_step["deployed"])
+
+        if tele.enabled:
+            # Which churn engine stepped this run, and how many distinct
+            # device-state buckets it peaked at (0 for the per-device
+            # reference, which has no bucket structure to count).
+            samplers = {
+                getattr(entry.cohort, "sampler_name", "device")
+                for _, entry in self.segments
+            }
+            tele.gauge(
+                "churn.sampler",
+                samplers.pop() if len(samplers) == 1 else "mixed",
+            )
+            tele.gauge(
+                "churn.buckets_peak",
+                max(
+                    getattr(entry.cohort, "buckets_peak", 0)
+                    for _, entry in self.segments
+                ),
+            )
 
         # -- Pass B: whole-run vectorized reductions and dispatch replay ---
         cohort_served = alloc_all
@@ -572,6 +594,23 @@ class FleetSimulation:
                     shortfall_j=shortfall_j,
                     clipped_setpoints=clipped_setpoints,
                     clipped_energy_kwh=clipped_energy_kwh,
+                    cohort_counts_day=counts_day,
+                    cohort_active=cohort_active,
+                    cohort_failures=cohort_failures,
+                    cohort_retirements=cohort_retirements,
+                    cohort_swaps_day=cohort_swaps,
+                    cohort_deployed=cohort_deployed,
+                    cohort_replacement_g=cohort_replacement_g,
+                    cohort_swap_embodied_g=np.array(
+                        [
+                            units.kg_to_grams(
+                                entry.device.battery.embodied_carbon_kgco2e
+                            )
+                            if entry.device.battery is not None
+                            else 0.0
+                            for _, entry in self.segments
+                        ]
+                    ),
                     telemetry=tele if tele.enabled else None,
                 )
 
@@ -865,6 +904,7 @@ class FleetSimulation:
             "battery_swaps": np.zeros(n_cohorts, dtype=np.int64),
             "failures": np.zeros(n_cohorts, dtype=np.int64),
             "deployed": np.zeros(n_cohorts, dtype=np.int64),
+            "retirements": np.zeros(n_cohorts, dtype=np.int64),
         }
         for j, (_, entry) in enumerate(self.segments):
             mean_util = float(np.mean(utilization[:, j]))
@@ -874,6 +914,7 @@ class FleetSimulation:
             out["battery_swaps"][j] = step.battery_swaps
             out["failures"][j] = step.failures
             out["deployed"][j] = step.deployed
+            out["retirements"][j] = step.retirements
         return out
 
     @staticmethod

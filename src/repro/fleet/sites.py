@@ -52,6 +52,7 @@ from repro.cluster.topology import wifi_tree_topology
 from repro.devices.catalog import PIXEL_3A
 from repro.devices.power import LIGHT_MEDIUM, LoadProfile
 from repro.devices.specs import DeviceSpec
+from repro.fleet.churn import cohort_class_for_sampler
 from repro.fleet.population import (
     DeviceCohort,
     FailureModel,
@@ -596,21 +597,31 @@ def build_site_cohort(
     intake: Optional[IntakeStream] = None,
     failure_model: Optional[FailureModel] = None,
     replacement_policy: Optional[ReplacementPolicy] = None,
+    sampler: str = "device",
+    capacity_hint: Optional[int] = None,
 ) -> SiteCohort:
-    """Build one typed :class:`SiteCohort` with the fleet's intake defaults."""
+    """Build one typed :class:`SiteCohort` with the fleet's intake defaults.
+
+    ``sampler`` picks the churn engine (``device`` — the per-device
+    bitwise-stable reference — or ``bucket``, the O(days) deploy-day
+    bucket engine); ``capacity_hint`` pre-sizes the device sampler's
+    arrays so long runs skip the amortised-doubling copies.
+    """
     if n_devices <= 0:
         raise ValueError("site needs a positive device count")
     policy = replacement_policy or ReplacementPolicy(target_size=n_devices)
     failures = failure_model or FailureModel()
     if intake is None:
         intake = default_intake_stream(device, policy, failures, load_profile)
-    cohort = DeviceCohort(
+    cohort_class = cohort_class_for_sampler(sampler)
+    cohort = cohort_class(
         device=device,
         policy=policy,
         intake=intake,
         failure_model=failures,
         load_profile=load_profile,
         seed=seed,
+        capacity_hint=capacity_hint,
     )
     return SiteCohort(cohort=cohort, requests_per_device_s=requests_per_device_s)
 
@@ -628,6 +639,7 @@ def site_on_trace(
     failure_model: Optional[FailureModel] = None,
     replacement_policy: Optional[ReplacementPolicy] = None,
     network_rtt_s: float = 0.010,
+    sampler: str = "device",
 ) -> FleetSite:
     """Build a single-cohort smartphone cloudlet site on an arbitrary trace.
 
@@ -648,6 +660,7 @@ def site_on_trace(
         intake=intake,
         failure_model=failure_model,
         replacement_policy=replacement_policy,
+        sampler=sampler,
     )
     return site_from_cohorts(
         name=name,
@@ -671,6 +684,7 @@ def phone_site(
     failure_model: Optional[FailureModel] = None,
     replacement_policy: Optional[ReplacementPolicy] = None,
     network_rtt_s: float = 0.010,
+    sampler: str = "device",
 ) -> FleetSite:
     """Build a smartphone cloudlet site on one of the regional grid presets.
 
@@ -691,6 +705,7 @@ def phone_site(
         failure_model=failure_model,
         replacement_policy=replacement_policy,
         network_rtt_s=network_rtt_s,
+        sampler=sampler,
     )
 
 
@@ -701,6 +716,7 @@ def mixed_phone_site(
     n_trace_days: int = 30,
     seed: int = 0,
     network_rtt_s: float = 0.010,
+    sampler: str = "device",
 ) -> FleetSite:
     """Build one mixed-cohort cloudlet site on a regional grid preset.
 
@@ -722,6 +738,7 @@ def mixed_phone_site(
                 n_devices=n_devices,
                 seed=seed if index == 0 else (seed, index),
                 requests_per_device_s=rate,
+                sampler=sampler,
             )
         )
     return site_from_cohorts(
@@ -737,6 +754,7 @@ def two_site_asymmetric_fleet(
     n_devices_per_site: int,
     seed: int = 0,
     n_trace_days: int = 30,
+    sampler: str = "device",
 ) -> Sequence[FleetSite]:
     """The canonical benchmark scenario: one dirty-grid and one clean-grid site.
 
@@ -751,6 +769,7 @@ def two_site_asymmetric_fleet(
             n_devices_per_site,
             seed=seed,
             n_trace_days=n_trace_days,
+            sampler=sampler,
         ),
         phone_site(
             "cascadia",
@@ -758,5 +777,6 @@ def two_site_asymmetric_fleet(
             n_devices_per_site,
             seed=seed + 1,
             n_trace_days=n_trace_days,
+            sampler=sampler,
         ),
     ]

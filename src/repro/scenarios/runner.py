@@ -295,6 +295,13 @@ class ScenarioRunner:
             poisson=churn.poisson_intake,
         )
         base_seed = self.spec.seed + index
+        # Pre-size the device sampler's arrays for the whole run (target +
+        # expected intake over the horizon) so it never pays a doubling copy.
+        capacity_hint = (
+            mix.count
+            + int(self.spec.duration_days * intake.arrivals_per_day)
+            + intake.initial_spares
+        )
         return build_site_cohort(
             device=device,
             n_devices=mix.count,
@@ -304,6 +311,8 @@ class ScenarioRunner:
             intake=intake,
             failure_model=failure_model,
             replacement_policy=replacement_policy,
+            sampler=churn.sampler,
+            capacity_hint=capacity_hint,
         )
 
     def build_site(self, site: SiteSpec, index: int) -> FleetSite:

@@ -28,6 +28,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.devices.power import FULL_LOAD, IDLE, LIGHT_MEDIUM, LoadProfile
 from repro.economics.cost import CALIFORNIA_ELECTRICITY_USD_PER_KWH, FleetCostModel
+from repro.fleet.churn import CHURN_SAMPLERS
 from repro.fleet.population import FailureModel, IntakeStream, ReplacementPolicy
 from repro.fleet.scheduler import SERVICE_DISTRIBUTIONS, DiurnalDemand
 from repro.fleet.sites import DEFAULT_REQUESTS_PER_DEVICE_S, REGIONAL_GENERATORS
@@ -148,6 +149,12 @@ class ChurnSpec:
     does); an explicit rate models supply-constrained or oversupplied
     junkyards.  ``initial_spares=None`` likewise defaults to a small pool
     proportional to the site size.
+
+    ``sampler`` selects the churn engine: ``"device"`` (the bitwise-stable
+    per-device reference) or ``"bucket"`` (deploy-day cohort buckets with
+    one binomial draw per bucket — distributionally equivalent, O(days)
+    instead of O(devices) per step).  The choice changes the RNG stream,
+    so unlike the :class:`ExecutionSpec` knobs it is part of the spec hash.
     """
 
     swap_batteries: bool = ReplacementPolicy.swap_batteries
@@ -157,8 +164,14 @@ class ChurnSpec:
     intake_per_day: Optional[float] = None
     initial_spares: Optional[int] = None
     poisson_intake: bool = IntakeStream.poisson
+    sampler: str = "device"
 
     def __post_init__(self) -> None:
+        if self.sampler not in CHURN_SAMPLERS:
+            raise ScenarioValidationError(
+                f"sampler must be one of {', '.join(CHURN_SAMPLERS)}; "
+                f"got {self.sampler!r}"
+            )
         if self.max_battery_swaps < 0:
             raise ScenarioValidationError("max_battery_swaps must be non-negative")
         if self.annual_failure_rate < 0 or self.age_acceleration_per_year < 0:
@@ -534,9 +547,19 @@ class ScenarioSpec:
 
         Unknown paths raise :class:`ScenarioValidationError` listing the
         fields available at the failing segment.
+
+        ``churn`` is per-site, but a churn policy usually applies fleet-wide:
+        a top-level ``churn.<field>`` (or whole-``churn``) path broadcasts to
+        every site, so ``--set churn.sampler=bucket`` flips the engine on all
+        of them without spelling each ``sites.N.churn.sampler`` out.
         """
         data = self.to_dict()
         for dotted, value in overrides.items():
+            if dotted == "churn" or dotted.startswith("churn."):
+                suffix = dotted[len("churn"):]
+                for index in range(len(data["sites"])):
+                    _set_dotted(data, f"sites.{index}.churn{suffix}", value)
+                continue
             _set_dotted(data, dotted, value)
         return ScenarioSpec.from_dict(data)
 

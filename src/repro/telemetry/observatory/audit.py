@@ -14,7 +14,11 @@ and records violations as structured telemetry events:
 * **allocation feasibility** — the routed load never exceeds the
   physical capacity of the live population nor the offered demand;
 * **clip accounting** — the report's clipped-setpoint count and energy
-  match a recount of the dispatch replay's shortfall matrix.
+  match a recount of the dispatch replay's shortfall matrix;
+* **churn conservation** — per cohort-day, devices are conserved exactly
+  (``deployed - failures - retirements == active - day_start_count``,
+  an integer identity both churn engines must satisfy) and replacement
+  carbon is exactly ``battery swaps x embodied battery carbon``.
 
 The auditor only *reads* Pass A/B outputs — it runs after all numerics
 are done, draws no random numbers, and mutates nothing, so an audit-on
@@ -149,6 +153,14 @@ def audit_fleet_run(
     shortfall_j: Optional[np.ndarray] = None,
     clipped_setpoints: int = 0,
     clipped_energy_kwh: float = 0.0,
+    cohort_counts_day: Optional[np.ndarray] = None,
+    cohort_active: Optional[np.ndarray] = None,
+    cohort_failures: Optional[np.ndarray] = None,
+    cohort_retirements: Optional[np.ndarray] = None,
+    cohort_swaps_day: Optional[np.ndarray] = None,
+    cohort_deployed: Optional[np.ndarray] = None,
+    cohort_replacement_g: Optional[np.ndarray] = None,
+    cohort_swap_embodied_g: Optional[np.ndarray] = None,
     telemetry=None,
 ) -> AuditReport:
     """Run every invariant check over one finished run's matrices.
@@ -159,6 +171,13 @@ def audit_fleet_run(
     replay's per-``(hour, pack)`` undelivered discharge energy.  Violations
     are recorded on ``telemetry`` as ``audit.violation`` events plus the
     ``audit.checks`` / ``audit.violations`` counters.
+
+    The churn matrices (all ``(n_days, n_cohorts)``, plus the per-cohort
+    ``cohort_swap_embodied_g`` vector of grams per battery swap) are
+    optional as a group: when provided, the device-conservation and
+    replacement-carbon identities are checked per cohort-day.  They hold
+    *exactly* — integer counting for devices, one float product per day
+    for carbon — for both the ``device`` and ``bucket`` churn engines.
     """
     auditor = _Auditor()
 
@@ -216,6 +235,23 @@ def audit_fleet_run(
         )
         auditor.check_scalar(
             "clip_energy_consistent", clipped_energy_kwh, recounted_kwh
+        )
+
+    # Churn conservation: devices are counted, not summed — the identity
+    # deployed - failures - retirements == active - day_start_count holds
+    # exactly per cohort-day for every churn engine, as does replacement
+    # carbon == swaps x embodied.
+    if cohort_counts_day is not None:
+        flow = cohort_deployed - cohort_failures - cohort_retirements
+        drift = (cohort_active - cohort_counts_day) - flow
+        auditor.check_mask("churn_count_conservation", drift != 0, drift)
+        auditor.check_mask(
+            "churn_counts_nonnegative", cohort_active < 0, cohort_active
+        )
+        auditor.check_close(
+            "churn_carbon_conservation",
+            cohort_replacement_g,
+            cohort_swaps_day * cohort_swap_embodied_g[None, :],
         )
 
     report = AuditReport(

@@ -132,7 +132,9 @@ def render_profile(manifest: Dict[str, object]) -> str:
         lines.append("gauges:")
         width = max(len(name) for name in gauges)
         for name in sorted(gauges):
-            lines.append(f"  {name:<{width}}  {gauges[name]:g}")
+            value = gauges[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
 
     children = manifest.get("children", [])
     if children:

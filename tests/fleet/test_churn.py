@@ -1,0 +1,316 @@
+"""The bucketed churn engine: exact conservation, determinism, and
+distributional equivalence with the per-device reference sampler."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import PIXEL_3A
+from repro.fleet.churn import (
+    CHURN_SAMPLERS,
+    BucketedCohort,
+    cohort_class_for_sampler,
+)
+from repro.fleet.population import (
+    DeviceCohort,
+    FailureModel,
+    IntakeStream,
+    ReplacementPolicy,
+)
+
+# A Pixel 3A whose battery wears out in ~2 months at high load, so swap and
+# retirement paths fire inside short test horizons (the stock ~2.3-year
+# cycle life would need a 900-day run to see a single wear event).
+FAST_WEAR_PIXEL = dataclasses.replace(
+    PIXEL_3A,
+    battery=dataclasses.replace(PIXEL_3A.battery, cycle_life=40.0),
+)
+
+
+def build_cohort(
+    sampler,
+    device=FAST_WEAR_PIXEL,
+    target=300,
+    seed=0,
+    intake_per_day=3.0,
+    initial_spares=20,
+    poisson=True,
+    max_battery_swaps=1,
+):
+    return cohort_class_for_sampler(sampler)(
+        device,
+        ReplacementPolicy(
+            target_size=target, max_battery_swaps=max_battery_swaps
+        ),
+        intake=IntakeStream(
+            arrivals_per_day=intake_per_day,
+            initial_spares=initial_spares,
+            poisson=poisson,
+        ),
+        failure_model=FailureModel(),
+        seed=seed,
+    )
+
+
+def history_tuples(cohort):
+    return [
+        (
+            step.day,
+            step.failures,
+            step.battery_swaps,
+            step.retirements,
+            step.deployed,
+            step.active,
+            step.spares,
+            step.replacement_carbon_g,
+        )
+        for step in cohort.history
+    ]
+
+
+class TestSamplerRegistry:
+    def test_known_samplers(self):
+        assert CHURN_SAMPLERS == ("device", "bucket")
+        assert cohort_class_for_sampler("device") is DeviceCohort
+        assert cohort_class_for_sampler("bucket") is BucketedCohort
+
+    def test_unknown_sampler_raises(self):
+        with pytest.raises(ValueError, match="unknown churn sampler"):
+            cohort_class_for_sampler("per-atom")
+
+    def test_sampler_names(self):
+        assert DeviceCohort.sampler_name == "device"
+        assert BucketedCohort.sampler_name == "bucket"
+
+
+class TestBucketConservation:
+    def test_counts_and_carbon_conserved_every_step(self):
+        cohort = build_cohort("bucket", seed=3)
+        embodied_g = 1_000.0 * FAST_WEAR_PIXEL.battery.embodied_carbon_kgco2e
+        previous_active = cohort.active_count
+        for step in cohort.run(200, utilization=0.9):
+            assert (
+                step.deployed - step.failures - step.retirements
+                == step.active - previous_active
+            )
+            assert step.replacement_carbon_g == step.battery_swaps * embodied_g
+            previous_active = step.active
+        # The shrunk cycle life must actually exercise every lifecycle path.
+        assert cohort.total_failures > 0
+        assert cohort.total_battery_swaps > 0
+        assert cohort.total_retirements > 0
+
+    def test_bucket_count_bounded_by_days(self):
+        cohort = build_cohort("bucket", seed=5)
+        n_days = 250
+        cohort.run(n_days, utilization=0.9)
+        # Only deployment opens buckets (at most one per step, plus the
+        # initial one) and empties are compacted away.
+        assert cohort.buckets_peak <= n_days + 1
+        assert cohort.buckets_live <= cohort.buckets_peak
+        # At steady state the population spans far fewer distinct states
+        # than it has members.
+        assert cohort.buckets_live < cohort.active_count
+
+    def test_wear_hits_whole_bucket_at_once(self):
+        # No failures, no swaps allowed: the initial bucket crosses its
+        # cycle life in lockstep and retires in a single step.
+        cohort = BucketedCohort(
+            FAST_WEAR_PIXEL,
+            ReplacementPolicy(target_size=100, swap_batteries=False),
+            intake=IntakeStream(arrivals_per_day=0.0, initial_spares=0),
+            failure_model=FailureModel(
+                annual_rate=0.0, age_acceleration_per_year=0.0
+            ),
+            seed=0,
+        )
+        steps = cohort.run(120, utilization=1.0)
+        retire_days = [s.day for s in steps if s.retirements]
+        assert len(retire_days) == 1
+        assert steps[int(retire_days[0]) - 1].retirements == 100
+        assert cohort.active_count == 0
+
+
+class TestBucketDeterminism:
+    def test_same_seed_is_bitwise_identical(self):
+        first = build_cohort("bucket", seed=11)
+        second = build_cohort("bucket", seed=11)
+        first.run(150, utilization=0.8)
+        second.run(150, utilization=0.8)
+        assert history_tuples(first) == history_tuples(second)
+
+    def test_different_seeds_diverge(self):
+        first = build_cohort("bucket", seed=11)
+        second = build_cohort("bucket", seed=12)
+        first.run(150, utilization=0.8)
+        second.run(150, utilization=0.8)
+        assert history_tuples(first) != history_tuples(second)
+
+
+class TestDistributionalEquivalence:
+    """Bucket and device engines draw from the same distribution.
+
+    Binomial(count, p(age)) over a bucket is exactly the sum of count
+    i.i.d. Bernoulli(p(age)) device draws, wear events are deterministic
+    in both engines, and intake/deploy arithmetic is identical — so every
+    aggregate statistic must agree up to sampling noise across seeds.
+    """
+
+    N_SEEDS = 40
+    N_DAYS = 220
+
+    def _totals(self, sampler, seed, utilization):
+        cohort = build_cohort(sampler, seed=seed)
+        steps = cohort.run(self.N_DAYS, utilization=utilization)
+        tail = steps[self.N_DAYS // 2 :]
+        return np.array(
+            [
+                cohort.total_failures,
+                cohort.total_battery_swaps,
+                cohort.total_retirements,
+                float(np.mean([s.active for s in tail])),
+            ]
+        )
+
+    @pytest.mark.parametrize("utilization", [0.6, 0.95])
+    def test_means_agree_across_seed_grid(self, utilization):
+        device = np.array(
+            [
+                self._totals("device", seed, utilization)
+                for seed in range(self.N_SEEDS)
+            ]
+        )
+        bucket = np.array(
+            [
+                self._totals("bucket", seed, utilization)
+                for seed in range(self.N_SEEDS)
+            ]
+        )
+        labels = ("failures", "swaps", "retirements", "steady_active")
+        for j, label in enumerate(labels):
+            mean_d = device[:, j].mean()
+            mean_b = bucket[:, j].mean()
+            # Standard error of the difference of the two seed-grid means;
+            # 5 sigma keeps the false-failure rate negligible while still
+            # catching any systematic bias between the engines.
+            sem = np.sqrt(
+                (device[:, j].var(ddof=1) + bucket[:, j].var(ddof=1))
+                / self.N_SEEDS
+            )
+            tolerance = 5.0 * max(sem, 1e-9) + 1e-9
+            assert abs(mean_d - mean_b) < tolerance, (
+                f"{label}: device {mean_d:.2f} vs bucket {mean_b:.2f} "
+                f"(tolerance {tolerance:.2f})"
+            )
+
+    def test_failure_variance_agrees(self):
+        device = np.array(
+            [self._totals("device", s, 0.6)[0] for s in range(self.N_SEEDS)]
+        )
+        bucket = np.array(
+            [self._totals("bucket", s, 0.6)[0] for s in range(self.N_SEEDS)]
+        )
+        # Variance of a variance estimate is large at N=40; a 3x band
+        # still rules out structurally different sampling (e.g. one draw
+        # for the whole population).
+        ratio = device.var(ddof=1) / bucket.var(ddof=1)
+        assert 1 / 3 < ratio < 3, f"variance ratio {ratio:.2f}"
+
+
+class TestDeviceSamplerMicroOpts:
+    """The integer-age table and battery-skip paths stay bitwise-exact."""
+
+    def test_age_table_matches_direct_hazard(self):
+        model = FailureModel(annual_rate=0.08, age_acceleration_per_year=0.06)
+        cohort = build_cohort("device", seed=0)
+        cohort.failure_model = model
+        ages = np.array([0.0, 1.0, 1.0, 5.0, 400.0, 87.0, 0.0])
+        via_table = cohort._failure_probabilities(ages, 1.0)
+        direct = model.failure_probability(ages, 1.0)
+        assert np.array_equal(via_table, direct)
+
+    def test_fractional_ages_fall_back_to_direct(self):
+        model = FailureModel()
+        cohort = build_cohort("device", seed=0)
+        cohort.failure_model = model
+        ages = np.array([0.5, 1.5, 2.25])
+        assert np.array_equal(
+            cohort._failure_probabilities(ages, 0.5),
+            model.failure_probability(ages, 0.5),
+        )
+
+    def test_capacity_hint_is_bitwise_identical(self):
+        plain = build_cohort("device", seed=9)
+        hinted = cohort_class_for_sampler("device")(
+            FAST_WEAR_PIXEL,
+            ReplacementPolicy(target_size=300, max_battery_swaps=1),
+            intake=IntakeStream(
+                arrivals_per_day=3.0, initial_spares=20, poisson=True
+            ),
+            failure_model=FailureModel(),
+            seed=9,
+            capacity_hint=300 + 200 * 3 + 20,
+        )
+        plain.run(200, utilization=0.9)
+        hinted.run(200, utilization=0.9)
+        assert history_tuples(plain) == history_tuples(hinted)
+
+    def test_zero_draw_skips_wear_but_not_failures(self):
+        # utilization=0 still has idle power on a real phone, so force a
+        # zero draw via a zero-idle synthetic device to hit the skip path.
+        from repro.devices.power import PiecewiseLinearPowerModel
+
+        zero_idle = dataclasses.replace(
+            FAST_WEAR_PIXEL,
+            power_model=PiecewiseLinearPowerModel({0.0: 0.0, 1.0: 2.5}),
+        )
+        cohort = DeviceCohort(
+            zero_idle,
+            ReplacementPolicy(target_size=200),
+            intake=IntakeStream(arrivals_per_day=2.0, initial_spares=5),
+            seed=4,
+        )
+        cohort.run(100, utilization=0.0)
+        assert cohort.total_battery_swaps == 0
+        assert cohort.total_retirements == 0
+        assert cohort.total_failures > 0
+        assert float(cohort._battery_cycles[: cohort._n].max()) == 0.0
+
+
+class TestBucketedCohortSurface:
+    """BucketedCohort presents the same read surface as DeviceCohort."""
+
+    def test_means_and_availability(self):
+        cohort = build_cohort("bucket", seed=2)
+        cohort.run(60, utilization=0.7)
+        assert 0.0 < cohort.availability <= 1.5
+        assert cohort.mean_age_days() > 0.0
+        assert 0.0 <= cohort.mean_battery_wear() <= 1.0
+        assert cohort.average_draw_w(0.5) == FAST_WEAR_PIXEL.power_model.power_at(
+            0.5
+        )
+
+    def test_capacity_hint_accepted(self):
+        cohort = cohort_class_for_sampler("bucket")(
+            FAST_WEAR_PIXEL,
+            ReplacementPolicy(target_size=50),
+            seed=0,
+            capacity_hint=10_000,
+        )
+        assert cohort.active_count == 50
+
+    def test_invalid_arguments(self):
+        cohort = build_cohort("bucket")
+        with pytest.raises(ValueError):
+            cohort.step(0.0)
+        with pytest.raises(ValueError):
+            cohort.step(1.0, utilization=1.5)
+        with pytest.raises(ValueError):
+            cohort.run(0)
+        with pytest.raises(ValueError):
+            BucketedCohort(
+                FAST_WEAR_PIXEL,
+                ReplacementPolicy(target_size=10),
+                initial_size=-1,
+            )

@@ -81,6 +81,34 @@ class TestRegistryPresetIdentity:
             )
 
 
+class TestBucketSamplerExecutionIdentity:
+    """The bucketed churn engine is shard- and block-layout invariant.
+
+    ``churn.sampler=bucket`` changes the RNG stream relative to the device
+    reference, but churn runs entirely in the serial Pass A coordinator —
+    so across ``execution.block_days`` x ``execution.shards`` layouts a
+    bucket run must still be bitwise self-identical.
+    """
+
+    @pytest.mark.parametrize("preset", ["two-site-asymmetric", "carbon-buffer"])
+    def test_bucket_runs_match_across_execution_layouts(self, preset):
+        baseline = _run(preset, {"churn.sampler": "bucket"})
+        for block_days, shards in CONFIGS:
+            result = _run(
+                preset,
+                {
+                    "churn.sampler": "bucket",
+                    "execution.block_days": block_days,
+                    "execution.shards": shards,
+                },
+            )
+            _assert_identical(
+                baseline,
+                result,
+                f"{preset} bucket block={block_days} shards={shards}",
+            )
+
+
 class TestCouplingModeIdentity:
     @pytest.mark.parametrize("coupling", ["none", "estimate", "dispatch"])
     def test_every_coupling_mode_matches_the_serial_reference(self, coupling):

@@ -90,7 +90,8 @@ def test_audit_counters_and_span_require_telemetry():
     spec = _fast_spec("carbon-buffer").with_overrides({"execution.audit": True})
     tele = Telemetry()
     ScenarioRunner(spec, telemetry=tele).run()
-    assert tele.counters["audit.checks"] == 13  # dispatch preset: all checks
+    # Dispatch preset: all 13 energy/alloc checks + 3 churn-conservation.
+    assert tele.counters["audit.checks"] == 16
     assert tele.counters["audit.violations"] == 0
     assert tele.events == []  # no violations => no events
     assert "scenario/main_run/audit" in {span.path for span in tele.spans}
@@ -132,3 +133,45 @@ def test_sweep_progress_ticks_store_hits_and_twins(tmp_path):
     assert second.total_cells == 2
     assert second.cells_done == 2
     assert len(rerun.cells) == 2
+
+
+class TestBucketSamplerObservatory:
+    """The bucketed churn engine under the audit and telemetry lenses."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_bucket_runs_pass_the_audit_on_every_preset(self, name):
+        spec = _fast_spec(name).with_overrides(
+            {"churn.sampler": "bucket", "execution.audit": True}
+        )
+        runner = ScenarioRunner(spec)
+        runner.run()
+        assert runner.last_audit is not None
+        assert runner.last_audit.ok, runner.last_audit.render()
+
+    def test_churn_gauges_name_the_engine(self):
+        from repro.telemetry import Telemetry
+
+        spec = _fast_spec("carbon-buffer")
+        tele = Telemetry()
+        ScenarioRunner(spec, telemetry=tele).run()
+        assert tele.gauges["churn.sampler"] == "device"
+        assert tele.gauges["churn.buckets_peak"] == 0
+
+        bucket_spec = spec.with_overrides({"churn.sampler": "bucket"})
+        bucket_tele = Telemetry()
+        ScenarioRunner(bucket_spec, telemetry=bucket_tele).run()
+        assert bucket_tele.gauges["churn.sampler"] == "bucket"
+        assert bucket_tele.gauges["churn.buckets_peak"] >= 1
+
+    def test_string_gauges_render_in_profile(self):
+        from repro.telemetry import Telemetry, build_manifest
+        from repro.telemetry.profile import render_profile
+
+        spec = _fast_spec("carbon-buffer").with_overrides(
+            {"churn.sampler": "bucket"}
+        )
+        tele = Telemetry()
+        ScenarioRunner(spec, telemetry=tele).run()
+        manifest = build_manifest(tele, name="carbon-buffer")
+        text = render_profile(manifest)
+        assert "churn.sampler" in text and "bucket" in text

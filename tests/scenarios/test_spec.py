@@ -327,3 +327,48 @@ class TestSpecHashCanonicalization:
 
         spec = get_scenario("carbon-buffer")
         assert spec_hash(spec) == spec.sha256()
+
+
+class TestChurnSamplerField:
+    def test_default_is_device(self):
+        assert ChurnSpec().sampler == "device"
+        for name in scenario_names():
+            for site in get_scenario(name).sites:
+                assert site.churn.sampler == "device"
+
+    def test_bucket_round_trips_through_dict_and_json(self):
+        spec = small_spec(
+            sites=(
+                SiteSpec(name="a", churn=ChurnSpec(sampler="bucket")),
+                SiteSpec(name="b"),
+            )
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.sites[0].churn.sampler == "bucket"
+        assert rebuilt.sites[1].churn.sampler == "device"
+        assert rebuilt.sha256() == spec.sha256()
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ScenarioValidationError, match="sampler"):
+            ChurnSpec(sampler="per-atom")
+
+    def test_sampler_is_part_of_the_spec_hash(self):
+        # Unlike the ExecutionSpec knobs, the churn engine changes the RNG
+        # stream, so two specs differing only in sampler must hash apart.
+        spec = get_scenario("carbon-buffer")
+        bucket = spec.with_overrides({"churn.sampler": "bucket"})
+        assert bucket.sha256() != spec.sha256()
+        execution_only = spec.with_overrides({"execution.block_days": 366})
+        assert execution_only.sha256() == spec.sha256()
+
+    def test_top_level_churn_override_broadcasts_to_every_site(self):
+        spec = get_scenario("two-site-asymmetric")
+        bucket = spec.with_overrides({"churn.sampler": "bucket"})
+        assert all(site.churn.sampler == "bucket" for site in bucket.sites)
+        # Other churn fields broadcast the same way...
+        swaps = spec.with_overrides({"churn.max_battery_swaps": 3})
+        assert all(site.churn.max_battery_swaps == 3 for site in swaps.sites)
+        # ...while per-site paths still target one site.
+        one = spec.with_overrides({"sites.1.churn.sampler": "bucket"})
+        assert one.sites[0].churn.sampler == "device"
+        assert one.sites[1].churn.sampler == "bucket"

@@ -485,3 +485,51 @@ def test_audit_report_rendering_lists_each_failure():
     text = report.render()
     assert "1 of 13 invariant checks FAILED" in text
     assert "soc_floor: 3 cells" in text
+
+
+def _churn_matrices():
+    """Consistent (3 days x 2 cohorts) churn matrices for the audit."""
+    counts_day = np.array([[100, 50], [99, 50], [98, 49]])
+    failures = np.array([[1, 0], [2, 1], [0, 0]])
+    retirements = np.array([[0, 0], [0, 0], [3, 0]])
+    deployed = np.array([[0, 0], [1, 0], [0, 2]])
+    active = counts_day + deployed - failures - retirements
+    swaps = np.array([[0, 0], [4, 0], [0, 1]])
+    embodied = np.array([45_000.0, 16_000.0])
+    return dict(
+        cohort_counts_day=counts_day,
+        cohort_active=active,
+        cohort_failures=failures,
+        cohort_retirements=retirements,
+        cohort_swaps_day=swaps,
+        cohort_deployed=deployed,
+        cohort_replacement_g=swaps * embodied[None, :],
+        cohort_swap_embodied_g=embodied,
+    )
+
+
+def test_audit_churn_conservation_passes_on_consistent_matrices():
+    report = audit_fleet_run(**_consistent_run(), **_churn_matrices())
+    assert report.ok
+    assert report.checks == 16  # 13 energy/alloc checks + 3 churn checks
+
+
+def test_audit_catches_churn_count_drift():
+    churn = _churn_matrices()
+    churn["cohort_active"] = churn["cohort_active"] + np.array(
+        [[0, 0], [0, 0], [1, 0]]
+    )  # one device appears from nowhere on day 3
+    report = audit_fleet_run(**_consistent_run(), **churn)
+    assert not report.ok
+    failed = {violation.check for violation in report.violations}
+    assert "churn_count_conservation" in failed
+
+
+def test_audit_catches_churn_carbon_mismatch():
+    churn = _churn_matrices()
+    churn["cohort_replacement_g"] = churn["cohort_replacement_g"] + 1.0
+    report = audit_fleet_run(**_consistent_run(), **churn)
+    assert not report.ok
+    assert [v.check for v in report.violations] == [
+        "churn_carbon_conservation"
+    ]

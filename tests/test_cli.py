@@ -487,7 +487,7 @@ def test_run_audit_passes_and_prints_report(capsys, tmp_path):
     args = ["run", "scenario", "carbon-buffer"] + FAST_SCENARIO_ARGS
     assert main(args + ["--audit"]) == 0
     out = capsys.readouterr().out
-    assert "audit: all 13 invariant checks passed (0 violations)" in out
+    assert "audit: all 16 invariant checks passed (0 violations)" in out
 
     # A store-cached result was never simulated, so there is nothing to audit.
     store_dir = str(tmp_path / "es")
